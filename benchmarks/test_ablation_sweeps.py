@@ -1,0 +1,58 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* work-group size (the Section IV.A OpenCL/SYCL asymmetry, swept);
+* register pressure -> occupancy -> time (the opt3/opt4 cliff, swept);
+* mismatch threshold -> early-exit trip count (measured);
+each printed as a table and asserted for its expected monotonicity.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import (occupancy_sweep, threshold_sweep,
+                                   work_group_size_sweep)
+
+
+def test_work_group_size_ablation(benchmark, measured_profiles):
+    workload = measured_profiles["hg19"]
+    rows = benchmark(work_group_size_sweep, workload,
+                     sizes=(64, 128, 256, 512))
+    print()
+    print(format_table(
+        ("WG size", "comparer cycles/SIMD", "staging share"),
+        [(r.work_group_size, f"{r.comparer_cycles:.3e}",
+          f"{r.staging_share:.1%}") for r in rows],
+        title="Ablation: work-group size (base kernel, MI60, hg19)"))
+    shares = [r.staging_share for r in rows]
+    assert shares == sorted(shares, reverse=True)
+    cycles = [r.comparer_cycles for r in rows]
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_occupancy_ablation(benchmark):
+    rows = benchmark(occupancy_sweep)
+    print()
+    print(format_table(
+        ("VGPRs", "waves/SIMD", "relative kernel time"),
+        [(r.vgprs, r.waves, f"{r.relative_time:.2f}x") for r in rows],
+        title="Ablation: register pressure -> occupancy -> time"))
+    by_vgpr = {r.vgprs: r for r in rows}
+    assert by_vgpr[57].waves == 4 and by_vgpr[80].waves == 2
+    assert by_vgpr[80].relative_time >= 1.5 * by_vgpr[64].relative_time
+
+
+def test_threshold_ablation(benchmark, bench_assembly):
+    rows = benchmark.pedantic(
+        threshold_sweep, args=(bench_assembly,
+                               "NNNNNNNNNNNNNNNNNNNNNRG",
+                               "GGCCGACCTGTCGCTGACGCNNN"),
+        kwargs={"thresholds": (0, 2, 4, 6, 8),
+                "chunk_size": 1 << 19},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("Threshold", "avg trips (fwd)", "hits", "candidates"),
+        [(r.threshold, f"{r.avg_trips_forward:.2f}", r.hits,
+          r.candidates) for r in rows],
+        title="Ablation: mismatch threshold vs early-exit trips"))
+    trips = [r.avg_trips_forward for r in rows]
+    assert trips == sorted(trips)
+    assert trips[0] < trips[-1]

@@ -1,0 +1,51 @@
+"""Figure 2: comparer kernel time under the cumulative optimizations.
+
+For every (device, dataset) pair the bench regenerates the five-bar
+series base..opt4 and asserts the figure's shape:
+
+* monotone improvement base -> opt1 -> opt2 -> opt3;
+* the total base -> opt3 reduction lands in [15 %, 35 %] (paper:
+  21.1 % - 27.8 % depending on device and dataset);
+* opt4 regresses to >= 1.6x opt3 (paper: "almost doubles") and is worse
+  than the unoptimized base.
+"""
+
+from repro.analysis.reporting import (PAPER_FIG2_OPT3_REDUCTION,
+                                      render_fig2)
+from repro.devices.specs import PAPER_GPUS
+from repro.devices.timing import model_elapsed
+from repro.kernels.variants import VARIANT_ORDER
+
+
+def _compute_series(profiles):
+    series = {}
+    for dataset, workload in profiles.items():
+        for name, spec in PAPER_GPUS.items():
+            series[(name, dataset)] = [
+                model_elapsed(spec, workload, "sycl",
+                              variant=variant).comparer_s
+                for variant in VARIANT_ORDER]
+    return series
+
+
+def test_fig2_kernel_time_by_variant(benchmark, measured_profiles):
+    series = benchmark(_compute_series, measured_profiles)
+    print()
+    print(render_fig2(series))
+
+    for (device, dataset), times in series.items():
+        base, opt1, opt2, opt3, opt4 = times
+        assert base > opt1 > opt2 > opt3, (device, dataset, times)
+        reduction = 1 - opt3 / base
+        assert 0.15 < reduction < 0.35, (device, dataset, reduction)
+        assert opt4 / opt3 >= 1.6, (device, dataset, opt4 / opt3)
+        assert opt4 > base, (device, dataset)
+
+    # Cross-check against the paper's quoted per-dataset reductions.
+    for dataset, paper_values in PAPER_FIG2_OPT3_REDUCTION.items():
+        paper_mean = sum(paper_values) / len(paper_values)
+        model_mean = sum(
+            1 - series[(device, dataset)][3] / series[(device, dataset)][0]
+            for device in PAPER_GPUS) / len(PAPER_GPUS)
+        assert abs(model_mean - paper_mean) < 0.10, \
+            (dataset, model_mean, paper_mean)

@@ -1,0 +1,42 @@
+"""Section IV.B's profiling claims: the comparer kernel accounts for
+~98 % of total kernel time and 50-80 % of elapsed time.
+
+Checked two ways: on the modeled full-genome runs (the paper's setting)
+and on the measured wall times of the actual Python pipeline (where the
+same hotspot structure must appear)."""
+
+from repro.analysis.profiling import profile_launches, profile_modeled
+from repro.core.config import example_request
+from repro.core.pipeline import search
+from repro.devices.specs import PAPER_GPUS
+
+
+def test_hotspot_modeled(benchmark, measured_profiles):
+    def compute():
+        return {
+            (name, dataset): profile_modeled(spec, workload)
+            for dataset, workload in measured_profiles.items()
+            for name, spec in PAPER_GPUS.items()}
+
+    profiles = benchmark(compute)
+    print()
+    for (device, dataset), profile in sorted(profiles.items()):
+        print(f"{device:6} {dataset}: comparer = "
+              f"{profile.comparer_share_of_kernel:.1%} of kernel time, "
+              f"{profile.comparer_share_of_elapsed:.1%} of elapsed")
+        assert profile.comparer_share_of_kernel > 0.95
+        assert 0.40 < profile.comparer_share_of_elapsed < 0.85
+
+
+def test_hotspot_measured_wall_times(benchmark, bench_assembly):
+    request = example_request()
+
+    def run():
+        return search(bench_assembly, request, chunk_size=1 << 19)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    profile = profile_launches(result.launches)
+    share = profile.share_of_kernel_time("comparer")
+    print(f"\nmeasured comparer share of kernel wall time: {share:.1%}")
+    assert profile.hotspot().name == "comparer"
+    assert share > 0.5

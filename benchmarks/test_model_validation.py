@@ -1,0 +1,69 @@
+"""Cross-validation bench: analytic timing model vs wave simulator.
+
+Two independent performance models live in this repository — the
+calibrated analytic model behind Tables VIII/IX and Figure 2, and a
+discrete wave-level simulator that executes the pseudo-ISA programs with
+no shared calibration.  This bench runs both over all five comparer
+variants and asserts they agree on every qualitative claim the paper
+makes, printing the side-by-side series.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.workload import QueryWorkload, WorkloadProfile
+from repro.devices.specs import MI60
+from repro.devices.timing import model_elapsed
+from repro.devices.wavesim import simulate_variant, \
+    throughput_cycles_per_wave
+from repro.kernels.variants import VARIANT_ORDER
+
+
+def _reference_workload():
+    candidates = 500_000_000
+    return WorkloadProfile(
+        dataset="hg19-like", pattern="N" * 21 + "RG", pattern_length=23,
+        positions_scanned=3_000_000_000, candidates=candidates,
+        candidates_forward=int(candidates * 0.55),
+        candidates_reverse=int(candidates * 0.55),
+        chunk_count=715, chunk_capacity=(4 << 20) - 22,
+        bytes_h2d=3_000_000_000, bytes_d2h=50_000_000,
+        queries=[QueryWorkload(
+            query="q", threshold=4, checked_forward=20,
+            checked_reverse=20, candidates=candidates, hits=1000,
+            avg_trips_forward=6.5, avg_trips_reverse=6.5)])
+
+
+def _compute_both():
+    workload = _reference_workload()
+    analytic = {v: model_elapsed(MI60, workload, "sycl",
+                                 variant=v).comparer_s
+                for v in VARIANT_ORDER}
+    simulated = {v: throughput_cycles_per_wave(v)
+                 for v in VARIANT_ORDER}
+    return analytic, simulated
+
+
+def test_models_agree_on_paper_claims(benchmark):
+    analytic, simulated = benchmark.pedantic(_compute_both, rounds=2,
+                                             iterations=1)
+    rows = [(v, f"{analytic[v]:.1f}",
+             f"{analytic[v] / analytic['base']:.2f}",
+             f"{simulated[v]:.0f}",
+             f"{simulated[v] / simulated['base']:.2f}")
+            for v in VARIANT_ORDER]
+    print()
+    print(format_table(
+        ("Variant", "analytic s", "vs base", "sim cycles/wave",
+         "vs base"), rows,
+        title="Model cross-validation (MI60, comparer kernel)"))
+
+    for series in (analytic, simulated):
+        values = [series[v] for v in ("base", "opt1", "opt2", "opt3")]
+        assert values == sorted(values, reverse=True), \
+            "opt1..opt3 must each improve in both models"
+        assert series["opt4"] > series["opt3"] * 1.15, \
+            "opt4 must regress at its own occupancy in both models"
+
+    # Both models attribute opt4's loss to occupancy: at equal wave
+    # counts the opt4 code is the best of all variants.
+    equal_occupancy = simulate_variant("opt4", 4).cycles_per_wave
+    assert equal_occupancy < simulate_variant("opt3", 4).cycles_per_wave

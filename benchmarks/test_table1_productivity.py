@@ -1,0 +1,17 @@
+"""Table I: programming steps in OpenCL vs SYCL (13 vs 8)."""
+
+from repro.analysis.productivity import (paper_report, sycl_step_count,
+                                         opencl_step_count, table1_rows)
+from repro.analysis.reporting import format_table
+
+
+def test_table1_programming_steps(benchmark):
+    report = benchmark(paper_report)
+    assert report.opencl_steps == 13
+    assert report.sycl_steps == 8
+    print()
+    print(format_table(("Step", "OpenCL", "SYCL"), table1_rows(),
+                       title="Table I — programming steps"))
+    print(f"OpenCL steps: {report.opencl_steps}  "
+          f"SYCL steps: {report.sycl_steps}  "
+          f"reduction: {report.reduction:.0%}")

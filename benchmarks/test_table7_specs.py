@@ -1,0 +1,15 @@
+"""Table VII: major specifications of the evaluation GPUs."""
+
+from repro.analysis.reporting import format_table
+from repro.devices.specs import TABLE7_HEADER, table7_rows
+
+
+def test_table7_device_specs(benchmark):
+    rows = benchmark(table7_rows)
+    lookup = {row[0]: row for row in rows}
+    assert lookup["RVII"][4] == 3840
+    assert lookup["MI60"][1] == 32
+    assert lookup["MI100"][6] == 1228.0
+    print()
+    print(format_table(TABLE7_HEADER, rows,
+                       title="Table VII — GPU specifications"))

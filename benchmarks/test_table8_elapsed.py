@@ -1,0 +1,53 @@
+"""Table VIII: elapsed time of the OpenCL and SYCL applications.
+
+Regenerates all twelve cells (3 GPUs x 2 datasets x 2 APIs) from the
+measured-and-extrapolated workload profiles, prints the table next to the
+published numbers, and asserts the shape claims:
+
+* SYCL is never slower than OpenCL, and the per-cell speedup stays
+  inside [1.00, 1.25] (paper: 1.00-1.19);
+* hg38 is slower than hg19 on every device (paper ratio ~1.24);
+* MI100 is the fastest device;
+* absolute elapsed times land in the paper's tens-of-seconds range.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table8
+from repro.devices.specs import PAPER_GPUS
+from repro.devices.timing import model_elapsed
+
+
+def _compute_cells(profiles):
+    cells = {}
+    for dataset, workload in profiles.items():
+        for name, spec in PAPER_GPUS.items():
+            ocl = model_elapsed(spec, workload, "opencl")
+            sycl = model_elapsed(spec, workload, "sycl")
+            cells[(name, dataset)] = (ocl.elapsed_s, sycl.elapsed_s)
+    return cells
+
+
+def test_table8_elapsed_time(benchmark, measured_profiles):
+    cells = benchmark(_compute_cells, measured_profiles)
+    print()
+    print(render_table8(cells))
+
+    for (device, dataset), (ocl, sycl) in cells.items():
+        speedup = ocl / sycl
+        assert 1.00 <= speedup <= 1.25, (device, dataset, speedup)
+        assert 25 < sycl < 90, (device, dataset, sycl)
+        assert 25 < ocl < 95, (device, dataset, ocl)
+
+    for device in PAPER_GPUS:
+        for api_index in (0, 1):
+            assert cells[(device, "hg38")][api_index] > \
+                cells[(device, "hg19")][api_index], \
+                f"hg38 must be slower than hg19 on {device}"
+
+    sycl_hg19 = {device: cells[(device, "hg19")][1]
+                 for device in PAPER_GPUS}
+    assert sycl_hg19["MI100"] == min(sycl_hg19.values())
+
+    ratio = cells[("MI60", "hg38")][1] / cells[("MI60", "hg19")][1]
+    assert 1.05 < ratio < 1.45, f"hg38/hg19 ratio {ratio}"

@@ -1,0 +1,31 @@
+"""Table IX: elapsed time of the optimized (opt3) SYCL application.
+
+The paper's headline: the kernel optimizations improve the whole
+application by 9 % to 23 % (speedup 1.09-1.23).  The bench asserts the
+modeled speedup stays inside a slightly widened band [1.05, 1.30] on
+every cell.
+"""
+
+from repro.analysis.reporting import render_table9
+from repro.devices.specs import PAPER_GPUS
+from repro.devices.timing import model_elapsed
+
+
+def _compute_cells(profiles):
+    cells = {}
+    for dataset, workload in profiles.items():
+        for name, spec in PAPER_GPUS.items():
+            base = model_elapsed(spec, workload, "sycl", variant="base")
+            opt = model_elapsed(spec, workload, "sycl", variant="opt3")
+            cells[(name, dataset)] = (base.elapsed_s, opt.elapsed_s)
+    return cells
+
+
+def test_table9_optimized_application(benchmark, measured_profiles):
+    cells = benchmark(_compute_cells, measured_profiles)
+    print()
+    print(render_table9(cells))
+    for (device, dataset), (base, opt) in cells.items():
+        speedup = base / opt
+        assert 1.05 <= speedup <= 1.30, (device, dataset, speedup)
+        assert opt < base

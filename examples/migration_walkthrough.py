@@ -1,0 +1,184 @@
+"""The OpenCL -> SYCL migration, step by step (Sections II.C and III).
+
+Runs the *same* search kernel through both runtime front-ends, printing
+each programming step as it happens.  This is Tables I-VI of the paper as
+executable code: 13 explicit steps in OpenCL (platform/device/context/
+queue/buffer/program/kernel/args/launch/read/events/release) collapse to
+8 SYCL constructs (selector, queue, buffer, lambda, submit, accessor,
+event, destructor).
+
+Run with::
+
+    python examples/migration_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.analysis.productivity import (count_opencl_steps,
+                                         count_sycl_steps)
+from repro.core.patterns import compile_pattern
+from repro.kernels import opencl_kernels, sycl_kernels
+from repro.runtime import opencl as ocl
+from repro.runtime.sycl import (Buffer, LocalAccessor, NdRange, Queue,
+                                Range, TARGET_CONSTANT, gpu_selector,
+                                sycl_read, sycl_read_write, sycl_write)
+
+GENOME = ("ACGTTAGGACGGTAGCCGTAGGTTAGCAGGAATTCCGGACGTAGGCATGGA"
+          "CCTTAGGACGTACGAGGTTTAAGGCCAGGTACGTAAGGACGT")
+PATTERN = "NNNNRG"
+WG = 8
+
+
+def run_opencl(chr_codes, pattern):
+    """The original application's style: every step explicit."""
+    plen = pattern.plen
+    scan_len = chr_codes.size - plen + 1
+    traced = []
+
+    def step(name, call, *args, **kwargs):
+        traced.append(name)
+        print(f"  [{len(traced):2}] {name}")
+        return call(*args, **kwargs)
+
+    platforms = step("clGetPlatformIDs", ocl.clGetPlatformIDs)
+    devices = step("clGetDeviceIDs", ocl.clGetDeviceIDs, platforms[0],
+                   ocl.CL_DEVICE_TYPE_GPU)
+    context = step("clCreateContext", ocl.clCreateContext, [devices[0]])
+    queue = step("clCreateCommandQueue", ocl.clCreateCommandQueue,
+                 context, devices[0])
+    chr_mem = step("clCreateBuffer", ocl.clCreateBuffer, context,
+                   ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+                   chr_codes.nbytes, chr_codes)
+    pat_mem = ocl.clCreateBuffer(
+        context, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+        pattern.comp.nbytes, pattern.comp)
+    idx_mem = ocl.clCreateBuffer(
+        context, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+        pattern.comp_index.nbytes, pattern.comp_index)
+    loci_mem = ocl.clCreateBuffer(context, ocl.CL_MEM_WRITE_ONLY,
+                                  scan_len * 4, dtype=np.uint32)
+    flag_mem = ocl.clCreateBuffer(context, ocl.CL_MEM_WRITE_ONLY,
+                                  scan_len, dtype=np.uint8)
+    count_host = np.zeros(1, dtype=np.uint32)
+    count_mem = ocl.clCreateBuffer(
+        context, ocl.CL_MEM_READ_WRITE | ocl.CL_MEM_COPY_HOST_PTR, 4,
+        count_host)
+    program = step("clCreateProgram", ocl.clCreateProgram, context, {
+        "finder": ocl.KernelDefinition(
+            opencl_kernels.finder,
+            [ocl.KernelParam("chr", "global", "r"),
+             ocl.KernelParam("pat", "constant"),
+             ocl.KernelParam("pat_index", "constant"),
+             ocl.KernelParam("plen", "scalar"),
+             ocl.KernelParam("scan_len", "scalar"),
+             ocl.KernelParam("loci", "global", "w"),
+             ocl.KernelParam("flag", "global", "w"),
+             ocl.KernelParam("entrycount", "global", "rw"),
+             ocl.KernelParam("l_pat", "local"),
+             ocl.KernelParam("l_pat_index", "local")])})
+    step("clBuildProgram", ocl.clBuildProgram, program, "-O3")
+    kernel = step("clCreateKernel", ocl.clCreateKernel, program,
+                  "finder")
+    args = (chr_mem, pat_mem, idx_mem, plen, scan_len, loci_mem,
+            flag_mem, count_mem, ocl.LocalArg(np.uint8, plen * 2),
+            ocl.LocalArg(np.int32, plen * 2))
+    for index, value in enumerate(args):
+        ocl.clSetKernelArg(kernel, index, value)
+    traced.append("clSetKernelArg")
+    print(f"  [{len(traced):2}] clSetKernelArg (x{len(args)})")
+    padded = (scan_len + WG - 1) // WG * WG
+    event = step("clEnqueueNDRangeKernel", ocl.clEnqueueNDRangeKernel,
+                 queue, kernel, padded, WG)
+    step("clEnqueueReadBuffer", ocl.clEnqueueReadBuffer, queue,
+         count_mem, count_host)
+    n = int(count_host[0])
+    loci_host = np.zeros(max(1, n), dtype=np.uint32)
+    if n:
+        ocl.clEnqueueReadBuffer(queue, loci_mem, loci_host,
+                                size_bytes=n * 4)
+    step("clWaitForEvents", ocl.clWaitForEvents, [event])
+    traced.append("clReleaseMemObject")
+    print(f"  [{len(traced):2}] clRelease* (buffers, kernel, program, "
+          "queue, context)")
+    for mem in (chr_mem, pat_mem, idx_mem, loci_mem, flag_mem,
+                count_mem):
+        ocl.clReleaseMemObject(mem)
+    ocl.clReleaseKernel(kernel)
+    ocl.clReleaseProgram(program)
+    ocl.clReleaseCommandQueue(queue)
+    ocl.clReleaseContext(context)
+    print(f"  -> distinct Table I steps exercised: "
+          f"{count_opencl_steps(traced)}")
+    return sorted(loci_host[:n].tolist())
+
+
+def run_sycl(chr_codes, pattern):
+    """The migrated application's style (Section III)."""
+    plen = pattern.plen
+    scan_len = chr_codes.size - plen + 1
+    padded = (scan_len + WG - 1) // WG * WG
+    traced = []
+
+    def step(construct, label):
+        traced.append(construct)
+        print(f"  [{len(traced):2}] {label}")
+
+    step("device_selector", "device selector (gpu_selector)")
+    queue = Queue(gpu_selector)
+    step("queue", "queue")
+    loci_host = np.zeros(scan_len, dtype=np.uint32)
+    count_host = np.zeros(1, dtype=np.uint32)
+    step("buffer", "buffers (chr, pat, pat_index, loci, flag, count)")
+    with Buffer(chr_codes, name="chr", write_back=False) as chr_buf, \
+            Buffer(pattern.comp, write_back=False) as pat_buf, \
+            Buffer(pattern.comp_index, write_back=False) as idx_buf, \
+            Buffer(loci_host) as loci_buf, \
+            Buffer(count=scan_len, dtype=np.uint8) as flag_buf, \
+            Buffer(count_host) as count_buf:
+
+        def command_group(h):
+            a_chr = chr_buf.get_access(h, sycl_read)
+            a_pat = pat_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+            a_idx = idx_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+            a_loci = loci_buf.get_access(h, sycl_write)
+            a_flag = flag_buf.get_access(h, sycl_write)
+            a_count = count_buf.get_access(h, sycl_read_write)
+            l_pat = LocalAccessor(np.uint8, plen * 2, h)
+            l_idx = LocalAccessor(np.int32, plen * 2, h)
+            h.parallel_for(NdRange(Range(padded), Range(WG)),
+                           sycl_kernels.finder,
+                           args=(a_chr, a_pat, a_idx, plen, scan_len,
+                                 a_loci, a_flag, a_count, l_pat, l_idx))
+
+        step("accessor", "accessors (device, constant, local)")
+        step("parallel_for", "kernel lambda (parallel_for)")
+        step("submit", "queue.submit(command group)")
+        event = queue.submit(command_group)
+        step("event_wait", "event.wait()")
+        event.wait()
+    step("buffer_close", "buffer destructors (implicit write-back)")
+    n = int(count_host[0])
+    print(f"  -> distinct collapsed steps exercised: "
+          f"{count_sycl_steps(traced)}")
+    return sorted(loci_host[:n].tolist())
+
+
+def main() -> None:
+    chr_codes = np.frombuffer(GENOME.encode(), dtype=np.uint8).copy()
+    pattern = compile_pattern(PATTERN)
+
+    print(f"genome ({chr_codes.size} bases): {GENOME}")
+    print(f"pattern: {PATTERN}\n")
+    print("OpenCL application (before migration):")
+    ocl_sites = run_opencl(chr_codes, pattern)
+    print("\nSYCL application (after migration):")
+    sycl_sites = run_sycl(chr_codes, pattern)
+
+    print(f"\ncandidate PAM sites (OpenCL): {ocl_sites}")
+    print(f"candidate PAM sites (SYCL):   {sycl_sites}")
+    assert ocl_sites == sycl_sites, "migration must preserve results"
+    print("results identical — the migration preserved semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Experience Migrating OpenCL to SYCL: A Case
+Study on Searches for Potential Off-Target Sites of Cas9 RNA-Guided
+Endonucleases on AMD GPUs" (Jin & Vetter, SOCC 2023).
+
+The package builds the paper's whole stack in Python:
+
+* :mod:`repro.core` — the Cas-OFFinder algorithm: IUPAC patterns, the
+  ``finder``/``comparer`` kernels, and host pipelines in both the
+  OpenCL and SYCL programming styles;
+* :mod:`repro.runtime` — the two runtime models the migration is
+  between (explicit 13-step OpenCL API, 8-step SYCL API) over a shared
+  ND-range executor with work-groups, barriers, local memory and
+  atomics;
+* :mod:`repro.genome` — FASTA I/O, chunking, synthetic hg19/hg38
+  stand-ins and the 2-bit encoding;
+* :mod:`repro.devices` — models of the three evaluation GPUs: specs
+  (Table VII), a pseudo-ISA compiler + register allocator + occupancy
+  model (Table X) and an analytic timing model (Tables VIII/IX,
+  Figure 2);
+* :mod:`repro.analysis` — productivity (Table I), hotspot profiling and
+  table renderers.
+
+Quick start::
+
+    from repro import search, example_request, synthetic_assembly
+    assembly = synthetic_assembly("hg19", scale=0.0005)
+    result = search(assembly, example_request())
+    for hit in result.sorted_hits():
+        print(hit.to_tsv())
+"""
+
+from .core import (OffTargetHit, OpenCLCasOffinder, PipelineResult,
+                   Query, SearchRequest, SyclCasOffinder, bulge_search,
+                   example_request, reference_search, search, sort_hits,
+                   write_hits)
+from .genome import Assembly, read_fasta, synthetic_assembly, write_fasta
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembly", "OffTargetHit", "OpenCLCasOffinder", "PipelineResult",
+    "Query", "SearchRequest", "SyclCasOffinder", "__version__",
+    "bulge_search", "example_request", "read_fasta", "reference_search",
+    "search", "sort_hits", "synthetic_assembly", "write_fasta",
+    "write_hits",
+]

@@ -1,0 +1,30 @@
+"""Analyses over pipeline runs: productivity (Table I), hotspot
+profiling (Section IV.B) and table/figure renderers."""
+
+from .productivity import (ProductivityReport, ProgrammingStep,
+                           TABLE1_STEPS, count_opencl_steps,
+                           count_sycl_steps, opencl_step_count,
+                           paper_report, sycl_step_count, table1_rows)
+from .profiling import (KernelProfile, ModeledProfile, RunProfile,
+                        profile_launches, profile_modeled)
+from .reporting import (PAPER_FIG2_OPT3_REDUCTION, PAPER_TABLE8,
+                        PAPER_TABLE9, PAPER_TABLE10, format_table,
+                        render_fig2, render_table8, render_table9,
+                        render_table10)
+from .sweeps import (ChunkSweepRow, OccupancySweepRow, ThresholdSweepRow,
+                     WorkGroupSweepRow, chunk_size_sweep, occupancy_sweep,
+                     threshold_sweep, work_group_size_sweep)
+
+__all__ = [
+    "KernelProfile", "ModeledProfile", "PAPER_FIG2_OPT3_REDUCTION",
+    "PAPER_TABLE10", "PAPER_TABLE8", "PAPER_TABLE9",
+    "ProductivityReport", "ProgrammingStep", "RunProfile",
+    "TABLE1_STEPS", "count_opencl_steps", "count_sycl_steps",
+    "format_table", "opencl_step_count", "paper_report",
+    "profile_launches", "profile_modeled", "render_fig2",
+    "render_table10", "render_table8", "render_table9",
+    "sycl_step_count", "table1_rows",
+    "ChunkSweepRow", "OccupancySweepRow", "ThresholdSweepRow",
+    "WorkGroupSweepRow", "chunk_size_sweep", "occupancy_sweep",
+    "threshold_sweep", "work_group_size_sweep",
+]

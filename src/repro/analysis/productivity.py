@@ -1,0 +1,152 @@
+"""Programming-steps / productivity model (Table I and Section II.C).
+
+The paper counts 13 logical programming steps for an OpenCL application
+and 8 for the equivalent SYCL application, concluding SYCL "could improve
+programming productivity with abstractions".  This module encodes that
+mapping as data — each OpenCL step with the SYCL construct that subsumes
+it — and can also *measure* the step counts dynamically by tracing the
+API calls a pipeline actually makes, so the claim is checked against the
+real ported application rather than quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProgrammingStep:
+    """One row of Table I."""
+
+    number: int
+    opencl: str
+    sycl: str                  # "" when subsumed by an earlier SYCL row
+    #: The SYCL construct that covers this OpenCL step.
+    sycl_construct: str
+
+
+TABLE1_STEPS: List[ProgrammingStep] = [
+    ProgrammingStep(1, "Platform query", "",
+                    "Device selector class"),
+    ProgrammingStep(2, "Device query of a platform", "Device selector class",
+                    "Device selector class"),
+    ProgrammingStep(3, "Create context for devices", "",
+                    "Device selector class"),
+    ProgrammingStep(4, "Create command queue for context", "Queue class",
+                    "Queue class"),
+    ProgrammingStep(5, "Create memory objects", "Buffer class",
+                    "Buffer class"),
+    ProgrammingStep(6, "Create program object", "",
+                    "Lambda expressions"),
+    ProgrammingStep(7, "Build a program", "",
+                    "Lambda expressions"),
+    ProgrammingStep(8, "Create kernel(s)", "Lambda expressions",
+                    "Lambda expressions"),
+    ProgrammingStep(9, "Set kernel arguments", "",
+                    "Lambda expressions"),
+    ProgrammingStep(10, "Enqueue a kernel object for execution",
+                    "Submit a SYCL kernel to a queue",
+                    "Queue submit"),
+    ProgrammingStep(11, "Transfer data from device to host",
+                    "Implicit via accessors", "Accessors"),
+    ProgrammingStep(12, "Event handling", "Event class", "Event class"),
+    ProgrammingStep(13, "Release resources", "Implicit via destructors",
+                    "Destructors"),
+]
+
+
+def opencl_step_count() -> int:
+    """The paper's count of OpenCL programming steps (13)."""
+    return len(TABLE1_STEPS)
+
+
+def sycl_step_count() -> int:
+    """The paper's count of SYCL programming steps (8).
+
+    Distinct SYCL constructs/rows: steps that map to the same construct
+    collapse, exactly as Table I shows blank cells.
+    """
+    distinct = []
+    for step in TABLE1_STEPS:
+        if step.sycl:
+            distinct.append(step.sycl)
+    return len(distinct)
+
+
+def table1_rows() -> List[Tuple[int, str, str]]:
+    """Rows in the paper's format: (step, OpenCL, SYCL-or-blank)."""
+    return [(s.number, s.opencl, s.sycl) for s in TABLE1_STEPS]
+
+
+# ---------------------------------------------------------------------------
+# Dynamic measurement: count the distinct API step classes a pipeline
+# actually exercised.
+# ---------------------------------------------------------------------------
+
+#: OpenCL entry points grouped by Table I step.
+OPENCL_STEP_OF_CALL: Dict[str, int] = {
+    "clGetPlatformIDs": 1,
+    "clGetDeviceIDs": 2,
+    "clCreateContext": 3,
+    "clCreateCommandQueue": 4,
+    "clCreateBuffer": 5,
+    "clCreateProgram": 6,
+    "clBuildProgram": 7,
+    "clCreateKernel": 8,
+    "clSetKernelArg": 9,
+    "clEnqueueNDRangeKernel": 10,
+    "clEnqueueReadBuffer": 11,
+    "clEnqueueWriteBuffer": 11,
+    "clWaitForEvents": 12,
+    "clFinish": 12,
+    "clReleaseMemObject": 13,
+    "clReleaseKernel": 13,
+    "clReleaseProgram": 13,
+    "clReleaseCommandQueue": 13,
+    "clReleaseContext": 13,
+}
+
+#: SYCL constructs grouped by the collapsed step list.
+SYCL_STEP_OF_CALL: Dict[str, str] = {
+    "device_selector": "Device selector class",
+    "queue": "Queue class",
+    "buffer": "Buffer class",
+    "parallel_for": "Lambda expressions",
+    "submit": "Queue submit",
+    "accessor": "Accessors",
+    "event_wait": "Event class",
+    "buffer_close": "Destructors",
+}
+
+
+def count_opencl_steps(call_names: List[str]) -> int:
+    """Distinct Table I steps exercised by a traced OpenCL call list."""
+    steps = {OPENCL_STEP_OF_CALL[name] for name in call_names
+             if name in OPENCL_STEP_OF_CALL}
+    return len(steps)
+
+
+def count_sycl_steps(construct_names: List[str]) -> int:
+    """Distinct collapsed steps exercised by a traced SYCL construct
+    list."""
+    steps = {SYCL_STEP_OF_CALL[name] for name in construct_names
+             if name in SYCL_STEP_OF_CALL}
+    return len(steps)
+
+
+@dataclass
+class ProductivityReport:
+    """Table I summary plus the measured counts for the two pipelines."""
+
+    opencl_steps: int
+    sycl_steps: int
+
+    @property
+    def reduction(self) -> float:
+        return 1.0 - self.sycl_steps / self.opencl_steps
+
+
+def paper_report() -> ProductivityReport:
+    return ProductivityReport(opencl_steps=opencl_step_count(),
+                              sycl_steps=sycl_step_count())

@@ -1,0 +1,104 @@
+"""Hotspot profiling (Section IV.B's 98 % / 50–80 % claims).
+
+The paper profiles the application and finds the ``compare`` kernel
+"accounts for approximately 98 % of the total kernel execution time and
+50 % to 80 % of the elapsed time".  This module reproduces that analysis
+two ways:
+
+* :func:`profile_launches` aggregates the *measured* wall times of the
+  launch records a pipeline produced (Python-scale timings);
+* :func:`profile_modeled` asks the device timing model for the same
+  breakdown at full-genome scale on a chosen GPU, which is the setting
+  in which the paper's percentages hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.workload import WorkloadProfile
+from ..devices.specs import DeviceSpec
+from ..devices.timing import (DEFAULT_CALIBRATION, ElapsedTimeModel,
+                              TimingCalibration, model_elapsed)
+from ..runtime.launch import LaunchRecord
+
+
+@dataclass
+class KernelProfile:
+    """Aggregate statistics for one kernel across a run."""
+
+    name: str
+    launches: int = 0
+    total_time_s: float = 0.0
+    work_items: int = 0
+
+    def add(self, record: LaunchRecord) -> None:
+        self.launches += 1
+        self.total_time_s += record.wall_time_s
+        self.work_items += record.global_size
+
+
+@dataclass
+class RunProfile:
+    """Hotspot breakdown of one pipeline run."""
+
+    kernels: Dict[str, KernelProfile]
+    transfer_time_s: float
+    total_kernel_time_s: float
+
+    def share_of_kernel_time(self, kernel_name: str) -> float:
+        if not self.total_kernel_time_s:
+            return 0.0
+        profile = self.kernels.get(kernel_name)
+        if profile is None:
+            return 0.0
+        return profile.total_time_s / self.total_kernel_time_s
+
+    def hotspot(self) -> Optional[KernelProfile]:
+        if not self.kernels:
+            return None
+        return max(self.kernels.values(), key=lambda k: k.total_time_s)
+
+
+def profile_launches(launches: Iterable[LaunchRecord]) -> RunProfile:
+    """Aggregate measured launch records into a hotspot profile."""
+    kernels: Dict[str, KernelProfile] = {}
+    transfer = 0.0
+    kernel_total = 0.0
+    for record in launches:
+        if record.is_kernel:
+            profile = kernels.setdefault(record.name,
+                                         KernelProfile(record.name))
+            profile.add(record)
+            kernel_total += record.wall_time_s
+        else:
+            transfer += record.wall_time_s
+    return RunProfile(kernels=kernels, transfer_time_s=transfer,
+                      total_kernel_time_s=kernel_total)
+
+
+@dataclass
+class ModeledProfile:
+    """Modeled full-scale breakdown (the paper's profiling numbers)."""
+
+    model: ElapsedTimeModel
+
+    @property
+    def comparer_share_of_kernel(self) -> float:
+        return self.model.comparer_share_of_kernel
+
+    @property
+    def comparer_share_of_elapsed(self) -> float:
+        if not self.model.elapsed_s:
+            return 0.0
+        return self.model.comparer_s / self.model.elapsed_s
+
+
+def profile_modeled(spec: DeviceSpec, workload: WorkloadProfile,
+                    api: str = "sycl", variant: str = "base",
+                    cal: TimingCalibration = DEFAULT_CALIBRATION
+                    ) -> ModeledProfile:
+    """Model the hotspot percentages at the given workload scale."""
+    return ModeledProfile(model_elapsed(spec, workload, api, variant,
+                                        cal=cal))

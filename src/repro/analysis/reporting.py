@@ -1,0 +1,132 @@
+"""Table and figure renderers for the benchmark harness.
+
+Plain-text renderers that print the paper's tables in the paper's layout
+(monospace, suitable for terminals and EXPERIMENTS.md), each paired with
+the published values so model-vs-paper deltas are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Published Table VIII values: (device, dataset) -> (OCL s, SYCL s).
+PAPER_TABLE8: Dict[Tuple[str, str], Tuple[int, int]] = {
+    ("RVII", "hg19"): (54, 48), ("MI60", "hg19"): (51, 50),
+    ("MI100", "hg19"): (49, 41),
+    ("RVII", "hg38"): (71, 61), ("MI60", "hg38"): (63, 63),
+    ("MI100", "hg38"): (61, 58),
+}
+
+#: Published Table IX values: (device, dataset) -> (base s, opt s).
+PAPER_TABLE9: Dict[Tuple[str, str], Tuple[int, int]] = {
+    ("RVII", "hg19"): (48, 39), ("MI60", "hg19"): (50, 42),
+    ("MI100", "hg19"): (41, 36),
+    ("RVII", "hg38"): (61, 52), ("MI60", "hg38"): (63, 57),
+    ("MI100", "hg38"): (58, 53),
+}
+
+#: Published Table X rows: variant -> (code bytes, VGPRs, SGPRs,
+#: occupancy).  Register rows follow the paper's *prose* (Section IV.B),
+#: which is self-consistent, rather than its table labels, which swap
+#: the SGPR/VGPR headings.
+PAPER_TABLE10: Dict[str, Tuple[int, int, int, int]] = {
+    "base": (6064, 64, 22, 10),
+    "opt1": (5852, 64, 22, 10),
+    "opt2": (5408, 64, 22, 10),
+    "opt3": (4408, 57, 10, 10),
+    "opt4": (3660, 82, 10, 9),
+}
+
+#: Figure 2's cumulative base->opt3 kernel-time reductions per device,
+#: as given in the running text: (dataset) -> per-device percentages.
+PAPER_FIG2_OPT3_REDUCTION: Dict[str, Tuple[float, float, float]] = {
+    "hg38": (0.229, 0.211, 0.217),
+    "hg19": (0.278, 0.234, 0.231),
+}
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a monospace table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table8(models: Dict[Tuple[str, str], Tuple[float, float]]
+                  ) -> str:
+    """Render modeled Table VIII next to the published numbers.
+
+    ``models`` maps (device, dataset) to (ocl seconds, sycl seconds).
+    """
+    rows = []
+    for (device, dataset), (ocl, sycl) in sorted(models.items()):
+        paper_ocl, paper_sycl = PAPER_TABLE8[(device, dataset)]
+        rows.append((device, dataset, f"{ocl:.1f}", f"{sycl:.1f}",
+                     f"{ocl / sycl:.2f}", paper_ocl, paper_sycl,
+                     f"{paper_ocl / paper_sycl:.2f}"))
+    return format_table(
+        ("Device", "Dataset", "OCL(s)", "SYCL(s)", "speedup",
+         "paper OCL", "paper SYCL", "paper spd"),
+        rows, title="Table VIII — elapsed time, OpenCL vs SYCL")
+
+
+def render_table9(models: Dict[Tuple[str, str], Tuple[float, float]]
+                  ) -> str:
+    """``models`` maps (device, dataset) to (base s, opt s)."""
+    rows = []
+    for (device, dataset), (base, opt) in sorted(models.items()):
+        paper_base, paper_opt = PAPER_TABLE9[(device, dataset)]
+        rows.append((device, dataset, f"{base:.1f}", f"{opt:.1f}",
+                     f"{base / opt:.2f}", paper_base, paper_opt,
+                     f"{paper_base / paper_opt:.2f}"))
+    return format_table(
+        ("Device", "Dataset", "base(s)", "opt(s)", "speedup",
+         "paper base", "paper opt", "paper spd"),
+        rows, title="Table IX — optimized SYCL application")
+
+
+def render_table10(rows_model: Dict[str, Tuple[int, int, int, int]]
+                   ) -> str:
+    """``rows_model`` maps variant to (code, vgpr, sgpr, occupancy)."""
+    rows = []
+    for variant in ("base", "opt1", "opt2", "opt3", "opt4"):
+        code, vgpr, sgpr, occ = rows_model[variant]
+        pcode, pvgpr, psgpr, pocc = PAPER_TABLE10[variant]
+        rows.append((variant, code, pcode, vgpr, pvgpr, sgpr, psgpr,
+                     occ, pocc))
+    return format_table(
+        ("Variant", "Code(B)", "paper", "VGPRs", "paper", "SGPRs",
+         "paper", "Occup", "paper"),
+        rows, title="Table X — resource usage and occupancy")
+
+
+def render_fig2(series: Dict[Tuple[str, str], List[float]]) -> str:
+    """Figure 2 as a table: kernel seconds per variant.
+
+    ``series`` maps (device, dataset) to [base, opt1..opt4] seconds.
+    """
+    rows = []
+    for (device, dataset), times in sorted(series.items()):
+        base = times[0]
+        rows.append((device, dataset,
+                     *(f"{t:.1f}" for t in times),
+                     f"{1 - times[3] / base:.1%}",
+                     f"{times[4] / times[3]:.2f}x"))
+    return format_table(
+        ("Device", "Dataset", "base", "opt1", "opt2", "opt3", "opt4",
+         "opt3 cut", "opt4/opt3"),
+        rows,
+        title="Figure 2 — comparer kernel time by optimization level")

@@ -1,0 +1,137 @@
+"""Parameter sweeps: the ablation studies DESIGN.md calls out.
+
+Each sweep varies one design parameter the paper fixes (or varies
+implicitly) and reports how the modeled or measured behaviour responds:
+
+* :func:`work_group_size_sweep` — the Section IV.A asymmetry, swept:
+  how the comparer's staging share and total time respond to the
+  work-group size (64 = the OpenCL runtime's choice, 256 = the paper's
+  SYCL choice);
+* :func:`occupancy_sweep` — kernel time as a function of register
+  pressure, the continuous version of the opt3 -> opt4 cliff;
+* :func:`threshold_sweep` — how the mismatch threshold drives the
+  compare loop's early-exit trip count and the hit volume (measured on
+  real pipeline runs);
+* :func:`chunk_size_sweep` — device-memory chunking versus launch
+  count (measured; results are invariant, cost varies mildly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Query, SearchRequest
+from ..core.pipeline import search
+from ..core.workload import WorkloadProfile
+from ..devices.codegen import analyze_comparer
+from ..devices.occupancy import waves_per_simd
+from ..devices.specs import DeviceSpec, MI60
+from ..devices.timing import (DEFAULT_CALIBRATION, TimingCalibration,
+                              model_comparer_cycles)
+
+
+@dataclass(frozen=True)
+class WorkGroupSweepRow:
+    work_group_size: int
+    comparer_cycles: float
+    staging_share: float
+
+
+def work_group_size_sweep(workload: WorkloadProfile,
+                          spec: DeviceSpec = MI60,
+                          variant: str = "base",
+                          sizes: Sequence[int] = (64, 128, 256, 512),
+                          cal: TimingCalibration = DEFAULT_CALIBRATION,
+                          ) -> List[WorkGroupSweepRow]:
+    """Sweep the work-group size through the comparer timing model."""
+    rows = []
+    for size in sizes:
+        breakdown = model_comparer_cycles(spec, workload, variant, size,
+                                          cal)
+        rows.append(WorkGroupSweepRow(
+            work_group_size=size,
+            comparer_cycles=breakdown["total"],
+            staging_share=breakdown["staging"] / breakdown["total"]))
+    return rows
+
+
+@dataclass(frozen=True)
+class OccupancySweepRow:
+    vgprs: int
+    waves: int
+    relative_time: float
+
+
+def occupancy_sweep(vgpr_values: Sequence[int] = (32, 48, 57, 64, 72,
+                                                  80, 96, 128),
+                    spec: DeviceSpec = MI60,
+                    latency: float = 700.0,
+                    issue_floor: float = 148.0
+                    ) -> List[OccupancySweepRow]:
+    """Latency-bound iteration time versus register pressure.
+
+    Uses the occupancy model's wave counts and the analytic model's
+    per-iteration form ``max(latency / waves, issue)``; times are
+    normalized to the best configuration.
+    """
+    rows = []
+    times = []
+    for vgprs in vgpr_values:
+        waves = waves_per_simd(vgprs, 16, 230, 256, spec)
+        times.append(max(latency / waves, issue_floor))
+    best = min(times)
+    for vgprs, time in zip(vgpr_values, times):
+        waves = waves_per_simd(vgprs, 16, 230, 256, spec)
+        rows.append(OccupancySweepRow(vgprs=vgprs, waves=waves,
+                                      relative_time=time / best))
+    return rows
+
+
+@dataclass(frozen=True)
+class ThresholdSweepRow:
+    threshold: int
+    avg_trips_forward: float
+    hits: int
+    candidates: int
+
+
+def threshold_sweep(assembly, pattern: str, query: str,
+                    thresholds: Sequence[int] = (0, 2, 4, 6, 8),
+                    chunk_size: int = 1 << 20
+                    ) -> List[ThresholdSweepRow]:
+    """Measure early-exit trip counts and hit volume per threshold."""
+    rows = []
+    for threshold in thresholds:
+        request = SearchRequest(pattern, [Query(query, threshold)])
+        result = search(assembly, request, chunk_size=chunk_size)
+        load = result.workload.queries[0]
+        rows.append(ThresholdSweepRow(
+            threshold=threshold,
+            avg_trips_forward=load.avg_trips_forward,
+            hits=load.hits,
+            candidates=result.workload.candidates))
+    return rows
+
+
+@dataclass(frozen=True)
+class ChunkSweepRow:
+    chunk_size: int
+    chunk_count: int
+    hits: int
+    wall_time_s: float
+
+
+def chunk_size_sweep(assembly, request: SearchRequest,
+                     sizes: Sequence[int] = (1 << 16, 1 << 18, 1 << 20)
+                     ) -> List[ChunkSweepRow]:
+    """Measure the chunk-size trade-off on real pipeline runs."""
+    rows = []
+    for size in sizes:
+        result = search(assembly, request, chunk_size=size)
+        rows.append(ChunkSweepRow(
+            chunk_size=size,
+            chunk_count=result.workload.chunk_count,
+            hits=len(result.hits),
+            wall_time_s=result.wall_time_s))
+    return rows

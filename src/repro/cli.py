@@ -1,0 +1,190 @@
+"""Command-line interface, modeled on the original ``cas-offinder``.
+
+The original tool is invoked as ``cas-offinder <input> <device> <output>``
+with an input file naming the genome directory, the PAM pattern and the
+queries.  This CLI keeps that shape and adds reproduction-specific
+options: the modeled device, the API front-end (the paper's before/after),
+the comparer optimization variant, and synthetic-genome generation for
+environments without genome data (``--synthetic hg19 --scale 0.001``).
+
+Examples::
+
+    cas-offinder-py input.txt --synthetic hg19 --scale 0.0005 -o out.txt
+    cas-offinder-py input.txt --api opencl --device RVII -o out.txt
+    cas-offinder-py --report tables --scale 0.001
+
+The genome line of the input file may name a FASTA file or a directory
+of FASTA files; it is ignored when ``--synthetic`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.reporting import (render_fig2, render_table8,
+                                 render_table9, render_table10)
+from .core.config import SearchRequest
+from .core.pipeline import DEFAULT_CHUNK_SIZE, search
+from .core.records import write_hits
+from .genome.assembly import Assembly, Chromosome
+from .genome.fasta import iter_fasta
+from .genome.synthetic import PROFILES, synthetic_assembly
+
+
+def _load_assembly(args: argparse.Namespace,
+                   genome_path: Optional[str]) -> Assembly:
+    if args.synthetic:
+        return synthetic_assembly(args.synthetic, scale=args.scale,
+                                  seed=args.seed)
+    path = args.genome or genome_path
+    if not path:
+        raise SystemExit("no genome: give --synthetic, --genome, or a "
+                         "genome path in the input file")
+    if os.path.isdir(path):
+        chroms: List[Chromosome] = []
+        for entry in sorted(os.listdir(path)):
+            if entry.endswith((".fa", ".fasta", ".fa.gz", ".fasta.gz")):
+                for record in iter_fasta(os.path.join(path, entry)):
+                    chroms.append(Chromosome(record.name, record.sequence))
+        if not chroms:
+            raise SystemExit(f"no FASTA files found in {path!r}")
+        return Assembly(path, chroms)
+    if os.path.isfile(path):
+        return Assembly.from_fasta(path, name=path)
+    raise SystemExit(f"genome path {path!r} does not exist")
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    if not args.input:
+        raise SystemExit("an input file is required (see --help)")
+    request = SearchRequest.from_input_file(args.input)
+    assembly = _load_assembly(args, request.genome_path)
+    started = time.perf_counter()
+    if args.engine == "bitparallel":
+        from .core.bitparallel import bitparallel_search
+        result = bitparallel_search(assembly, request,
+                                    device=args.device,
+                                    chunk_size=args.chunk_size)
+    else:
+        result = search(assembly, request, api=args.api,
+                        device=args.device, variant=args.variant,
+                        chunk_size=args.chunk_size, mode=args.mode)
+    elapsed = time.perf_counter() - started
+    hits = result.sorted_hits()
+    if args.output and args.output != "-":
+        write_hits(hits, args.output)
+    else:
+        write_hits(hits, sys.stdout)
+    print(f"# {len(hits)} hits | {assembly.total_length} bases | "
+          f"{result.workload.candidates} candidates | "
+          f"api={args.api} device={args.device} variant={args.variant} | "
+          f"{elapsed:.2f}s wall", file=sys.stderr)
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """Regenerate the paper's tables with the device models."""
+    from .analysis.productivity import table1_rows
+    from .analysis.reporting import format_table
+    from .core.config import example_request
+    from .devices.codegen import analyze_comparer
+    from .devices.occupancy import reported_occupancy
+    from .devices.specs import MI60, PAPER_GPUS, TABLE7_HEADER, table7_rows
+    from .devices.timing import model_elapsed
+    from .kernels.variants import VARIANT_ORDER
+
+    print(format_table(("Step", "OpenCL", "SYCL"),
+                       table1_rows(), title="Table I"))
+    print()
+    print(format_table(TABLE7_HEADER, table7_rows(), title="Table VII"))
+    print()
+    request = example_request()
+    profiles = {}
+    for dataset in ("hg19", "hg38"):
+        assembly = synthetic_assembly(dataset, scale=args.scale,
+                                      seed=args.seed)
+        run = search(assembly, request, chunk_size=args.chunk_size)
+        profiles[dataset] = run.workload.scaled(1.0 / args.scale)
+    t8 = {}
+    t9 = {}
+    fig2 = {}
+    for dataset, workload in profiles.items():
+        for name, spec in PAPER_GPUS.items():
+            ocl = model_elapsed(spec, workload, "opencl")
+            sycl = model_elapsed(spec, workload, "sycl")
+            t8[(name, dataset)] = (ocl.elapsed_s, sycl.elapsed_s)
+            series = [model_elapsed(spec, workload, "sycl", variant=v)
+                      for v in VARIANT_ORDER]
+            fig2[(name, dataset)] = [m.comparer_s for m in series]
+            t9[(name, dataset)] = (series[0].elapsed_s,
+                                   series[3].elapsed_s)
+    print(render_table8(t8))
+    print()
+    print(render_table9(t9))
+    print()
+    rows10 = {}
+    for variant in VARIANT_ORDER:
+        usage = analyze_comparer(variant)
+        rows10[variant] = (usage.code_bytes, usage.vgprs, usage.sgprs,
+                           reported_occupancy(usage.vgprs, MI60))
+    print(render_table10(rows10))
+    print()
+    print(render_fig2(fig2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py",
+        description="Cas-OFFinder reproduction: search for potential "
+                    "off-target sites of Cas9 RNA-guided endonucleases")
+    parser.add_argument("input", nargs="?",
+                        help="input file (genome path, pattern, queries)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file ('-' for stdout)")
+    parser.add_argument("--api",
+                        choices=("sycl", "sycl-usm", "opencl"),
+                        default="sycl", help="runtime front-end "
+                        "(sycl buffers, sycl USM pointers, or OpenCL)")
+    parser.add_argument("--engine", choices=("listing1", "bitparallel"),
+                        default="listing1",
+                        help="comparer engine: the paper's kernel or "
+                        "the 2-bit packed baseline")
+    parser.add_argument("--device", default="MI100",
+                        help="modeled device (RVII, MI60, MI100, CPU)")
+    parser.add_argument("--variant", default="base",
+                        choices=("base", "opt1", "opt2", "opt3", "opt4"),
+                        help="comparer optimization level (SYCL only)")
+    parser.add_argument("--mode", choices=("vectorized", "interpreted"),
+                        default="vectorized",
+                        help="kernel execution mode")
+    parser.add_argument("--chunk-size", type=int,
+                        default=DEFAULT_CHUNK_SIZE,
+                        help="device chunk size in bases")
+    parser.add_argument("--genome",
+                        help="FASTA file or directory (overrides the "
+                             "input file's genome line)")
+    parser.add_argument("--synthetic", choices=sorted(PROFILES),
+                        help="use a synthetic assembly instead of files")
+    parser.add_argument("--scale", type=float, default=0.001,
+                        help="synthetic assembly scale factor")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic assembly seed")
+    parser.add_argument("--report", choices=("tables",),
+                        help="regenerate the paper's tables and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.report:
+        return _run_report(args)
+    return _run_search(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Bulge-aware off-target search (DNA and RNA bulges).
+
+Section II.A notes Cas-OFFinder "can also predict off-target sites with
+deletions or insertions" — the bulge search that ships as the
+``cas-offinder-bulge`` wrapper.  This module implements that wrapper's
+strategy on top of the standard pipeline:
+
+* a **DNA bulge** of size *k* means the genomic site carries *k* extra
+  bases relative to the guide; the wrapper searches a window *k* longer,
+  with queries derived by inserting *k* wildcard bases at each interior
+  guide position;
+* an **RNA bulge** of size *k* means the genomic site is *k* bases
+  shorter; queries are derived by deleting *k* guide bases at each
+  interior position and the window shrinks accordingly.
+
+All derived queries of one (type, size) class share a window length, so
+each class runs as a single multi-query pipeline search.  Results are
+annotated with the bulge type/size and deduplicated per genomic site,
+keeping the description with the fewest bulges, then mismatches —
+matching the wrapper's reporting convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..genome.assembly import Assembly
+from .config import Query, SearchRequest
+from .patterns import PatternError, validate_iupac
+from .pipeline import DEFAULT_CHUNK_SIZE, search
+from .records import OffTargetHit
+
+
+@dataclass(frozen=True)
+class BulgeHit:
+    """An off-target hit annotated with its bulge class."""
+
+    hit: OffTargetHit
+    bulge_type: str          # "X" (none), "DNA" or "RNA"
+    bulge_size: int
+    #: Original (un-bulged) guide the hit derives from.
+    guide: str
+
+    @property
+    def site_key(self) -> Tuple[str, int, str]:
+        return (self.hit.chrom, self.hit.position, self.hit.strand)
+
+
+def _split_pattern(pattern: str) -> Tuple[int, str]:
+    """Split a pattern into (guide length, PAM suffix).
+
+    Cas-OFFinder patterns put the PAM as the trailing non-N block
+    (e.g. ``NNNN...NRG``); the leading ``N`` run is the guide region.
+    """
+    codes = validate_iupac(pattern)
+    text = codes.tobytes().decode("ascii")
+    guide_len = len(text) - len(text.lstrip("N"))
+    pam = text[guide_len:]
+    if guide_len == 0:
+        raise PatternError(
+            f"pattern {pattern!r} has no leading N guide region; bulge "
+            "search needs one")
+    return guide_len, pam
+
+
+def _dna_bulge_queries(guide: str, pam_len: int, size: int
+                       ) -> List[Tuple[str, str]]:
+    """(derived query, original guide) pairs for DNA bulges of ``size``."""
+    derived = []
+    for position in range(1, len(guide)):
+        bulged = guide[:position] + "N" * size + guide[position:]
+        derived.append((bulged + "N" * pam_len, guide))
+    return derived
+
+
+def _rna_bulge_queries(guide: str, pam_len: int, size: int
+                       ) -> List[Tuple[str, str]]:
+    """(derived query, original guide) pairs for RNA bulges of ``size``."""
+    derived = []
+    if len(guide) <= size:
+        return derived
+    for position in range(1, len(guide) - size):
+        shrunk = guide[:position] + guide[position + size:]
+        derived.append((shrunk + "N" * pam_len, guide))
+    return derived
+
+
+def bulge_search(assembly: Assembly, pattern: str,
+                 guides: Sequence[str], max_mismatches: int,
+                 dna_bulge: int = 1, rna_bulge: int = 1,
+                 api: str = "sycl", device: str = "MI100",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 ) -> List[BulgeHit]:
+    """Search with mismatches plus DNA/RNA bulges up to the given sizes.
+
+    ``guides`` are the guide sequences *without* PAM (the wrapper's
+    convention); the PAM comes from ``pattern``'s trailing block.
+    Returns deduplicated, annotated hits sorted canonically.
+    """
+    if dna_bulge < 0 or rna_bulge < 0:
+        raise ValueError("bulge sizes must be non-negative")
+    guide_len, pam = _split_pattern(pattern)
+    pam_len = len(pam)
+    for guide in guides:
+        validate_iupac(guide)
+        if len(guide) != guide_len:
+            raise ValueError(
+                f"guide {guide!r} length {len(guide)} does not match the "
+                f"pattern's guide region ({guide_len})")
+
+    # Search classes: (bulge_type, size, window pattern, derived queries).
+    classes: List[Tuple[str, int, str, List[Tuple[str, str]]]] = []
+    base_queries = [(g + "N" * pam_len, g) for g in guides]
+    classes.append(("X", 0, pattern, base_queries))
+    for size in range(1, dna_bulge + 1):
+        derived: List[Tuple[str, str]] = []
+        for guide in guides:
+            derived.extend(_dna_bulge_queries(guide, pam_len, size))
+        if derived:
+            classes.append(("DNA", size, "N" * size + pattern, derived))
+    for size in range(1, rna_bulge + 1):
+        derived = []
+        for guide in guides:
+            derived.extend(_rna_bulge_queries(guide, pam_len, size))
+        if derived:
+            pam_start = guide_len - size
+            classes.append(("RNA", size,
+                            "N" * pam_start + pam, derived))
+
+    annotated: List[BulgeHit] = []
+    for bulge_type, size, window_pattern, derived in classes:
+        guide_of_query: Dict[str, str] = {}
+        unique_queries: List[Query] = []
+        for query_text, guide in derived:
+            if query_text not in guide_of_query:
+                guide_of_query[query_text] = guide
+                unique_queries.append(Query(query_text, max_mismatches))
+        request = SearchRequest(pattern=window_pattern,
+                                queries=unique_queries)
+        result = search(assembly, request, api=api, device=device,
+                        chunk_size=chunk_size)
+        for hit in result.hits:
+            annotated.append(BulgeHit(
+                hit=hit, bulge_type=bulge_type, bulge_size=size,
+                guide=guide_of_query[hit.query]))
+
+    # Deduplicate per genomic site: prefer no bulge, then smaller
+    # bulges, then fewer mismatches.
+    best: Dict[Tuple[str, int, str, str], BulgeHit] = {}
+    for bulge_hit in annotated:
+        key = (*bulge_hit.site_key, bulge_hit.guide)
+        current = best.get(key)
+        rank = (bulge_hit.bulge_size, bulge_hit.hit.mismatches)
+        if current is None or rank < (current.bulge_size,
+                                      current.hit.mismatches):
+            best[key] = bulge_hit
+    return sorted(best.values(),
+                  key=lambda b: (b.guide, b.hit.chrom, b.hit.position,
+                                 b.hit.strand))

@@ -1,0 +1,105 @@
+"""Search requests and the Cas-OFFinder input-file format.
+
+The paper's evaluation uses "the input file ... the same as the example
+listed in [the Cas-OFFinder repository]": a first line naming the genome
+directory, a second line with the PAM-bearing pattern, and one line per
+query with its maximum mismatch count.  :data:`EXAMPLE_INPUT` reproduces
+that example; :meth:`SearchRequest.from_input_text` parses the format.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .patterns import PatternError, validate_iupac
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query sequence and its mismatch threshold."""
+
+    sequence: str
+    max_mismatches: int
+
+    def __post_init__(self):
+        validate_iupac(self.sequence)
+        if self.max_mismatches < 0:
+            raise ValueError(
+                f"negative mismatch threshold {self.max_mismatches}")
+
+
+@dataclass
+class SearchRequest:
+    """A full search: PAM pattern plus queries."""
+
+    pattern: str
+    queries: List[Query]
+    genome_path: Optional[str] = None
+
+    def __post_init__(self):
+        pattern_codes = validate_iupac(self.pattern)
+        plen = pattern_codes.size
+        if not self.queries:
+            raise ValueError("a search request needs at least one query")
+        for query in self.queries:
+            if len(query.sequence) != plen:
+                raise ValueError(
+                    f"query {query.sequence!r} has length "
+                    f"{len(query.sequence)}, pattern has length {plen}")
+
+    @property
+    def pattern_length(self) -> int:
+        return len(self.pattern)
+
+    @classmethod
+    def from_input_text(cls, text: str) -> "SearchRequest":
+        """Parse the classic three-section Cas-OFFinder input format."""
+        lines = [ln.strip() for ln in text.splitlines()]
+        lines = [ln for ln in lines if ln and not ln.startswith("#")]
+        if len(lines) < 3:
+            raise ValueError(
+                "input needs a genome path line, a pattern line and at "
+                "least one query line")
+        genome_path = lines[0]
+        pattern = lines[1].upper()
+        queries: List[Query] = []
+        for lineno, line in enumerate(lines[2:], 3):
+            fields = line.split()
+            if len(fields) != 2:
+                raise ValueError(
+                    f"query line {lineno}: expected '<sequence> "
+                    f"<max mismatches>', got {line!r}")
+            queries.append(Query(fields[0].upper(), int(fields[1])))
+        return cls(pattern=pattern, queries=queries,
+                   genome_path=genome_path)
+
+    @classmethod
+    def from_input_file(cls, path: Union[str, os.PathLike]
+                        ) -> "SearchRequest":
+        with open(path, "r", encoding="ascii") as handle:
+            return cls.from_input_text(handle.read())
+
+    def to_input_text(self) -> str:
+        lines = [self.genome_path or "", self.pattern]
+        lines += [f"{q.sequence} {q.max_mismatches}" for q in self.queries]
+        return "\n".join(lines) + "\n"
+
+
+#: The Cas-OFFinder repository's README example (reference [17] of the
+#: paper): SpCas9 NRG PAM pattern and three 20-nt guides with up to four
+#: mismatches each.
+EXAMPLE_INPUT = """\
+/var/chromosomes/human_hg19
+NNNNNNNNNNNNNNNNNNNNNRG
+GGCCGACCTGTCGCTGACGCNNN 4
+CGCCAGCGTCAGCGACAGGTNNN 4
+ACGGCGCCAGCGTCAGCGACNNN 4
+"""
+
+
+def example_request() -> SearchRequest:
+    """The paper's evaluation request (EXAMPLE_INPUT, parsed)."""
+    return SearchRequest.from_input_text(EXAMPLE_INPUT)

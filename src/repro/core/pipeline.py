@@ -1,0 +1,728 @@
+"""Host pipelines: the Cas-OFFinder application in both programming models.
+
+Section II.A of the paper describes the host program: read genome
+sequences, divide them into device-sized chunks, run the ``finder``
+kernel to select PAM-bearing candidate sites, run the ``comparer`` kernel
+to count mismatches per query, and collect results until all chunks are
+processed.  :class:`OpenCLCasOffinder` implements that loop against the
+OpenCL-style API (explicit 13-step management, runtime-chosen work-group
+size); :class:`SyclCasOffinder` implements the migrated version against
+the SYCL-style API (buffers/accessors, work-group size pinned to 256,
+selectable comparer variant base/opt1–opt4).  Both produce identical hit
+sets — the invariant the whole migration case study rests on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..genome.assembly import Assembly, Chunk
+from ..kernels import opencl_kernels, sycl_kernels, vectorized
+from ..kernels.variants import VARIANT_ORDER, get_variant
+from ..runtime import opencl as ocl
+from ..runtime.launch import LaunchRecord
+from ..runtime.sycl import (Buffer, LocalAccessor, NdRange, Queue, Range,
+                            TARGET_CONSTANT, free, malloc_device,
+                            sycl_read, sycl_read_write, sycl_write)
+from .config import Query, SearchRequest
+from .patterns import MISMATCH_LUT, CompiledPattern, compile_pattern
+from .records import OffTargetHit, sort_hits
+from .workload import QueryWorkload, WorkloadProfile
+
+#: Default device chunk size in bases (the real application sizes chunks
+#: to device memory; 4 MiB keeps Python-side latencies reasonable while
+#: exercising the chunk loop).
+DEFAULT_CHUNK_SIZE = 4 << 20
+
+#: Cap on the per-chunk sample used to measure compare-loop trip counts.
+_TRIP_SAMPLE = 4096
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produced."""
+
+    hits: List[OffTargetHit]
+    launches: List[LaunchRecord]
+    workload: WorkloadProfile
+    wall_time_s: float
+    api: str
+    variant: str
+    work_group_size: Optional[int]
+
+    def sorted_hits(self) -> List[OffTargetHit]:
+        return sort_hits(self.hits)
+
+
+def _measure_trips(chunk_data: np.ndarray, loci: np.ndarray,
+                   comp: np.ndarray, comp_index: np.ndarray, plen: int,
+                   threshold: int, offset: int) -> Tuple[float, int]:
+    """Exact mean compare-loop trip count over a sample of candidates.
+
+    Models Listing 1's early exit: the loop stops after the
+    ``threshold + 1``-th mismatch.  Returns ``(mean trips, sample size)``.
+    """
+    if loci.size == 0:
+        return 0.0, 0
+    sample = loci[:_TRIP_SAMPLE].astype(np.int64)
+    ks = comp_index[offset:offset + plen]
+    ks = ks[ks >= 0].astype(np.int64)
+    if ks.size == 0:
+        return 0.0, int(sample.size)
+    pats = comp[ks + offset]
+    sites = chunk_data[sample[:, None] + ks[None, :]]
+    mism = MISMATCH_LUT[pats[None, :], sites]
+    cum = np.cumsum(mism, axis=1)
+    exceeded = cum > threshold
+    first = np.argmax(exceeded, axis=1)
+    has = exceeded.any(axis=1)
+    trips = np.where(has, first + 1, ks.size)
+    return float(trips.mean()), int(sample.size)
+
+
+class _TripAverager:
+    """Candidate-weighted running mean of compare-loop trip counts."""
+
+    def __init__(self):
+        self.total = 0.0
+        self.weight = 0
+
+    def add(self, mean: float, count: int) -> None:
+        self.total += mean * count
+        self.weight += count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.weight if self.weight else 0.0
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return (value + multiple - 1) // multiple * multiple
+
+
+@dataclass
+class _ChunkOutput:
+    """Raw device outputs for one chunk."""
+
+    candidate_count: int
+    per_query: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    #: (mm_loci, mm_count, direction) per query, trimmed to entry count.
+    loci: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint32))
+    flags: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+
+
+class _BasePipeline:
+    """Shared chunk loop, workload accounting and hit construction."""
+
+    api = "abstract"
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 mode: str = "vectorized"):
+        if mode not in ("vectorized", "interpreted"):
+            raise ValueError(f"unknown execution mode {mode!r}")
+        self.chunk_size = chunk_size
+        self.mode = mode
+        self.launches: List[LaunchRecord] = []
+
+    # -- subclass interface ------------------------------------------------
+
+    def _process_chunk(self, chunk: Chunk, pattern: CompiledPattern,
+                       queries: Sequence[Query],
+                       compiled_queries: Sequence[CompiledPattern]
+                       ) -> _ChunkOutput:
+        raise NotImplementedError
+
+    @property
+    def work_group_size(self) -> Optional[int]:
+        raise NotImplementedError
+
+    @property
+    def variant(self) -> str:
+        return "base"
+
+    # -- main entry ----------------------------------------------------------
+
+    def search(self, assembly: Assembly, request: SearchRequest
+               ) -> PipelineResult:
+        """Run the full chunked search over an assembly."""
+        start_time = time.perf_counter()
+        pattern = compile_pattern(request.pattern)
+        compiled_queries = [compile_pattern(q.sequence)
+                            for q in request.queries]
+        plen = pattern.plen
+        hits: List[OffTargetHit] = []
+        positions_scanned = 0
+        candidates_total = 0
+        candidates_forward = 0
+        candidates_reverse = 0
+        chunk_count = 0
+        bytes_h2d = 0
+        bytes_d2h = 0
+        hit_counts = [0] * len(request.queries)
+        trip_fwd = [_TripAverager() for _ in request.queries]
+        trip_rev = [_TripAverager() for _ in request.queries]
+        for chunk in assembly.chunks(self.chunk_size, plen):
+            chunk_count += 1
+            positions_scanned += chunk.scan_length
+            bytes_h2d += chunk.data.nbytes + pattern.comp.nbytes * 2
+            output = self._process_chunk(chunk, pattern, request.queries,
+                                         compiled_queries)
+            candidates_total += output.candidate_count
+            if output.flags.size:
+                candidates_forward += int(
+                    ((output.flags == 0) | (output.flags == 1)).sum())
+                candidates_reverse += int(
+                    ((output.flags == 0) | (output.flags == 2)).sum())
+            for qi, (query, cq) in enumerate(
+                    zip(request.queries, compiled_queries)):
+                mm_loci, mm_count, direction = output.per_query[qi]
+                bytes_d2h += mm_loci.nbytes + mm_count.nbytes \
+                    + direction.nbytes
+                hit_counts[qi] += mm_loci.size
+                hits.extend(self._build_hits(
+                    chunk, cq, query, mm_loci, mm_count, direction))
+                if output.loci.size:
+                    mean_f, n_f = _measure_trips(
+                        chunk.data, output.loci, cq.comp, cq.comp_index,
+                        plen, query.max_mismatches, 0)
+                    mean_r, n_r = _measure_trips(
+                        chunk.data, output.loci, cq.comp, cq.comp_index,
+                        plen, query.max_mismatches, plen)
+                    trip_fwd[qi].add(mean_f, n_f)
+                    trip_rev[qi].add(mean_r, n_r)
+        workload = WorkloadProfile(
+            dataset=assembly.name,
+            pattern=request.pattern,
+            pattern_length=plen,
+            positions_scanned=positions_scanned,
+            candidates=candidates_total,
+            candidates_forward=candidates_forward,
+            candidates_reverse=candidates_reverse,
+            chunk_count=chunk_count,
+            chunk_capacity=max(1, self.chunk_size - (plen - 1)),
+            bytes_h2d=bytes_h2d,
+            bytes_d2h=bytes_d2h,
+            queries=[
+                QueryWorkload(
+                    query=q.sequence,
+                    threshold=q.max_mismatches,
+                    checked_forward=int(
+                        cq.checked_positions_forward.size),
+                    checked_reverse=int(
+                        cq.checked_positions_reverse.size),
+                    candidates=candidates_total,
+                    hits=hit_counts[qi],
+                    avg_trips_forward=trip_fwd[qi].mean,
+                    avg_trips_reverse=trip_rev[qi].mean)
+                for qi, (q, cq) in enumerate(
+                    zip(request.queries, compiled_queries))
+            ])
+        wall = time.perf_counter() - start_time
+        return PipelineResult(hits=hits, launches=list(self.launches),
+                              workload=workload, wall_time_s=wall,
+                              api=self.api, variant=self.variant,
+                              work_group_size=self.work_group_size)
+
+    def _build_hits(self, chunk: Chunk, cq: CompiledPattern, query: Query,
+                    mm_loci: np.ndarray, mm_count: np.ndarray,
+                    direction: np.ndarray) -> List[OffTargetHit]:
+        plen = cq.plen
+        out: List[OffTargetHit] = []
+        for lo, mm, d in zip(mm_loci, mm_count, direction):
+            lo = int(lo)
+            window = chunk.data[lo:lo + plen]
+            strand = "+" if d == ord("+") else "-"
+            codes = cq.sequence if strand == "+" else cq.rc_sequence
+            out.append(OffTargetHit.from_site(
+                query=query.sequence, chrom=chunk.chrom,
+                position=chunk.start + lo, strand=strand,
+                mismatches=int(mm), window=window, query_codes=codes))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# SYCL pipeline
+# ---------------------------------------------------------------------------
+
+
+class SyclCasOffinder(_BasePipeline):
+    """The migrated application: SYCL-style host code (Section III).
+
+    Work-group size is pinned to 256 for both kernels, as in the paper;
+    the comparer variant selects the Section IV.B optimization level.
+    """
+
+    api = "sycl"
+
+    def __init__(self, device: Union[str, Queue] = "MI100",
+                 variant: str = "base",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 mode: str = "vectorized",
+                 work_group_size: int = 256):
+        super().__init__(chunk_size, mode)
+        self.queue = device if isinstance(device, Queue) else Queue(device)
+        self.launches = self.queue.launches
+        self._variant = get_variant(variant)
+        self._wg = work_group_size
+
+    @property
+    def work_group_size(self) -> int:
+        return self._wg
+
+    @property
+    def variant(self) -> str:
+        return self._variant.name
+
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+        plen = pattern.plen
+        wg = self._wg
+        scan_len = chunk.scan_length
+        capacity = max(1, scan_len)
+        vector_mode = self.mode == "vectorized"
+        with Buffer(chunk.data, name="chr", write_back=False) as chr_buf, \
+                Buffer(pattern.comp, name="pat",
+                       write_back=False) as pat_buf, \
+                Buffer(pattern.comp_index, name="pat_index",
+                       write_back=False) as pat_index_buf, \
+                Buffer(count=capacity, dtype=np.uint32,
+                       name="loci") as loci_buf, \
+                Buffer(count=capacity, dtype=np.uint8,
+                       name="flag") as flag_buf, \
+                Buffer(count=1, dtype=np.uint32,
+                       name="entrycount") as entry_buf:
+
+            def finder_cg(h):
+                a_chr = chr_buf.get_access(h, sycl_read)
+                a_pat = pat_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+                a_idx = pat_index_buf.get_access(h, sycl_read,
+                                                 TARGET_CONSTANT)
+                a_loci = loci_buf.get_access(h, sycl_write)
+                a_flag = flag_buf.get_access(h, sycl_write)
+                a_entry = entry_buf.get_access(h, sycl_read_write)
+                l_pat = LocalAccessor(np.uint8, plen * 2, h, name="l_pat")
+                l_idx = LocalAccessor(np.int32, plen * 2, h,
+                                      name="l_pat_index")
+                kern = (vectorized.finder_vectorized if vector_mode
+                        else sycl_kernels.finder)
+                h.parallel_for(
+                    NdRange(Range(_round_up(scan_len, wg)), Range(wg)),
+                    kern,
+                    args=(a_chr, a_pat, a_idx, plen, scan_len, a_loci,
+                          a_flag, a_entry, l_pat, l_idx),
+                    vectorized=vector_mode, kernel_name="finder")
+
+            self.queue.submit(finder_cg).wait()
+            count = int(entry_buf.get_host_access(sycl_read)[0])
+            loci_host = loci_buf.get_host_access(sycl_read).data[
+                :count].copy()
+            flag_host = flag_buf.get_host_access(sycl_read).data[
+                :count].copy()
+            per_query = []
+            for query, cq in zip(queries, compiled_queries):
+                per_query.append(self._run_comparer(
+                    chr_buf, loci_buf, flag_buf, count, cq,
+                    query.max_mismatches, vector_mode))
+            return _ChunkOutput(candidate_count=count,
+                                per_query=per_query, loci=loci_host,
+                                flags=flag_host)
+
+    def _run_comparer(self, chr_buf, loci_buf, flag_buf, count, cq,
+                      threshold, vector_mode):
+        plen = cq.plen
+        wg = self._wg
+        if count == 0:
+            empty = (np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8))
+            return empty
+        out_capacity = 2 * count
+        with Buffer(cq.comp, name="comp", write_back=False) as comp_buf, \
+                Buffer(cq.comp_index, name="comp_index",
+                       write_back=False) as comp_index_buf, \
+                Buffer(count=out_capacity, dtype=np.uint32,
+                       name="mm_loci") as mm_loci_buf, \
+                Buffer(count=out_capacity, dtype=np.uint16,
+                       name="mm_count") as mm_count_buf, \
+                Buffer(count=out_capacity, dtype=np.uint8,
+                       name="direction") as dir_buf, \
+                Buffer(count=1, dtype=np.uint32,
+                       name="entrycount2") as entry_buf:
+
+            def comparer_cg(h):
+                a_chr = chr_buf.get_access(h, sycl_read)
+                a_loci = loci_buf.get_access(h, sycl_read)
+                a_flag = flag_buf.get_access(h, sycl_read)
+                a_comp = comp_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+                a_cidx = comp_index_buf.get_access(h, sycl_read,
+                                                   TARGET_CONSTANT)
+                a_mm_loci = mm_loci_buf.get_access(h, sycl_write)
+                a_mm_count = mm_count_buf.get_access(h, sycl_write)
+                a_dir = dir_buf.get_access(h, sycl_write)
+                a_entry = entry_buf.get_access(h, sycl_read_write)
+                l_comp = LocalAccessor(np.uint8, plen * 2, h,
+                                       name="l_comp")
+                l_cidx = LocalAccessor(np.int32, plen * 2, h,
+                                       name="l_comp_index")
+                kern = (vectorized.comparer_vectorized if vector_mode
+                        else self._variant.kernel)
+                h.parallel_for(
+                    NdRange(Range(_round_up(count, wg)), Range(wg)),
+                    kern,
+                    args=(count, a_chr, a_loci, a_mm_loci, a_comp, a_cidx,
+                          plen, threshold, a_flag, a_mm_count, a_dir,
+                          a_entry, l_comp, l_cidx),
+                    vectorized=vector_mode, kernel_name="comparer",
+                    variant=self._variant.name)
+
+            self.queue.submit(comparer_cg).wait()
+            n_out = int(entry_buf.get_host_access(sycl_read)[0])
+            mm_loci = mm_loci_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            mm_count = mm_count_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            direction = dir_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            return mm_loci, mm_count, direction
+
+
+class SyclUsmCasOffinder(SyclCasOffinder):
+    """The SYCL application on unified shared memory (Section III.A).
+
+    The paper migrates with buffers; USM is the pointer-based alternative
+    it names for "easier integration with existing C/C++ programs".  This
+    pipeline is the same host logic expressed USM-style: explicit
+    ``malloc_device`` / ``memcpy`` / ``free`` instead of buffers and
+    accessors, and direct ``queue.parallel_for`` launches with no command
+    groups.  Results are identical to the buffer pipeline (tested), which
+    is the property that makes the two migration end-states
+    interchangeable.
+    """
+
+    api = "sycl-usm"
+
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+        plen = pattern.plen
+        wg = self._wg
+        scan_len = chunk.scan_length
+        capacity = max(1, scan_len)
+        vector_mode = self.mode == "vectorized"
+        queue = self.queue
+        d_chr = malloc_device(chunk.data.size, np.uint8, queue, "chr")
+        d_pat = malloc_device(pattern.comp.size, np.uint8, queue, "pat")
+        d_idx = malloc_device(pattern.comp_index.size, np.int32, queue,
+                              "pat_index")
+        d_loci = malloc_device(capacity, np.uint32, queue, "loci")
+        d_flag = malloc_device(capacity, np.uint8, queue, "flag")
+        d_count = malloc_device(1, np.uint32, queue, "entrycount")
+        try:
+            queue.memcpy(d_chr, chunk.data)
+            queue.memcpy(d_pat, pattern.comp)
+            queue.memcpy(d_idx, pattern.comp_index)
+            queue.fill(d_count, 0)
+            l_pat = LocalAccessor(np.uint8, plen * 2, name="l_pat")
+            l_idx = LocalAccessor(np.int32, plen * 2,
+                                  name="l_pat_index")
+            kern = (vectorized.finder_vectorized if vector_mode
+                    else sycl_kernels.finder)
+            queue.parallel_for(
+                NdRange(Range(_round_up(scan_len, wg)), Range(wg)),
+                kern,
+                args=(d_chr, d_pat, d_idx, plen, scan_len, d_loci,
+                      d_flag, d_count, l_pat, l_idx),
+                vectorized=vector_mode, kernel_name="finder").wait()
+            count_host = np.zeros(1, dtype=np.uint32)
+            queue.memcpy(count_host, d_count)
+            count = int(count_host[0])
+            loci_host = np.zeros(max(1, count), dtype=np.uint32)
+            flag_host = np.zeros(max(1, count), dtype=np.uint8)
+            if count:
+                queue.memcpy(loci_host, d_loci, count)
+                queue.memcpy(flag_host, d_flag, count)
+            per_query = []
+            for query, cq in zip(queries, compiled_queries):
+                per_query.append(self._run_comparer_usm(
+                    d_chr, d_loci, d_flag, count, cq,
+                    query.max_mismatches, vector_mode))
+            return _ChunkOutput(candidate_count=count,
+                                per_query=per_query,
+                                loci=loci_host[:count],
+                                flags=flag_host[:count])
+        finally:
+            for pointer in (d_chr, d_pat, d_idx, d_loci, d_flag,
+                            d_count):
+                free(pointer)
+
+    def _run_comparer_usm(self, d_chr, d_loci, d_flag, count, cq,
+                          threshold, vector_mode):
+        if count == 0:
+            return (np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                    np.zeros(0, np.uint8))
+        plen = cq.plen
+        wg = self._wg
+        queue = self.queue
+        out_capacity = 2 * count
+        d_comp = malloc_device(cq.comp.size, np.uint8, queue, "comp")
+        d_cidx = malloc_device(cq.comp_index.size, np.int32, queue,
+                               "comp_index")
+        d_mm_loci = malloc_device(out_capacity, np.uint32, queue,
+                                  "mm_loci")
+        d_mm_count = malloc_device(out_capacity, np.uint16, queue,
+                                   "mm_count")
+        d_dir = malloc_device(out_capacity, np.uint8, queue,
+                              "direction")
+        d_entry = malloc_device(1, np.uint32, queue, "entrycount2")
+        try:
+            queue.memcpy(d_comp, cq.comp)
+            queue.memcpy(d_cidx, cq.comp_index)
+            queue.fill(d_entry, 0)
+            l_comp = LocalAccessor(np.uint8, plen * 2, name="l_comp")
+            l_cidx = LocalAccessor(np.int32, plen * 2,
+                                   name="l_comp_index")
+            kern = (vectorized.comparer_vectorized if vector_mode
+                    else self._variant.kernel)
+            queue.parallel_for(
+                NdRange(Range(_round_up(count, wg)), Range(wg)),
+                kern,
+                args=(count, d_chr, d_loci, d_mm_loci, d_comp, d_cidx,
+                      plen, threshold, d_flag, d_mm_count, d_dir,
+                      d_entry, l_comp, l_cidx),
+                vectorized=vector_mode, kernel_name="comparer",
+                variant=self._variant.name).wait()
+            n_host = np.zeros(1, dtype=np.uint32)
+            queue.memcpy(n_host, d_entry)
+            n_out = int(n_host[0])
+            mm_loci = np.zeros(max(1, n_out), dtype=np.uint32)
+            mm_count = np.zeros(max(1, n_out), dtype=np.uint16)
+            direction = np.zeros(max(1, n_out), dtype=np.uint8)
+            if n_out:
+                queue.memcpy(mm_loci, d_mm_loci, n_out)
+                queue.memcpy(mm_count, d_mm_count, n_out)
+                queue.memcpy(direction, d_dir, n_out)
+            return mm_loci[:n_out], mm_count[:n_out], direction[:n_out]
+        finally:
+            for pointer in (d_comp, d_cidx, d_mm_loci, d_mm_count,
+                            d_dir, d_entry):
+                free(pointer)
+
+
+# ---------------------------------------------------------------------------
+# OpenCL pipeline
+# ---------------------------------------------------------------------------
+
+
+class OpenCLCasOffinder(_BasePipeline):
+    """The original application: OpenCL-style host code.
+
+    Every object is created and released explicitly, and the local work
+    size is left to the runtime (``clEnqueueNDRangeKernel`` with NULL),
+    which on the modeled GPUs picks the 64-lane wavefront size — the
+    work-group asymmetry behind part of Table VIII.
+    """
+
+    api = "opencl"
+
+    def __init__(self, device: str = "MI100",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 mode: str = "vectorized"):
+        super().__init__(chunk_size, mode)
+        platforms = ocl.clGetPlatformIDs()
+        wanted = None
+        for platform in platforms:
+            for dev in platform.get_devices():
+                if dev.spec.short_name == device:
+                    wanted = dev
+        if wanted is None:
+            raise KeyError(f"no OpenCL device {device!r}")
+        self.device = wanted
+        self.context = ocl.clCreateContext([wanted])
+        self.queue = ocl.clCreateCommandQueue(self.context, wanted)
+        self.launches = self.queue.launches
+        self.program = ocl.clCreateProgram(self.context, {
+            "finder": ocl.KernelDefinition(
+                opencl_kernels.finder,
+                [ocl.KernelParam("chr", "global", "r"),
+                 ocl.KernelParam("pat", "constant"),
+                 ocl.KernelParam("pat_index", "constant"),
+                 ocl.KernelParam("plen", "scalar"),
+                 ocl.KernelParam("scan_len", "scalar"),
+                 ocl.KernelParam("loci", "global", "w"),
+                 ocl.KernelParam("flag", "global", "w"),
+                 ocl.KernelParam("entrycount", "global", "rw"),
+                 ocl.KernelParam("l_pat", "local"),
+                 ocl.KernelParam("l_pat_index", "local")],
+                vectorized=vectorized.finder_vectorized),
+            "comparer": ocl.KernelDefinition(
+                opencl_kernels.comparer,
+                [ocl.KernelParam("locicnts", "scalar"),
+                 ocl.KernelParam("chr", "global", "r"),
+                 ocl.KernelParam("loci", "global", "r"),
+                 ocl.KernelParam("mm_loci", "global", "w"),
+                 ocl.KernelParam("comp", "constant"),
+                 ocl.KernelParam("comp_index", "constant"),
+                 ocl.KernelParam("plen", "scalar"),
+                 ocl.KernelParam("threshold", "scalar"),
+                 ocl.KernelParam("flag", "global", "r"),
+                 ocl.KernelParam("mm_count", "global", "w"),
+                 ocl.KernelParam("direction", "global", "w"),
+                 ocl.KernelParam("entrycount", "global", "rw"),
+                 ocl.KernelParam("l_comp", "local"),
+                 ocl.KernelParam("l_comp_index", "local")],
+                vectorized=vectorized.comparer_vectorized),
+        })
+        ocl.clBuildProgram(self.program, "-O3")
+
+    @property
+    def work_group_size(self) -> Optional[int]:
+        return None  # runtime-chosen
+
+    def release(self) -> None:
+        """Step 13: explicit resource release."""
+        ocl.clReleaseProgram(self.program)
+        ocl.clReleaseCommandQueue(self.queue)
+        ocl.clReleaseContext(self.context)
+
+    def __enter__(self) -> "OpenCLCasOffinder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+        plen = pattern.plen
+        scan_len = chunk.scan_length
+        capacity = max(1, scan_len)
+        vector_mode = self.mode == "vectorized"
+        ctx, q = self.context, self.queue
+        chr_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            chunk.data.nbytes, chunk.data, name="chr")
+        pat_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            pattern.comp.nbytes, pattern.comp, name="pat")
+        pat_index_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            pattern.comp_index.nbytes, pattern.comp_index,
+            name="pat_index")
+        loci_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE, capacity * 4, name="loci",
+            dtype=np.uint32)
+        flag_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE, capacity, name="flag",
+            dtype=np.uint8)
+        entry_host = np.zeros(1, dtype=np.uint32)
+        entry_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE | ocl.CL_MEM_COPY_HOST_PTR,
+            4, entry_host, name="entrycount")
+        finder = ocl.clCreateKernel(self.program, "finder")
+        for index, arg in enumerate((
+                chr_mem, pat_mem, pat_index_mem, plen, scan_len, loci_mem,
+                flag_mem, entry_mem,
+                ocl.LocalArg(np.uint8, plen * 2),
+                ocl.LocalArg(np.int32, plen * 2))):
+            ocl.clSetKernelArg(finder, index, arg)
+        global_size = _round_up(scan_len, 256)
+        ocl.clEnqueueNDRangeKernel(q, finder, global_size, None,
+                                   vectorized=vector_mode)
+        ocl.clFinish(q)
+        ocl.clEnqueueReadBuffer(q, entry_mem, entry_host)
+        count = int(entry_host[0])
+        loci_host = np.zeros(max(1, count), dtype=np.uint32)
+        flag_host = np.zeros(max(1, count), dtype=np.uint8)
+        if count:
+            ocl.clEnqueueReadBuffer(q, loci_mem, loci_host,
+                                    size_bytes=count * 4)
+            ocl.clEnqueueReadBuffer(q, flag_mem, flag_host,
+                                    size_bytes=count)
+        per_query = []
+        for query, cq in zip(queries, compiled_queries):
+            per_query.append(self._run_comparer(
+                chr_mem, loci_mem, flag_mem, count, cq,
+                query.max_mismatches, vector_mode))
+        for mem in (chr_mem, pat_mem, pat_index_mem, loci_mem, flag_mem,
+                    entry_mem):
+            ocl.clReleaseMemObject(mem)
+        ocl.clReleaseKernel(finder)
+        return _ChunkOutput(candidate_count=count, per_query=per_query,
+                            loci=loci_host[:count],
+                            flags=flag_host[:count])
+
+    def _run_comparer(self, chr_mem, loci_mem, flag_mem, count, cq,
+                      threshold, vector_mode):
+        if count == 0:
+            return (np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                    np.zeros(0, np.uint8))
+        ctx, q = self.context, self.queue
+        plen = cq.plen
+        out_capacity = 2 * count
+        comp_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            cq.comp.nbytes, cq.comp, name="comp")
+        comp_index_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            cq.comp_index.nbytes, cq.comp_index, name="comp_index")
+        mm_loci_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity * 4, name="mm_loci",
+            dtype=np.uint32)
+        mm_count_host = np.zeros(out_capacity, dtype=np.uint16)
+        mm_count_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity * 2, name="mm_count",
+            dtype=np.uint16)
+        dir_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity, name="direction",
+            dtype=np.uint8)
+        entry_host = np.zeros(1, dtype=np.uint32)
+        entry_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE | ocl.CL_MEM_COPY_HOST_PTR,
+            4, entry_host, name="entrycount2")
+        comparer = ocl.clCreateKernel(self.program, "comparer")
+        for index, arg in enumerate((
+                count, chr_mem, loci_mem, mm_loci_mem, comp_mem,
+                comp_index_mem, plen, threshold, flag_mem, mm_count_mem,
+                dir_mem, entry_mem,
+                ocl.LocalArg(np.uint8, plen * 2),
+                ocl.LocalArg(np.int32, plen * 2))):
+            ocl.clSetKernelArg(comparer, index, arg)
+        global_size = _round_up(count, 256)
+        ocl.clEnqueueNDRangeKernel(q, comparer, global_size, None,
+                                   vectorized=vector_mode)
+        ocl.clFinish(q)
+        ocl.clEnqueueReadBuffer(q, entry_mem, entry_host)
+        n_out = int(entry_host[0])
+        mm_loci = np.zeros(max(1, n_out), dtype=np.uint32)
+        direction = np.zeros(max(1, n_out), dtype=np.uint8)
+        if n_out:
+            ocl.clEnqueueReadBuffer(q, mm_loci_mem, mm_loci,
+                                    size_bytes=n_out * 4)
+            ocl.clEnqueueReadBuffer(q, mm_count_mem, mm_count_host,
+                                    size_bytes=n_out * 2)
+            ocl.clEnqueueReadBuffer(q, dir_mem, direction,
+                                    size_bytes=n_out)
+        for mem in (comp_mem, comp_index_mem, mm_loci_mem, mm_count_mem,
+                    dir_mem, entry_mem):
+            ocl.clReleaseMemObject(mem)
+        ocl.clReleaseKernel(comparer)
+        return (mm_loci[:n_out], mm_count_host[:n_out].copy(),
+                direction[:n_out])
+
+
+def search(assembly: Assembly, request: SearchRequest,
+           api: str = "sycl", device: str = "MI100",
+           variant: str = "base", mode: str = "vectorized",
+           chunk_size: int = DEFAULT_CHUNK_SIZE) -> PipelineResult:
+    """One-call convenience wrapper over both pipelines."""
+    if api == "sycl":
+        pipeline = SyclCasOffinder(device=device, variant=variant,
+                                   chunk_size=chunk_size, mode=mode)
+        return pipeline.search(assembly, request)
+    if api == "sycl-usm":
+        pipeline = SyclUsmCasOffinder(device=device, variant=variant,
+                                      chunk_size=chunk_size, mode=mode)
+        return pipeline.search(assembly, request)
+    if api == "opencl":
+        with OpenCLCasOffinder(device=device, chunk_size=chunk_size,
+                               mode=mode) as pipeline:
+            return pipeline.search(assembly, request)
+    raise ValueError(f"unknown api {api!r}; choose 'sycl', 'sycl-usm' or 'opencl'")

@@ -1,0 +1,100 @@
+"""Pure-Python reference implementation (correctness oracle).
+
+This is a direct, unoptimized statement of what Cas-OFFinder computes: for
+every position of every chromosome, on both strands, if the site matches
+the PAM pattern, count query mismatches and report sites at or under the
+threshold.  Every device-kernel variant and both host pipelines are tested
+against this oracle on small genomes; it is deliberately simple and slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from ..genome.assembly import Assembly
+from .patterns import (MASK_TABLE, MISMATCH_LUT, compile_pattern,
+                       validate_iupac)
+from .records import OffTargetHit
+
+
+def _site_matches(pattern: np.ndarray, window: np.ndarray) -> bool:
+    """Finder semantics: checked positions must mask-match; genome N fails."""
+    for k in range(pattern.size):
+        p = pattern[k]
+        if p == ord("N"):
+            continue
+        g = window[k]
+        gmask = MASK_TABLE[g]
+        if gmask == 15 or not (MASK_TABLE[p] & gmask):
+            return False
+    return True
+
+
+def _count_mismatches(query: np.ndarray, window: np.ndarray,
+                      threshold: int) -> int:
+    """Comparer semantics (Listing 1), with the same early exit."""
+    count = 0
+    for k in range(query.size):
+        if query[k] == ord("N"):
+            continue
+        if MISMATCH_LUT[query[k], window[k]]:
+            count += 1
+            if count > threshold:
+                break
+    return count
+
+
+def reference_search(assembly: Assembly,
+                     pattern: Union[str, bytes, np.ndarray],
+                     queries: Sequence[Union[str, bytes, np.ndarray]],
+                     max_mismatches: Union[int, Sequence[int]],
+                     ) -> List[OffTargetHit]:
+    """Exhaustively search an assembly; returns hits in deterministic order.
+
+    ``max_mismatches`` may be a single threshold for all queries or one
+    per query.  Hits are ordered by (query index, chromosome order,
+    position, strand) — callers comparing against pipeline output should
+    sort both sides with :func:`repro.core.records.sort_hits`.
+    """
+    compiled_pattern = compile_pattern(pattern)
+    compiled_queries = [compile_pattern(q) for q in queries]
+    if isinstance(max_mismatches, (int, np.integer)):
+        thresholds = [int(max_mismatches)] * len(compiled_queries)
+    else:
+        thresholds = [int(t) for t in max_mismatches]
+        if len(thresholds) != len(compiled_queries):
+            raise ValueError(
+                f"{len(compiled_queries)} queries but "
+                f"{len(thresholds)} thresholds")
+    plen = compiled_pattern.plen
+    for cq in compiled_queries:
+        if cq.plen != plen:
+            raise ValueError(
+                f"query {cq.decode()!r} length {cq.plen} differs from "
+                f"pattern length {plen}")
+    hits: List[OffTargetHit] = []
+    for qi, (cq, threshold) in enumerate(zip(compiled_queries, thresholds)):
+        for chrom in assembly:
+            seq = chrom.sequence
+            for pos in range(seq.size - plen + 1):
+                window = seq[pos:pos + plen]
+                fwd_ok = _site_matches(compiled_pattern.sequence, window)
+                rev_ok = _site_matches(compiled_pattern.rc_sequence, window)
+                if fwd_ok:
+                    mm = _count_mismatches(cq.sequence, window, threshold)
+                    if mm <= threshold:
+                        hits.append(OffTargetHit.from_site(
+                            query=cq.decode(), chrom=chrom.name,
+                            position=pos, strand="+", mismatches=mm,
+                            window=window, query_codes=cq.sequence))
+                if rev_ok:
+                    mm = _count_mismatches(cq.rc_sequence, window, threshold)
+                    if mm <= threshold:
+                        hits.append(OffTargetHit.from_site(
+                            query=cq.decode(), chrom=chrom.name,
+                            position=pos, strand="-", mismatches=mm,
+                            window=window, query_codes=cq.rc_sequence))
+    return hits

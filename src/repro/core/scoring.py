@@ -1,0 +1,139 @@
+"""Off-target scoring: turning hit lists into guide rankings.
+
+Cas-OFFinder enumerates candidate off-target sites; downstream tools
+(Cas-Designer, reference [21] of the paper, built by the same authors on
+top of Cas-OFFinder) score them to rank guides.  This module implements
+the classic **MIT/Zhang-lab scheme** used for SpCas9 20-nt guides:
+
+* a per-site score from the experimentally derived position-weight
+  vector (mismatches near the PAM hurt binding more), the mean pairwise
+  distance between mismatches, and the mismatch count;
+* an aggregate **guide specificity score**
+  ``100 / (100 + sum(site scores))`` over all off-target sites, scaled
+  to 0-100 (higher = more specific).
+
+Scores operate on :class:`~repro.core.records.OffTargetHit` values
+straight out of the pipeline, using the lowercase-mismatch markup of the
+output format to recover mismatch positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .records import OffTargetHit
+
+#: MIT position weights for 20-nt SpCas9 guides, 5'->3' (position 0 is
+#: PAM-distal).  Hsu et al. 2013, as used by crispr.mit.edu.
+MIT_WEIGHTS: Tuple[float, ...] = (
+    0.000, 0.000, 0.014, 0.000, 0.000,
+    0.395, 0.317, 0.000, 0.389, 0.079,
+    0.445, 0.508, 0.613, 0.851, 0.732,
+    0.828, 0.615, 0.804, 0.685, 0.583,
+)
+
+GUIDE_LENGTH = len(MIT_WEIGHTS)
+
+
+class ScoringError(ValueError):
+    """Raised for sites that cannot be scored with this scheme."""
+
+
+def mismatch_positions(hit: OffTargetHit,
+                       guide_length: int = GUIDE_LENGTH) -> List[int]:
+    """Recover guide-region mismatch positions from the hit markup.
+
+    The output format renders mismatched bases in lowercase, in query
+    orientation, so positions map directly onto the guide.
+    """
+    positions = [index for index, char in enumerate(hit.site)
+                 if char.islower() and index < guide_length]
+    return positions
+
+
+def mit_site_score(positions: Sequence[int],
+                   guide_length: int = GUIDE_LENGTH) -> float:
+    """MIT score of a single site from its mismatch positions (0-100).
+
+    100 means an exact match (maximal cutting likelihood at this site);
+    each PAM-proximal mismatch multiplies the score down.
+    """
+    for position in positions:
+        if not 0 <= position < guide_length:
+            raise ScoringError(
+                f"mismatch position {position} outside the "
+                f"{guide_length}-nt guide")
+    if not positions:
+        return 100.0
+    score = 1.0
+    for position in positions:
+        score *= 1.0 - MIT_WEIGHTS[position]
+    count = len(positions)
+    if count > 1:
+        span = max(positions) - min(positions)
+        mean_distance = span / (count - 1)
+        score /= ((guide_length - 1 - mean_distance)
+                  / (guide_length - 1)) * 4.0 + 1.0
+        score /= count ** 2
+    return score * 100.0
+
+
+def score_hit(hit: OffTargetHit,
+              guide_length: int = GUIDE_LENGTH) -> float:
+    """MIT score of one pipeline hit."""
+    return mit_site_score(mismatch_positions(hit, guide_length),
+                          guide_length)
+
+
+@dataclass(frozen=True)
+class GuideReport:
+    """Aggregate scoring of one guide over its hit list."""
+
+    guide: str
+    specificity: float          # 0-100, higher = fewer/weaker off-targets
+    on_targets: int             # exact (0-mismatch) sites
+    off_targets: int
+    worst_off_target: float     # highest-scoring (riskiest) off-target
+
+
+def aggregate_specificity(hits: Iterable[OffTargetHit],
+                          guide_length: int = GUIDE_LENGTH
+                          ) -> Dict[str, GuideReport]:
+    """MIT aggregate specificity per guide.
+
+    Exact sites (0 mismatches) are treated as on-targets and excluded
+    from the penalty sum, as the MIT web tool does.
+    """
+    per_guide: Dict[str, List[OffTargetHit]] = {}
+    for hit in hits:
+        per_guide.setdefault(hit.query, []).append(hit)
+    reports: Dict[str, GuideReport] = {}
+    for guide, guide_hits in per_guide.items():
+        on_targets = 0
+        penalty = 0.0
+        worst = 0.0
+        off_count = 0
+        for hit in guide_hits:
+            if hit.mismatches == 0:
+                on_targets += 1
+                continue
+            site_score = score_hit(hit, guide_length)
+            penalty += site_score
+            worst = max(worst, site_score)
+            off_count += 1
+        reports[guide] = GuideReport(
+            guide=guide,
+            specificity=100.0 * 100.0 / (100.0 + penalty),
+            on_targets=on_targets,
+            off_targets=off_count,
+            worst_off_target=worst)
+    return reports
+
+
+def rank_guides(hits: Iterable[OffTargetHit],
+                guide_length: int = GUIDE_LENGTH) -> List[GuideReport]:
+    """Guides ordered best-first by aggregate specificity."""
+    reports = aggregate_specificity(hits, guide_length)
+    return sorted(reports.values(),
+                  key=lambda report: -report.specificity)

@@ -1,0 +1,108 @@
+"""Workload profiles: what a search actually did, in counters.
+
+A pipeline run produces a :class:`WorkloadProfile` describing the work the
+kernels performed — positions scanned, candidates found, average
+compare-loop trip counts, bytes moved.  The device timing model
+(:mod:`repro.devices.timing`) re-costs a profile on any modeled GPU, and
+:meth:`WorkloadProfile.scaled` extrapolates a profile measured on a
+scaled-down synthetic genome to full-genome size (the documented
+substitution for the real hg19/hg38 runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+
+@dataclass
+class QueryWorkload:
+    """Comparer-kernel workload for one query across all chunks."""
+
+    query: str
+    threshold: int
+    #: Non-N positions checked per strand.
+    checked_forward: int
+    checked_reverse: int
+    #: Candidate loci fed to the comparer (summed over chunks).
+    candidates: int
+    #: Reported hits at or under the threshold.
+    hits: int
+    #: Mean compare-loop iterations actually executed per candidate,
+    #: including the early exit at threshold + 1 mismatches.
+    avg_trips_forward: float
+    avg_trips_reverse: float
+
+    def scaled(self, factor: float) -> "QueryWorkload":
+        return replace(self, candidates=int(self.candidates * factor),
+                       hits=int(self.hits * factor))
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate workload of one full search run."""
+
+    dataset: str
+    pattern: str
+    pattern_length: int
+    #: Positions the finder scanned (both strands tested per position).
+    positions_scanned: int
+    #: Candidate sites the finder emitted (summed over chunks).
+    candidates: int
+    #: Candidates whose flag selects the forward / reverse comparison
+    #: (flag 0 counts toward both).
+    candidates_forward: int
+    candidates_reverse: int
+    chunk_count: int
+    #: Positions one full-size chunk scans (chunk size minus overlap);
+    #: used to extrapolate the chunk count when the profile is scaled.
+    chunk_capacity: int
+    #: Genome bytes uploaded to the device.
+    bytes_h2d: int
+    #: Result bytes read back.
+    bytes_d2h: int
+    queries: List[QueryWorkload] = field(default_factory=list)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(q.hits for q in self.queries)
+
+    @property
+    def candidate_density(self) -> float:
+        """Candidates per scanned position."""
+        if not self.positions_scanned:
+            return 0.0
+        return self.candidates / self.positions_scanned
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Extrapolate every extensive counter by ``factor``.
+
+        Intensive quantities (densities, average trip counts, pattern
+        length) are preserved; chunk count scales because chunk size is a
+        device property, not a dataset property.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            positions_scanned=int(self.positions_scanned * factor),
+            candidates=int(self.candidates * factor),
+            candidates_forward=int(self.candidates_forward * factor),
+            candidates_reverse=int(self.candidates_reverse * factor),
+            chunk_count=max(
+                1, -(-int(self.positions_scanned * factor)
+                     // max(1, self.chunk_capacity))),
+            bytes_h2d=int(self.bytes_h2d * factor),
+            bytes_d2h=int(self.bytes_d2h * factor),
+            queries=[q.scaled(factor) for q in self.queries])
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "dataset": self.dataset,
+            "positions_scanned": self.positions_scanned,
+            "candidates": self.candidates,
+            "candidate_density": self.candidate_density,
+            "chunks": self.chunk_count,
+            "queries": len(self.queries),
+            "hits": self.total_hits,
+        }

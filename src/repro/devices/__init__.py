@@ -1,0 +1,33 @@
+"""Device models: specs (Table VII), pseudo-ISA compiler model
+(Table X) and the analytic timing model (Tables VIII/IX, Figure 2)."""
+
+from .codegen import (ResourceUsage, analyze_comparer, compile_comparer,
+                      compile_finder)
+from .isa import Instruction, Opcode, Program, RegClass, VirtualReg
+from .occupancy import (OccupancyReport, occupancy_report,
+                        reported_occupancy, waves_per_simd)
+from .regalloc import RegisterUsage, allocate, peak_pressure
+from .specs import (ALL_DEVICES, DeviceSpec, HOST_CPU, MI60, MI100,
+                    PAPER_GPUS, RADEON_VII, TABLE7_HEADER,
+                    get_device_spec, table7_rows)
+from .timing import (DEFAULT_CALIBRATION, ElapsedTimeModel,
+                     SYCL_WORK_GROUP_SIZE, TimingCalibration,
+                     model_comparer_cycles, model_elapsed,
+                     model_finder_cycles)
+from .wavesim import (SimConfig, SimResult, simulate, simulate_variant,
+                      throughput_cycles_per_wave)
+
+__all__ = [
+    "ALL_DEVICES", "DEFAULT_CALIBRATION", "DeviceSpec",
+    "ElapsedTimeModel", "HOST_CPU", "Instruction", "MI100", "MI60",
+    "OccupancyReport", "Opcode", "PAPER_GPUS", "Program", "RADEON_VII",
+    "RegClass", "RegisterUsage", "ResourceUsage",
+    "SYCL_WORK_GROUP_SIZE", "TABLE7_HEADER", "TimingCalibration",
+    "VirtualReg", "allocate", "analyze_comparer", "compile_comparer",
+    "compile_finder", "get_device_spec", "model_comparer_cycles",
+    "model_elapsed", "model_finder_cycles", "occupancy_report",
+    "peak_pressure", "reported_occupancy", "table7_rows",
+    "waves_per_simd",
+    "SimConfig", "SimResult", "simulate", "simulate_variant",
+    "throughput_cycles_per_wave",
+]

@@ -1,0 +1,393 @@
+"""Compiler model: lower kernel variants to pseudo-ISA streams.
+
+This module reproduces the *mechanisms* behind Table X.  Each comparer
+variant is lowered to a GCN/CDNA-like instruction stream whose shape
+follows what the real compiler emits for the real kernels:
+
+* **aliasing (base)** — without ``__restrict`` the compiler must assume
+  the output stores may alias the inputs, so it re-emits loads (and the
+  ``s_waitcnt`` instructions guarding them) after every store cluster;
+  opt1 deletes those.
+* **repeated global reads (base/opt1)** — ``loci[i]``/``flag[i]`` are
+  re-loaded at each use site, each with its own address arithmetic;
+  opt2 hoists them into registers.
+* **serial staging (base..opt2)** — the work-item-0 fetch loop over
+  ``2 * plen`` elements has a compile-time trip count, so the compiler
+  unrolls it pairwise into a long prologue whose in-flight loads also
+  keep destination registers live across the barrier; opt3's cooperative
+  loop has a runtime trip count, is not unrolled, and drops both the
+  code and the overlap registers.
+* **register-cached LDS reads (opt4)** — caching the pattern character
+  per comparison collapses the chain's residual LDS reads to one per
+  iteration, shrinking code by ~17 % but keeping the cached values and
+  or-tree partials live across the software-pipelined unrolled body —
+  the VGPR jump that costs a wave of occupancy.
+
+The emission constants below were calibrated once against Table X's
+published numbers for the 23-base evaluation pattern and then frozen;
+tests assert the *trends* (monotone code shrink, the register cliff at
+opt3, the jump at opt4) plus a ±15 % envelope, not bit-exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from .isa import Opcode, Program, RegClass
+
+#: Paper order of the comparer variants (duplicated from
+#: :mod:`repro.kernels.variants`, which is imported lazily inside the
+#: compile entry points to avoid a package import cycle).
+VARIANT_ORDER = ["base", "opt1", "opt2", "opt3", "opt4"]
+
+#: Comparisons in the mismatch chain (10 ambiguity codes + 4 concrete);
+#: each compares against a literal character, so it encodes in 8 bytes.
+CHAIN_COMPARISONS = 14
+
+#: Compiler unroll factor for the compare loop (the gathers of all
+#: unrolled iterations are software-pipelined ahead of the chains).
+COMPARE_UNROLL = 8
+
+#: Without manual caching the compiler partially CSEs the chain's
+#: ``l_comp[k]`` reads down to this many LDS reads per iteration; the
+#: opt4 source change gets it to exactly one.
+UNCACHED_LDS_READS_PER_ITER = 5
+
+#: Elements per unrolled copy of the serial staging loop (the compiler
+#: unrolls the compile-time-constant 2*plen trip count pairwise).
+SERIAL_STAGING_PAIR = 2
+
+#: Redundant load+waitcnt pairs the compiler emits per strand without
+#: __restrict.
+NO_RESTRICT_RELOAD_PAIRS = 8
+
+#: VGPRs kept live across the barrier by the unrolled serial staging's
+#: in-flight loads (base..opt2 only).
+SERIAL_STAGING_OVERLAP_VGPRS = 9
+
+#: Kernel-argument SGPR pairs the compiler keeps resident for the whole
+#: kernel when the serial staging loop needs them (base..opt2); with the
+#: cooperative fetch it sinks all but the two base descriptors.
+ARG_SGPR_PAIRS_RESIDENT = 8
+ARG_SGPR_PAIRS_RESIDENT_COOP = 2
+
+#: Buffer addresses the kernel holds as flat VGPR pairs, plus persistent
+#: per-item scalars (i, li, strand counters) — the baseline pressure.
+RESIDENT_VGPR_ADDR_PAIRS = 15
+PERSISTENT_VGPR_SCALARS = 3
+
+#: Or-tree partial results kept live per unrolled iteration by opt4's
+#: cached chain.
+OPT4_PARTIALS_PER_ITER = 4
+
+
+def _emit_prologue(prog: Program, variant) -> Dict[str, object]:
+    """Kernel-argument loads, id computation, resident flat addresses."""
+    resident_pairs = (ARG_SGPR_PAIRS_RESIDENT_COOP
+                      if variant.cooperative_fetch
+                      else ARG_SGPR_PAIRS_RESIDENT)
+    for index in range(resident_pairs):
+        pair = prog.sreg(width=2, name=f"arg{index}")
+        prog.emit(Opcode.SMEM, defs=[pair], comment="load kernel arg pair")
+        prog.pin(pair)
+    # Non-resident argument pairs: loaded, moved into flat VGPR
+    # addresses, then dead.
+    for index in range(10 - resident_pairs):
+        pair = prog.sreg(width=2, name=f"targ{index}")
+        prog.emit(Opcode.SMEM, defs=[pair], comment="transient arg pair")
+    scalars = prog.sreg(width=2, name="scalars")
+    prog.emit(Opcode.SMEM, defs=[scalars], comment="plen/threshold/cnt")
+    # Flat addresses for the buffers the body dereferences per item.
+    for index in range(RESIDENT_VGPR_ADDR_PAIRS):
+        addr = prog.vgpr(width=2, name=f"flat{index}")
+        prog.emit(Opcode.VALU, defs=[addr], comment="materialize flat addr")
+        prog.pin(addr)
+    for index in range(PERSISTENT_VGPR_SCALARS):
+        reg = prog.vgpr(name=f"persist{index}")
+        prog.emit(Opcode.VALU, defs=[reg], comment="persistent scalar")
+        prog.pin(reg)
+    i_reg = prog.pin(prog.vgpr(name="i"))
+    li_reg = prog.pin(prog.vgpr(name="li"))
+    tid = prog.vgpr(name="tid")
+    prog.emit(Opcode.VALU, defs=[tid], comment="workitem id")
+    prog.emit(Opcode.SALU, uses=[scalars], comment="group base")
+    prog.emit(Opcode.VALU, defs=[i_reg], uses=[tid], comment="global id")
+    prog.emit(Opcode.VALU, defs=[li_reg], uses=[i_reg], comment="local id")
+    return {"i": i_reg, "li": li_reg, "scalars": scalars}
+
+
+def _emit_staging(prog: Program, variant, plen: int) -> List:
+    """The local-memory fetch: serial-unrolled or cooperative."""
+    if variant.cooperative_fetch:
+        # Cooperative strided loop; runtime trip count, not unrolled.
+        stride = prog.vgpr(name="stride")
+        prog.emit(Opcode.VALU, defs=[stride], comment="li stride init")
+        addr = prog.vgpr(width=2, name="coop_addr")
+        prog.emit(Opcode.VALU_LIT, defs=[addr], comment="coop addr")
+        value = prog.vgpr(name="coop_val")
+        prog.emit(Opcode.VMEM_LOAD, defs=[value], uses=[addr],
+                  comment="load pat char")
+        prog.emit(Opcode.LDS_WRITE, uses=[value], comment="store l_comp")
+        prog.emit(Opcode.VMEM_LOAD, defs=[value], uses=[addr],
+                  comment="load pat index")
+        prog.emit(Opcode.LDS_WRITE, uses=[value], comment="store l_index")
+        prog.emit(Opcode.VALU, defs=[stride], uses=[stride],
+                  comment="advance")
+        prog.emit(Opcode.SALU, comment="loop bound check")
+        prog.emit(Opcode.BRANCH, comment="coop loop backedge")
+        prog.emit(Opcode.WAITCNT, comment="drain staging")
+        overlap_regs: List = []
+    else:
+        # Work-item 0 guard, then the pairwise-unrolled serial copy.
+        prog.emit(Opcode.VALU, comment="cmp li==0")
+        prog.emit(Opcode.BRANCH, comment="skip staging")
+        copies = (2 * plen) // SERIAL_STAGING_PAIR
+        for block in range(copies):
+            for stream in ("char", "index"):
+                value = prog.vgpr(name=f"stage{block}_{stream}")
+                prog.emit(Opcode.VMEM_LOAD, defs=[value],
+                          comment=f"serial staged {stream} load")
+                prog.emit(Opcode.LDS_WRITE, uses=[value],
+                          comment=f"serial staged {stream} store")
+                prog.emit(Opcode.VALU, comment="advance address")
+        prog.emit(Opcode.WAITCNT, comment="drain staging")
+        # In-flight destination registers stay allocated until a final
+        # waitcnt the scheduler sinks past the barrier.
+        # The hoisted flag/loci loads of opt2 insert an early waitcnt
+        # that drains part of the staging traffic, so fewer destination
+        # registers survive past the barrier there.
+        overlap_count = SERIAL_STAGING_OVERLAP_VGPRS
+        if variant.cache_global_reads:
+            overlap_count -= 2
+        overlap_regs = []
+        for index in range(overlap_count):
+            reg = prog.vgpr(name=f"overlap{index}")
+            prog.emit(Opcode.VALU, defs=[reg],
+                      comment="in-flight staging value")
+            overlap_regs.append(reg)
+    prog.emit(Opcode.BARRIER, comment="local fence")
+    return overlap_regs
+
+
+def _emit_flag_test(prog: Program, variant,
+                    ctx: Dict[str, object]) -> None:
+    i_reg = ctx["i"]
+    if variant.cache_global_reads:
+        if "flag" not in ctx:
+            flag_reg = prog.pin(prog.vgpr(name="flag"))
+            addr = prog.vgpr(width=2, name="flag_addr")
+            prog.emit(Opcode.VALU_LIT, defs=[addr], uses=[i_reg])
+            prog.emit(Opcode.VMEM_LOAD, defs=[flag_reg], uses=[addr],
+                      comment="flag[i] (hoisted)")
+            prog.emit(Opcode.WAITCNT)
+            base_reg = prog.pin(prog.vgpr(name="locibase"))
+            prog.emit(Opcode.VALU_LIT, defs=[addr], uses=[i_reg])
+            prog.emit(Opcode.VMEM_LOAD, defs=[base_reg], uses=[addr],
+                      comment="loci[i] (hoisted)")
+            prog.emit(Opcode.WAITCNT)
+            ctx["flag"] = flag_reg
+            ctx["base"] = base_reg
+        prog.emit(Opcode.VALU, uses=[ctx["flag"]], comment="flag cmp")
+        prog.emit(Opcode.VALU, uses=[ctx["flag"]], comment="flag cmp 2")
+    else:
+        for _ in range(2):  # flag re-loaded for each comparison value
+            addr = prog.vgpr(width=2, name="flag_addr")
+            value = prog.vgpr(name="flag_val")
+            prog.emit(Opcode.VALU_LIT, defs=[addr], uses=[i_reg])
+            prog.emit(Opcode.VMEM_LOAD, defs=[value], uses=[addr],
+                      comment="flag[i]")
+            prog.emit(Opcode.WAITCNT)
+            prog.emit(Opcode.VALU, uses=[value], comment="flag cmp")
+    prog.emit(Opcode.BRANCH, comment="skip strand")
+
+
+def _emit_compare_loop(prog: Program, variant,
+                       ctx: Dict[str, object], strand: str):
+    """The software-pipelined unrolled compare loop for one strand."""
+    i_reg = ctx["i"]
+    counter = prog.vgpr(name=f"mm_{strand}")
+    prog.emit(Opcode.VALU, defs=[counter], comment="mm_count = 0")
+    # Issue phase: indexes, addresses and gathers for every unrolled
+    # iteration go out back-to-back; their registers stay live until the
+    # consume phase reads them.
+    pipelined = []
+    for unrolled in range(COMPARE_UNROLL):
+        idx = prog.vgpr(name=f"k{strand}{unrolled}")
+        prog.emit(Opcode.LDS_READ, defs=[idx], comment="l_comp_index[j]")
+        if variant.cache_global_reads:
+            site_addr = prog.vgpr(width=2, name=f"addr{strand}{unrolled}")
+            prog.emit(Opcode.VALU, defs=[site_addr],
+                      uses=[ctx["base"], idx], comment="chr + base + k")
+        else:
+            loci_addr = prog.vgpr(width=2, name=f"la{strand}{unrolled}")
+            loci_val = prog.vgpr(name=f"lv{strand}{unrolled}")
+            prog.emit(Opcode.VALU_LIT, defs=[loci_addr], uses=[i_reg])
+            prog.emit(Opcode.VMEM_LOAD, defs=[loci_val],
+                      uses=[loci_addr], comment="loci[i] (re-read)")
+            prog.emit(Opcode.WAITCNT)
+            site_addr = prog.vgpr(width=2, name=f"addr{strand}{unrolled}")
+            prog.emit(Opcode.VALU, defs=[site_addr],
+                      uses=[loci_val, idx], comment="chr + loci[i] + k")
+        genome = prog.vgpr(name=f"g{strand}{unrolled}")
+        prog.emit(Opcode.VMEM_LOAD, defs=[genome], uses=[site_addr],
+                  comment="chr gather")
+        pattern = None
+        if variant.cache_lds_reads:
+            pattern = prog.vgpr(name=f"p{strand}{unrolled}")
+            prog.emit(Opcode.LDS_READ, defs=[pattern],
+                      comment="l_comp[k] (cached, pipelined)")
+        pipelined.append((idx, genome, pattern))
+    prog.emit(Opcode.WAITCNT, comment="drain gathers")
+    # Consume phase: terminator test + mismatch chain per iteration.
+    cached_live = []
+    for unrolled, (idx, genome, pattern) in enumerate(pipelined):
+        prog.emit(Opcode.VALU, uses=[idx], comment="cmp k==-1")
+        prog.emit(Opcode.BRANCH, comment="index terminator")
+        if variant.cache_lds_reads:
+            partials = []
+            for cmp_index in range(CHAIN_COMPARISONS):
+                prog.emit(Opcode.VALU_LIT, uses=[pattern, genome],
+                          comment=f"chain cmp {cmp_index}")
+                if (len(partials) < OPT4_PARTIALS_PER_ITER
+                        and cmp_index % 3 == 0):
+                    partial = prog.vgpr(
+                        name=f"acc{strand}{unrolled}_{cmp_index}")
+                    prog.emit(Opcode.VALU, defs=[partial],
+                              comment="or-tree partial")
+                    partials.append(partial)
+                else:
+                    prog.emit(Opcode.VALU, comment="or accumulate")
+            cached_live.extend([pattern, *partials])
+        else:
+            reads_left = UNCACHED_LDS_READS_PER_ITER
+            for cmp_index in range(CHAIN_COMPARISONS):
+                if reads_left and cmp_index % (
+                        CHAIN_COMPARISONS
+                        // UNCACHED_LDS_READS_PER_ITER) == 0:
+                    pattern_tmp = prog.vgpr(
+                        name=f"p{strand}{unrolled}_{cmp_index}")
+                    prog.emit(Opcode.LDS_READ, defs=[pattern_tmp],
+                              comment="l_comp[k] (re-read)")
+                    reads_left -= 1
+                    last_pattern = pattern_tmp
+                prog.emit(Opcode.VALU_LIT, uses=[last_pattern, genome],
+                          comment=f"chain cmp {cmp_index}")
+                prog.emit(Opcode.VALU, comment="or accumulate")
+        prog.emit(Opcode.VALU, defs=[counter], uses=[counter],
+                  comment="mm_count++")
+        prog.emit(Opcode.VALU_LIT, uses=[counter],
+                  comment="cmp threshold")
+        prog.emit(Opcode.BRANCH, comment="early exit")
+    if cached_live:
+        prog.emit(Opcode.VALU, uses=cached_live,
+                  comment="reduce or-tree")
+    prog.emit(Opcode.SALU, comment="loop bound")
+    prog.emit(Opcode.BRANCH, comment="loop backedge")
+    return counter
+
+
+def _emit_epilogue(prog: Program, variant,
+                   ctx: Dict[str, object], counter, strand: str) -> None:
+    prog.emit(Opcode.VALU_LIT, uses=[counter], comment="mm <= threshold")
+    prog.emit(Opcode.BRANCH, comment="skip store")
+    slot = prog.vgpr(name=f"slot_{strand}")
+    prog.emit(Opcode.VMEM_ATOMIC, defs=[slot], comment="atomic_inc")
+    prog.emit(Opcode.WAITCNT)
+    for target in ("mm_count", "direction", "mm_loci"):
+        addr = prog.vgpr(width=2, name=f"st_{target}")
+        prog.emit(Opcode.VALU, defs=[addr], uses=[slot],
+                  comment=f"{target} address")
+        if variant.cache_global_reads and target == "mm_loci":
+            prog.emit(Opcode.VMEM_STORE, uses=[addr, ctx["base"]],
+                      comment=f"store {target}")
+        else:
+            prog.emit(Opcode.VMEM_STORE, uses=[addr],
+                      comment=f"store {target}")
+    if not variant.restrict:
+        # Stores may alias the inputs: re-load and re-synchronize.
+        for _ in range(NO_RESTRICT_RELOAD_PAIRS):
+            value = prog.vgpr(name="reload")
+            prog.emit(Opcode.VMEM_LOAD, defs=[value],
+                      comment="aliasing re-load")
+            prog.emit(Opcode.WAITCNT, comment="aliasing drain")
+
+
+@lru_cache(maxsize=None)
+def compile_comparer(variant_name: str, plen: int = 23) -> Program:
+    """Lower one comparer variant to a pseudo-ISA program."""
+    from ..kernels.variants import get_variant
+    variant = get_variant(variant_name)
+    prog = Program(f"comparer_{variant_name}")
+    prog.lds_bytes = 2 * plen * (1 + 4)  # l_comp + l_comp_index
+    ctx = _emit_prologue(prog, variant)
+    overlap = _emit_staging(prog, variant, plen)
+    prog.emit(Opcode.VALU, uses=[ctx["i"]], comment="i < locicnts")
+    prog.emit(Opcode.BRANCH, comment="range guard")
+    for strand in ("+", "-"):
+        _emit_flag_test(prog, variant, ctx)
+        counter = _emit_compare_loop(prog, variant, ctx, strand)
+        _emit_epilogue(prog, variant, ctx, counter, strand)
+        if overlap and strand == "+":
+            prog.emit(Opcode.WAITCNT, uses=tuple(overlap),
+                      comment="late staging drain")
+    prog.emit(Opcode.END, comment="s_endpgm")
+    return prog
+
+
+@lru_cache(maxsize=None)
+def compile_finder(plen: int = 23) -> Program:
+    """Lower the finder kernel (single variant) for completeness."""
+    from ..kernels.variants import get_variant
+    prog = Program("finder")
+    prog.lds_bytes = 2 * plen * (1 + 4)
+    base = get_variant("base")
+    ctx = _emit_prologue(prog, base)
+    overlap = _emit_staging(prog, base, plen)
+    prog.emit(Opcode.VALU, uses=[ctx["i"]], comment="i < scan_len")
+    prog.emit(Opcode.BRANCH, comment="range guard")
+    for strand in ("+", "-"):
+        for unrolled in range(2):
+            idx = prog.vgpr(name=f"k{strand}{unrolled}")
+            prog.emit(Opcode.LDS_READ, defs=[idx])
+            prog.emit(Opcode.VALU, uses=[idx], comment="cmp -1")
+            prog.emit(Opcode.BRANCH)
+            genome = prog.vgpr(name=f"g{strand}{unrolled}")
+            prog.emit(Opcode.VMEM_LOAD, defs=[genome],
+                      comment="chr gather")
+            prog.emit(Opcode.WAITCNT)
+            pattern = prog.vgpr(name=f"p{strand}{unrolled}")
+            prog.emit(Opcode.LDS_READ, defs=[pattern])
+            prog.emit(Opcode.VALU, uses=[pattern, genome],
+                      comment="mask test")
+            prog.emit(Opcode.BRANCH, comment="fail strand")
+        prog.emit(Opcode.BRANCH, comment="loop backedge")
+    prog.emit(Opcode.VMEM_ATOMIC, comment="atomic_inc")
+    prog.emit(Opcode.WAITCNT)
+    prog.emit(Opcode.VMEM_STORE, comment="store locus", count=2)
+    prog.emit(Opcode.END)
+    return prog
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Table X's per-variant row: code bytes, registers, occupancy."""
+
+    variant: str
+    code_bytes: int
+    vgprs: int
+    sgprs: int
+    lds_bytes: int
+
+
+@lru_cache(maxsize=None)
+def analyze_comparer(variant_name: str, plen: int = 23) -> ResourceUsage:
+    """Compile + allocate one variant (codegen → regalloc)."""
+    from .regalloc import allocate
+    program = compile_comparer(variant_name, plen)
+    usage = allocate(program)
+    return ResourceUsage(variant=variant_name,
+                         code_bytes=program.code_bytes,
+                         vgprs=usage.vgprs, sgprs=usage.sgprs,
+                         lds_bytes=program.lds_bytes)

@@ -1,0 +1,167 @@
+"""Pseudo-ISA for the GCN/CDNA-like compiler model.
+
+Table X of the paper explains the optimization results "at the level of
+instruction-set architecture": total instruction bytes, scalar and vector
+general-purpose register counts, and occupancy.  This module defines the
+instruction stream representation those analyses run over.
+
+The encoding model follows GCN/CDNA conventions: most scalar and vector
+ALU operations encode in 4 bytes; memory operations (SMEM/VMEM/LDS),
+operations with 32-bit literals, and long-format VALU ops encode in 8
+bytes.  Virtual registers come in scalar (uniform per wave) and vector
+(per lane) classes; the register allocator
+(:mod:`repro.devices.regalloc`) assigns physical registers per class.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class RegClass(enum.Enum):
+    SGPR = "s"
+    VGPR = "v"
+
+
+@dataclass(frozen=True)
+class VirtualReg:
+    """A virtual register; ``width`` counts 32-bit physical registers
+    (e.g. a 64-bit address pair has width 2)."""
+
+    id: int
+    cls: RegClass
+    width: int = 1
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return f"{self.cls.value}{self.id}" + (f":{self.name}"
+                                               if self.name else "")
+
+
+class Opcode(enum.Enum):
+    """Instruction categories, with their encoded size in bytes."""
+
+    SALU = ("salu", 4)            # scalar ALU
+    SALU_LIT = ("salu_lit", 8)    # scalar ALU with 32-bit literal
+    VALU = ("valu", 4)            # vector ALU
+    VALU_LIT = ("valu_lit", 8)    # vector ALU with literal / VOP3
+    SMEM = ("smem", 8)            # scalar memory (kernel args, constants)
+    VMEM_LOAD = ("vmem_load", 8)  # vector global load
+    VMEM_STORE = ("vmem_store", 8)
+    VMEM_ATOMIC = ("vmem_atomic", 8)
+    LDS_READ = ("lds_read", 8)
+    LDS_WRITE = ("lds_write", 8)
+    BRANCH = ("branch", 4)
+    BARRIER = ("barrier", 4)
+    WAITCNT = ("waitcnt", 4)
+    END = ("end", 4)
+
+    def __init__(self, label: str, size: int):
+        self.label = label
+        self.size = size
+
+
+#: Issue cost in cycles per wavefront for each opcode category (wave64
+#: VALU ops issue over 4 cycles on 16-lane SIMDs; scalar ops 1 cycle).
+ISSUE_CYCLES: Dict[Opcode, float] = {
+    Opcode.SALU: 1, Opcode.SALU_LIT: 1,
+    Opcode.VALU: 4, Opcode.VALU_LIT: 4,
+    Opcode.SMEM: 1,
+    Opcode.VMEM_LOAD: 4, Opcode.VMEM_STORE: 4, Opcode.VMEM_ATOMIC: 4,
+    Opcode.LDS_READ: 4, Opcode.LDS_WRITE: 4,
+    Opcode.BRANCH: 1, Opcode.BARRIER: 1, Opcode.WAITCNT: 1,
+    Opcode.END: 1,
+}
+
+
+@dataclass
+class Instruction:
+    """One pseudo-ISA instruction."""
+
+    opcode: Opcode
+    defs: Tuple[VirtualReg, ...] = ()
+    uses: Tuple[VirtualReg, ...] = ()
+    comment: str = ""
+
+    @property
+    def size(self) -> int:
+        return self.opcode.size
+
+
+class Program:
+    """An instruction stream with virtual-register bookkeeping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self._vreg_ids = itertools.count(0)
+        #: Registers pinned live for the whole program (kernel arguments
+        #: and values the compiler keeps resident across the body).
+        self.pinned: List[VirtualReg] = []
+        #: Shared local memory bytes the kernel statically declares.
+        self.lds_bytes: int = 0
+
+    # -- construction -----------------------------------------------------
+
+    def vreg(self, cls: RegClass, width: int = 1,
+             name: str = "") -> VirtualReg:
+        return VirtualReg(next(self._vreg_ids), cls, width, name)
+
+    def sreg(self, width: int = 1, name: str = "") -> VirtualReg:
+        return self.vreg(RegClass.SGPR, width, name)
+
+    def vgpr(self, width: int = 1, name: str = "") -> VirtualReg:
+        return self.vreg(RegClass.VGPR, width, name)
+
+    def emit(self, opcode: Opcode, defs: Sequence[VirtualReg] = (),
+             uses: Sequence[VirtualReg] = (), comment: str = "",
+             count: int = 1) -> None:
+        for _ in range(count):
+            self.instructions.append(
+                Instruction(opcode, tuple(defs), tuple(uses), comment))
+
+    def pin(self, reg: VirtualReg) -> VirtualReg:
+        self.pinned.append(reg)
+        return reg
+
+    # -- analyses ----------------------------------------------------------
+
+    @property
+    def code_bytes(self) -> int:
+        """Total encoded size in bytes (Table X's "Code length")."""
+        return sum(inst.size for inst in self.instructions)
+
+    def live_ranges(self) -> Dict[VirtualReg, Tuple[int, int]]:
+        """[first occurrence, last occurrence] per virtual register.
+
+        Pinned registers extend over the whole program.
+        """
+        ranges: Dict[VirtualReg, Tuple[int, int]] = {}
+        for index, inst in enumerate(self.instructions):
+            for reg in (*inst.defs, *inst.uses):
+                if reg in ranges:
+                    first, _ = ranges[reg]
+                    ranges[reg] = (first, index)
+                else:
+                    ranges[reg] = (index, index)
+        end = max(len(self.instructions) - 1, 0)
+        for reg in self.pinned:
+            first = ranges.get(reg, (0, 0))[0] if reg in ranges else 0
+            ranges[reg] = (0, end)
+        return ranges
+
+    def instruction_mix(self) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for inst in self.instructions:
+            mix[inst.opcode.label] = mix.get(inst.opcode.label, 0) + 1
+        return mix
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (f"Program({self.name!r}, {len(self.instructions)} insts, "
+                f"{self.code_bytes} B)")

@@ -1,0 +1,98 @@
+"""Occupancy model (the last row of Table X, and the waves that hide
+memory latency in the timing model).
+
+Two related quantities are computed:
+
+* :func:`reported_occupancy` — the number the AMD tooling prints for
+  these kernels ("occupancy is a measure of parallel work that a GPU
+  could perform at a given time on a compute unit").  It is the
+  VGPR-limited wave count on the tooling's per-CU scale, capped at the
+  architecture's 10 waves: ``min(10, pool / align(vgprs, 4))`` with a
+  3-SIMD-equivalent pool of 768 VGPR slots, which reproduces the paper's
+  10/10/10/10/9 ladder for the measured register counts.
+* :func:`waves_per_simd` — the *physical* wave slots per SIMD available
+  for latency hiding, which is what the timing model consumes.  VGPR
+  files allocate per-wave blocks at a coarse granule in wave64 mode, so
+  57–64 VGPRs leave 4 concurrent waves per SIMD while 80+ VGPRs leave
+  only 2 — the cliff behind opt4's near-doubling of kernel time despite
+  the reported occupancy only dropping from 10 to 9 (the paper: "there
+  is a performance trade-off between register usage and occupancy").
+
+LDS and work-group-size limits are also enforced; for these kernels
+(230 B of LDS) they never bind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+
+#: Reported-occupancy VGPR pool (tooling scale; see module docstring).
+REPORTED_VGPR_POOL = 768
+REPORTED_VGPR_ALIGN = 4
+
+#: Physical per-wave VGPR allocation granule in wave64 mode.
+PHYSICAL_VGPR_GRANULE = 32
+
+
+def _round_up(value: int, granule: int) -> int:
+    return (value + granule - 1) // granule * granule
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy from every limiting resource."""
+
+    reported: int
+    waves_per_simd: int
+    vgpr_limited_waves: int
+    sgpr_limited_waves: int
+    lds_limited_waves: int
+
+
+def reported_occupancy(vgprs: int, spec: DeviceSpec) -> int:
+    """The tooling's occupancy number (Table X's last row)."""
+    if vgprs <= 0:
+        raise ValueError(f"vgprs must be positive, got {vgprs}")
+    waves = REPORTED_VGPR_POOL // _round_up(vgprs, REPORTED_VGPR_ALIGN)
+    return min(spec.max_waves_per_simd, waves)
+
+
+def waves_per_simd(vgprs: int, sgprs: int, lds_bytes: int,
+                   work_group_size: int, spec: DeviceSpec) -> int:
+    """Physical concurrent waves per SIMD (latency-hiding capacity)."""
+    report = occupancy_report(vgprs, sgprs, lds_bytes, work_group_size,
+                              spec)
+    return report.waves_per_simd
+
+
+def occupancy_report(vgprs: int, sgprs: int, lds_bytes: int,
+                     work_group_size: int, spec: DeviceSpec
+                     ) -> OccupancyReport:
+    """Full occupancy breakdown for one kernel on one device."""
+    if vgprs <= 0 or sgprs <= 0:
+        raise ValueError("register counts must be positive")
+    if work_group_size <= 0:
+        raise ValueError(
+            f"work-group size must be positive, got {work_group_size}")
+    vgpr_waves = spec.vgprs_per_simd // _round_up(vgprs,
+                                                  PHYSICAL_VGPR_GRANULE)
+    sgpr_waves = (spec.sgprs_per_cu // spec.simds_per_cu) \
+        // max(sgprs, 16)
+    if lds_bytes > 0:
+        groups_per_cu = spec.lds_per_cu_bytes // max(lds_bytes, 1)
+        waves_per_group = max(
+            1, work_group_size // spec.wavefront_size)
+        lds_waves = max(1, groups_per_cu * waves_per_group
+                        // spec.simds_per_cu)
+    else:
+        lds_waves = spec.max_waves_per_simd
+    physical = max(1, min(vgpr_waves, sgpr_waves, lds_waves,
+                          spec.max_waves_per_simd))
+    return OccupancyReport(
+        reported=reported_occupancy(vgprs, spec),
+        waves_per_simd=physical,
+        vgpr_limited_waves=vgpr_waves,
+        sgpr_limited_waves=sgpr_waves,
+        lds_limited_waves=lds_waves)

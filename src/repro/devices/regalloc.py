@@ -1,0 +1,72 @@
+"""Register allocation over pseudo-ISA programs.
+
+A linear-scan allocator computes, per register class, the peak number of
+simultaneously live 32-bit registers — the quantity the hardware
+allocates per wave and the one Table X reports.  Reported counts are the
+exact peak demand plus the ABI-reserved registers (wave scratch
+descriptors, VCC, workgroup/workitem ids), matching how rocprof reports
+them; hardware allocation granules only enter the occupancy model
+(:mod:`repro.devices.occupancy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .isa import Program, RegClass, VirtualReg
+
+#: ABI-reserved registers included in reported counts.
+RESERVED_SGPRS = 4   # VCC pair + workgroup id + scratch wave offset
+RESERVED_VGPRS = 1   # workitem id
+
+VGPR_GRANULE = 4
+SGPR_GRANULE = 8
+
+
+@dataclass(frozen=True)
+class RegisterUsage:
+    """Peak physical register usage of one kernel."""
+
+    vgprs: int
+    sgprs: int
+    peak_vgpr_virtual: int
+    peak_sgpr_virtual: int
+
+
+def _round_up(value: int, granule: int) -> int:
+    return (value + granule - 1) // granule * granule
+
+
+def peak_pressure(program: Program) -> Dict[RegClass, int]:
+    """Peak concurrent 32-bit register demand per class (linear scan).
+
+    Live ranges are [first occurrence, last occurrence] intervals; the
+    classic sweep adds ``width`` at each interval start and removes it
+    after the end.
+    """
+    ranges = program.live_ranges()
+    events: Dict[RegClass, List[Tuple[int, int]]] = {
+        RegClass.SGPR: [], RegClass.VGPR: []}
+    for reg, (start, end) in ranges.items():
+        events[reg.cls].append((start, reg.width))
+        events[reg.cls].append((end + 1, -reg.width))
+    peaks: Dict[RegClass, int] = {}
+    for cls, evs in events.items():
+        evs.sort()
+        live = peak = 0
+        for _, delta in evs:
+            live += delta
+            peak = max(peak, live)
+        peaks[cls] = peak
+    return peaks
+
+
+def allocate(program: Program) -> RegisterUsage:
+    """Compute the reported physical register counts for a program."""
+    peaks = peak_pressure(program)
+    vgprs = peaks[RegClass.VGPR] + RESERVED_VGPRS
+    sgprs = peaks[RegClass.SGPR] + RESERVED_SGPRS
+    return RegisterUsage(vgprs=vgprs, sgprs=sgprs,
+                         peak_vgpr_virtual=peaks[RegClass.VGPR],
+                         peak_sgpr_virtual=peaks[RegClass.SGPR])

@@ -1,0 +1,178 @@
+"""GPU device specifications (Table VII of the paper).
+
+The paper evaluates three AMD discrete GPUs.  :data:`RADEON_VII`,
+:data:`MI60` and :data:`MI100` carry the published Table VII numbers plus
+the micro-architectural constants (wavefront width, SIMDs per compute
+unit, register-file and LDS sizes) the occupancy and timing models need.
+A :data:`HOST_CPU` pseudo-device is included so the runtime front-ends can
+offer a CPU fallback the way real OpenCL/SYCL implementations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one compute device.
+
+    The first block of fields reproduces Table VII verbatim; the second
+    block holds GCN/CDNA micro-architecture constants used by
+    :mod:`repro.devices.occupancy` and :mod:`repro.devices.timing`.
+    """
+
+    name: str
+    short_name: str
+    vendor: str
+    device_type: str  # "gpu" or "cpu"
+
+    # --- Table VII columns -------------------------------------------
+    global_memory_gb: int
+    gpu_clock_mhz: int
+    memory_clock_mhz: int
+    cores: int                      # stream processors
+    l2_cache_mb: int
+    peak_bandwidth_gbs: float       # GB/s
+
+    # --- micro-architecture ------------------------------------------
+    wavefront_size: int = 64
+    simds_per_cu: int = 4
+    vgprs_per_simd: int = 256       # 32-bit VGPRs per SIMD per wave slot
+    sgprs_per_cu: int = 3200
+    lds_per_cu_bytes: int = 64 * 1024
+    max_waves_per_simd: int = 10
+    #: Sustained fraction of peak memory bandwidth for strided access.
+    bandwidth_efficiency: float = 0.75
+    #: Average global-memory latency in cycles (scatter/gather pattern).
+    memory_latency_cycles: int = 700
+    #: LDS access latency in cycles.
+    lds_latency_cycles: int = 30
+    #: Host<->device interconnect bandwidth, GB/s (PCIe gen3/gen4 x16).
+    pcie_bandwidth_gbs: float = 14.0
+    #: Fixed per-kernel-launch latency on the device side, microseconds.
+    launch_latency_us: float = 8.0
+
+    @property
+    def compute_units(self) -> int:
+        """Compute units: ``cores / (wavefront lanes per CU)``."""
+        return self.cores // self.wavefront_size
+
+    @property
+    def gpu_clock_hz(self) -> float:
+        return self.gpu_clock_mhz * 1.0e6
+
+    @property
+    def global_memory_bytes(self) -> int:
+        return self.global_memory_gb * GIB
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        return self.peak_bandwidth_gbs * 1.0e9
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        return self.peak_bandwidth_bytes * self.bandwidth_efficiency
+
+    @property
+    def peak_valu_lanes(self) -> int:
+        """Total vector ALU lanes across the device."""
+        return self.cores
+
+    def table7_row(self) -> Tuple:
+        """Return this device's Table VII row (paper column order)."""
+        return (self.short_name, self.global_memory_gb, self.gpu_clock_mhz,
+                self.memory_clock_mhz, self.cores, self.l2_cache_mb,
+                self.peak_bandwidth_gbs)
+
+
+RADEON_VII = DeviceSpec(
+    name="AMD Radeon VII",
+    short_name="RVII",
+    vendor="Advanced Micro Devices, Inc.",
+    device_type="gpu",
+    global_memory_gb=16,
+    gpu_clock_mhz=1800,
+    memory_clock_mhz=1000,
+    cores=3840,
+    l2_cache_mb=8,
+    peak_bandwidth_gbs=1024.0,
+)
+
+MI60 = DeviceSpec(
+    name="AMD Radeon Instinct MI60",
+    short_name="MI60",
+    vendor="Advanced Micro Devices, Inc.",
+    device_type="gpu",
+    global_memory_gb=32,
+    gpu_clock_mhz=1800,
+    memory_clock_mhz=1000,
+    cores=4096,
+    l2_cache_mb=8,
+    peak_bandwidth_gbs=1024.0,
+)
+
+MI100 = DeviceSpec(
+    name="AMD Instinct MI100",
+    short_name="MI100",
+    vendor="Advanced Micro Devices, Inc.",
+    device_type="gpu",
+    global_memory_gb=32,
+    gpu_clock_mhz=1502,
+    memory_clock_mhz=1200,
+    cores=7680,
+    l2_cache_mb=8,
+    peak_bandwidth_gbs=1228.0,
+    pcie_bandwidth_gbs=28.0,        # PCIe gen4 x16
+    memory_latency_cycles=650,
+)
+
+HOST_CPU = DeviceSpec(
+    name="Generic Host CPU",
+    short_name="CPU",
+    vendor="repro",
+    device_type="cpu",
+    global_memory_gb=8,
+    gpu_clock_mhz=3000,
+    memory_clock_mhz=2400,
+    cores=16,
+    l2_cache_mb=16,
+    peak_bandwidth_gbs=40.0,
+    wavefront_size=1,
+    simds_per_cu=1,
+    max_waves_per_simd=2,
+)
+
+#: The paper's evaluation devices, keyed by short name, in Table VII order.
+PAPER_GPUS: Dict[str, DeviceSpec] = {
+    "RVII": RADEON_VII,
+    "MI60": MI60,
+    "MI100": MI100,
+}
+
+#: Every device known to the runtime front-ends.
+ALL_DEVICES: Dict[str, DeviceSpec] = dict(PAPER_GPUS, CPU=HOST_CPU)
+
+
+def get_device_spec(short_name: str) -> DeviceSpec:
+    """Look up a device by short name (``"RVII"``, ``"MI60"``, ...)."""
+    try:
+        return ALL_DEVICES[short_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {short_name!r}; known devices: "
+            f"{sorted(ALL_DEVICES)}") from None
+
+
+TABLE7_HEADER = ("Device", "Global memory (GB)", "GPU clock (MHz)",
+                 "Memory clock (MHz)", "Cores", "L2 Cache (MB)",
+                 "Peak BW (GB/s)")
+
+
+def table7_rows():
+    """All Table VII rows, in the paper's order."""
+    return [spec.table7_row() for spec in PAPER_GPUS.values()]

@@ -1,0 +1,233 @@
+"""Analytic timing model: Tables VIII and IX, Figure 2.
+
+The model re-costs a measured :class:`~repro.core.workload.WorkloadProfile`
+on a modeled GPU.  Its *relative* behaviour is mechanistic — every effect
+the paper measures falls out of structure:
+
+* **per-iteration latency** — the compare loop's dependent loads cost
+  ``latency / waves_per_simd`` cycles per wave-iteration.  The base
+  kernel pays an extra (L2-resident) ``loci[i]`` re-load per iteration
+  (removed by opt2) and aliasing re-loads (removed by opt1);
+* **staging serialization** — base..opt2's work-item-0 fetch stalls the
+  whole work-group for the staging duration, a per-group cost amortized
+  over the group's items.  This is also where the OpenCL/SYCL asymmetry
+  of Table VIII comes from: the OpenCL runtime picks 64-item groups, so
+  it pays the staging cost four times as often as SYCL's 256-item
+  groups;
+* **occupancy cliff** — opt4's register pressure halves the physical
+  waves per SIMD (:mod:`repro.devices.occupancy`), doubling the
+  latency-bound term — the paper's "kernel execution time almost
+  doubles".
+
+Absolute scale cannot be derived without the authors' testbed; a single
+global constant (:data:`TimingCalibration.kernel_scale`) anchors the
+model to the paper's MI60/hg19 SYCL-base measurement (~50 s elapsed) and
+is shared by every device, API, variant and dataset, so it cancels out
+of every comparison the benches assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..core.workload import WorkloadProfile
+from .codegen import analyze_comparer
+from .occupancy import waves_per_simd
+from .specs import DeviceSpec
+
+#: Work-group size the SYCL application pins (Section IV.A).
+SYCL_WORK_GROUP_SIZE = 256
+
+
+@dataclass(frozen=True)
+class TimingCalibration:
+    """Constants of the analytic model.
+
+    ``kernel_scale`` is the single anchoring constant (see module
+    docstring); everything else is a micro-architectural estimate.
+    """
+
+    #: Global anchor: modeled kernel cycles -> wall seconds multiplier.
+    kernel_scale: float = 260.0
+    #: DRAM gather latency for the chr[] accesses (cycles).
+    gather_latency: float = 700.0
+    #: L2-resident re-load latency (loci[i], aliasing re-loads; cycles).
+    l2_latency: float = 130.0
+    #: Aliasing re-loads per compare iteration without __restrict.
+    alias_reloads_per_iter: float = 0.2
+    #: Issue cycles per compare iteration (chain + loop overhead).
+    issue_cycles_per_iter: float = 160.0
+    #: Issue-cycle reduction for opt2 (fewer address ops) and opt4
+    #: (collapsed LDS reads).
+    issue_cycles_opt2: float = 148.0
+    issue_cycles_opt4: float = 120.0
+    #: Divergence: a wave runs the max trip count over 64 lanes; ratio
+    #: of wave trip count to mean lane trip count.
+    wave_divergence: float = 1.3
+    #: Outstanding loads the serial staging thread sustains.
+    staging_outstanding: float = 14.0
+    #: Finder cost per scanned position (cycles per wave-position).
+    finder_cycles_per_position: float = 40.0
+    #: Host-side genome read/parse seconds per byte (chunk loop).
+    host_seconds_per_byte: float = 4.0e-9
+    #: Host per-chunk fixed overhead (result collection, bookkeeping).
+    host_seconds_per_chunk: float = 2.0e-3
+    #: Per-kernel-launch API overhead (seconds).
+    launch_overhead_opencl: float = 60.0e-6
+    launch_overhead_sycl: float = 25.0e-6
+
+
+DEFAULT_CALIBRATION = TimingCalibration()
+
+
+@dataclass(frozen=True)
+class ElapsedTimeModel:
+    """Modeled time breakdown for one (device, api, variant, dataset)."""
+
+    device: str
+    api: str
+    variant: str
+    dataset: str
+    work_group_size: int
+    waves_per_simd: int
+    finder_s: float
+    comparer_s: float
+    transfer_s: float
+    host_s: float
+    launch_overhead_s: float
+
+    @property
+    def kernel_s(self) -> float:
+        return self.finder_s + self.comparer_s
+
+    @property
+    def elapsed_s(self) -> float:
+        return (self.kernel_s + self.transfer_s + self.host_s
+                + self.launch_overhead_s)
+
+    @property
+    def comparer_share_of_kernel(self) -> float:
+        return self.comparer_s / self.kernel_s if self.kernel_s else 0.0
+
+    @property
+    def kernel_share_of_elapsed(self) -> float:
+        return self.kernel_s / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def _simds(spec: DeviceSpec) -> int:
+    return spec.compute_units * spec.simds_per_cu
+
+
+def model_comparer_cycles(spec: DeviceSpec, workload: WorkloadProfile,
+                          variant: str, work_group_size: int,
+                          cal: TimingCalibration = DEFAULT_CALIBRATION,
+                          ) -> Dict[str, float]:
+    """Per-SIMD cycle count of all comparer launches of one run.
+
+    Returns a breakdown dict with ``main``, ``staging`` and ``total``
+    per-SIMD cycles, plus the wave count for diagnostics.
+    """
+    resources = analyze_comparer(variant, workload.pattern_length)
+    waves = waves_per_simd(resources.vgprs, resources.sgprs,
+                           resources.lds_bytes, work_group_size, spec)
+    lanes = spec.wavefront_size
+    restrict = variant != "base"
+    cache_globals = variant in ("opt2", "opt3", "opt4")
+    coop_fetch = variant in ("opt3", "opt4")
+    cache_lds = variant == "opt4"
+
+    # Per-wave-iteration latency-bound cycles.
+    latency = cal.gather_latency / waves
+    if not cache_globals:
+        latency += cal.l2_latency / waves          # loci[i] re-read
+    if not restrict:
+        latency += (cal.alias_reloads_per_iter
+                    * cal.l2_latency / waves)      # aliasing re-loads
+    if cache_lds:
+        issue = cal.issue_cycles_opt4
+    elif cache_globals:
+        issue = cal.issue_cycles_opt2
+    else:
+        issue = cal.issue_cycles_per_iter
+    per_iteration = max(latency, issue)
+
+    # Wave iterations over all queries (each query launches once per
+    # chunk; totals are already summed over chunks).
+    total_wave_iterations = 0.0
+    for query in workload.queries:
+        strand_iters = (workload.candidates_forward
+                        * query.avg_trips_forward
+                        + workload.candidates_reverse
+                        * query.avg_trips_reverse)
+        total_wave_iterations += (strand_iters / lanes
+                                  * cal.wave_divergence)
+    main_cycles = total_wave_iterations * per_iteration / _simds(spec)
+
+    # Staging: per-group cost, paid once per work-group per launch.
+    elements = 2 * workload.pattern_length * 2   # char + index streams
+    if coop_fetch:
+        rounds = max(1.0, elements / (2 * work_group_size))
+        staging_duration = rounds * 2 * cal.l2_latency / waves
+    else:
+        staging_duration = (elements * cal.l2_latency
+                            / cal.staging_outstanding)
+    groups = 0.0
+    for _query in workload.queries:
+        groups += workload.candidates / work_group_size
+    staging_cycles = groups * staging_duration / _simds(spec)
+
+    total = main_cycles + staging_cycles
+    return {"main": main_cycles, "staging": staging_cycles,
+            "total": total, "waves_per_simd": waves,
+            "per_iteration": per_iteration}
+
+
+def model_finder_cycles(spec: DeviceSpec, workload: WorkloadProfile,
+                        work_group_size: int,
+                        cal: TimingCalibration = DEFAULT_CALIBRATION,
+                        ) -> float:
+    """Per-SIMD cycles of all finder launches (sequential-access scan)."""
+    waves = workload.positions_scanned / spec.wavefront_size
+    return waves * cal.finder_cycles_per_position / _simds(spec)
+
+
+def model_elapsed(spec: DeviceSpec, workload: WorkloadProfile, api: str,
+                  variant: str = "base",
+                  work_group_size: Optional[int] = None,
+                  cal: TimingCalibration = DEFAULT_CALIBRATION,
+                  ) -> ElapsedTimeModel:
+    """Full elapsed-time model for one configuration.
+
+    ``api`` selects the work-group-size policy when ``work_group_size``
+    is None: the OpenCL application lets the runtime pick (the wavefront
+    size, 64), the SYCL application pins 256.
+    """
+    if api not in ("opencl", "sycl"):
+        raise ValueError(f"unknown api {api!r}")
+    if api == "opencl" and variant != "base":
+        raise ValueError("the paper's kernel optimizations are explored "
+                         "in the SYCL application only")
+    if work_group_size is None:
+        work_group_size = (SYCL_WORK_GROUP_SIZE if api == "sycl"
+                           else spec.wavefront_size)
+    comparer = model_comparer_cycles(spec, workload, variant,
+                                     work_group_size, cal)
+    finder_cycles = model_finder_cycles(spec, workload, work_group_size,
+                                        cal)
+    to_seconds = cal.kernel_scale / spec.gpu_clock_hz
+    finder_s = finder_cycles * to_seconds
+    comparer_s = comparer["total"] * to_seconds
+    transfer_s = ((workload.bytes_h2d + workload.bytes_d2h)
+                  / (spec.pcie_bandwidth_gbs * 1.0e9))
+    host_s = (workload.bytes_h2d * cal.host_seconds_per_byte
+              + workload.chunk_count * cal.host_seconds_per_chunk)
+    launches = workload.chunk_count * (1 + len(workload.queries))
+    overhead = (cal.launch_overhead_opencl if api == "opencl"
+                else cal.launch_overhead_sycl)
+    return ElapsedTimeModel(
+        device=spec.short_name, api=api, variant=variant,
+        dataset=workload.dataset, work_group_size=work_group_size,
+        waves_per_simd=int(comparer["waves_per_simd"]),
+        finder_s=finder_s, comparer_s=comparer_s, transfer_s=transfer_s,
+        host_s=host_s, launch_overhead_s=launches * overhead)

@@ -1,0 +1,27 @@
+"""Genome substrate: FASTA I/O, assemblies + chunking, synthetic
+hg19/hg38 stand-ins, and the 2-bit sequence encoding."""
+
+from .assembly import Assembly, Chromosome, Chunk
+from .fasta import (FastaError, FastaRecord, iter_fasta, parse_fasta_str,
+                    read_fasta, sequence_to_array, write_fasta)
+from .statistics import (AssemblyStats, GapRun, assembly_stats,
+                         gap_fraction, gc_content, gc_windows, n_runs,
+                         pam_density)
+from .synthetic import (ALPHA_SATELLITE_MONOMER, HG38_SATELLITE_MONOMER,
+                        GenomeProfile,
+                        HG19_PROFILE, HG19_SIZES, HG38_PROFILE, HG38_SIZES,
+                        PROFILES, synthesize_chromosome, synthetic_assembly)
+from .twobit import (TwoBitSequence, base_at, compression_ratio, decode,
+                     encode)
+
+__all__ = [
+    "ALPHA_SATELLITE_MONOMER", "Assembly", "AssemblyStats", "Chromosome",
+    "Chunk", "GapRun", "assembly_stats", "gap_fraction", "gc_content",
+    "gc_windows", "n_runs", "pam_density",
+    "HG38_SATELLITE_MONOMER",
+    "FastaError", "FastaRecord", "GenomeProfile", "HG19_PROFILE",
+    "HG19_SIZES", "HG38_PROFILE", "HG38_SIZES", "PROFILES",
+    "TwoBitSequence", "base_at", "compression_ratio", "decode", "encode",
+    "iter_fasta", "parse_fasta_str", "read_fasta", "sequence_to_array",
+    "synthesize_chromosome", "synthetic_assembly", "write_fasta",
+]

@@ -1,0 +1,148 @@
+"""FASTA reading and writing.
+
+Cas-OFFinder's host program "reads genome sequence data in single- or
+multi-sequence data format [and] parses the data files with an
+open-source parser library" (Section II.A).  This module is that parser
+substrate: a from-scratch FASTA reader/writer supporting multi-record
+files, arbitrary line wrapping, comments, gzip-compressed input and
+streaming iteration, with sequences materialized as numpy ``uint8``
+arrays of ASCII codes (the representation every kernel consumes).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+class FastaError(ValueError):
+    """Raised for malformed FASTA input."""
+
+
+@dataclass
+class FastaRecord:
+    """One FASTA record: ``>name description`` plus its sequence bytes."""
+
+    name: str
+    sequence: np.ndarray            # uint8 ASCII codes
+    description: str = ""
+
+    def __post_init__(self):
+        self.sequence = np.asarray(self.sequence, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self.sequence.size
+
+    def decode(self) -> str:
+        """The sequence as a Python string."""
+        return self.sequence.tobytes().decode("ascii")
+
+    def upper(self) -> "FastaRecord":
+        """Return a copy with soft-masked (lowercase) bases upper-cased."""
+        return FastaRecord(self.name, _to_upper(self.sequence),
+                           self.description)
+
+
+def _to_upper(seq: np.ndarray) -> np.ndarray:
+    out = seq.copy()
+    lower = (out >= ord("a")) & (out <= ord("z"))
+    out[lower] -= 32
+    return out
+
+
+def sequence_to_array(sequence: Union[str, bytes, np.ndarray]) -> np.ndarray:
+    """Convert a sequence in any accepted form to a uint8 ASCII array."""
+    if isinstance(sequence, np.ndarray):
+        return np.asarray(sequence, dtype=np.uint8)
+    if isinstance(sequence, str):
+        sequence = sequence.encode("ascii")
+    return np.frombuffer(sequence, dtype=np.uint8).copy()
+
+
+def _open_text(path: PathLike) -> io.TextIOBase:
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def iter_fasta(source: Union[PathLike, io.TextIOBase]
+               ) -> Iterator[FastaRecord]:
+    """Stream records from a FASTA file, path or open text handle.
+
+    Accepts ``;`` comment lines (original FASTA dialect) and blank lines.
+    Raises :class:`FastaError` on sequence data before the first header or
+    on headers with empty names.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with _open_text(source) as handle:
+            yield from iter_fasta(handle)
+            return
+    name = None
+    description = ""
+    parts: List[bytes] = []
+    for lineno, line in enumerate(source, 1):
+        line = line.rstrip("\r\n")
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, _concat(parts), description)
+            header = line[1:].strip()
+            if not header:
+                raise FastaError(f"line {lineno}: empty FASTA header")
+            name, _, description = header.partition(" ")
+            parts = []
+        else:
+            if name is None:
+                raise FastaError(
+                    f"line {lineno}: sequence data before first '>' header")
+            cleaned = line.replace(" ", "").replace("\t", "")
+            if not cleaned.isascii():
+                raise FastaError(f"line {lineno}: non-ASCII sequence data")
+            parts.append(cleaned.encode("ascii"))
+    if name is not None:
+        yield FastaRecord(name, _concat(parts), description)
+
+
+def _concat(parts: List[bytes]) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=np.uint8)
+    return np.frombuffer(b"".join(parts), dtype=np.uint8).copy()
+
+
+def read_fasta(source: Union[PathLike, io.TextIOBase]) -> List[FastaRecord]:
+    """Read all records of a FASTA file into memory."""
+    return list(iter_fasta(source))
+
+
+def parse_fasta_str(text: str) -> List[FastaRecord]:
+    """Parse FASTA records from an in-memory string."""
+    return read_fasta(io.StringIO(text))
+
+
+def write_fasta(records: List[FastaRecord],
+                destination: Union[PathLike, io.TextIOBase],
+                line_width: int = 60) -> None:
+    """Write records to a FASTA file, wrapping sequence lines."""
+    if line_width <= 0:
+        raise ValueError(f"line width must be positive, got {line_width}")
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="ascii") as handle:
+            write_fasta(records, handle, line_width)
+            return
+    for record in records:
+        header = record.name
+        if record.description:
+            header = f"{header} {record.description}"
+        destination.write(f">{header}\n")
+        data = record.sequence.tobytes().decode("ascii")
+        for start in range(0, len(data), line_width):
+            destination.write(data[start:start + line_width] + "\n")

@@ -1,0 +1,151 @@
+"""Sequence statistics used to validate synthetic genomes.
+
+These are the measurements behind the synthetic-assembly design choices
+(DESIGN.md §2): GC content and its local variation, assembly-gap (``N``
+run) structure, and PAM-site density.  They run over any
+:class:`~repro.genome.assembly.Assembly`, so the same code validates the
+stand-ins and would characterize real FASTA data if present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..core.patterns import MASK_TABLE, compile_pattern
+from .assembly import Assembly, Chromosome
+from .fasta import sequence_to_array
+
+_GC = np.frombuffer(b"GC", dtype=np.uint8)
+_ACGT = np.frombuffer(b"ACGT", dtype=np.uint8)
+_N = ord("N")
+
+
+def gc_content(sequence: Union[np.ndarray, str, bytes]) -> float:
+    """GC fraction over A/C/G/T bases (gaps excluded)."""
+    arr = sequence_to_array(sequence)
+    acgt = arr[np.isin(arr, _ACGT)]
+    if acgt.size == 0:
+        return 0.0
+    return float(np.isin(acgt, _GC).mean())
+
+
+def gc_windows(sequence: Union[np.ndarray, str, bytes],
+               window: int = 10_000) -> np.ndarray:
+    """Per-window GC fractions (windows with no A/C/G/T report NaN)."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    arr = sequence_to_array(sequence)
+    out: List[float] = []
+    for start in range(0, arr.size, window):
+        block = arr[start:start + window]
+        acgt = block[np.isin(block, _ACGT)]
+        out.append(float(np.isin(acgt, _GC).mean())
+                   if acgt.size else float("nan"))
+    return np.array(out)
+
+
+@dataclass(frozen=True)
+class GapRun:
+    """One maximal run of ``N`` bases."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def n_runs(sequence: Union[np.ndarray, str, bytes],
+           min_length: int = 1) -> List[GapRun]:
+    """Maximal runs of ``N`` of at least ``min_length`` bases."""
+    arr = sequence_to_array(sequence)
+    is_n = (arr == _N).astype(np.int8)
+    if not is_n.any():
+        return []
+    boundaries = np.diff(np.concatenate(([0], is_n, [0])))
+    starts = np.flatnonzero(boundaries == 1)
+    ends = np.flatnonzero(boundaries == -1)
+    return [GapRun(int(s), int(e - s))
+            for s, e in zip(starts, ends) if e - s >= min_length]
+
+
+def gap_fraction(sequence: Union[np.ndarray, str, bytes]) -> float:
+    arr = sequence_to_array(sequence)
+    if arr.size == 0:
+        return 0.0
+    return float((arr == _N).mean())
+
+
+def pam_density(sequence: Union[np.ndarray, str, bytes],
+                pattern: str = "NNNNNNNNNNNNNNNNNNNNNRG") -> float:
+    """Fraction of positions that are PAM-pattern candidates (either
+    strand), the quantity that drives comparer workload."""
+    arr = sequence_to_array(sequence)
+    compiled = compile_pattern(pattern)
+    plen = compiled.plen
+    if arr.size < plen:
+        return 0.0
+    positions = np.arange(arr.size - plen + 1, dtype=np.int64)
+    selected = np.zeros(positions.size, dtype=bool)
+    for offset in (0, plen):
+        checked = compiled.comp_index[offset:offset + plen]
+        checked = checked[checked >= 0].astype(np.int64)
+        if checked.size == 0:
+            selected[:] = True
+            break
+        gmask = MASK_TABLE[arr[positions[:, None] + checked[None, :]]]
+        pmask = MASK_TABLE[compiled.comp[checked + offset]]
+        selected |= (((gmask & pmask[None, :]) != 0)
+                     & (gmask != 15)).all(axis=1)
+    return float(selected.mean())
+
+
+@dataclass(frozen=True)
+class AssemblyStats:
+    """Summary statistics of one assembly."""
+
+    name: str
+    total_length: int
+    gap_fraction: float
+    gc_content: float
+    pam_density: float
+    largest_gap: int
+    chromosome_count: int
+
+
+def assembly_stats(assembly: Assembly,
+                   pattern: str = "NNNNNNNNNNNNNNNNNNNNNRG"
+                   ) -> AssemblyStats:
+    """Whole-assembly statistics (the numbers DESIGN.md §2 quotes)."""
+    total = assembly.total_length
+    gaps = 0
+    gc_num = 0
+    gc_den = 0
+    largest = 0
+    density_num = 0.0
+    density_den = 0
+    for chrom in assembly:
+        arr = chrom.sequence
+        gaps += int((arr == _N).sum())
+        acgt = arr[np.isin(arr, _ACGT)]
+        gc_num += int(np.isin(acgt, _GC).sum())
+        gc_den += acgt.size
+        runs = n_runs(arr)
+        if runs:
+            largest = max(largest, max(run.length for run in runs))
+        positions = max(0, arr.size - len(pattern) + 1)
+        if positions:
+            density_num += pam_density(arr, pattern) * positions
+            density_den += positions
+    return AssemblyStats(
+        name=assembly.name,
+        total_length=total,
+        gap_fraction=gaps / total if total else 0.0,
+        gc_content=gc_num / gc_den if gc_den else 0.0,
+        pam_density=density_num / density_den if density_den else 0.0,
+        largest_gap=largest,
+        chromosome_count=len(assembly.chromosomes))

@@ -1,0 +1,115 @@
+"""2-bit sequence encoding.
+
+The related-work section of the paper notes that the Cas-OFFinder authors
+"optimized the OpenCL kernels with a 2-bit sequence format, shared local
+memory and atomic operations ... improving the performance of the
+application by a factor of 30 approximately", and that "the current
+OpenCL and SYCL kernels include these optimizations".  This module is
+that encoding substrate: A/C/G/T pack four bases per byte, with a
+separate bit-mask marking positions that were ``N`` (or any other
+ambiguity code) in the original sequence, so decoding is lossless for the
+alphabet the kernels care about.
+
+An ablation benchmark (`benchmarks/test_micro_kernels.py`) measures the
+memory-traffic effect of the encoding the way the Cas-OFFinder paper did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+# Base codes: A=0, C=1, G=2, T=3 (UCSC .2bit uses T=0..G=3; the choice is
+# internal and documented here).
+_CODE_OF = np.zeros(256, dtype=np.uint8)
+_CODE_OF[ord("A")] = 0
+_CODE_OF[ord("C")] = 1
+_CODE_OF[ord("G")] = 2
+_CODE_OF[ord("T")] = 3
+_CODE_OF[ord("a")] = 0
+_CODE_OF[ord("c")] = 1
+_CODE_OF[ord("g")] = 2
+_CODE_OF[ord("t")] = 3
+
+_BASE_OF = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+_KNOWN = np.zeros(256, dtype=bool)
+for _b in b"ACGTacgt":
+    _KNOWN[_b] = True
+
+
+@dataclass
+class TwoBitSequence:
+    """A 2-bit packed sequence plus an N-position bitmask."""
+
+    packed: np.ndarray        # uint8, four bases per byte, LSB-first
+    n_mask: np.ndarray        # uint8 bitset, 8 positions per byte
+    length: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.packed.nbytes + self.n_mask.nbytes
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def encode(sequence: np.ndarray) -> TwoBitSequence:
+    """Pack an ASCII uint8 sequence into 2-bit form.
+
+    Positions holding anything other than A/C/G/T (case-insensitive) are
+    encoded as base code 0 and flagged in the N mask.
+    """
+    sequence = np.asarray(sequence, dtype=np.uint8)
+    n = sequence.size
+    codes = _CODE_OF[sequence]
+    unknown = ~_KNOWN[sequence]
+    codes = np.where(unknown, 0, codes).astype(np.uint8)
+    padded_len = (n + 3) // 4 * 4
+    padded = np.zeros(padded_len, dtype=np.uint8)
+    padded[:n] = codes
+    quads = padded.reshape(-1, 4)
+    packed = (quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4)
+              | (quads[:, 3] << 6)).astype(np.uint8)
+    mask_len = (n + 7) // 8 * 8
+    mask_bits = np.zeros(mask_len, dtype=np.uint8)
+    mask_bits[:n] = unknown
+    n_mask = np.packbits(mask_bits, bitorder="little")
+    return TwoBitSequence(packed=packed, n_mask=n_mask, length=n)
+
+
+def decode(encoded: TwoBitSequence) -> np.ndarray:
+    """Unpack a :class:`TwoBitSequence` back to ASCII uint8 bases.
+
+    N-flagged positions decode to ``N``.
+    """
+    n = encoded.length
+    packed = encoded.packed
+    codes = np.empty(packed.size * 4, dtype=np.uint8)
+    codes[0::4] = packed & 0x3
+    codes[1::4] = (packed >> 2) & 0x3
+    codes[2::4] = (packed >> 4) & 0x3
+    codes[3::4] = (packed >> 6) & 0x3
+    out = _BASE_OF[codes[:n]].copy()
+    n_flags = np.unpackbits(encoded.n_mask, bitorder="little")[:n]
+    out[n_flags.astype(bool)] = ord("N")
+    return out
+
+
+def base_at(encoded: TwoBitSequence, index: int) -> int:
+    """Random access: the ASCII code of one base (N-aware)."""
+    if not 0 <= index < encoded.length:
+        raise IndexError(f"index {index} out of range "
+                         f"[0, {encoded.length})")
+    byte = encoded.n_mask[index >> 3]
+    if (byte >> (index & 7)) & 1:
+        return ord("N")
+    code = (encoded.packed[index >> 2] >> ((index & 3) * 2)) & 0x3
+    return int(_BASE_OF[code])
+
+
+def compression_ratio(encoded: TwoBitSequence) -> float:
+    """Bytes of ASCII per byte of encoded form (~3.6x for real genomes)."""
+    return encoded.length / encoded.nbytes

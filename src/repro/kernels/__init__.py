@@ -1,0 +1,11 @@
+"""Device kernels: OpenCL dialect, SYCL dialect (base + opt1..opt4) and
+the vectorized numpy fast paths."""
+
+from . import opencl_kernels, sycl_kernels, vectorized
+from .variants import (COMPARER_VARIANTS, KernelVariant, VARIANT_ORDER,
+                       get_variant)
+
+__all__ = [
+    "COMPARER_VARIANTS", "KernelVariant", "VARIANT_ORDER", "get_variant",
+    "opencl_kernels", "sycl_kernels", "vectorized",
+]

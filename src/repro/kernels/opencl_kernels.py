@@ -1,0 +1,106 @@
+"""OpenCL-dialect device kernels: the pre-migration ``finder``/``comparer``.
+
+These bodies are the same algorithms as :mod:`repro.kernels.sycl_kernels`
+but written against the OpenCL work-item functions (Table IV, left
+column): a :class:`~repro.runtime.executor.OpenCLWorkItemFunctions`
+context is the first argument, standing in for OpenCL C's global
+built-ins (``get_global_id``, ``get_group_id``, ``get_local_size``,
+``barrier(CLK_LOCAL_MEM_FENCE)``).  Keeping both dialects in the tree is
+the point of the case study: tests assert the two produce identical
+results, which is the "migration preserved semantics" property the paper
+takes for granted.
+"""
+
+from __future__ import annotations
+
+from .sycl_kernels import _is_mismatch, _pam_match, _MINUS, _PLUS
+
+
+def _atomic_inc(array, index=0):
+    """OpenCL ``atomic_inc``: increment and return the old value."""
+    old = array[index]
+    array[index] = old + 1
+    return old
+
+
+def finder(cl, chr, pat, pat_index, plen, scan_len, loci, flag,
+           entrycount, l_pat, l_pat_index):
+    """OpenCL search kernel (Table VI's ``finder``)."""
+    i = cl.get_global_id(0)
+    li = i - cl.get_group_id(0) * cl.get_local_size(0)
+    if li == 0:
+        for k in range(plen * 2):
+            l_pat[k] = pat[k]
+            l_pat_index[k] = pat_index[k]
+    yield cl.barrier(cl.CLK_LOCAL_MEM_FENCE)
+    if i < scan_len:
+        fwd_ok = True
+        for j in range(plen):
+            k = l_pat_index[j]
+            if k == -1:
+                break
+            if not _pam_match(l_pat[k], chr[i + k]):
+                fwd_ok = False
+                break
+        rev_ok = True
+        for j in range(plen):
+            k = l_pat_index[plen + j]
+            if k == -1:
+                break
+            if not _pam_match(l_pat[k + plen], chr[i + k]):
+                rev_ok = False
+                break
+        if fwd_ok or rev_ok:
+            if fwd_ok and rev_ok:
+                f = 0
+            elif fwd_ok:
+                f = 1
+            else:
+                f = 2
+            old = _atomic_inc(entrycount, 0)
+            loci[old] = i
+            flag[old] = f
+
+
+def comparer(cl, locicnts, chr, loci, mm_loci, comp, comp_index, plen,
+             threshold, flag, mm_count, direction, entrycount, l_comp,
+             l_comp_index):
+    """OpenCL compare kernel — the original of Listing 1."""
+    i = cl.get_global_id(0)
+    li = i - cl.get_group_id(0) * cl.get_local_size(0)
+    if li == 0:
+        for k in range(plen * 2):
+            l_comp[k] = comp[k]
+            l_comp_index[k] = comp_index[k]
+    yield cl.barrier(cl.CLK_LOCAL_MEM_FENCE)
+    if i < locicnts:
+        if flag[i] == 0 or flag[i] == 1:
+            lmm_count = 0
+            for j in range(plen):
+                k = l_comp_index[j]
+                if k == -1:
+                    break
+                if _is_mismatch(l_comp[k], chr[loci[i] + k]):
+                    lmm_count += 1
+                    if lmm_count > threshold:
+                        break
+            if lmm_count <= threshold:
+                old = _atomic_inc(entrycount, 0)
+                mm_count[old] = lmm_count
+                direction[old] = _PLUS
+                mm_loci[old] = loci[i]
+        if flag[i] == 0 or flag[i] == 2:
+            lmm_count = 0
+            for j in range(plen):
+                k = l_comp_index[plen + j]
+                if k == -1:
+                    break
+                if _is_mismatch(l_comp[k + plen], chr[loci[i] + k]):
+                    lmm_count += 1
+                    if lmm_count > threshold:
+                        break
+            if lmm_count <= threshold:
+                old = _atomic_inc(entrycount, 0)
+                mm_count[old] = lmm_count
+                direction[old] = _MINUS
+                mm_loci[old] = loci[i]

@@ -1,0 +1,76 @@
+"""Registry of comparer-kernel optimization variants (Section IV.B).
+
+Each :class:`KernelVariant` pairs the runnable kernel with the structural
+facts the device models need: whether pointer aliasing was removed
+(opt1), whether per-work-item global reads are register-cached (opt2),
+whether the local-memory fetch is cooperative (opt3) and whether
+local-memory pattern reads are register-cached (opt4).  The variants are
+cumulative, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import sycl_kernels
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One comparer variant and its codegen-relevant structure."""
+
+    name: str
+    description: str
+    restrict: bool
+    cache_global_reads: bool
+    cooperative_fetch: bool
+    cache_lds_reads: bool
+    kernel: Callable
+
+
+COMPARER_VARIANTS: Dict[str, KernelVariant] = {
+    "base": KernelVariant(
+        name="base",
+        description="Listing 1 as migrated: serial local fetch by "
+                    "work-item 0, repeated global and local reads",
+        restrict=False, cache_global_reads=False,
+        cooperative_fetch=False, cache_lds_reads=False,
+        kernel=sycl_kernels.comparer_base),
+    "opt1": KernelVariant(
+        name="opt1",
+        description="base + __restrict on every pointer argument",
+        restrict=True, cache_global_reads=False,
+        cooperative_fetch=False, cache_lds_reads=False,
+        kernel=sycl_kernels.comparer_opt1),
+    "opt2": KernelVariant(
+        name="opt2",
+        description="opt1 + register-cache loci[i] and flag[i]",
+        restrict=True, cache_global_reads=True,
+        cooperative_fetch=False, cache_lds_reads=False,
+        kernel=sycl_kernels.comparer_opt2),
+    "opt3": KernelVariant(
+        name="opt3",
+        description="opt2 + cooperative local-memory fetch by all "
+                    "work-items",
+        restrict=True, cache_global_reads=True,
+        cooperative_fetch=True, cache_lds_reads=False,
+        kernel=sycl_kernels.comparer_opt3),
+    "opt4": KernelVariant(
+        name="opt4",
+        description="opt3 + register-cache local-memory pattern reads",
+        restrict=True, cache_global_reads=True,
+        cooperative_fetch=True, cache_lds_reads=True,
+        kernel=sycl_kernels.comparer_opt4),
+}
+
+#: Paper order: base, opt1..opt4 (cumulative).
+VARIANT_ORDER: List[str] = ["base", "opt1", "opt2", "opt3", "opt4"]
+
+
+def get_variant(name: str) -> KernelVariant:
+    try:
+        return COMPARER_VARIANTS[name]
+    except KeyError:
+        raise KeyError(f"unknown comparer variant {name!r}; "
+                       f"choose from {VARIANT_ORDER}") from None

@@ -1,0 +1,24 @@
+"""Heterogeneous-runtime substrate: OpenCL-style and SYCL-style front-ends
+over a shared ND-range executor and abstract memory model.
+
+See :mod:`repro.runtime.opencl` (source model, 13 explicit steps) and
+:mod:`repro.runtime.sycl` (target model, 8 steps) — the migration the
+paper describes is between these two front-ends.
+"""
+
+from .device import ComputeDevice, make_devices, make_gpu_devices
+from .executor import (ExecutionStats, FenceSpace, GroupContext, LocalDecl,
+                       NDRangeExecutor, OpenCLWorkItemFunctions, WorkItem)
+from .launch import LaunchRecord
+from .memory import (AccessCounters, AccessMode, AddressSpace,
+                     DeviceAllocation, DeviceMemoryModel, LocalMemory,
+                     MemoryView)
+
+__all__ = [
+    "AccessCounters", "AccessMode", "AddressSpace", "ComputeDevice",
+    "DeviceAllocation", "DeviceMemoryModel", "ExecutionStats",
+    "FenceSpace", "GroupContext", "LaunchRecord", "LocalDecl",
+    "LocalMemory", "MemoryView", "NDRangeExecutor",
+    "OpenCLWorkItemFunctions", "WorkItem", "make_devices",
+    "make_gpu_devices",
+]

@@ -1,0 +1,67 @@
+"""Compute-device state shared by the OpenCL and SYCL front-ends.
+
+A :class:`ComputeDevice` pairs a static :class:`~repro.devices.specs.DeviceSpec`
+with live memory-model state.  Both front-ends wrap the same class so a
+test can, for example, run the OpenCL pipeline and the SYCL pipeline
+against distinct instances of the same modeled GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..devices.specs import ALL_DEVICES, DeviceSpec, PAPER_GPUS
+from .memory import DeviceMemoryModel
+
+
+class ComputeDevice:
+    """A compute device: static spec plus a live memory model."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self.memory = DeviceMemoryModel(spec.global_memory_bytes,
+                                        name=spec.short_name)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def short_name(self) -> str:
+        return self.spec.short_name
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.device_type == "gpu"
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.device_type == "cpu"
+
+    @property
+    def max_work_group_size(self) -> int:
+        return 1024 if self.is_gpu else 256
+
+    @property
+    def preferred_work_group_size(self) -> int:
+        """Work-group size an OpenCL runtime picks when the host passes NULL.
+
+        The paper's OpenCL application leaves the local work size to the
+        runtime; ROCm's OpenCL picks the wavefront size (64) for these
+        kernels, while the SYCL port pins 256.  This asymmetry is one
+        source of the Table VIII performance difference.
+        """
+        return self.spec.wavefront_size if self.is_gpu else 8
+
+    def __repr__(self) -> str:
+        return f"ComputeDevice({self.spec.short_name})"
+
+
+def make_devices(fresh_memory: bool = True) -> Dict[str, ComputeDevice]:
+    """Instantiate one :class:`ComputeDevice` per known spec."""
+    return {short: ComputeDevice(spec) for short, spec in ALL_DEVICES.items()}
+
+
+def make_gpu_devices() -> List[ComputeDevice]:
+    """Instantiate the paper's three evaluation GPUs, in Table VII order."""
+    return [ComputeDevice(spec) for spec in PAPER_GPUS.values()]

@@ -1,0 +1,144 @@
+"""Error types shared by the OpenCL-style and SYCL-style runtime models.
+
+The two API front-ends report failures differently, mirroring the real
+programming models the paper contrasts:
+
+* the OpenCL-style API (:mod:`repro.runtime.opencl`) returns / raises
+  :class:`CLError` values carrying a numeric status code, like the C API's
+  ``cl_int`` error codes;
+* the SYCL-style API (:mod:`repro.runtime.sycl`) raises
+  :class:`SYCLException` subclasses, like SYCL 2020's exception hierarchy.
+
+Both hierarchies derive from :class:`RuntimeModelError` so library code can
+catch runtime-model failures generically.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeModelError(Exception):
+    """Base class for every error raised by the runtime models."""
+
+
+# ---------------------------------------------------------------------------
+# OpenCL-style status codes (the subset the application exercises).
+# ---------------------------------------------------------------------------
+
+CL_SUCCESS = 0
+CL_DEVICE_NOT_FOUND = -1
+CL_OUT_OF_RESOURCES = -5
+CL_OUT_OF_HOST_MEMORY = -6
+CL_MEM_OBJECT_ALLOCATION_FAILURE = -4
+CL_INVALID_VALUE = -30
+CL_INVALID_BUFFER_SIZE = -61
+CL_INVALID_CONTEXT = -34
+CL_INVALID_COMMAND_QUEUE = -36
+CL_INVALID_MEM_OBJECT = -38
+CL_INVALID_PROGRAM = -44
+CL_INVALID_PROGRAM_EXECUTABLE = -45
+CL_INVALID_KERNEL_NAME = -46
+CL_INVALID_KERNEL = -48
+CL_INVALID_ARG_INDEX = -49
+CL_INVALID_ARG_VALUE = -50
+CL_INVALID_KERNEL_ARGS = -52
+CL_INVALID_WORK_DIMENSION = -53
+CL_INVALID_WORK_GROUP_SIZE = -54
+CL_INVALID_GLOBAL_OFFSET = -56
+CL_INVALID_EVENT = -58
+CL_INVALID_OPERATION = -59
+
+_CL_ERROR_NAMES = {
+    CL_SUCCESS: "CL_SUCCESS",
+    CL_DEVICE_NOT_FOUND: "CL_DEVICE_NOT_FOUND",
+    CL_OUT_OF_RESOURCES: "CL_OUT_OF_RESOURCES",
+    CL_OUT_OF_HOST_MEMORY: "CL_OUT_OF_HOST_MEMORY",
+    CL_MEM_OBJECT_ALLOCATION_FAILURE: "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+    CL_INVALID_VALUE: "CL_INVALID_VALUE",
+    CL_INVALID_BUFFER_SIZE: "CL_INVALID_BUFFER_SIZE",
+    CL_INVALID_CONTEXT: "CL_INVALID_CONTEXT",
+    CL_INVALID_COMMAND_QUEUE: "CL_INVALID_COMMAND_QUEUE",
+    CL_INVALID_MEM_OBJECT: "CL_INVALID_MEM_OBJECT",
+    CL_INVALID_PROGRAM: "CL_INVALID_PROGRAM",
+    CL_INVALID_PROGRAM_EXECUTABLE: "CL_INVALID_PROGRAM_EXECUTABLE",
+    CL_INVALID_KERNEL_NAME: "CL_INVALID_KERNEL_NAME",
+    CL_INVALID_KERNEL: "CL_INVALID_KERNEL",
+    CL_INVALID_ARG_INDEX: "CL_INVALID_ARG_INDEX",
+    CL_INVALID_ARG_VALUE: "CL_INVALID_ARG_VALUE",
+    CL_INVALID_KERNEL_ARGS: "CL_INVALID_KERNEL_ARGS",
+    CL_INVALID_WORK_DIMENSION: "CL_INVALID_WORK_DIMENSION",
+    CL_INVALID_WORK_GROUP_SIZE: "CL_INVALID_WORK_GROUP_SIZE",
+    CL_INVALID_GLOBAL_OFFSET: "CL_INVALID_GLOBAL_OFFSET",
+    CL_INVALID_EVENT: "CL_INVALID_EVENT",
+    CL_INVALID_OPERATION: "CL_INVALID_OPERATION",
+}
+
+
+def cl_error_name(code: int) -> str:
+    """Return the symbolic name of an OpenCL status code."""
+    return _CL_ERROR_NAMES.get(code, f"CL_UNKNOWN_ERROR({code})")
+
+
+class CLError(RuntimeModelError):
+    """An OpenCL-style failure carrying a numeric status code."""
+
+    def __init__(self, code: int, detail: str = ""):
+        self.code = code
+        self.detail = detail
+        message = cl_error_name(code)
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# SYCL-style exception hierarchy (SYCL 2020 errc categories).
+# ---------------------------------------------------------------------------
+
+
+class SYCLException(RuntimeModelError):
+    """Base class mirroring ``sycl::exception``."""
+
+
+class SYCLRuntimeError(SYCLException):
+    """Generic runtime failure (``errc::runtime``)."""
+
+
+class SYCLInvalidParameter(SYCLException):
+    """Bad argument to an API call (``errc::invalid``)."""
+
+
+class SYCLMemoryAllocationError(SYCLException):
+    """Buffer or allocation failure (``errc::memory_allocation``)."""
+
+
+class SYCLNDRangeError(SYCLException):
+    """Invalid ND-range configuration (``errc::nd_range``)."""
+
+
+class SYCLAccessorError(SYCLException):
+    """Illegal accessor construction or use (``errc::accessor``)."""
+
+
+class SYCLKernelError(SYCLException):
+    """Failure raised from inside a kernel function."""
+
+
+# ---------------------------------------------------------------------------
+# Executor-level errors shared by both front-ends.
+# ---------------------------------------------------------------------------
+
+
+class BarrierDivergenceError(RuntimeModelError):
+    """Work-items of one work-group disagreed about reaching a barrier.
+
+    Real GPUs hang or produce undefined behaviour here; the executor turns
+    the situation into a hard error so tests can assert on it.
+    """
+
+
+class AddressSpaceViolation(RuntimeModelError):
+    """A kernel accessed memory with the wrong access mode or address space."""
+
+
+class DeviceAllocationError(RuntimeModelError):
+    """The device memory model could not satisfy an allocation."""

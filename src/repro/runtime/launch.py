@@ -1,0 +1,60 @@
+"""Launch records: the common trace format both front-ends emit.
+
+Each kernel launch or host<->device transfer appends a
+:class:`LaunchRecord` to its queue.  The profiler
+(:mod:`repro.analysis.profiling`) aggregates these to reproduce the
+paper's hotspot analysis ("the compare kernel accounts for ~98 % of the
+total kernel execution time"), and the device timing model
+(:mod:`repro.devices.timing`) re-costs the same records on each modeled
+GPU to regenerate the elapsed-time tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .executor import ExecutionStats
+
+
+@dataclass
+class LaunchRecord:
+    """One traced command: a kernel launch or a buffer transfer."""
+
+    kind: str                      # "kernel" | "h2d" | "d2h"
+    name: str                      # kernel name or transfer direction
+    api: str                       # "opencl" | "sycl"
+    wall_time_s: float             # measured Python wall time
+    global_size: int = 0
+    local_size: int = 0
+    bytes_moved: int = 0
+    stats: Optional[ExecutionStats] = None
+    #: True when the runtime (not the host program) chose the work-group
+    #: size, as in the paper's OpenCL application.
+    runtime_chosen_wg: bool = False
+    #: Kernel variant label ("base", "opt1" ... "opt4") when applicable.
+    variant: str = "base"
+    #: Free-form counters the timing model consumes (e.g. candidate count,
+    #: average compare-loop trip count).
+    profile: dict = field(default_factory=dict)
+
+    @classmethod
+    def kernel(cls, name: str, global_size: int, local_size: int,
+               wall_time_s: float, stats: ExecutionStats, api: str,
+               runtime_chosen_wg: bool = False, variant: str = "base",
+               profile: Optional[dict] = None) -> "LaunchRecord":
+        return cls(kind="kernel", name=name, api=api,
+                   wall_time_s=wall_time_s, global_size=global_size,
+                   local_size=local_size, stats=stats,
+                   runtime_chosen_wg=runtime_chosen_wg, variant=variant,
+                   profile=profile or {})
+
+    @classmethod
+    def transfer(cls, direction: str, bytes_moved: int, wall_time_s: float,
+                 api: str) -> "LaunchRecord":
+        return cls(kind=direction, name=direction, api=api,
+                   wall_time_s=wall_time_s, bytes_moved=bytes_moved)
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.kind == "kernel"

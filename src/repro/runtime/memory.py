@@ -1,0 +1,319 @@
+"""Abstract device memory model (Figure 1 of the paper).
+
+The paper's Figure 1 shows the memory hierarchy a kernel executes against:
+a device **global** memory visible to all work-items, a read-only
+**constant** memory, a per-work-group **shared local** memory, and
+per-work-item **private** memory (registers).  This module models those
+address spaces for both API front-ends:
+
+* :class:`DeviceMemoryModel` tracks a device's global-memory capacity and
+  hands out :class:`DeviceAllocation` objects (the storage behind OpenCL
+  ``cl_mem`` objects and SYCL buffers);
+* :class:`MemoryView` wraps an allocation with an access mode so the
+  executor can enforce read/write permissions the way accessors do;
+* :class:`LocalMemory` models the per-work-group scratchpad, re-zeroed for
+  every work-group the way hardware LDS contents are undefined across
+  groups (we zero it to keep runs deterministic).
+
+All storage is numpy-backed so the vectorized kernel fast paths can operate
+on the raw arrays after their access modes have been checked once.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .errors import AddressSpaceViolation, DeviceAllocationError
+
+
+class AddressSpace(enum.Enum):
+    """The four address spaces of the abstract memory model."""
+
+    GLOBAL = "global"
+    CONSTANT = "constant"
+    LOCAL = "local"
+    PRIVATE = "private"
+
+
+class AccessMode(enum.Enum):
+    """How a kernel may touch an allocation (OpenCL flags / SYCL modes)."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    @property
+    def can_read(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READ_WRITE)
+
+    @property
+    def can_write(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READ_WRITE)
+
+
+@dataclass
+class AccessCounters:
+    """Traffic counters used by the profiler and the timing model."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def merge(self, other: "AccessCounters") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+_allocation_ids = itertools.count(1)
+
+
+class DeviceAllocation:
+    """A typed block of device memory in a given address space.
+
+    This is the storage object behind an OpenCL memory object or the device
+    side of a SYCL buffer.  It is created through
+    :meth:`DeviceMemoryModel.allocate` and must be released through
+    :meth:`DeviceMemoryModel.release` (the SYCL front-end does this from
+    buffer destructors; the OpenCL front-end requires an explicit call,
+    mirroring ``clReleaseMemObject``).
+    """
+
+    def __init__(self, model: "DeviceMemoryModel", array: np.ndarray,
+                 space: AddressSpace, name: str = ""):
+        self.id = next(_allocation_ids)
+        self.model = model
+        self.array = array
+        self.space = space
+        self.name = name or f"alloc{self.id}"
+        self.released = False
+        self.counters = AccessCounters()
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def size(self) -> int:
+        return self.array.size
+
+    def check_alive(self) -> None:
+        if self.released:
+            raise AddressSpaceViolation(
+                f"use of released allocation {self.name!r}")
+
+    def view(self, mode: AccessMode, offset: int = 0,
+             count: Optional[int] = None) -> "MemoryView":
+        """Return an access-checked view over ``[offset, offset+count)``."""
+        self.check_alive()
+        if self.space is AddressSpace.CONSTANT and mode.can_write:
+            raise AddressSpaceViolation(
+                f"write access requested on constant allocation {self.name!r}")
+        if count is None:
+            count = self.size - offset
+        if offset < 0 or count < 0 or offset + count > self.size:
+            raise AddressSpaceViolation(
+                f"range [{offset}, {offset + count}) outside allocation "
+                f"{self.name!r} of size {self.size}")
+        return MemoryView(self, mode, offset, count)
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "live"
+        return (f"DeviceAllocation({self.name!r}, {self.space.value}, "
+                f"{self.dtype}, n={self.size}, {state})")
+
+
+class MemoryView:
+    """An access-mode-enforcing window into a :class:`DeviceAllocation`.
+
+    Interpreted kernels index it element-wise; vectorized kernels call
+    :meth:`ndarray` once (which validates the mode and records the traffic
+    estimate) and then use numpy directly.
+    """
+
+    __slots__ = ("allocation", "mode", "offset", "count")
+
+    def __init__(self, allocation: DeviceAllocation, mode: AccessMode,
+                 offset: int, count: int):
+        self.allocation = allocation
+        self.mode = mode
+        self.offset = offset
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _read_checked(self):
+        if not self.mode.can_read:
+            raise AddressSpaceViolation(
+                f"read through write-only view of "
+                f"{self.allocation.name!r}")
+        self.allocation.check_alive()
+
+    def _write_checked(self):
+        if not self.mode.can_write:
+            raise AddressSpaceViolation(
+                f"write through read-only view of "
+                f"{self.allocation.name!r}")
+        self.allocation.check_alive()
+
+    def __getitem__(self, index):
+        self._read_checked()
+        counters = self.allocation.counters
+        counters.reads += 1
+        counters.bytes_read += self.allocation.array.itemsize
+        return self.allocation.array[self._translate(index)]
+
+    def __setitem__(self, index, value):
+        self._write_checked()
+        counters = self.allocation.counters
+        counters.writes += 1
+        counters.bytes_written += self.allocation.array.itemsize
+        self.allocation.array[self._translate(index)] = value
+
+    def _translate(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.count)
+            return slice(self.offset + start, self.offset + stop, step)
+        if index < 0 or index >= self.count:
+            raise AddressSpaceViolation(
+                f"index {index} outside view of length {self.count} on "
+                f"{self.allocation.name!r}")
+        return self.offset + index
+
+    def ndarray(self) -> np.ndarray:
+        """Return the raw numpy window (for vectorized kernels).
+
+        Read-only views return a non-writeable numpy view so accidental
+        writes still fail loudly.
+        """
+        self.allocation.check_alive()
+        window = self.allocation.array[self.offset:self.offset + self.count]
+        if not self.mode.can_write:
+            window = window.view()
+            window.flags.writeable = False
+        return window
+
+    def record_bulk_traffic(self, bytes_read: int = 0,
+                            bytes_written: int = 0) -> None:
+        """Account traffic produced by a vectorized kernel."""
+        counters = self.allocation.counters
+        counters.bytes_read += bytes_read
+        counters.bytes_written += bytes_written
+        if bytes_read:
+            counters.reads += max(1, bytes_read // self.allocation.array.itemsize)
+        if bytes_written:
+            counters.writes += max(
+                1, bytes_written // self.allocation.array.itemsize)
+
+
+class LocalMemory:
+    """Per-work-group shared local memory (LDS).
+
+    A kernel declares named local arrays (OpenCL ``__local`` arguments /
+    SYCL local accessors); the executor instantiates one :class:`LocalMemory`
+    per work-group and tears it down afterwards.  Capacity is enforced
+    against the device's per-work-group LDS limit.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def declare(self, name: str, dtype, count: int) -> np.ndarray:
+        if name in self.arrays:
+            raise DeviceAllocationError(
+                f"local array {name!r} declared twice in one work-group")
+        arr = np.zeros(count, dtype=dtype)
+        if self.used_bytes + arr.nbytes > self.capacity_bytes:
+            raise DeviceAllocationError(
+                f"local memory overflow: {self.used_bytes + arr.nbytes} B "
+                f"requested, capacity {self.capacity_bytes} B")
+        self.used_bytes += arr.nbytes
+        self.arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+
+class DeviceMemoryModel:
+    """Tracks global-memory capacity and live allocations for one device."""
+
+    def __init__(self, capacity_bytes: int, name: str = "device"):
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.used_bytes = 0
+        self.allocations: Dict[int, DeviceAllocation] = {}
+        self.peak_bytes = 0
+        self._lock = threading.Lock()
+
+    def allocate(self, shape_or_count, dtype,
+                 space: AddressSpace = AddressSpace.GLOBAL,
+                 initial: Optional[np.ndarray] = None,
+                 name: str = "") -> DeviceAllocation:
+        """Allocate device memory, optionally initialized from host data."""
+        if space is AddressSpace.LOCAL:
+            raise DeviceAllocationError(
+                "local memory is allocated per work-group, not per device; "
+                "use LocalMemory")
+        if initial is not None:
+            array = np.array(initial, dtype=dtype).ravel().copy()
+        else:
+            count = int(np.prod(shape_or_count))
+            if count < 0:
+                raise DeviceAllocationError(f"negative allocation size {count}")
+            array = np.zeros(count, dtype=dtype)
+        with self._lock:
+            if self.used_bytes + array.nbytes > self.capacity_bytes:
+                raise DeviceAllocationError(
+                    f"device {self.name!r} out of memory: "
+                    f"{array.nbytes} B requested, "
+                    f"{self.capacity_bytes - self.used_bytes} B free")
+            allocation = DeviceAllocation(self, array, space, name)
+            self.allocations[allocation.id] = allocation
+            self.used_bytes += array.nbytes
+            self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return allocation
+
+    def release(self, allocation: DeviceAllocation) -> None:
+        with self._lock:
+            if allocation.released:
+                raise DeviceAllocationError(
+                    f"double release of {allocation.name!r}")
+            allocation.released = True
+            del self.allocations[allocation.id]
+            self.used_bytes -= allocation.nbytes
+
+    @property
+    def live_allocation_count(self) -> int:
+        return len(self.allocations)
+
+    def leak_report(self) -> Tuple[int, int]:
+        """Return (live allocation count, live bytes) for leak checks."""
+        with self._lock:
+            return len(self.allocations), self.used_bytes
+
+    def __repr__(self) -> str:
+        return (f"DeviceMemoryModel({self.name!r}, "
+                f"used={self.used_bytes}/{self.capacity_bytes} B, "
+                f"live={len(self.allocations)})")

@@ -1,0 +1,20 @@
+"""OpenCL-style runtime model (the paper's source programming model).
+
+Two layers are exposed:
+
+* :mod:`repro.runtime.opencl.objects` — the object model (platforms,
+  devices, contexts, queues, memory objects, programs, kernels, events)
+  with explicit reference-counted lifetimes;
+* :mod:`repro.runtime.opencl.api` — C-flavoured ``cl*`` entry points over
+  the object model, matching the thirteen programming steps of Table I.
+"""
+
+from .api import *  # noqa: F401,F403
+from .api import __all__ as _api_all
+from .objects import (CommandQueue, Context, Device, Event, Platform,
+                      Program, get_platforms)
+
+__all__ = list(_api_all) + [
+    "CommandQueue", "Context", "Device", "Event", "Platform", "Program",
+    "get_platforms",
+]

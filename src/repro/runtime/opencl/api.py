@@ -1,0 +1,155 @@
+"""C-flavoured OpenCL entry points over the object model.
+
+These functions mirror the thirteen programming steps the paper counts for
+an OpenCL application (Table I): platform query, device query, context
+creation, command-queue creation, memory-object creation, program
+creation, program build, kernel creation, kernel-argument setup, kernel
+enqueue, device-to-host transfer, event handling and resource release.
+Each wrapper follows the C API's calling conventions as closely as Python
+allows — explicit error codes via :class:`~repro.runtime.errors.CLError`,
+explicit release calls — so :mod:`repro.analysis.productivity` can count
+the steps an application actually performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CL_DEVICE_NOT_FOUND, CLError
+from .objects import (CL_DEVICE_TYPE_ALL, CL_DEVICE_TYPE_CPU,
+                      CL_DEVICE_TYPE_GPU, CL_MEM_COPY_HOST_PTR,
+                      CL_MEM_READ_ONLY, CL_MEM_READ_WRITE,
+                      CL_MEM_WRITE_ONLY, CommandQueue, Context, Device,
+                      Event, Kernel, KernelDefinition, KernelParam,
+                      LocalArg, Mem, Platform, Program, get_platforms,
+                      wait_for_events)
+
+__all__ = [
+    "CL_DEVICE_TYPE_ALL", "CL_DEVICE_TYPE_CPU", "CL_DEVICE_TYPE_GPU",
+    "CL_MEM_COPY_HOST_PTR", "CL_MEM_READ_ONLY", "CL_MEM_READ_WRITE",
+    "CL_MEM_WRITE_ONLY",
+    "clGetPlatformIDs", "clGetDeviceIDs", "clCreateContext",
+    "clCreateCommandQueue", "clCreateBuffer", "clCreateProgram",
+    "clBuildProgram", "clCreateKernel", "clSetKernelArg",
+    "clEnqueueNDRangeKernel", "clEnqueueReadBuffer",
+    "clEnqueueWriteBuffer", "clWaitForEvents", "clFinish",
+    "clReleaseMemObject", "clReleaseKernel", "clReleaseProgram",
+    "clReleaseCommandQueue", "clReleaseContext",
+    "Kernel", "KernelDefinition", "KernelParam", "LocalArg", "Mem",
+]
+
+
+# Step 1: platform query.
+def clGetPlatformIDs(fresh: bool = False) -> List[Platform]:
+    platforms = get_platforms(fresh=fresh)
+    if not platforms:
+        raise CLError(CL_DEVICE_NOT_FOUND, "no platforms available")
+    return platforms
+
+
+# Step 2: device query of a platform.
+def clGetDeviceIDs(platform: Platform,
+                   device_type: str = CL_DEVICE_TYPE_ALL) -> List[Device]:
+    devices = platform.get_devices(device_type)
+    if not devices:
+        raise CLError(CL_DEVICE_NOT_FOUND,
+                      f"platform {platform.name!r} has no "
+                      f"{device_type!r} devices")
+    return devices
+
+
+# Step 3: create context for devices.
+def clCreateContext(devices: Sequence[Device]) -> Context:
+    return Context(devices)
+
+
+# Step 4: create command queue for context.
+def clCreateCommandQueue(context: Context, device: Device) -> CommandQueue:
+    return CommandQueue(context, device)
+
+
+# Step 5: create memory objects.
+def clCreateBuffer(context: Context, flags: int, size_bytes: int,
+                   host_ptr: Optional[np.ndarray] = None,
+                   name: str = "", dtype=None) -> Mem:
+    return Mem(context, flags, size_bytes, host_ptr, name, dtype)
+
+
+# Step 6: create program object.  (The C API compiles OpenCL C source; the
+# model registers Python kernel definitions instead.)
+def clCreateProgram(context: Context,
+                    kernels: Dict[str, KernelDefinition]) -> Program:
+    return Program(context, kernels)
+
+
+# Step 7: build a program.
+def clBuildProgram(program: Program, options: str = "") -> None:
+    program.build(options)
+
+
+# Step 8: create kernel(s).
+def clCreateKernel(program: Program, name: str) -> Kernel:
+    return program.create_kernel(name)
+
+
+# Step 9: set kernel arguments.
+def clSetKernelArg(kernel: Kernel, index: int, value) -> None:
+    kernel.set_arg(index, value)
+
+
+# Step 10: enqueue a kernel object for execution.
+def clEnqueueNDRangeKernel(queue: CommandQueue, kernel: Kernel,
+                           global_size: int,
+                           local_size: Optional[int] = None,
+                           vectorized: bool = False) -> Event:
+    return queue.enqueue_nd_range_kernel(kernel, global_size, local_size,
+                                         vectorized=vectorized)
+
+
+# Step 11: transfer data between device and host.
+def clEnqueueReadBuffer(queue: CommandQueue, mem: Mem, host: np.ndarray,
+                        offset_bytes: int = 0,
+                        size_bytes: Optional[int] = None,
+                        blocking: bool = True) -> Event:
+    return queue.enqueue_read_buffer(mem, host, offset_bytes, size_bytes,
+                                     blocking)
+
+
+def clEnqueueWriteBuffer(queue: CommandQueue, mem: Mem, host: np.ndarray,
+                         offset_bytes: int = 0,
+                         size_bytes: Optional[int] = None,
+                         blocking: bool = True) -> Event:
+    return queue.enqueue_write_buffer(mem, host, offset_bytes, size_bytes,
+                                      blocking)
+
+
+# Step 12: event handling.
+def clWaitForEvents(events: Sequence[Event]) -> None:
+    wait_for_events(events)
+
+
+def clFinish(queue: CommandQueue) -> None:
+    queue.finish()
+
+
+# Step 13: release resources — one call per object class, as in C.
+def clReleaseMemObject(mem: Mem) -> None:
+    mem.release()
+
+
+def clReleaseKernel(kernel: Kernel) -> None:
+    kernel.release()
+
+
+def clReleaseProgram(program: Program) -> None:
+    program.release()
+
+
+def clReleaseCommandQueue(queue: CommandQueue) -> None:
+    queue.release()
+
+
+def clReleaseContext(context: Context) -> None:
+    context.release()

@@ -1,0 +1,504 @@
+"""Object model behind the OpenCL-style API.
+
+These classes model the OpenCL runtime objects the paper's original
+application manages explicitly (Table I, left column): platforms, devices,
+contexts, command queues, memory objects, programs, kernels and events.
+The C-flavoured entry points in :mod:`repro.runtime.opencl.api` are thin
+wrappers over this object model; library code may use either layer.
+
+Resource lifetimes are explicit, exactly as in OpenCL: every object has a
+reference count and a ``release()`` method, and the memory model reports
+leaks for objects that were never released.  (The SYCL front-end, by
+contrast, ties lifetimes to Python object lifetimes — the migration the
+paper describes in Section III.A.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ...devices.specs import ALL_DEVICES, DeviceSpec, PAPER_GPUS
+from ..device import ComputeDevice
+from ..errors import (CL_INVALID_ARG_INDEX, CL_INVALID_ARG_VALUE,
+                      CL_INVALID_BUFFER_SIZE, CL_INVALID_CONTEXT,
+                      CL_INVALID_KERNEL_ARGS, CL_INVALID_KERNEL_NAME,
+                      CL_INVALID_MEM_OBJECT, CL_INVALID_OPERATION,
+                      CL_INVALID_PROGRAM_EXECUTABLE, CL_INVALID_VALUE,
+                      CL_INVALID_WORK_GROUP_SIZE, CLError)
+from ..executor import ExecutionStats, LocalDecl, NDRangeExecutor
+from ..launch import LaunchRecord
+from ..memory import (AccessMode, AddressSpace, DeviceAllocation,
+                      DeviceMemoryModel, MemoryView)
+
+# --- memory flags (subset of cl_mem_flags) ------------------------------
+
+CL_MEM_READ_WRITE = 1 << 0
+CL_MEM_WRITE_ONLY = 1 << 1
+CL_MEM_READ_ONLY = 1 << 2
+CL_MEM_COPY_HOST_PTR = 1 << 5
+
+_ACCESS_FOR_FLAGS = {
+    CL_MEM_READ_WRITE: AccessMode.READ_WRITE,
+    CL_MEM_WRITE_ONLY: AccessMode.WRITE,
+    CL_MEM_READ_ONLY: AccessMode.READ,
+}
+
+# --- device types --------------------------------------------------------
+
+CL_DEVICE_TYPE_GPU = "gpu"
+CL_DEVICE_TYPE_CPU = "cpu"
+CL_DEVICE_TYPE_ALL = "all"
+
+
+class _RefCounted:
+    """OpenCL-style explicit reference counting."""
+
+    def __init__(self):
+        self._refcount = 1
+
+    def retain(self) -> None:
+        if self._refcount <= 0:
+            raise CLError(CL_INVALID_OPERATION, "retain of released object")
+        self._refcount += 1
+
+    def release(self) -> None:
+        if self._refcount <= 0:
+            raise CLError(CL_INVALID_OPERATION, "double release")
+        self._refcount -= 1
+        if self._refcount == 0:
+            self._destroy()
+
+    @property
+    def alive(self) -> bool:
+        return self._refcount > 0
+
+    def _destroy(self) -> None:  # overridden where teardown matters
+        pass
+
+    def _check_alive(self, what: str, code: int) -> None:
+        if not self.alive:
+            raise CLError(code, f"use of released {what}")
+
+
+class Platform:
+    """An OpenCL platform: a vendor runtime exposing devices."""
+
+    def __init__(self, name: str, vendor: str, devices: List["Device"]):
+        self.name = name
+        self.vendor = vendor
+        self.version = "OpenCL 2.0 repro-sim"
+        self._devices = devices
+
+    def get_devices(self, device_type: str = CL_DEVICE_TYPE_ALL
+                    ) -> List["Device"]:
+        if device_type == CL_DEVICE_TYPE_ALL:
+            return list(self._devices)
+        return [d for d in self._devices if d.spec.device_type == device_type]
+
+    def __repr__(self) -> str:
+        return f"Platform({self.name!r}, devices={len(self._devices)})"
+
+
+class Device(ComputeDevice):
+    """An OpenCL device handle (shared :class:`ComputeDevice` state)."""
+
+    def __repr__(self) -> str:
+        return f"Device({self.spec.short_name})"
+
+
+_platform_cache: Optional[List[Platform]] = None
+
+
+def get_platforms(fresh: bool = False) -> List[Platform]:
+    """Model of ``clGetPlatformIDs``: one GPU platform + one CPU platform.
+
+    ``fresh=True`` rebuilds devices (and their memory models) from scratch,
+    which tests use for isolation.
+    """
+    global _platform_cache
+    if _platform_cache is None or fresh:
+        gpu_devices = [Device(spec) for spec in PAPER_GPUS.values()]
+        cpu_devices = [Device(ALL_DEVICES["CPU"])]
+        _platform_cache = [
+            Platform("AMD Accelerated Parallel Processing (model)",
+                     "Advanced Micro Devices, Inc.", gpu_devices),
+            Platform("Portable Computing Language (model)", "repro",
+                     cpu_devices),
+        ]
+    return _platform_cache
+
+
+class Context(_RefCounted):
+    """An OpenCL context over one or more devices."""
+
+    def __init__(self, devices: Sequence[Device]):
+        super().__init__()
+        if not devices:
+            raise CLError(CL_INVALID_VALUE, "context needs at least one device")
+        self.devices = list(devices)
+
+    @property
+    def device(self) -> Device:
+        return self.devices[0]
+
+
+class Mem(_RefCounted):
+    """An OpenCL memory object (``cl_mem``)."""
+
+    def __init__(self, context: Context, flags: int, size_bytes: int,
+                 host_ptr: Optional[np.ndarray] = None, name: str = "",
+                 dtype=None):
+        super().__init__()
+        context._check_alive("context", CL_INVALID_CONTEXT)
+        if size_bytes <= 0:
+            raise CLError(CL_INVALID_BUFFER_SIZE,
+                          f"buffer size {size_bytes} must be positive")
+        access = AccessMode.READ_WRITE
+        for flag, mode in _ACCESS_FOR_FLAGS.items():
+            if flags & flag:
+                access = mode
+        self.context = context
+        self.flags = flags
+        self.access = access
+        # OpenCL buffers are untyped bytes; the kernel's pointer type gives
+        # them meaning.  The model carries an element dtype (inferred from
+        # the host pointer, or given explicitly) so numpy kernels see
+        # correctly-typed arrays.
+        if dtype is None:
+            dtype = (np.uint8 if host_ptr is None
+                     else np.asarray(host_ptr).dtype)
+        if size_bytes % np.dtype(dtype).itemsize:
+            raise CLError(CL_INVALID_BUFFER_SIZE,
+                          f"size {size_bytes} B not a multiple of element "
+                          f"size {np.dtype(dtype).itemsize}")
+        count = (size_bytes // np.dtype(dtype).itemsize)
+        initial = None
+        if flags & CL_MEM_COPY_HOST_PTR:
+            if host_ptr is None:
+                raise CLError(CL_INVALID_VALUE,
+                              "CL_MEM_COPY_HOST_PTR without host pointer")
+            initial = np.asarray(host_ptr).ravel()[:count]
+        self.allocation: DeviceAllocation = context.device.memory.allocate(
+            count, dtype, AddressSpace.GLOBAL, initial=initial,
+            name=name or "cl_mem")
+        self.size_bytes = size_bytes
+
+    def device_view(self, mode: AccessMode) -> MemoryView:
+        """View for kernel execution, clamped to the buffer's access flags."""
+        self._check_alive("mem object", CL_INVALID_MEM_OBJECT)
+        if mode.can_write and not self.access.can_write:
+            mode = AccessMode.READ
+        if mode.can_read and not self.access.can_read:
+            mode = AccessMode.WRITE
+        return self.allocation.view(mode)
+
+    def _destroy(self) -> None:
+        self.context.device.memory.release(self.allocation)
+
+
+@dataclass
+class LocalArg:
+    """A ``clSetKernelArg(k, i, size, NULL)`` local-memory argument."""
+
+    dtype: object
+    count: int
+
+
+@dataclass
+class KernelParam:
+    """Declared parameter of a kernel: address space + access intent.
+
+    ``space``: "global", "constant", "local" or "scalar".
+    ``access``: "r", "w" or "rw" (ignored for scalars).
+    """
+
+    name: str
+    space: str
+    access: str = "rw"
+
+    def access_mode(self) -> AccessMode:
+        return {"r": AccessMode.READ, "w": AccessMode.WRITE,
+                "rw": AccessMode.READ_WRITE}[self.access]
+
+
+class Program(_RefCounted):
+    """An OpenCL program object holding named kernel functions.
+
+    Instead of OpenCL C source we register Python callables with declared
+    parameter lists (:class:`KernelParam`), which play the role of the
+    address-space qualifiers in Section III.E of the paper.
+    """
+
+    def __init__(self, context: Context,
+                 kernels: Dict[str, "KernelDefinition"]):
+        super().__init__()
+        self.context = context
+        self.kernels = dict(kernels)
+        self.built = False
+        self.build_options = ""
+
+    def build(self, options: str = "") -> None:
+        self._check_alive("program", CL_INVALID_PROGRAM_EXECUTABLE)
+        self.build_options = options
+        self.built = True
+
+    def create_kernel(self, name: str) -> "Kernel":
+        self._check_alive("program", CL_INVALID_PROGRAM_EXECUTABLE)
+        if not self.built:
+            raise CLError(CL_INVALID_PROGRAM_EXECUTABLE,
+                          f"program not built before creating kernel {name!r}")
+        if name not in self.kernels:
+            raise CLError(CL_INVALID_KERNEL_NAME,
+                          f"no kernel {name!r}; have {sorted(self.kernels)}")
+        return Kernel(self, name, self.kernels[name])
+
+
+@dataclass
+class KernelDefinition:
+    """A kernel function plus its parameter declarations."""
+
+    function: Callable
+    params: List[KernelParam]
+    #: Optional vectorized implementation (``GroupContext`` based).
+    vectorized: Optional[Callable] = None
+
+
+class Kernel(_RefCounted):
+    """An OpenCL kernel object with positional argument binding."""
+
+    def __init__(self, program: Program, name: str,
+                 definition: KernelDefinition):
+        super().__init__()
+        self.program = program
+        self.name = name
+        self.definition = definition
+        self._args: List = [None] * len(definition.params)
+        self._args_set = [False] * len(definition.params)
+
+    def set_arg(self, index: int, value) -> None:
+        """Model of ``clSetKernelArg``."""
+        self._check_alive("kernel", CL_INVALID_OPERATION)
+        if not 0 <= index < len(self.definition.params):
+            raise CLError(CL_INVALID_ARG_INDEX,
+                          f"kernel {self.name!r} has "
+                          f"{len(self.definition.params)} args, got index "
+                          f"{index}")
+        param = self.definition.params[index]
+        if param.space == "local":
+            if not isinstance(value, LocalArg):
+                raise CLError(CL_INVALID_ARG_VALUE,
+                              f"arg {index} ({param.name}) is __local; pass "
+                              "a LocalArg(dtype, count)")
+        elif param.space in ("global", "constant"):
+            if not isinstance(value, Mem):
+                raise CLError(CL_INVALID_ARG_VALUE,
+                              f"arg {index} ({param.name}) is a buffer "
+                              f"argument; got {type(value).__name__}")
+        else:  # scalar
+            if isinstance(value, (Mem, LocalArg)):
+                raise CLError(CL_INVALID_ARG_VALUE,
+                              f"arg {index} ({param.name}) is scalar")
+        self._args[index] = value
+        self._args_set[index] = True
+
+    def bound_arguments(self):
+        """Resolve bound args into executor inputs.
+
+        Returns ``(kernel_args, local_decls)`` where buffer args become
+        numpy windows with access enforcement and local args become
+        :class:`LocalDecl` entries appended in declaration order.
+        """
+        if not all(self._args_set):
+            missing = [p.name for p, s in
+                       zip(self.definition.params, self._args_set) if not s]
+            raise CLError(CL_INVALID_KERNEL_ARGS,
+                          f"kernel {self.name!r} args not set: {missing}")
+        kernel_args: List = []
+        local_decls: List[LocalDecl] = []
+        for param, value in zip(self.definition.params, self._args):
+            if param.space == "local":
+                local_decls.append(
+                    LocalDecl(param.name, value.dtype, value.count))
+            elif param.space in ("global", "constant"):
+                mode = (AccessMode.READ if param.space == "constant"
+                        else param.access_mode())
+                kernel_args.append(value.device_view(mode).ndarray())
+            else:
+                kernel_args.append(value)
+        return kernel_args, local_decls
+
+
+CL_COMMAND_NDRANGE_KERNEL = "ndrange_kernel"
+CL_COMMAND_READ_BUFFER = "read_buffer"
+CL_COMMAND_WRITE_BUFFER = "write_buffer"
+
+_event_ids = itertools.count(1)
+
+
+class Event:
+    """An OpenCL event with wall-clock profiling info."""
+
+    def __init__(self, command_type: str, start: float, end: float,
+                 stats: Optional[ExecutionStats] = None):
+        self.id = next(_event_ids)
+        self.command_type = command_type
+        self.profile_start = start
+        self.profile_end = end
+        self.stats = stats
+        self.complete = True
+
+    @property
+    def duration(self) -> float:
+        return self.profile_end - self.profile_start
+
+    def wait(self) -> None:
+        """In-order model queue: commands complete at enqueue time."""
+
+
+def wait_for_events(events: Sequence[Event]) -> None:
+    for event in events:
+        event.wait()
+
+
+class CommandQueue(_RefCounted):
+    """An in-order OpenCL command queue.
+
+    Every launch is recorded as a :class:`~repro.runtime.launch.LaunchRecord`
+    so the profiler (:mod:`repro.analysis.profiling`) and the device timing
+    model (:mod:`repro.devices.timing`) can reconstruct where time went.
+    """
+
+    def __init__(self, context: Context, device: Device,
+                 executor: Optional[NDRangeExecutor] = None):
+        super().__init__()
+        context._check_alive("context", CL_INVALID_CONTEXT)
+        if device not in context.devices:
+            raise CLError(CL_INVALID_VALUE,
+                          f"device {device!r} not in context")
+        self.context = context
+        self.device = device
+        self.executor = executor or NDRangeExecutor(
+            lds_capacity_bytes=device.spec.lds_per_cu_bytes)
+        self.launches: List[LaunchRecord] = []
+
+    # -- data movement --------------------------------------------------
+
+    def enqueue_write_buffer(self, mem: Mem, host: np.ndarray,
+                             offset_bytes: int = 0,
+                             size_bytes: Optional[int] = None,
+                             blocking: bool = True) -> Event:
+        """Model of ``clEnqueueWriteBuffer`` (host -> device)."""
+        mem._check_alive("mem object", CL_INVALID_MEM_OBJECT)
+        start = time.perf_counter()
+        host_flat = np.asarray(host).ravel()
+        itemsize = mem.allocation.array.itemsize
+        if offset_bytes % itemsize:
+            raise CLError(CL_INVALID_VALUE,
+                          f"offset {offset_bytes} not aligned to "
+                          f"element size {itemsize}")
+        if size_bytes is None:
+            size_bytes = host_flat.nbytes
+        count = size_bytes // itemsize
+        offset = offset_bytes // itemsize
+        view = mem.allocation.view(AccessMode.WRITE, offset, count)
+        target = mem.allocation.array
+        target[offset:offset + count] = host_flat[:count].view(
+            mem.allocation.array.dtype)
+        view.record_bulk_traffic(bytes_written=size_bytes)
+        end = time.perf_counter()
+        event = Event(CL_COMMAND_WRITE_BUFFER, start, end)
+        self.launches.append(LaunchRecord.transfer(
+            "h2d", size_bytes, end - start, api="opencl"))
+        return event
+
+    def enqueue_read_buffer(self, mem: Mem, host: np.ndarray,
+                            offset_bytes: int = 0,
+                            size_bytes: Optional[int] = None,
+                            blocking: bool = True) -> Event:
+        """Model of ``clEnqueueReadBuffer`` (device -> host)."""
+        mem._check_alive("mem object", CL_INVALID_MEM_OBJECT)
+        start = time.perf_counter()
+        host_flat = np.asarray(host).ravel()
+        itemsize = mem.allocation.array.itemsize
+        if offset_bytes % itemsize:
+            raise CLError(CL_INVALID_VALUE,
+                          f"offset {offset_bytes} not aligned to "
+                          f"element size {itemsize}")
+        if size_bytes is None:
+            size_bytes = min(host_flat.nbytes,
+                             mem.size_bytes - offset_bytes)
+        count = size_bytes // itemsize
+        offset = offset_bytes // itemsize
+        view = mem.allocation.view(AccessMode.READ, offset, count)
+        host_flat[:count] = view.ndarray().view(host_flat.dtype)[:count]
+        view.record_bulk_traffic(bytes_read=size_bytes)
+        end = time.perf_counter()
+        event = Event(CL_COMMAND_READ_BUFFER, start, end)
+        self.launches.append(LaunchRecord.transfer(
+            "d2h", size_bytes, end - start, api="opencl"))
+        return event
+
+    # -- kernel launch ----------------------------------------------------
+
+    def enqueue_nd_range_kernel(self, kernel: Kernel, global_size: int,
+                                local_size: Optional[int] = None,
+                                vectorized: bool = False) -> Event:
+        """Model of ``clEnqueueNDRangeKernel``.
+
+        Passing ``local_size=None`` lets the runtime choose the work-group
+        size (the paper's OpenCL application does this); the model uses the
+        device's preferred size, padding the global size up the way OpenCL
+        runtimes do for automatic local sizes.
+        """
+        kernel._check_alive("kernel", CL_INVALID_OPERATION)
+        runtime_chosen = local_size is None
+        if runtime_chosen:
+            # As real OpenCL runtimes do for a NULL local size, pick the
+            # largest size <= the device preference that divides the
+            # global size.
+            local_size = self.device.preferred_work_group_size
+            while local_size > 1 and global_size % local_size:
+                local_size //= 2
+            if global_size % local_size:
+                local_size = 1
+        if local_size > self.device.max_work_group_size:
+            raise CLError(CL_INVALID_WORK_GROUP_SIZE,
+                          f"work-group size {local_size} exceeds device "
+                          f"limit {self.device.max_work_group_size}")
+        if global_size % local_size:
+            raise CLError(CL_INVALID_WORK_GROUP_SIZE,
+                          f"local size {local_size} does not divide global "
+                          f"size {global_size}")
+        padded = global_size
+        kernel_args, local_decls = kernel.bound_arguments()
+        start = time.perf_counter()
+        fn = kernel.definition.function
+        if vectorized:
+            if kernel.definition.vectorized is None:
+                raise CLError(CL_INVALID_OPERATION,
+                              f"kernel {kernel.name!r} has no vectorized "
+                              "implementation")
+            stats = self.executor.run_vectorized(
+                kernel.definition.vectorized, padded, local_size,
+                kernel_args, local_decls, kernel_name=kernel.name)
+        else:
+            stats = self.executor.run(
+                fn, padded, local_size, kernel_args, local_decls,
+                kernel_name=kernel.name, opencl_style=True)
+        end = time.perf_counter()
+        event = Event(CL_COMMAND_NDRANGE_KERNEL, start, end, stats)
+        self.launches.append(LaunchRecord.kernel(
+            kernel.name, padded, local_size, end - start, stats,
+            api="opencl", runtime_chosen_wg=runtime_chosen))
+        return event
+
+    def finish(self) -> None:
+        """In-order model queue: nothing outstanding."""
+
+    def flush(self) -> None:
+        """In-order model queue: nothing outstanding."""

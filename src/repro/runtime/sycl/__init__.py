@@ -1,0 +1,36 @@
+"""SYCL-style runtime model (the paper's target programming model).
+
+The eight programming steps of Table I map onto:
+
+1–3. :func:`device selectors <repro.runtime.sycl.device.default_selector>`
+4.   :class:`~repro.runtime.sycl.queue.Queue`
+5.   :class:`~repro.runtime.sycl.buffer.Buffer`
+8–10. lambda kernels via :meth:`Handler.parallel_for
+      <repro.runtime.sycl.queue.Handler.parallel_for>`
+11.  implicit via accessors (or explicit :meth:`Handler.copy`)
+12.  :class:`~repro.runtime.sycl.queue.SyclEvent`
+13.  implicit via buffer destruction (``close()`` / ``with`` blocks)
+"""
+
+from .accessor import (Accessor, HostAccessor, LocalAccessor,
+                       TARGET_CONSTANT, TARGET_DEVICE, TARGET_LOCAL,
+                       sycl_lmem, sycl_read, sycl_read_write, sycl_write)
+from .atomic import AtomicRef, atomic_inc
+from .buffer import Buffer
+from .device import (SyclDevice, cpu_selector, default_selector,
+                     get_devices, gpu_selector, named_selector,
+                     select_device)
+from .queue import Handler, Queue, SyclEvent
+from .ranges import Id, NdRange, Range
+from .usm import (UsmKind, UsmPointer, free, malloc_device, malloc_host,
+                  malloc_shared)
+
+__all__ = [
+    "Accessor", "AtomicRef", "Buffer", "Handler", "HostAccessor", "Id",
+    "LocalAccessor", "NdRange", "Queue", "Range", "SyclDevice",
+    "SyclEvent", "TARGET_CONSTANT", "TARGET_DEVICE", "TARGET_LOCAL",
+    "atomic_inc", "cpu_selector", "default_selector", "get_devices",
+    "UsmKind", "UsmPointer", "free", "gpu_selector", "malloc_device",
+    "malloc_host", "malloc_shared", "named_selector", "select_device",
+    "sycl_lmem", "sycl_read", "sycl_read_write", "sycl_write",
+]

@@ -1,0 +1,171 @@
+"""SYCL accessors: how kernels see buffer and local memory (Section III.A).
+
+Accessors carry three facts the paper keeps stressing: *where* the data
+lives (the access **target**: device global memory, constant memory, or
+work-group local memory), *how* it may be touched (the access **mode**),
+and *which part* is visible (a ranged accessor's offset + count, used by
+the Table III data-movement path).
+
+Short names match the paper's usage: ``sycl_read``, ``sycl_write``,
+``sycl_read_write``, ``sycl_lmem`` and ``constant_buffer``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SYCLAccessorError
+from ..memory import AccessMode, MemoryView
+
+# Access modes, with the paper's short names.
+sycl_read = AccessMode.READ
+sycl_write = AccessMode.WRITE
+sycl_read_write = AccessMode.READ_WRITE
+
+# Access targets.
+TARGET_DEVICE = "device"
+TARGET_CONSTANT = "constant_buffer"
+TARGET_LOCAL = "local"
+sycl_lmem = TARGET_LOCAL
+
+
+class Accessor:
+    """A requirement on a buffer, resolved to device memory at submit time.
+
+    Created through :meth:`repro.runtime.sycl.buffer.Buffer.get_access`
+    inside a command group.  After the handler binds it to the queue's
+    device, :attr:`data` is the mode-enforced numpy window kernels read
+    and write.
+    """
+
+    def __init__(self, buffer, mode: AccessMode, target: str = TARGET_DEVICE,
+                 count: Optional[int] = None, offset: int = 0):
+        if target not in (TARGET_DEVICE, TARGET_CONSTANT):
+            raise SYCLAccessorError(
+                f"buffer accessors target device or constant_buffer memory, "
+                f"got {target!r}")
+        if target == TARGET_CONSTANT and mode is not sycl_read:
+            raise SYCLAccessorError(
+                "constant_buffer accessors must be read-only")
+        if offset < 0:
+            raise SYCLAccessorError(f"negative accessor offset {offset}")
+        self.buffer = buffer
+        self.mode = mode
+        self.target = target
+        self.offset = offset
+        self.count = count if count is not None else buffer.count - offset
+        if self.offset + self.count > buffer.count:
+            raise SYCLAccessorError(
+                f"accessor range [{offset}, {offset + self.count}) exceeds "
+                f"buffer of {buffer.count} elements")
+        self._view: Optional[MemoryView] = None
+
+    # -- binding (done by the handler at submit time) -------------------
+
+    def _bind(self, device) -> None:
+        allocation = self.buffer._ensure_resident(device)
+        self._view = allocation.view(self.mode, self.offset, self.count)
+        if self.mode.can_write:
+            self.buffer._mark_device_dirty(device)
+
+    @property
+    def bound(self) -> bool:
+        return self._view is not None
+
+    def _require_bound(self) -> MemoryView:
+        if self._view is None:
+            raise SYCLAccessorError(
+                "accessor used outside a command group (not bound to a "
+                "device); create it via buffer.get_access(handler, ...)")
+        return self._view
+
+    # -- kernel-visible interface ---------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index):
+        return self._require_bound()[index]
+
+    def __setitem__(self, index, value):
+        self._require_bound()[index] = value
+
+    @property
+    def data(self) -> np.ndarray:
+        """Raw numpy window (read-only for read accessors)."""
+        return self._require_bound().ndarray()
+
+    def get_range(self) -> int:
+        return self.count
+
+    def get_offset(self) -> int:
+        return self.offset
+
+    def __repr__(self) -> str:
+        state = "bound" if self.bound else "unbound"
+        return (f"Accessor({self.buffer.name!r}, {self.mode.value}, "
+                f"{self.target}, [{self.offset}:{self.offset + self.count}], "
+                f"{state})")
+
+
+class LocalAccessor:
+    """A work-group local array requirement (``sycl_lmem`` in the paper).
+
+    The executor materializes one array per work-group; kernels receive it
+    as a positional argument after the buffer arguments, in the order the
+    local accessors were created — the same convention the paper's SYCL
+    ``finder``/``comparer`` wrappers use (Table VI).
+    """
+
+    _counter = 0
+
+    def __init__(self, dtype, count: int, handler=None, name: str = ""):
+        if count <= 0:
+            raise SYCLAccessorError(
+                f"local accessor needs a positive element count, got {count}")
+        self.dtype = np.dtype(dtype)
+        self.count = int(count)
+        LocalAccessor._counter += 1
+        self.name = name or f"local{LocalAccessor._counter}"
+        if handler is not None:
+            handler.require_local(self)
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"LocalAccessor({self.name!r}, {self.dtype}, n={self.count})"
+
+
+class HostAccessor:
+    """Host-side access to a buffer (blocks until the device is done)."""
+
+    def __init__(self, buffer, mode: AccessMode = sycl_read_write):
+        self.buffer = buffer
+        self.mode = mode
+        self._array = buffer._host_synchronized_array(mode)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __getitem__(self, index):
+        if not self.mode.can_read:
+            raise SYCLAccessorError("read through write-only host accessor")
+        return self._array[index]
+
+    def __setitem__(self, index, value):
+        if not self.mode.can_write:
+            raise SYCLAccessorError("write through read-only host accessor")
+        self._array[index] = value
+        self.buffer._mark_host_dirty()
+
+    @property
+    def data(self) -> np.ndarray:
+        arr = self._array
+        if not self.mode.can_write:
+            arr = arr.view()
+            arr.flags.writeable = False
+        return arr

@@ -1,0 +1,195 @@
+"""SYCL buffers (Section III.A and Table II of the paper).
+
+A :class:`Buffer` is the SYCL-side replacement for an OpenCL memory
+object.  The migration-relevant semantics the paper describes are all
+modeled:
+
+* construction from a size alone (``buffer<T, 1> d(WS)``) or from a host
+  pointer (``buffer<T, 1> d(h, WS)``), in which case the buffer owns the
+  host memory for its lifetime and writes changes back on destruction;
+* no explicit release: destruction (here ``close()``, a ``with`` block,
+  or garbage collection) waits for outstanding work and copies the
+  content back to host memory if needed;
+* construction failures surface as exceptions
+  (:class:`~repro.runtime.errors.SYCLMemoryAllocationError`), not error
+  codes.
+
+Device residency is lazy: the first accessor bound on a queue's device
+allocates device memory there and uploads the authoritative content.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..device import ComputeDevice
+from ..errors import SYCLInvalidParameter, SYCLMemoryAllocationError
+from ..memory import AccessMode, AddressSpace, DeviceAllocation
+from .accessor import (Accessor, HostAccessor, TARGET_DEVICE, sycl_read,
+                       sycl_read_write)
+
+_buffer_ids = itertools.count(1)
+
+
+class Buffer:
+    """A 1-D SYCL buffer over a trivially-copyable element type."""
+
+    def __init__(self, host_data: Optional[np.ndarray] = None, *,
+                 count: Optional[int] = None, dtype=None, name: str = "",
+                 write_back: bool = True):
+        self.id = next(_buffer_ids)
+        self.name = name or f"buffer{self.id}"
+        if host_data is not None:
+            host_data = np.asarray(host_data)
+            if host_data.ndim != 1:
+                raise SYCLInvalidParameter(
+                    f"buffer {self.name!r}: host data must be 1-D, got "
+                    f"shape {host_data.shape}")
+            if dtype is not None and np.dtype(dtype) != host_data.dtype:
+                raise SYCLInvalidParameter(
+                    f"buffer {self.name!r}: dtype {dtype!r} disagrees with "
+                    f"host data dtype {host_data.dtype}")
+            if count is not None and count != host_data.size:
+                raise SYCLInvalidParameter(
+                    f"buffer {self.name!r}: count {count} disagrees with "
+                    f"host data size {host_data.size}")
+            self.dtype = host_data.dtype
+            self.count = host_data.size
+            self._host_data: Optional[np.ndarray] = host_data
+            # SYCL takes ownership of the host memory for the buffer's
+            # lifetime; the model keeps a private working copy and only
+            # touches the caller's array again at write-back.
+            self._shadow = host_data.copy()
+        else:
+            if count is None or dtype is None:
+                raise SYCLInvalidParameter(
+                    f"buffer {self.name!r}: need count and dtype when no "
+                    "host data is given")
+            if count <= 0:
+                raise SYCLMemoryAllocationError(
+                    f"buffer {self.name!r}: element count {count} must be "
+                    "positive")
+            self.dtype = np.dtype(dtype)
+            self.count = int(count)
+            self._host_data = None
+            self._shadow = np.zeros(self.count, dtype=self.dtype)
+        self.write_back = write_back and self._host_data is not None
+        self.closed = False
+        self._device_copies: Dict[int, DeviceAllocation] = {}
+        self._devices: Dict[int, ComputeDevice] = {}
+        #: id(device) whose copy is authoritative, or None for host.
+        self._authoritative: Optional[int] = None
+        self._any_device_write = False
+        self._any_host_write = False
+
+    # -- lifetime --------------------------------------------------------
+
+    def close(self) -> None:
+        """Destroy the buffer: write back to host memory, free device copies.
+
+        Idempotent, like running a SYCL buffer destructor exactly once.
+        """
+        if self.closed:
+            return
+        if self.write_back and (self._any_device_write
+                                or self._any_host_write):
+            self._sync_to_shadow()
+            self._host_data[...] = self._shadow
+        for dev_id, allocation in list(self._device_copies.items()):
+            self._devices[dev_id].memory.release(allocation)
+        self._device_copies.clear()
+        self._devices.clear()
+        self.closed = True
+
+    def set_write_back(self, flag: bool) -> None:
+        """Model of ``buffer::set_write_back``."""
+        self.write_back = flag and self._host_data is not None
+
+    def __enter__(self) -> "Buffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown; nothing sensible to do
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SYCLInvalidParameter(
+                f"buffer {self.name!r} used after destruction")
+
+    # -- accessor factories ----------------------------------------------
+
+    def get_access(self, handler, mode: AccessMode = sycl_read_write,
+                   target: str = TARGET_DEVICE,
+                   count: Optional[int] = None, offset: int = 0) -> Accessor:
+        """Create a (ranged) device accessor inside a command group."""
+        self._check_open()
+        accessor = Accessor(self, mode, target, count, offset)
+        handler.require(accessor)
+        return accessor
+
+    def get_host_access(self, mode: AccessMode = sycl_read) -> HostAccessor:
+        """Create a host accessor (synchronizes device -> host)."""
+        self._check_open()
+        return HostAccessor(self, mode)
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.dtype.itemsize
+
+    def get_range(self) -> int:
+        return self.count
+
+    # -- residency & coherence (internal; used by accessors/handlers) ----
+
+    def _ensure_resident(self, device: ComputeDevice) -> DeviceAllocation:
+        self._check_open()
+        key = id(device)
+        allocation = self._device_copies.get(key)
+        if allocation is None:
+            self._sync_to_shadow()
+            allocation = device.memory.allocate(
+                self.count, self.dtype, AddressSpace.GLOBAL,
+                initial=self._shadow, name=self.name)
+            self._device_copies[key] = allocation
+            self._devices[key] = device
+        elif self._authoritative is not None and self._authoritative != key:
+            # Another device holds the newest content: route through host.
+            self._sync_to_shadow()
+            allocation.array[...] = self._shadow
+        elif self._authoritative is None:
+            allocation.array[...] = self._shadow
+        return allocation
+
+    def _mark_device_dirty(self, device: ComputeDevice) -> None:
+        self._authoritative = id(device)
+        self._any_device_write = True
+
+    def _mark_host_dirty(self) -> None:
+        self._authoritative = None
+        self._any_host_write = True
+
+    def _sync_to_shadow(self) -> None:
+        """Pull the authoritative device copy into the host shadow."""
+        if self._authoritative is not None:
+            allocation = self._device_copies[self._authoritative]
+            self._shadow[...] = allocation.array
+            self._authoritative = None
+
+    def _host_synchronized_array(self, mode: AccessMode) -> np.ndarray:
+        self._check_open()
+        self._sync_to_shadow()
+        return self._shadow
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"Buffer({self.name!r}, {self.dtype}, n={self.count}, "
+                f"{state}, devices={len(self._device_copies)})")

@@ -1,0 +1,94 @@
+"""SYCL device discovery and selection (Table I, steps 1–3 → one class).
+
+SYCL collapses OpenCL's platform query / device query / context creation
+into a *device selector*: a callable that scores candidate devices, the
+highest score winning.  :func:`default_selector`, :func:`gpu_selector`
+and :func:`cpu_selector` reproduce the standard selectors; arbitrary
+callables work too, mirroring SYCL 2020's callable selectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ...devices.specs import ALL_DEVICES, DeviceSpec
+from ..device import ComputeDevice
+from ..errors import SYCLRuntimeError
+
+
+class SyclDevice(ComputeDevice):
+    """A SYCL device handle (shared :class:`ComputeDevice` state)."""
+
+    def __repr__(self) -> str:
+        return f"SyclDevice({self.spec.short_name})"
+
+
+_device_cache: Optional[List[SyclDevice]] = None
+
+
+def get_devices(fresh: bool = False) -> List[SyclDevice]:
+    """All devices visible to the SYCL runtime model."""
+    global _device_cache
+    if _device_cache is None or fresh:
+        _device_cache = [SyclDevice(spec) for spec in ALL_DEVICES.values()]
+    return _device_cache
+
+
+Selector = Callable[[SyclDevice], int]
+
+
+def default_selector(device: SyclDevice) -> int:
+    """Prefer GPUs over CPUs, larger devices over smaller ones."""
+    score = 1000 if device.is_gpu else 100
+    return score + device.spec.cores // 64
+
+
+def gpu_selector(device: SyclDevice) -> int:
+    """Accept only GPUs (negative score rejects a device)."""
+    return 1000 + device.spec.cores // 64 if device.is_gpu else -1
+
+
+def cpu_selector(device: SyclDevice) -> int:
+    return 1000 if device.is_cpu else -1
+
+
+def named_selector(short_name: str) -> Selector:
+    """Selector accepting exactly one device by short name."""
+
+    def select(device: SyclDevice) -> int:
+        return 1000 if device.short_name == short_name else -1
+
+    select.__name__ = f"named_selector[{short_name}]"
+    return select
+
+
+def select_device(selector: Union[Selector, str, SyclDevice, None] = None,
+                  devices: Optional[List[SyclDevice]] = None) -> SyclDevice:
+    """Run a selector over the visible devices, as ``sycl::queue`` does.
+
+    ``selector`` may be a callable, a device short name (``"MI100"``), an
+    already-constructed device, or ``None`` for the default selector.
+    """
+    if isinstance(selector, SyclDevice):
+        return selector
+    if isinstance(selector, ComputeDevice):
+        # Allow sharing a device instance across front-ends.
+        shared = SyclDevice(selector.spec)
+        shared.memory = selector.memory
+        return shared
+    if selector is None:
+        selector = default_selector
+    elif isinstance(selector, str):
+        selector = named_selector(selector)
+    candidates = devices if devices is not None else get_devices()
+    best: Optional[SyclDevice] = None
+    best_score = -1
+    for device in candidates:
+        score = selector(device)
+        if score > best_score:
+            best, best_score = device, score
+    if best is None or best_score < 0:
+        raise SYCLRuntimeError(
+            f"no device accepted by selector "
+            f"{getattr(selector, '__name__', selector)!r}")
+    return best

@@ -1,0 +1,269 @@
+"""SYCL queue, command-group handler and event (Tables I, III and VI).
+
+``Queue.submit`` takes a *command group function* — the Python analog of
+the lambda the paper submits — runs it against a fresh :class:`Handler`,
+and executes the single command the group recorded (a ``parallel_for``
+launch or a ``copy``).  The model queue is in-order and synchronous, so
+``Event.wait()`` and ``Queue.wait()`` return immediately, but the code
+shape (submit → handler → wait) matches the migration examples exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..device import ComputeDevice
+from ..errors import SYCLInvalidParameter, SYCLRuntimeError
+from ..executor import ExecutionStats, LocalDecl, NDRangeExecutor
+from ..launch import LaunchRecord
+from ..memory import AccessMode
+from .accessor import Accessor, LocalAccessor
+from .device import SyclDevice, select_device
+from .ranges import NdRange, Range
+from .usm import UsmPointer, resolve_copy_operand
+
+
+class SyclEvent:
+    """Model of ``sycl::event`` with profiling info."""
+
+    def __init__(self, command: str, start: float, end: float,
+                 stats: Optional[ExecutionStats] = None):
+        self.command = command
+        self._start = start
+        self._end = end
+        self.stats = stats
+
+    def wait(self) -> "SyclEvent":
+        return self
+
+    def get_profiling_info(self, which: str) -> float:
+        if which == "command_start":
+            return self._start
+        if which == "command_end":
+            return self._end
+        raise SYCLInvalidParameter(f"unknown profiling descriptor {which!r}")
+
+    @property
+    def duration(self) -> float:
+        return self._end - self._start
+
+
+class Handler:
+    """The command-group handler (``cgh`` in the paper's listings)."""
+
+    def __init__(self, queue: "Queue"):
+        self.queue = queue
+        self._accessors: List[Accessor] = []
+        self._locals: List[LocalAccessor] = []
+        self._command: Optional[Callable[[], SyclEvent]] = None
+
+    # -- requirements ---------------------------------------------------
+
+    def require(self, accessor: Accessor) -> None:
+        """Register a buffer requirement (done by ``get_access``)."""
+        self._accessors.append(accessor)
+        accessor._bind(self.queue.device)
+
+    def require_local(self, local: LocalAccessor) -> None:
+        self._locals.append(local)
+
+    # -- commands ---------------------------------------------------------
+
+    def parallel_for(self, nd_range: NdRange, kernel: Callable,
+                     args: Sequence = (), vectorized: bool = False,
+                     kernel_name: str = "", variant: str = "base",
+                     profile: Optional[dict] = None) -> None:
+        """Record an ND-range kernel launch.
+
+        ``args`` may mix scalars, bound :class:`Accessor` objects and
+        :class:`LocalAccessor` objects; accessors resolve to their numpy
+        windows and local accessors to per-work-group arrays appended in
+        declaration order, matching the call shape of Table VI where the
+        lambda passes the accessors into the ``finder`` function.
+        """
+        if self._command is not None:
+            raise SYCLRuntimeError(
+                "a command group may contain at most one command")
+        if nd_range.dimensions != 1:
+            raise SYCLInvalidParameter(
+                "the executor models 1-D ND-ranges only")
+        global_size = nd_range.get_global_range().get(0)
+        local_size = nd_range.get_local_range().get(0)
+        resolved: List = []
+        local_decls: List[LocalDecl] = []
+        for arg in args:
+            if isinstance(arg, Accessor):
+                resolved.append(arg.data)
+            elif isinstance(arg, UsmPointer):
+                resolved.append(arg.data)
+            elif isinstance(arg, LocalAccessor):
+                if arg not in self._locals:
+                    self.require_local(arg)
+                local_decls.append(LocalDecl(arg.name, arg.dtype, arg.count))
+            else:
+                resolved.append(arg)
+        name = kernel_name or getattr(kernel, "__name__", "kernel")
+
+        def run() -> SyclEvent:
+            start = time.perf_counter()
+            if vectorized:
+                stats = self.queue.executor.run_vectorized(
+                    kernel, global_size, local_size, resolved, local_decls,
+                    kernel_name=name)
+            else:
+                stats = self.queue.executor.run(
+                    kernel, global_size, local_size, resolved, local_decls,
+                    kernel_name=name, opencl_style=False)
+            end = time.perf_counter()
+            self.queue.launches.append(LaunchRecord.kernel(
+                name, global_size, local_size, end - start, stats,
+                api="sycl", variant=variant, profile=profile))
+            return SyclEvent("parallel_for", start, end, stats)
+
+        self._command = run
+
+    def single_task(self, kernel: Callable, args: Sequence = ()) -> None:
+        """Record a single-work-item launch."""
+
+        def wrapped(item, *a):
+            kernel(*a)
+
+        wrapped.__name__ = getattr(kernel, "__name__", "single_task")
+        self.parallel_for(NdRange(Range(1), Range(1)), wrapped, args)
+
+    def copy(self, src, dst) -> None:
+        """Record a copy command (Table III's migration path).
+
+        Either ``src`` is an accessor and ``dst`` a host array (device →
+        host read) or ``src`` is a host array and ``dst`` an accessor
+        (host → device write).
+        """
+        if self._command is not None:
+            raise SYCLRuntimeError(
+                "a command group may contain at most one command")
+        if isinstance(src, Accessor) and not isinstance(dst, Accessor):
+            direction, accessor, host = "d2h", src, np.asarray(dst)
+            if not accessor.mode.can_read:
+                raise SYCLInvalidParameter(
+                    "copy(accessor, host) needs a readable accessor")
+        elif isinstance(dst, Accessor) and not isinstance(src, Accessor):
+            direction, accessor, host = "h2d", dst, np.asarray(src)
+            if not accessor.mode.can_write:
+                raise SYCLInvalidParameter(
+                    "copy(host, accessor) needs a writable accessor")
+        else:
+            raise SYCLInvalidParameter(
+                "copy expects exactly one accessor and one host array")
+        if host.size < accessor.count:
+            raise SYCLInvalidParameter(
+                f"host array of {host.size} elements cannot back an "
+                f"accessor range of {accessor.count}")
+
+        def run() -> SyclEvent:
+            start = time.perf_counter()
+            nbytes = accessor.count * accessor.buffer.dtype.itemsize
+            if direction == "d2h":
+                flat = host.ravel()
+                flat[:accessor.count] = accessor.data
+                view = accessor._require_bound()
+                view.record_bulk_traffic(bytes_read=nbytes)
+            else:
+                window = accessor._require_bound()
+                window.ndarray()[...] = host.ravel()[:accessor.count]
+                window.record_bulk_traffic(bytes_written=nbytes)
+            end = time.perf_counter()
+            self.queue.launches.append(LaunchRecord.transfer(
+                direction, nbytes, end - start, api="sycl"))
+            return SyclEvent(f"copy_{direction}", start, end)
+
+        self._command = run
+
+    def _execute(self) -> SyclEvent:
+        if self._command is None:
+            start = end = time.perf_counter()
+            return SyclEvent("empty", start, end)
+        return self._command()
+
+
+class Queue:
+    """Model of ``sycl::queue``: device selection + command submission."""
+
+    def __init__(self, selector=None,
+                 executor: Optional[NDRangeExecutor] = None):
+        self.device: SyclDevice = select_device(selector)
+        self.executor = executor or NDRangeExecutor(
+            lds_capacity_bytes=self.device.spec.lds_per_cu_bytes)
+        self.launches: List[LaunchRecord] = []
+
+    def submit(self, command_group: Callable[[Handler], None]) -> SyclEvent:
+        handler = Handler(self)
+        command_group(handler)
+        return handler._execute()
+
+    def wait(self) -> None:
+        """In-order synchronous model: nothing outstanding."""
+
+    def get_device(self) -> SyclDevice:
+        return self.device
+
+    # -- USM operations (pointer-based model, Section III.A) ----------
+
+    def memcpy(self, dst, src, count: Optional[int] = None) -> SyclEvent:
+        """Pointer-based copy between USM pointers and host arrays."""
+        start = time.perf_counter()
+        dst_arr = resolve_copy_operand(dst, writing=True).ravel()
+        src_arr = resolve_copy_operand(src, writing=False).ravel()
+        if count is None:
+            count = min(dst_arr.size, src_arr.size)
+        if count > dst_arr.size or count > src_arr.size:
+            raise SYCLInvalidParameter(
+                f"memcpy of {count} elements exceeds an operand")
+        dst_arr[:count] = src_arr[:count]
+        end = time.perf_counter()
+        nbytes = int(count) * dst_arr.itemsize
+        direction = "h2d" if isinstance(dst, UsmPointer) else "d2h"
+        self.launches.append(LaunchRecord.transfer(
+            direction, nbytes, end - start, api="sycl"))
+        return SyclEvent("memcpy", start, end)
+
+    def memset(self, dst: UsmPointer, value: int,
+               count: Optional[int] = None) -> SyclEvent:
+        """Byte-wise fill of a USM allocation."""
+        start = time.perf_counter()
+        arr = resolve_copy_operand(dst, writing=True)
+        if count is None:
+            count = arr.size
+        arr.view(np.uint8)[:count * arr.itemsize] = np.uint8(value)
+        end = time.perf_counter()
+        return SyclEvent("memset", start, end)
+
+    def fill(self, dst: UsmPointer, value,
+             count: Optional[int] = None) -> SyclEvent:
+        """Typed fill of a USM allocation."""
+        start = time.perf_counter()
+        arr = resolve_copy_operand(dst, writing=True)
+        if count is None:
+            count = arr.size
+        arr[:count] = value
+        end = time.perf_counter()
+        return SyclEvent("fill", start, end)
+
+    def parallel_for(self, nd_range: NdRange, kernel: Callable,
+                     args: Sequence = (), vectorized: bool = False,
+                     kernel_name: str = "",
+                     variant: str = "base") -> SyclEvent:
+        """Queue shortcut: submit a one-command group (USM style).
+
+        With USM there are no accessors to declare, so SYCL programs
+        commonly launch kernels directly on the queue; this mirrors
+        ``queue.parallel_for`` in SYCL 2020.
+        """
+        return self.submit(lambda h: h.parallel_for(
+            nd_range, kernel, args=args, vectorized=vectorized,
+            kernel_name=kernel_name, variant=variant))
+
+    def __repr__(self) -> str:
+        return f"Queue(device={self.device.short_name})"

@@ -1,0 +1,129 @@
+"""SYCL range classes: ``range``, ``id`` and ``nd_range`` (Section III.C).
+
+The paper's kernels are one-dimensional; these classes support 1–3
+dimensions for API completeness but the executor accepts only 1-D
+ND-ranges, raising :class:`~repro.runtime.errors.SYCLNDRangeError`
+otherwise — the same restriction the paper's application lives within.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..errors import SYCLNDRangeError
+
+
+class Range:
+    """``sycl::range<D>``: the extent of an index space (D = 1..3)."""
+
+    def __init__(self, *sizes: int):
+        if not 1 <= len(sizes) <= 3:
+            raise SYCLNDRangeError(
+                f"range supports 1 to 3 dimensions, got {len(sizes)}")
+        for s in sizes:
+            if int(s) != s or s < 0:
+                raise SYCLNDRangeError(f"range extent {s!r} must be a "
+                                       "non-negative integer")
+        self._sizes: Tuple[int, ...] = tuple(int(s) for s in sizes)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._sizes)
+
+    def get(self, dim: int) -> int:
+        self._check_dim(dim)
+        return self._sizes[dim]
+
+    def size(self) -> int:
+        total = 1
+        for s in self._sizes:
+            total *= s
+        return total
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < len(self._sizes):
+            raise SYCLNDRangeError(
+                f"dimension {dim} out of range for {self!r}")
+
+    def __getitem__(self, dim: int) -> int:
+        return self.get(dim)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._sizes)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Range):
+            return self._sizes == other._sizes
+        if isinstance(other, tuple):
+            return self._sizes == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._sizes)
+
+    def __repr__(self) -> str:
+        return f"Range{self._sizes}"
+
+
+class Id(Range):
+    """``sycl::id<D>``: a point in an index space."""
+
+    def __repr__(self) -> str:
+        return f"Id{tuple(self)}"
+
+
+class NdRange:
+    """``sycl::nd_range<D>``: global + local extents.
+
+    SYCL requires the local range to divide the global range in every
+    dimension; violations raise at construction, matching the
+    strict behaviour the paper relies on when it pins the SYCL
+    work-group size to 256.
+    """
+
+    def __init__(self, global_range: Range, local_range: Range):
+        if not isinstance(global_range, Range):
+            global_range = Range(*_as_tuple(global_range))
+        if not isinstance(local_range, Range):
+            local_range = Range(*_as_tuple(local_range))
+        if global_range.dimensions != local_range.dimensions:
+            raise SYCLNDRangeError(
+                f"global range {global_range!r} and local range "
+                f"{local_range!r} have different dimensionality")
+        for dim in range(global_range.dimensions):
+            g, l = global_range.get(dim), local_range.get(dim)
+            if l == 0:
+                raise SYCLNDRangeError("local range extent must be positive")
+            if g % l:
+                raise SYCLNDRangeError(
+                    f"local range {l} does not divide global range {g} "
+                    f"in dimension {dim}")
+        self.global_range = global_range
+        self.local_range = local_range
+
+    @property
+    def dimensions(self) -> int:
+        return self.global_range.dimensions
+
+    def get_global_range(self) -> Range:
+        return self.global_range
+
+    def get_local_range(self) -> Range:
+        return self.local_range
+
+    def get_group_range(self) -> Range:
+        return Range(*(g // l for g, l in
+                       zip(self.global_range, self.local_range)))
+
+    def __repr__(self) -> str:
+        return f"NdRange(global={self.global_range!r}, " \
+               f"local={self.local_range!r})"
+
+
+def _as_tuple(value) -> Tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,)
+    return tuple(value)

@@ -1,0 +1,167 @@
+"""Unified shared memory (USM) — the other SYCL memory abstraction.
+
+Section III.A of the paper: "Two abstractions are commonly used for
+managing memory in SYCL: unified shared memory and buffer.  The former
+is a pointer-based approach that allows for easier integration with
+existing C/C++ programs.  To migrate the OpenCL program, we get started
+with SYCL buffers."  This module supplies the road not taken, so the
+library supports both migration end-states:
+
+* :func:`malloc_device` — device-only allocation, host access is an
+  error (matching real USM device allocations);
+* :func:`malloc_host` — host-resident allocation the device can read
+  over the interconnect;
+* :func:`malloc_shared` — migratable allocation both sides may touch;
+* :meth:`UsmPointer.free` / :func:`free` — explicit deallocation (USM
+  gives up the buffer model's destructor-driven lifetime);
+* ``queue.memcpy`` / ``queue.memset`` / ``queue.fill`` — pointer-based
+  data movement (implemented on :class:`~repro.runtime.sycl.queue.Queue`).
+
+A :class:`UsmPointer` wraps the allocation with kind-aware access
+checks; kernels receive its numpy array via :attr:`UsmPointer.data`, so
+the same kernel functions work under buffers and USM — exactly the
+interoperability argument the paper makes for USM.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+import numpy as np
+
+from ..device import ComputeDevice
+from ..errors import SYCLInvalidParameter, SYCLMemoryAllocationError
+from ..memory import AddressSpace, DeviceAllocation
+
+
+class UsmKind(enum.Enum):
+    DEVICE = "device"
+    HOST = "host"
+    SHARED = "shared"
+
+
+class UsmPointer:
+    """A typed USM allocation bound to one device's memory model."""
+
+    def __init__(self, device: ComputeDevice, kind: UsmKind, count: int,
+                 dtype, name: str = ""):
+        if count <= 0:
+            raise SYCLMemoryAllocationError(
+                f"USM allocation needs a positive element count, "
+                f"got {count}")
+        self.device = device
+        self.kind = kind
+        self.dtype = np.dtype(dtype)
+        self.count = int(count)
+        self.name = name or f"usm_{kind.value}"
+        # Host allocations live outside device memory; device and shared
+        # allocations are charged against the device's capacity.
+        if kind is UsmKind.HOST:
+            self._allocation: Optional[DeviceAllocation] = None
+            self._array = np.zeros(self.count, dtype=self.dtype)
+        else:
+            self._allocation = device.memory.allocate(
+                self.count, self.dtype, AddressSpace.GLOBAL,
+                name=self.name)
+            self._array = self._allocation.array
+        self.freed = False
+
+    # -- access -----------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise SYCLInvalidParameter(
+                f"use of freed USM pointer {self.name!r}")
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array, for kernel argument binding."""
+        self._check_live()
+        return self._array
+
+    def host_view(self) -> np.ndarray:
+        """Host-side access; illegal for device allocations."""
+        self._check_live()
+        if self.kind is UsmKind.DEVICE:
+            raise SYCLInvalidParameter(
+                f"host dereference of device USM pointer {self.name!r}; "
+                "copy it with queue.memcpy first")
+        return self._array
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index):
+        return self.host_view()[index]
+
+    def __setitem__(self, index, value):
+        self.host_view()[index] = value
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.dtype.itemsize
+
+    # -- lifetime -----------------------------------------------------------
+
+    def free(self) -> None:
+        """Explicit deallocation (``sycl::free``)."""
+        self._check_live()
+        if self._allocation is not None:
+            self.device.memory.release(self._allocation)
+        self.freed = True
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else "live"
+        return (f"UsmPointer({self.name!r}, {self.kind.value}, "
+                f"{self.dtype}, n={self.count}, {state})")
+
+
+def _device_of(queue_or_device) -> ComputeDevice:
+    device = getattr(queue_or_device, "device", queue_or_device)
+    if not isinstance(device, ComputeDevice):
+        raise SYCLInvalidParameter(
+            f"expected a queue or device, got {type(queue_or_device)}")
+    return device
+
+
+def malloc_device(count: int, dtype, queue_or_device,
+                  name: str = "") -> UsmPointer:
+    """Allocate device-only USM memory."""
+    return UsmPointer(_device_of(queue_or_device), UsmKind.DEVICE,
+                      count, dtype, name or "usm_device")
+
+
+def malloc_host(count: int, dtype, queue_or_device,
+                name: str = "") -> UsmPointer:
+    """Allocate host USM memory (device-readable)."""
+    return UsmPointer(_device_of(queue_or_device), UsmKind.HOST,
+                      count, dtype, name or "usm_host")
+
+
+def malloc_shared(count: int, dtype, queue_or_device,
+                  name: str = "") -> UsmPointer:
+    """Allocate migratable shared USM memory."""
+    return UsmPointer(_device_of(queue_or_device), UsmKind.SHARED,
+                      count, dtype, name or "usm_shared")
+
+
+def free(pointer: UsmPointer) -> None:
+    """Model of ``sycl::free``."""
+    pointer.free()
+
+
+def resolve_copy_operand(operand: Union[UsmPointer, np.ndarray],
+                         writing: bool) -> np.ndarray:
+    """Resolve a memcpy operand to its array with USM access checks.
+
+    Device pointers are legal memcpy operands (that is the point of
+    memcpy); raw numpy arrays stand in for ordinary host memory.
+    """
+    if isinstance(operand, UsmPointer):
+        operand._check_live()
+        return operand._array
+    array = np.asarray(operand)
+    if writing and not array.flags.writeable:
+        raise SYCLInvalidParameter("memcpy destination is read-only")
+    return array

@@ -1,0 +1,66 @@
+"""Shared fixtures: small deterministic genomes and requests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import Query, SearchRequest
+from repro.genome.assembly import Assembly, Chromosome
+from repro.genome.synthetic import synthetic_assembly
+
+
+def random_sequence(rng: np.random.Generator, n: int,
+                    alphabet: bytes = b"ACGT") -> np.ndarray:
+    return rng.choice(np.frombuffer(alphabet, dtype=np.uint8), size=n)
+
+
+@pytest.fixture(scope="session")
+def small_assembly() -> Assembly:
+    """A two-chromosome random assembly (~12 kbp) with an N gap."""
+    rng = np.random.default_rng(1234)
+    chr_a = random_sequence(rng, 8000)
+    chr_a[3000:3100] = ord("N")
+    chr_b = random_sequence(rng, 4000)
+    return Assembly("test-small", [Chromosome("chrA", chr_a),
+                                   Chromosome("chrB", chr_b)])
+
+
+@pytest.fixture(scope="session")
+def tiny_assembly() -> Assembly:
+    """A ~1.5 kbp assembly cheap enough for interpreted kernels."""
+    rng = np.random.default_rng(99)
+    return Assembly("test-tiny", [
+        Chromosome("chr1", random_sequence(rng, 1100)),
+        Chromosome("chr2", random_sequence(rng, 450)),
+    ])
+
+
+@pytest.fixture(scope="session")
+def example_style_request() -> SearchRequest:
+    """The paper's pattern with a threshold high enough to find hits in
+    small random genomes."""
+    return SearchRequest(
+        pattern="NNNNNNNNNNNNNNNNNNNNNRG",
+        queries=[Query("GGCCGACCTGTCGCTGACGCNNN", 7),
+                 Query("CGCCAGCGTCAGCGACAGGTNNN", 6)])
+
+
+@pytest.fixture(scope="session")
+def short_request() -> SearchRequest:
+    """A short pattern that yields plenty of hits on tiny genomes."""
+    return SearchRequest(
+        pattern="NNNNNNRG",
+        queries=[Query("GACGTCNN", 3), Query("TTACGANN", 2)])
+
+
+@pytest.fixture(scope="session")
+def hg19_mini() -> Assembly:
+    return synthetic_assembly("hg19", scale=0.0001,
+                              chromosomes=["chr21", "chr22"], seed=5)
+
+
+@pytest.fixture(scope="session")
+def hg38_mini() -> Assembly:
+    return synthetic_assembly("hg38", scale=0.0001,
+                              chromosomes=["chr21", "chr22"], seed=5)

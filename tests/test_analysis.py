@@ -1,0 +1,137 @@
+"""Tests for the analysis package: productivity, profiling, rendering."""
+
+import pytest
+
+from repro.analysis.productivity import (TABLE1_STEPS, count_opencl_steps,
+                                         count_sycl_steps,
+                                         opencl_step_count, paper_report,
+                                         sycl_step_count, table1_rows)
+from repro.analysis.profiling import profile_launches, profile_modeled
+from repro.analysis.reporting import (PAPER_TABLE8, PAPER_TABLE9,
+                                      PAPER_TABLE10, format_table,
+                                      render_fig2, render_table8,
+                                      render_table9, render_table10)
+from repro.core.pipeline import search
+from repro.devices.specs import MI60
+from repro.runtime.launch import LaunchRecord
+
+
+class TestProductivity:
+    def test_paper_counts(self):
+        assert opencl_step_count() == 13
+        assert sycl_step_count() == 8
+
+    def test_report(self):
+        report = paper_report()
+        assert report.opencl_steps == 13
+        assert report.sycl_steps == 8
+        assert report.reduction == pytest.approx(5 / 13)
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 13
+        assert rows[0] == (1, "Platform query", "")
+        assert rows[3][2] == "Queue class"
+
+    def test_collapsed_steps_have_blank_sycl_cells(self):
+        blanks = [s for s in TABLE1_STEPS if not s.sycl]
+        assert len(blanks) == 5   # 13 - 8
+
+    def test_dynamic_opencl_count_full_application(self):
+        calls = ["clGetPlatformIDs", "clGetDeviceIDs", "clCreateContext",
+                 "clCreateCommandQueue", "clCreateBuffer",
+                 "clCreateProgram", "clBuildProgram", "clCreateKernel",
+                 "clSetKernelArg", "clEnqueueNDRangeKernel",
+                 "clEnqueueReadBuffer", "clWaitForEvents",
+                 "clReleaseMemObject", "clReleaseContext"]
+        assert count_opencl_steps(calls) == 13
+
+    def test_dynamic_opencl_partial(self):
+        assert count_opencl_steps(["clCreateBuffer",
+                                   "clCreateBuffer"]) == 1
+
+    def test_dynamic_sycl_count(self):
+        constructs = ["device_selector", "queue", "buffer",
+                      "parallel_for", "submit", "accessor", "event_wait",
+                      "buffer_close"]
+        assert count_sycl_steps(constructs) == 8
+
+
+class TestProfiling:
+    def test_profile_launches_hotspot(self, small_assembly,
+                                      example_style_request):
+        result = search(small_assembly, example_style_request,
+                        chunk_size=1 << 16)
+        profile = profile_launches(result.launches)
+        assert set(profile.kernels) == {"finder", "comparer"}
+        hotspot = profile.hotspot()
+        assert hotspot is not None
+        share = profile.share_of_kernel_time(hotspot.name)
+        assert 0.5 <= share <= 1.0
+        assert profile.total_kernel_time_s > 0
+
+    def test_profile_empty(self):
+        profile = profile_launches([])
+        assert profile.hotspot() is None
+        assert profile.share_of_kernel_time("comparer") == 0.0
+
+    def test_profile_counts_transfers_separately(self):
+        records = [
+            LaunchRecord.transfer("h2d", 100, 0.5, "sycl"),
+            LaunchRecord.kernel("k", 64, 64, 0.25, None, "sycl"),
+        ]
+        profile = profile_launches(records)
+        assert profile.transfer_time_s == 0.5
+        assert profile.total_kernel_time_s == 0.25
+
+    def test_profile_modeled_matches_paper_claims(
+            self, small_assembly, example_style_request):
+        result = search(small_assembly, example_style_request)
+        full = result.workload.scaled(1.0e4)
+        modeled = profile_modeled(MI60, full)
+        assert modeled.comparer_share_of_kernel > 0.95
+        assert 0.3 < modeled.comparer_share_of_elapsed < 0.85
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("A", "Blong"), [("x", 1), ("yy", 22)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Blong" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table8(self):
+        models = {key: (float(v[0]), float(v[1]))
+                  for key, v in PAPER_TABLE8.items()}
+        text = render_table8(models)
+        assert "Table VIII" in text
+        assert "RVII" in text and "hg38" in text
+
+    def test_render_table9(self):
+        models = {key: (float(v[0]), float(v[1]))
+                  for key, v in PAPER_TABLE9.items()}
+        text = render_table9(models)
+        assert "speedup" in text
+
+    def test_render_table10(self):
+        rows = {v: (c, vg, sg, occ)
+                for v, (c, vg, sg, occ) in PAPER_TABLE10.items()}
+        text = render_table10(rows)
+        assert "opt4" in text and "6064" in text
+
+    def test_render_fig2(self):
+        series = {("MI60", "hg19"): [30.0, 29.0, 25.0, 22.0, 44.0]}
+        text = render_fig2(series)
+        assert "opt4/opt3" in text
+        assert "2.00x" in text
+
+    def test_paper_constants_coherent(self):
+        for (ocl, sycl) in PAPER_TABLE8.values():
+            assert ocl >= sycl            # SYCL never slower in Table VIII
+        for (base, opt) in PAPER_TABLE9.values():
+            assert base > opt
+        codes = [PAPER_TABLE10[v][0]
+                 for v in ("base", "opt1", "opt2", "opt3", "opt4")]
+        assert codes == sorted(codes, reverse=True)

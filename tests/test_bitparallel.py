@@ -1,0 +1,134 @@
+"""Tests for the bit-parallel (2-bit packed) comparer baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitparallel import (BitParallelComparer,
+                                    bitparallel_search,
+                                    count_mismatches_packed,
+                                    pack_query_strand, popcount64)
+from repro.core.config import Query, SearchRequest
+from repro.core.patterns import (MISMATCH_LUT, PatternError,
+                                 compile_pattern)
+from repro.core.pipeline import search
+from repro.genome.assembly import Assembly, Chromosome
+from repro.genome.fasta import sequence_to_array
+
+
+class TestPacking:
+    def test_pack_query_strand_word(self):
+        cq = compile_pattern("ACGTNN")
+        packed = pack_query_strand(cq, 0)
+        # A=0, C=1, G=2, T=3 -> 0 | 1<<2 | 2<<4 | 3<<6.
+        assert packed.word == 0 + 4 + 32 + 192
+        np.testing.assert_array_equal(packed.checked, [0, 1, 2, 3])
+
+    def test_skipped_n_positions(self):
+        cq = compile_pattern("ANGNTN")
+        packed = pack_query_strand(cq, 0)
+        np.testing.assert_array_equal(packed.checked, [0, 2, 4])
+
+    def test_ambiguity_codes_rejected(self):
+        cq = compile_pattern("ARGT")
+        with pytest.raises(PatternError, match="concrete"):
+            pack_query_strand(cq, 0)
+
+    def test_too_many_checked_positions_rejected(self):
+        cq = compile_pattern("A" * 33)
+        with pytest.raises(PatternError, match="32"):
+            pack_query_strand(cq, 0)
+
+    def test_popcount64(self):
+        values = np.array([0, 1, 0xFF, (1 << 63) | 1,
+                           0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        np.testing.assert_array_equal(popcount64(values),
+                                      [0, 1, 8, 2, 64])
+
+
+class TestCounts:
+    def count(self, query, site):
+        cq = compile_pattern(query)
+        packed = pack_query_strand(cq, 0)
+        chunk = sequence_to_array(site)
+        return int(count_mismatches_packed(
+            chunk, np.zeros(1, dtype=np.int64), packed)[0])
+
+    def test_exact_match(self):
+        assert self.count("ACGT", "ACGT") == 0
+
+    def test_all_mismatch(self):
+        assert self.count("AAAA", "TTTT") == 4
+
+    def test_genome_n_mismatches_concrete_query(self):
+        assert self.count("ACGT", "ANGT") == 1
+        assert self.count("AAAA", "NNNN") == 4
+
+    def test_n_vs_query_a_collision_handled(self):
+        """N packs as code 0 (same as A); it must still mismatch."""
+        assert self.count("AAAA", "AANA") == 1
+
+    def test_skipped_positions_free(self):
+        assert self.count("ANNT", "AGGT") == 0
+
+    def test_multiple_sites(self):
+        cq = compile_pattern("ACG")
+        packed = pack_query_strand(cq, 0)
+        chunk = sequence_to_array("ACGACCTTG")
+        loci = np.array([0, 3, 6], dtype=np.int64)
+        counts = count_mismatches_packed(chunk, loci, packed)
+        # Sites: ACG (0 mm), ACC (1 mm), TTG (2 mm).
+        np.testing.assert_array_equal(counts, [0, 1, 2])
+
+
+@settings(max_examples=100)
+@given(query=st.text(alphabet="ACGT", min_size=1, max_size=32),
+       site=st.text(alphabet="ACGTN", min_size=32, max_size=32))
+def test_counts_match_lut_property(query, site):
+    """Bit-parallel counts == LUT counts for concrete queries."""
+    cq = compile_pattern(query)
+    packed = pack_query_strand(cq, 0)
+    chunk = sequence_to_array(site)
+    got = int(count_mismatches_packed(
+        chunk, np.zeros(1, dtype=np.int64), packed)[0])
+    expected = int(MISMATCH_LUT[cq.sequence,
+                                chunk[:len(query)]].sum())
+    assert got == expected
+
+
+class TestPipelineEquivalence:
+    def test_matches_standard_pipeline(self, tiny_assembly,
+                                       short_request):
+        standard = search(tiny_assembly, short_request,
+                          chunk_size=512).sorted_hits()
+        fast = bitparallel_search(tiny_assembly, short_request,
+                                  chunk_size=512).sorted_hits()
+        assert fast == standard
+
+    def test_matches_on_gapped_genome(self):
+        rng = np.random.default_rng(4)
+        seq = rng.choice(np.frombuffer(b"ACGT", dtype=np.uint8), 3000)
+        seq[1000:1100] = ord("N")
+        assembly = Assembly("g", [Chromosome("c", seq)])
+        request = SearchRequest("NNNNNNRG", [Query("GACGTCNN", 3),
+                                             Query("TTACGANN", 2)])
+        standard = search(assembly, request,
+                          chunk_size=700).sorted_hits()
+        fast = bitparallel_search(assembly, request,
+                                  chunk_size=700).sorted_hits()
+        assert fast == standard
+
+    def test_comparer_class_api(self):
+        comparer = BitParallelComparer(["ACGTNN", "TTTTNN"])
+        chunk = sequence_to_array("ACGTAATTTTGG")
+        loci = np.array([0, 4], dtype=np.uint32)
+        plus = comparer.counts(0, chunk, loci, "+")
+        assert plus[0] == 0
+        minus = comparer.counts(1, chunk, loci, "-")
+        assert minus.shape == (2,)
+
+    def test_ambiguous_query_rejected_up_front(self, tiny_assembly):
+        request = SearchRequest("NNNNNNRG", [Query("GACGTRNN", 3)])
+        with pytest.raises(PatternError, match="concrete"):
+            bitparallel_search(tiny_assembly, request)

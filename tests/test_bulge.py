@@ -1,0 +1,116 @@
+"""Tests for the bulge-search extension (DNA/RNA insertions/deletions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bulge import (BulgeHit, _dna_bulge_queries,
+                              _rna_bulge_queries, _split_pattern,
+                              bulge_search)
+from repro.core.patterns import PatternError
+from repro.genome.assembly import Assembly, Chromosome
+
+
+def asm(*seqs):
+    return Assembly("t", [Chromosome(f"chr{i}", s)
+                          for i, s in enumerate(seqs)])
+
+
+class TestHelpers:
+    def test_split_pattern(self):
+        guide_len, pam = _split_pattern("NNNNNNNNNNNNNNNNNNNNNRG")
+        assert guide_len == 21
+        assert pam == "RG"
+
+    def test_split_pattern_requires_guide(self):
+        with pytest.raises(PatternError, match="guide region"):
+            _split_pattern("ACGRG")
+
+    def test_dna_bulge_queries_shapes(self):
+        derived = _dna_bulge_queries("ACGT", pam_len=2, size=1)
+        assert len(derived) == 3
+        for query, guide in derived:
+            assert guide == "ACGT"
+            assert len(query) == 4 + 1 + 2
+            assert query.endswith("NN")
+        assert derived[0][0].startswith("ANCGT")
+
+    def test_rna_bulge_queries_shapes(self):
+        derived = _rna_bulge_queries("ACGT", pam_len=2, size=1)
+        assert len(derived) == 2
+        assert derived[0][0].startswith("AGT")
+        assert derived[1][0].startswith("ACT")
+
+    def test_rna_bulge_too_large(self):
+        assert _rna_bulge_queries("AC", pam_len=2, size=2) == []
+
+
+class TestBulgeSearch:
+    PATTERN = "NNNNNNGG"   # 6-nt guide + GG PAM
+
+    def test_exact_site_reported_without_bulge(self):
+        genome = asm("TTACGTCAGGTT")  # site ACGTCA + GG at pos 2
+        hits = bulge_search(genome, self.PATTERN, ["ACGTCA"], 0,
+                            dna_bulge=1, rna_bulge=1, chunk_size=4096)
+        exact = [b for b in hits if b.bulge_type == "X"]
+        assert any(b.hit.position == 2 and b.hit.strand == "+"
+                   for b in exact)
+
+    def test_dna_bulge_site_found(self):
+        """Genomic site has one extra base relative to the guide."""
+        # Guide ACGTCA; genome carries ACG T TCA GG (extra T).
+        genome = asm("TTACGTTCAGGTT")
+        without = bulge_search(genome, self.PATTERN, ["ACGTCA"], 0,
+                               dna_bulge=0, rna_bulge=0, chunk_size=4096)
+        with_bulge = bulge_search(genome, self.PATTERN, ["ACGTCA"], 0,
+                                  dna_bulge=1, rna_bulge=0,
+                                  chunk_size=4096)
+        assert not any(b.guide == "ACGTCA" and b.hit.mismatches == 0
+                       for b in without)
+        dna_hits = [b for b in with_bulge if b.bulge_type == "DNA"]
+        assert any(b.hit.mismatches == 0 for b in dna_hits)
+        assert all(b.bulge_size == 1 for b in dna_hits)
+
+    def test_rna_bulge_site_found(self):
+        """Genomic site is one base shorter than the guide."""
+        # Guide ACGTCA; genome carries ACTCA GG (G deleted).
+        genome = asm("TTACTCAGGTT")
+        result = bulge_search(genome, self.PATTERN, ["ACGTCA"], 0,
+                              dna_bulge=0, rna_bulge=1, chunk_size=4096)
+        rna_hits = [b for b in result if b.bulge_type == "RNA"]
+        assert any(b.hit.mismatches == 0 for b in rna_hits)
+
+    def test_dedup_prefers_fewer_bulges(self):
+        """A perfect ungapped site must be reported as X even when bulged
+        variants also match it."""
+        genome = asm("TTACGTCAGGTT")
+        result = bulge_search(genome, self.PATTERN, ["ACGTCA"], 2,
+                              dna_bulge=1, rna_bulge=1, chunk_size=4096)
+        at_site = [b for b in result
+                   if b.hit.position <= 3 and b.hit.strand == "+"
+                   and b.guide == "ACGTCA"]
+        assert at_site
+        best = min(at_site, key=lambda b: (b.bulge_size,
+                                           b.hit.mismatches))
+        assert best.bulge_type == "X"
+
+    def test_guide_length_validated(self):
+        genome = asm("ACGTACGTACGT")
+        with pytest.raises(ValueError, match="guide region"):
+            bulge_search(genome, self.PATTERN, ["ACGT"], 0)
+
+    def test_negative_bulge_rejected(self):
+        genome = asm("ACGTACGTACGT")
+        with pytest.raises(ValueError, match="non-negative"):
+            bulge_search(genome, self.PATTERN, ["ACGTCA"], 0,
+                         dna_bulge=-1)
+
+    def test_results_sorted_and_annotated(self):
+        genome = asm("TTACGTCAGGTTACGTCAGG")
+        result = bulge_search(genome, self.PATTERN, ["ACGTCA"], 1,
+                              dna_bulge=1, rna_bulge=1, chunk_size=4096)
+        keys = [(b.guide, b.hit.chrom, b.hit.position, b.hit.strand)
+                for b in result]
+        assert keys == sorted(keys)
+        for b in result:
+            assert b.bulge_type in ("X", "DNA", "RNA")
+            assert b.guide == "ACGTCA"

@@ -1,0 +1,124 @@
+"""End-to-end tests for the cas-offinder-py CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.records import read_hits
+from repro.genome.assembly import Assembly, Chromosome
+from repro.genome.fasta import FastaRecord, write_fasta
+
+INPUT = """\
+ignored-genome-line
+NNNNNNRG
+GACGTCNN 3
+TTACGANN 2
+"""
+
+
+@pytest.fixture
+def input_file(tmp_path):
+    path = tmp_path / "input.txt"
+    path.write_text(INPUT)
+    return path
+
+
+class TestSearchCommand:
+    def test_synthetic_search_writes_output(self, tmp_path, input_file):
+        out = tmp_path / "hits.tsv"
+        code = main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "-o", str(out)])
+        assert code == 0
+        hits = read_hits(out)
+        for hit in hits:
+            assert hit.strand in "+-"
+            assert hit.mismatches <= 3
+
+    def test_genome_fasta_file(self, tmp_path, input_file):
+        rng = np.random.default_rng(8)
+        seq = rng.choice(np.frombuffer(b"ACGT", dtype=np.uint8), 4000)
+        fasta = tmp_path / "genome.fa"
+        write_fasta([FastaRecord("chrT", seq)], fasta)
+        out = tmp_path / "hits.tsv"
+        code = main([str(input_file), "--genome", str(fasta),
+                     "-o", str(out)])
+        assert code == 0
+        hits = read_hits(out)
+        assert hits, "random 4 kbp should contain NNNNNNRG hits"
+        assert all(h.chrom == "chrT" for h in hits)
+
+    def test_genome_directory(self, tmp_path, input_file):
+        rng = np.random.default_rng(9)
+        for name in ("a.fa", "b.fasta"):
+            seq = rng.choice(np.frombuffer(b"ACGT", dtype=np.uint8), 1500)
+            write_fasta([FastaRecord(name.split(".")[0], seq)],
+                        tmp_path / name)
+        out = tmp_path / "hits.tsv"
+        code = main([str(input_file), "--genome", str(tmp_path),
+                     "-o", str(out)])
+        assert code == 0
+        chroms = {h.chrom for h in read_hits(out)}
+        assert chroms <= {"a", "b"}
+
+    def test_apis_agree_via_cli(self, tmp_path, input_file):
+        outs = {}
+        for api in ("sycl", "sycl-usm", "opencl"):
+            out = tmp_path / f"{api}.tsv"
+            main([str(input_file), "--synthetic", "hg19",
+                  "--scale", "0.00005", "--api", api, "-o", str(out)])
+            outs[api] = sorted(h.to_tsv() for h in read_hits(out))
+        assert outs["sycl"] == outs["opencl"]
+        assert outs["sycl"] == outs["sycl-usm"]
+
+    def test_bitparallel_engine_agrees(self, tmp_path, input_file):
+        outs = {}
+        for engine in ("listing1", "bitparallel"):
+            out = tmp_path / f"{engine}.tsv"
+            main([str(input_file), "--synthetic", "hg19",
+                  "--scale", "0.00005", "--engine", engine,
+                  "-o", str(out)])
+            outs[engine] = sorted(h.to_tsv() for h in read_hits(out))
+        assert outs["listing1"] == outs["bitparallel"]
+
+    def test_missing_genome_errors(self, input_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(input_file), "--genome",
+                  str(tmp_path / "missing.fa")])
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--synthetic", "hg19"])
+
+    def test_variant_flag(self, tmp_path, input_file):
+        out = tmp_path / "hits.tsv"
+        code = main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "--variant", "opt3",
+                     "-o", str(out)])
+        assert code == 0
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["input.txt"])
+        assert args.api == "sycl"
+        assert args.device == "MI100"
+        assert args.variant == "base"
+        assert args.output == "-"
+
+    def test_invalid_api_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--api", "cuda"])
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--variant", "opt9"])
+
+
+class TestReportCommand:
+    def test_tables_report(self, capsys):
+        code = main(["--report", "tables", "--scale", "0.0002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Table VII", "Table VIII", "Table IX",
+                       "Table X", "Figure 2"):
+            assert marker in out

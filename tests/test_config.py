@@ -1,0 +1,69 @@
+"""Unit tests for search requests and the input-file format."""
+
+import pytest
+
+from repro.core.config import (EXAMPLE_INPUT, Query, SearchRequest,
+                               example_request)
+
+
+class TestQuery:
+    def test_validates_sequence(self):
+        with pytest.raises(Exception):
+            Query("ACGU", 1)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="negative"):
+            Query("ACGT", -1)
+
+
+class TestSearchRequest:
+    def test_query_length_must_match_pattern(self):
+        with pytest.raises(ValueError, match="length"):
+            SearchRequest("NNNRG", [Query("ACGT", 1)])
+
+    def test_needs_queries(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            SearchRequest("NNNRG", [])
+
+    def test_pattern_length_property(self):
+        request = SearchRequest("NNNRG", [Query("ACGTN", 1)])
+        assert request.pattern_length == 5
+
+
+class TestInputFormat:
+    def test_example_input_parses(self):
+        request = example_request()
+        assert request.pattern == "NNNNNNNNNNNNNNNNNNNNNRG"
+        assert len(request.queries) == 3
+        assert request.queries[0].sequence == "GGCCGACCTGTCGCTGACGCNNN"
+        assert all(q.max_mismatches == 4 for q in request.queries)
+        assert request.genome_path == "/var/chromosomes/human_hg19"
+
+    def test_lowercase_input_uppercased(self):
+        text = "genome\nnnnrg\nacgtn 2\n"
+        request = SearchRequest.from_input_text(text)
+        assert request.pattern == "NNNRG"
+        assert request.queries[0].sequence == "ACGTN"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# c\n\ngenome\nNNNRG\n# another\nACGTN 2\n"
+        request = SearchRequest.from_input_text(text)
+        assert len(request.queries) == 1
+
+    def test_too_few_lines_rejected(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            SearchRequest.from_input_text("genome\nNNNRG\n")
+
+    def test_bad_query_line_rejected(self):
+        with pytest.raises(ValueError, match="query line"):
+            SearchRequest.from_input_text("g\nNNNRG\nACGTN\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "input.txt"
+        path.write_text(EXAMPLE_INPUT)
+        request = SearchRequest.from_input_file(path)
+        assert request.to_input_text() == EXAMPLE_INPUT
+
+    def test_non_integer_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SearchRequest.from_input_text("g\nNNNRG\nACGTN x\n")

@@ -1,0 +1,114 @@
+"""Tests for the compiler model: Table X's mechanisms and trends.
+
+Exact paper values are approximated (the calibration is documented in
+:mod:`repro.devices.codegen`); these tests assert the trends the paper's
+analysis rests on, plus a ±15 % envelope around the published numbers.
+"""
+
+import pytest
+
+from repro.analysis.reporting import PAPER_TABLE10
+from repro.devices.codegen import (VARIANT_ORDER, analyze_comparer,
+                                   compile_comparer, compile_finder)
+from repro.devices.isa import Opcode
+from repro.devices.regalloc import allocate
+
+
+@pytest.fixture(scope="module")
+def usages():
+    return {v: analyze_comparer(v) for v in VARIANT_ORDER}
+
+
+class TestCodeLengthTrends:
+    def test_strictly_decreasing(self, usages):
+        lengths = [usages[v].code_bytes for v in VARIANT_ORDER]
+        assert lengths == sorted(lengths, reverse=True)
+        assert len(set(lengths)) == len(lengths)
+
+    def test_within_envelope_of_paper(self, usages):
+        for variant in VARIANT_ORDER:
+            paper_code = PAPER_TABLE10[variant][0]
+            model_code = usages[variant].code_bytes
+            assert abs(model_code - paper_code) / paper_code < 0.15, \
+                (variant, model_code, paper_code)
+
+    def test_opt1_restrict_saves_few_percent(self, usages):
+        reduction = 1 - usages["opt1"].code_bytes / usages[
+            "base"].code_bytes
+        assert 0.01 < reduction < 0.08   # paper: ~3.5 %
+
+    def test_opt3_coop_fetch_is_biggest_code_saver(self, usages):
+        deltas = {}
+        previous = "base"
+        for variant in VARIANT_ORDER[1:]:
+            deltas[variant] = (usages[previous].code_bytes
+                               - usages[variant].code_bytes)
+            previous = variant
+        assert deltas["opt3"] == max(deltas.values())
+
+
+class TestRegisterTrends:
+    def test_vgprs_flat_then_cliff_then_jump(self, usages):
+        vgprs = [usages[v].vgprs for v in VARIANT_ORDER]
+        base, opt1, opt2, opt3, opt4 = vgprs
+        assert base == opt1
+        assert abs(opt2 - base) <= 2
+        assert opt3 < base              # paper: 64 -> 57
+        assert opt4 > base              # paper: 82
+        assert opt4 - opt3 >= 15
+
+    def test_sgprs_drop_at_opt3(self, usages):
+        sgprs = [usages[v].sgprs for v in VARIANT_ORDER]
+        assert sgprs[0] == sgprs[1] == sgprs[2]
+        assert sgprs[3] == sgprs[4]
+        assert sgprs[3] < sgprs[0]      # paper: 22 -> 10
+
+    def test_exact_match_to_paper_registers(self, usages):
+        """The register model was calibrated to the paper's counts;
+        VGPRs within 3, SGPRs exact."""
+        for variant in VARIANT_ORDER:
+            _, paper_vgpr, paper_sgpr, _ = PAPER_TABLE10[variant]
+            assert abs(usages[variant].vgprs - paper_vgpr) <= 3, variant
+            assert usages[variant].sgprs == paper_sgpr, variant
+
+
+class TestProgramStructure:
+    def test_every_variant_has_one_barrier(self):
+        for variant in VARIANT_ORDER:
+            prog = compile_comparer(variant)
+            mix = prog.instruction_mix()
+            assert mix.get("barrier") == 1
+
+    def test_atomics_per_strand(self):
+        prog = compile_comparer("base")
+        assert prog.instruction_mix()["vmem_atomic"] == 2
+
+    def test_base_has_more_vmem_loads_than_opt2(self):
+        base = compile_comparer("base").instruction_mix()
+        opt2 = compile_comparer("opt2").instruction_mix()
+        assert base["vmem_load"] > opt2["vmem_load"]
+
+    def test_opt4_has_fewest_lds_reads(self):
+        reads = {v: compile_comparer(v).instruction_mix()["lds_read"]
+                 for v in VARIANT_ORDER}
+        assert reads["opt4"] == min(reads.values())
+        assert reads["opt4"] < reads["opt3"]
+
+    def test_lds_declaration_matches_kernel(self):
+        prog = compile_comparer("base", plen=23)
+        assert prog.lds_bytes == 2 * 23 * 5
+
+    def test_plen_scales_staging_code(self):
+        short = compile_comparer("base", plen=11).code_bytes
+        long = compile_comparer("base", plen=31).code_bytes
+        assert long > short
+
+    def test_caching(self):
+        assert compile_comparer("base") is compile_comparer("base")
+
+    def test_finder_compiles_and_is_smaller(self):
+        finder = compile_finder()
+        comparer = compile_comparer("base")
+        assert 0 < finder.code_bytes < comparer.code_bytes
+        usage = allocate(finder)
+        assert usage.vgprs > 0

@@ -1,0 +1,110 @@
+"""Unit tests for the pseudo-ISA and register allocator."""
+
+import pytest
+
+from repro.devices.isa import (ISSUE_CYCLES, Instruction, Opcode, Program,
+                               RegClass)
+from repro.devices.regalloc import (RESERVED_SGPRS, RESERVED_VGPRS,
+                                    allocate, peak_pressure)
+
+
+class TestEncoding:
+    def test_alu_ops_encode_4_bytes(self):
+        for opcode in (Opcode.SALU, Opcode.VALU, Opcode.BRANCH,
+                       Opcode.BARRIER, Opcode.WAITCNT, Opcode.END):
+            assert opcode.size == 4
+
+    def test_memory_and_literal_ops_encode_8_bytes(self):
+        for opcode in (Opcode.SMEM, Opcode.VMEM_LOAD, Opcode.VMEM_STORE,
+                       Opcode.VMEM_ATOMIC, Opcode.LDS_READ,
+                       Opcode.LDS_WRITE, Opcode.SALU_LIT,
+                       Opcode.VALU_LIT):
+            assert opcode.size == 8
+
+    def test_issue_cycle_table_covers_all_opcodes(self):
+        assert set(ISSUE_CYCLES) == set(Opcode)
+
+    def test_program_code_bytes(self):
+        prog = Program("p")
+        prog.emit(Opcode.VALU)
+        prog.emit(Opcode.VMEM_LOAD)
+        prog.emit(Opcode.END)
+        assert prog.code_bytes == 4 + 8 + 4
+        assert len(prog) == 3
+
+    def test_emit_count(self):
+        prog = Program("p")
+        prog.emit(Opcode.VALU, count=5)
+        assert len(prog) == 5
+
+    def test_instruction_mix(self):
+        prog = Program("p")
+        prog.emit(Opcode.VALU, count=3)
+        prog.emit(Opcode.SMEM, count=2)
+        assert prog.instruction_mix() == {"valu": 3, "smem": 2}
+
+
+class TestLiveRanges:
+    def test_range_spans_first_to_last_occurrence(self):
+        prog = Program("p")
+        reg = prog.vgpr()
+        prog.emit(Opcode.VALU, defs=[reg])       # index 0
+        prog.emit(Opcode.VALU)                    # index 1
+        prog.emit(Opcode.VALU, uses=[reg])        # index 2
+        assert prog.live_ranges()[reg] == (0, 2)
+
+    def test_pinned_registers_span_whole_program(self):
+        prog = Program("p")
+        reg = prog.pin(prog.vgpr())
+        prog.emit(Opcode.VALU, defs=[reg])
+        prog.emit(Opcode.VALU, count=9)
+        assert prog.live_ranges()[reg] == (0, 9)
+
+
+class TestAllocator:
+    def test_non_overlapping_registers_share_pressure(self):
+        prog = Program("p")
+        for _ in range(10):
+            reg = prog.vgpr()
+            prog.emit(Opcode.VALU, defs=[reg])
+            prog.emit(Opcode.VALU, uses=[reg])
+        # Sequential single-use temps: pressure stays at 1.
+        assert peak_pressure(prog)[RegClass.VGPR] == 1
+
+    def test_overlapping_registers_accumulate(self):
+        prog = Program("p")
+        regs = [prog.vgpr() for _ in range(6)]
+        for reg in regs:
+            prog.emit(Opcode.VALU, defs=[reg])
+        prog.emit(Opcode.VALU, uses=regs)
+        assert peak_pressure(prog)[RegClass.VGPR] == 6
+
+    def test_width_counts_physical_registers(self):
+        prog = Program("p")
+        pair = prog.sreg(width=2)
+        prog.emit(Opcode.SMEM, defs=[pair])
+        prog.emit(Opcode.SALU, uses=[pair])
+        assert peak_pressure(prog)[RegClass.SGPR] == 2
+
+    def test_classes_tracked_separately(self):
+        prog = Program("p")
+        s = prog.sreg()
+        v = prog.vgpr()
+        prog.emit(Opcode.SALU, defs=[s])
+        prog.emit(Opcode.VALU, defs=[v], uses=[s])
+        pressure = peak_pressure(prog)
+        assert pressure[RegClass.SGPR] == 1
+        assert pressure[RegClass.VGPR] == 1
+
+    def test_allocate_adds_reserved(self):
+        prog = Program("p")
+        v = prog.vgpr()
+        prog.emit(Opcode.VALU, defs=[v])
+        usage = allocate(prog)
+        assert usage.vgprs == 1 + RESERVED_VGPRS
+        assert usage.sgprs == RESERVED_SGPRS
+
+    def test_empty_program(self):
+        usage = allocate(Program("empty"))
+        assert usage.peak_vgpr_virtual == 0
+        assert usage.vgprs == RESERVED_VGPRS

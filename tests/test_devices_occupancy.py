@@ -1,0 +1,77 @@
+"""Tests for the occupancy model (Table X's last row + timing waves)."""
+
+import pytest
+
+from repro.devices.codegen import VARIANT_ORDER, analyze_comparer
+from repro.devices.occupancy import (occupancy_report,
+                                     reported_occupancy, waves_per_simd)
+from repro.devices.specs import MI60, MI100, RADEON_VII
+
+
+class TestReportedOccupancy:
+    def test_paper_ladder(self):
+        """The reported metric reproduces 10/10/10/10/9 for the paper's
+        register counts."""
+        for vgprs, expected in ((64, 10), (57, 10), (82, 9)):
+            assert reported_occupancy(vgprs, MI60) == expected
+
+    def test_capped_at_architecture_max(self):
+        assert reported_occupancy(1, MI60) == MI60.max_waves_per_simd
+
+    def test_monotone_in_registers(self):
+        values = [reported_occupancy(v, MI60) for v in range(16, 257, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_registers_rejected(self):
+        with pytest.raises(ValueError):
+            reported_occupancy(0, MI60)
+
+    def test_variant_ladder_matches_paper(self):
+        occupancies = [
+            reported_occupancy(analyze_comparer(v).vgprs, MI60)
+            for v in VARIANT_ORDER]
+        assert occupancies == [10, 10, 10, 10, 9]
+
+
+class TestPhysicalWaves:
+    def test_paper_register_counts_give_waves(self):
+        # 64 and 57 VGPRs leave 4 wave slots; 80+ leaves 2 (the opt4
+        # cliff behind Figure 2's doubling).
+        assert waves_per_simd(64, 22, 230, 256, MI60) == 4
+        assert waves_per_simd(57, 10, 230, 256, MI60) == 4
+        assert waves_per_simd(80, 10, 230, 256, MI60) == 2
+
+    def test_variant_waves(self):
+        waves = []
+        for variant in VARIANT_ORDER:
+            usage = analyze_comparer(variant)
+            waves.append(waves_per_simd(usage.vgprs, usage.sgprs,
+                                        usage.lds_bytes, 256, MI60))
+        assert waves[:4] == [4, 4, 4, 4]
+        assert waves[4] == 2
+
+    def test_lds_limit_binds_for_huge_usage(self):
+        report = occupancy_report(32, 16, 32 * 1024, 256, MI60)
+        assert report.lds_limited_waves <= 2
+        assert report.waves_per_simd <= 2
+
+    def test_small_kernels_get_more_waves(self):
+        report = occupancy_report(16, 16, 0, 256, MI60)
+        assert report.waves_per_simd == 8
+
+    def test_report_breakdown_consistent(self):
+        report = occupancy_report(64, 22, 230, 256, MI100)
+        assert report.waves_per_simd == min(
+            report.vgpr_limited_waves, report.sgpr_limited_waves,
+            report.lds_limited_waves, MI100.max_waves_per_simd)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            occupancy_report(0, 10, 0, 256, MI60)
+        with pytest.raises(ValueError):
+            occupancy_report(10, 10, 0, 0, MI60)
+
+    def test_same_across_paper_gpus(self):
+        """All three GPUs share the GCN/CDNA occupancy constants."""
+        for spec in (RADEON_VII, MI60, MI100):
+            assert waves_per_simd(64, 22, 230, 256, spec) == 4

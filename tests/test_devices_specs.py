@@ -1,0 +1,47 @@
+"""Unit tests for the device spec registry (Table VII)."""
+
+import pytest
+
+from repro.devices.specs import (ALL_DEVICES, HOST_CPU, MI60, MI100,
+                                 PAPER_GPUS, RADEON_VII, get_device_spec,
+                                 table7_rows)
+
+
+class TestTable7:
+    def test_paper_values_verbatim(self):
+        rows = {row[0]: row for row in table7_rows()}
+        assert rows["RVII"] == ("RVII", 16, 1800, 1000, 3840, 8, 1024.0)
+        assert rows["MI60"] == ("MI60", 32, 1800, 1000, 4096, 8, 1024.0)
+        assert rows["MI100"] == ("MI100", 32, 1502, 1200, 7680, 8,
+                                 1228.0)
+
+    def test_row_order_matches_paper(self):
+        assert [row[0] for row in table7_rows()] == \
+            ["RVII", "MI60", "MI100"]
+
+
+class TestDerivedQuantities:
+    def test_compute_units(self):
+        assert RADEON_VII.compute_units == 60
+        assert MI60.compute_units == 64
+        assert MI100.compute_units == 120
+
+    def test_clock_and_memory_conversions(self):
+        assert MI60.gpu_clock_hz == 1.8e9
+        assert MI60.global_memory_bytes == 32 * (1 << 30)
+        assert MI100.peak_bandwidth_bytes == 1.228e12
+
+    def test_effective_bandwidth_below_peak(self):
+        for spec in PAPER_GPUS.values():
+            assert spec.effective_bandwidth_bytes < \
+                spec.peak_bandwidth_bytes
+
+    def test_cpu_pseudo_device(self):
+        assert HOST_CPU.device_type == "cpu"
+        assert HOST_CPU.wavefront_size == 1
+
+    def test_registry_lookup(self):
+        assert get_device_spec("MI100") is MI100
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device_spec("A100")
+        assert set(ALL_DEVICES) == {"RVII", "MI60", "MI100", "CPU"}

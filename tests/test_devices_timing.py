@@ -1,0 +1,158 @@
+"""Tests for the analytic timing model: the shapes of Tables VIII/IX and
+Figure 2 must hold for any realistic workload profile."""
+
+import pytest
+
+from repro.core.workload import QueryWorkload, WorkloadProfile
+from repro.devices.specs import MI60, MI100, PAPER_GPUS, RADEON_VII
+from repro.devices.timing import (DEFAULT_CALIBRATION, TimingCalibration,
+                                  model_comparer_cycles, model_elapsed)
+from repro.kernels.variants import VARIANT_ORDER
+
+
+def make_workload(positions=3_000_000_000, density=0.18,
+                  trips=6.5, queries=3, dataset="hg19-like"):
+    candidates = int(positions * density)
+    per_strand = int(candidates * 0.55)
+    return WorkloadProfile(
+        dataset=dataset, pattern="N" * 21 + "RG", pattern_length=23,
+        positions_scanned=positions, candidates=candidates,
+        candidates_forward=per_strand, candidates_reverse=per_strand,
+        chunk_count=max(1, positions // (4 << 20)),
+        chunk_capacity=(4 << 20) - 22,
+        bytes_h2d=positions, bytes_d2h=candidates // 10,
+        queries=[QueryWorkload(
+            query=f"q{i}", threshold=4, checked_forward=20,
+            checked_reverse=20, candidates=candidates,
+            hits=100, avg_trips_forward=trips,
+            avg_trips_reverse=trips) for i in range(queries)])
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload()
+
+
+class TestTable8Shape:
+    def test_sycl_at_least_as_fast_as_opencl_everywhere(self, workload):
+        for spec in PAPER_GPUS.values():
+            ocl = model_elapsed(spec, workload, "opencl")
+            sycl = model_elapsed(spec, workload, "sycl")
+            speedup = ocl.elapsed_s / sycl.elapsed_s
+            assert 1.00 <= speedup <= 1.25, (spec.short_name, speedup)
+
+    def test_mi100_fastest_device(self, workload):
+        times = {name: model_elapsed(spec, workload, "sycl").elapsed_s
+                 for name, spec in PAPER_GPUS.items()}
+        assert times["MI100"] == min(times.values())
+
+    def test_absolute_scale_matches_paper_band(self, workload):
+        """Full-genome elapsed must land in the tens of seconds the
+        paper reports (40-75 s), not milliseconds or hours."""
+        for spec in PAPER_GPUS.values():
+            for api in ("opencl", "sycl"):
+                elapsed = model_elapsed(spec, workload, api).elapsed_s
+                assert 25 < elapsed < 90, (spec.short_name, api, elapsed)
+
+    def test_work_group_size_policy(self, workload):
+        ocl = model_elapsed(MI60, workload, "opencl")
+        sycl = model_elapsed(MI60, workload, "sycl")
+        assert ocl.work_group_size == 64
+        assert sycl.work_group_size == 256
+
+    def test_heavier_workload_is_slower(self, workload):
+        heavier = make_workload(density=0.23, dataset="hg38-like")
+        for spec in PAPER_GPUS.values():
+            assert model_elapsed(spec, heavier, "sycl").elapsed_s > \
+                model_elapsed(spec, workload, "sycl").elapsed_s
+
+
+class TestHotspotShape:
+    def test_comparer_dominates_kernel_time(self, workload):
+        for spec in PAPER_GPUS.values():
+            model = model_elapsed(spec, workload, "sycl")
+            assert model.comparer_share_of_kernel > 0.95  # paper: ~98 %
+
+    def test_kernel_share_of_elapsed_in_paper_band(self, workload):
+        for spec in PAPER_GPUS.values():
+            model = model_elapsed(spec, workload, "sycl")
+            assert 0.45 < model.kernel_share_of_elapsed < 0.85
+
+
+class TestFig2Shape:
+    def series(self, spec, workload):
+        return [model_elapsed(spec, workload, "sycl", variant=v)
+                for v in VARIANT_ORDER]
+
+    def test_monotone_improvement_through_opt3(self, workload):
+        for spec in PAPER_GPUS.values():
+            times = [m.comparer_s for m in self.series(spec, workload)]
+            assert times[0] > times[1] > times[2] > times[3]
+
+    def test_opt3_total_reduction_in_band(self, workload):
+        for spec in PAPER_GPUS.values():
+            times = [m.comparer_s for m in self.series(spec, workload)]
+            reduction = 1 - times[3] / times[0]
+            assert 0.15 < reduction < 0.35, (spec.short_name, reduction)
+
+    def test_opt4_regression(self, workload):
+        """Paper: the opt4 kernel time 'almost doubles'."""
+        for spec in PAPER_GPUS.values():
+            times = [m.comparer_s for m in self.series(spec, workload)]
+            assert times[4] / times[3] > 1.6
+            assert times[4] > times[0]
+
+    def test_opt4_driven_by_wave_loss(self, workload):
+        opt3 = model_elapsed(MI60, workload, "sycl", variant="opt3")
+        opt4 = model_elapsed(MI60, workload, "sycl", variant="opt4")
+        assert opt3.waves_per_simd == 4
+        assert opt4.waves_per_simd == 2
+
+
+class TestTable9Shape:
+    def test_opt3_elapsed_speedup_in_band(self, workload):
+        for spec in PAPER_GPUS.values():
+            base = model_elapsed(spec, workload, "sycl", variant="base")
+            opt = model_elapsed(spec, workload, "sycl", variant="opt3")
+            speedup = base.elapsed_s / opt.elapsed_s
+            assert 1.05 <= speedup <= 1.30, (spec.short_name, speedup)
+
+
+class TestModelMechanics:
+    def test_staging_cost_higher_for_small_groups(self, workload):
+        wg64 = model_comparer_cycles(MI60, workload, "base", 64)
+        wg256 = model_comparer_cycles(MI60, workload, "base", 256)
+        assert wg64["staging"] > wg256["staging"] * 3
+        assert wg64["main"] == pytest.approx(wg256["main"])
+
+    def test_coop_fetch_kills_staging_term(self, workload):
+        base = model_comparer_cycles(MI60, workload, "base", 256)
+        opt3 = model_comparer_cycles(MI60, workload, "opt3", 256)
+        assert opt3["staging"] < base["staging"] / 5
+
+    def test_kernel_scale_cancels_in_ratios(self, workload):
+        doubled = TimingCalibration(
+            kernel_scale=DEFAULT_CALIBRATION.kernel_scale * 2)
+        a = model_elapsed(MI60, workload, "sycl", cal=DEFAULT_CALIBRATION)
+        b = model_elapsed(MI60, workload, "sycl", cal=doubled)
+        assert b.comparer_s == pytest.approx(a.comparer_s * 2)
+
+    def test_opencl_optimized_variants_rejected(self, workload):
+        with pytest.raises(ValueError, match="SYCL"):
+            model_elapsed(MI60, workload, "opencl", variant="opt3")
+
+    def test_unknown_api_rejected(self, workload):
+        with pytest.raises(ValueError, match="unknown api"):
+            model_elapsed(MI60, workload, "cuda")
+
+    def test_trip_count_drives_comparer_time(self):
+        short = make_workload(trips=4.0)
+        long = make_workload(trips=12.0)
+        assert model_elapsed(MI60, long, "sycl").comparer_s > \
+            model_elapsed(MI60, short, "sycl").comparer_s * 1.5
+
+    def test_breakdown_sums_to_elapsed(self, workload):
+        model = model_elapsed(MI100, workload, "sycl")
+        assert model.elapsed_s == pytest.approx(
+            model.finder_s + model.comparer_s + model.transfer_s
+            + model.host_s + model.launch_overhead_s)

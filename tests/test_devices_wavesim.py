@@ -1,0 +1,116 @@
+"""Tests for the discrete wave simulator, including its agreement with
+the analytic timing model on the paper's qualitative claims."""
+
+import pytest
+
+from repro.devices.isa import Opcode, Program
+from repro.devices.wavesim import (DEFAULT_LATENCIES, SimConfig,
+                                   SimResult, simulate, simulate_variant,
+                                   throughput_cycles_per_wave)
+from repro.kernels.variants import VARIANT_ORDER
+
+
+def make_program(*opcodes):
+    program = Program("test")
+    for opcode in opcodes:
+        program.emit(opcode)
+    if opcodes[-1] is not Opcode.END:
+        program.emit(Opcode.END)
+    return program
+
+
+class TestMechanics:
+    def test_single_wave_pure_alu(self):
+        program = make_program(Opcode.VALU, Opcode.VALU, Opcode.SALU)
+        result = simulate(program, SimConfig(waves=1, waves_per_group=1))
+        # 4 + 4 + 1 + 1 (end) issue cycles, no stalls.
+        assert result.total_cycles == 10
+        assert result.stall_cycles == 0
+        assert result.instructions_issued == 4
+
+    def test_waitcnt_blocks_on_memory_latency(self):
+        program = make_program(Opcode.VMEM_LOAD, Opcode.WAITCNT,
+                               Opcode.VALU)
+        result = simulate(program, SimConfig(waves=1, waves_per_group=1))
+        # Load issues (4), waitcnt waits out the 700-cycle latency.
+        assert result.total_cycles >= 700
+        assert result.stall_cycles > 600
+
+    def test_no_waitcnt_no_stall(self):
+        program = make_program(Opcode.VMEM_LOAD, Opcode.VALU)
+        result = simulate(program, SimConfig(waves=1, waves_per_group=1))
+        assert result.total_cycles < 20
+
+    def test_second_wave_hides_latency(self):
+        program = make_program(Opcode.VMEM_LOAD, Opcode.WAITCNT,
+                               Opcode.VALU)
+        one = simulate(program, SimConfig(waves=1, waves_per_group=1))
+        two = simulate(program, SimConfig(waves=2, waves_per_group=1))
+        # Two waves interleave their stalls: far less than 2x one wave.
+        assert two.total_cycles < 1.3 * one.total_cycles
+        assert two.cycles_per_wave < one.cycles_per_wave
+
+    def test_barrier_synchronizes_group(self):
+        program = make_program(Opcode.VMEM_LOAD, Opcode.WAITCNT,
+                               Opcode.BARRIER, Opcode.VALU)
+        result = simulate(program, SimConfig(waves=4, waves_per_group=4))
+        assert result.total_cycles >= 700
+
+    def test_independent_groups_do_not_wait_for_each_other(self):
+        program = make_program(Opcode.BARRIER, Opcode.VALU)
+        grouped = simulate(program, SimConfig(waves=4, waves_per_group=2))
+        assert grouped.total_cycles < 100
+
+    def test_issue_port_is_shared(self):
+        program = make_program(*([Opcode.VALU] * 50))
+        one = simulate(program, SimConfig(waves=1, waves_per_group=1))
+        four = simulate(program, SimConfig(waves=4, waves_per_group=1))
+        # Pure ALU: waves serialize on the issue port.
+        assert four.total_cycles == pytest.approx(4 * one.total_cycles,
+                                                  rel=0.05)
+
+    def test_invalid_wave_count(self):
+        with pytest.raises(ValueError):
+            simulate(make_program(Opcode.VALU), SimConfig(waves=0))
+
+    def test_result_utilization_bounds(self):
+        program = make_program(*([Opcode.VALU] * 20))
+        result = simulate(program, SimConfig(waves=2, waves_per_group=1))
+        assert 0.9 <= result.issue_utilization <= 1.0
+
+
+class TestPaperAgreement:
+    """The simulator must agree with the analytic model's qualitative
+    claims — without sharing any of its calibration."""
+
+    @pytest.fixture(scope="class")
+    def at_four_waves(self):
+        return {v: simulate_variant(v, 4) for v in VARIANT_ORDER}
+
+    def test_optimizations_reduce_cycles(self, at_four_waves):
+        cycles = [at_four_waves[v].cycles_per_wave
+                  for v in ("base", "opt1", "opt2", "opt3")]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_opt4_regresses_at_its_own_occupancy(self):
+        opt3 = throughput_cycles_per_wave("opt3")
+        opt4 = throughput_cycles_per_wave("opt4")
+        assert opt4 > opt3 * 1.15
+
+    def test_opt4_would_win_at_equal_occupancy(self):
+        """The paper's point exactly: opt4's code is better, its
+        occupancy is what kills it."""
+        opt3 = simulate_variant("opt3", 4).cycles_per_wave
+        opt4 = simulate_variant("opt4", 4).cycles_per_wave
+        assert opt4 < opt3
+
+    def test_fewer_waves_cost_more_per_wave(self):
+        for variant in VARIANT_ORDER:
+            two = simulate_variant(variant, 2).cycles_per_wave
+            four = simulate_variant(variant, 4).cycles_per_wave
+            assert two > four
+
+    def test_latency_hiding_improves_utilization(self):
+        one = simulate_variant("opt3", 1)
+        four = simulate_variant("opt3", 4)
+        assert four.issue_utilization > one.issue_utilization

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "off-target sites at or under threshold" in proc.stdout
+    assert "finder selected" in proc.stdout
+
+
+def test_migration_walkthrough():
+    proc = run_example("migration_walkthrough.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "distinct Table I steps exercised: 13" in proc.stdout
+    assert "distinct collapsed steps exercised: 8" in proc.stdout
+    assert "results identical" in proc.stdout
+
+
+def test_offtarget_screen():
+    proc = run_example("offtarget_screen.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "1 exact site(s)" in proc.stdout
+    assert "DNA size=1" in proc.stdout
+    assert "guide ranking" in proc.stdout
+
+
+def test_performance_study():
+    proc = run_example("performance_study.py", "0.0002")
+    assert proc.returncode == 0, proc.stderr
+    for marker in ("Table VIII", "Table IX", "Table X", "Figure 2",
+                   "register/occupancy trade-off"):
+        assert marker in proc.stdout

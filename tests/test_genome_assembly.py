@@ -1,0 +1,141 @@
+"""Unit + property tests for assemblies and device-sized chunking."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.assembly import Assembly, Chromosome
+from repro.genome.fasta import parse_fasta_str
+
+
+def make_assembly(*seqs):
+    return Assembly("t", [Chromosome(f"chr{i}", s)
+                          for i, s in enumerate(seqs)])
+
+
+class TestChromosome:
+    def test_uppercases_soft_masked(self):
+        chrom = Chromosome("x", "acgtN")
+        assert chrom.sequence.tobytes() == b"ACGTN"
+
+    def test_length(self):
+        assert len(Chromosome("x", "ACGT")) == 4
+
+
+class TestAssembly:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Assembly("t", [Chromosome("a", "AC"), Chromosome("a", "GT")])
+
+    def test_lookup_and_contains(self):
+        asm = make_assembly("ACGT", "GGCC")
+        assert "chr0" in asm
+        assert asm["chr1"].sequence.tobytes() == b"GGCC"
+        assert "chrX" not in asm
+
+    def test_total_and_effective_length(self):
+        asm = make_assembly("ACGTNNNN", "GG")
+        assert asm.total_length == 10
+        assert asm.effective_length() == 6
+
+    def test_fetch_window(self):
+        asm = make_assembly("ACGTACGT")
+        assert asm.fetch("chr0", 2, 6).tobytes() == b"GTAC"
+        with pytest.raises(IndexError):
+            asm.fetch("chr0", 5, 100)
+
+    def test_from_dict(self):
+        asm = Assembly.from_dict("d", {"a": "ACG", "b": b"TTT"})
+        assert asm["b"].sequence.tobytes() == b"TTT"
+
+    def test_fasta_roundtrip(self, tmp_path):
+        asm = make_assembly("ACGTACGTAC", "GGGCCC")
+        path = tmp_path / "asm.fa"
+        asm.to_fasta(path)
+        back = Assembly.from_fasta(path, name="t2")
+        assert back.total_length == asm.total_length
+        assert back["chr1"].sequence.tobytes() == b"GGGCCC"
+
+
+class TestChunking:
+    def test_validation(self):
+        asm = make_assembly("ACGT" * 100)
+        with pytest.raises(ValueError, match="pattern length"):
+            list(asm.chunks(100, 0))
+        with pytest.raises(ValueError, match="too small"):
+            list(asm.chunks(10, 8))
+
+    def test_single_chunk_when_fits(self):
+        asm = make_assembly("ACGT" * 10)
+        chunks = list(asm.chunks(1000, 5))
+        assert len(chunks) == 1
+        assert chunks[0].scan_length == 40 - 4
+
+    def test_short_chromosome_skipped(self):
+        asm = make_assembly("ACG")
+        assert list(asm.chunks(100, 5)) == []
+
+    def test_scan_regions_partition_positions(self):
+        """Every site-start position appears in exactly one chunk."""
+        asm = make_assembly("ACGTACGTACGTACGTACGTACGTA")  # 25 bases
+        plen = 4
+        chunks = list(asm.chunks(10, plen))
+        covered = []
+        for chunk in chunks:
+            covered.extend(range(chunk.start,
+                                 chunk.start + chunk.scan_length))
+        assert covered == list(range(25 - plen + 1))
+
+    def test_chunks_carry_full_pattern_context(self):
+        asm = make_assembly("ACGTACGTACGTACGTACGTACGTA")
+        plen = 4
+        for chunk in asm.chunks(10, plen):
+            assert len(chunk.data) >= chunk.scan_length + plen - 1
+
+    def test_chunk_data_matches_chromosome(self):
+        rng = np.random.default_rng(0)
+        seq = rng.choice(np.frombuffer(b"ACGT", dtype=np.uint8), 500)
+        asm = make_assembly(seq)
+        for chunk in asm.chunks(128, 23):
+            np.testing.assert_array_equal(
+                chunk.data,
+                seq[chunk.start:chunk.start + len(chunk.data)])
+
+    def test_chunk_count_helper(self):
+        asm = make_assembly("A" * 1000)
+        assert asm.chunk_count(128, 23) == \
+            len(list(asm.chunks(128, 23)))
+
+
+@settings(max_examples=40)
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=400),
+                     min_size=1, max_size=4),
+    chunk_size=st.integers(min_value=16, max_value=200),
+    plen=st.integers(min_value=1, max_value=8),
+)
+def test_chunking_partition_property(lengths, chunk_size, plen):
+    """For any genome/chunk/pattern combination, scan regions exactly
+    partition the valid site starts of every chromosome."""
+    if chunk_size < 2 * plen:
+        chunk_size = 2 * plen
+    rng = np.random.default_rng(7)
+    bases = np.frombuffer(b"ACGT", dtype=np.uint8)
+    asm = Assembly("p", [
+        Chromosome(f"c{i}", rng.choice(bases, size=n))
+        for i, n in enumerate(lengths)])
+    per_chrom = {c.name: [] for c in asm}
+    for chunk in asm.chunks(chunk_size, plen):
+        per_chrom[chunk.chrom].extend(
+            range(chunk.start, chunk.start + chunk.scan_length))
+        assert chunk.scan_length >= 1
+        assert len(chunk.data) <= chunk_size
+        assert len(chunk.data) >= chunk.scan_length + plen - 1 \
+            or chunk.start + len(chunk.data) == len(asm[chunk.chrom])
+    for chrom in asm:
+        expected = list(range(max(0, len(chrom) - plen + 1))) \
+            if len(chrom) >= plen else []
+        assert per_chrom[chrom.name] == expected

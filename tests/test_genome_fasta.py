@@ -1,0 +1,123 @@
+"""Unit tests for the FASTA parser/writer substrate."""
+
+import gzip
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.fasta import (FastaError, FastaRecord, iter_fasta,
+                                parse_fasta_str, read_fasta,
+                                sequence_to_array, write_fasta)
+
+SIMPLE = """>chr1 primary assembly
+ACGTACGT
+ACGT
+>chr2
+NNNNACGT
+"""
+
+
+class TestParsing:
+    def test_multi_record(self):
+        records = parse_fasta_str(SIMPLE)
+        assert [r.name for r in records] == ["chr1", "chr2"]
+        assert records[0].decode() == "ACGTACGTACGT"
+        assert records[0].description == "primary assembly"
+        assert records[1].decode() == "NNNNACGT"
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = ";; comment\n\n>a\nAC\n\nGT\n;tail\n"
+        records = parse_fasta_str(text)
+        assert records[0].decode() == "ACGT"
+
+    def test_whitespace_inside_sequence_removed(self):
+        records = parse_fasta_str(">a\nAC GT\tAC\n")
+        assert records[0].decode() == "ACGTAC"
+
+    def test_empty_record_allowed(self):
+        records = parse_fasta_str(">empty\n>next\nAC\n")
+        assert len(records[0]) == 0
+        assert records[1].decode() == "AC"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(FastaError, match="before first"):
+            parse_fasta_str("ACGT\n>late\nAC\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaError, match="empty FASTA header"):
+            parse_fasta_str(">\nACGT\n")
+
+    def test_empty_input(self):
+        assert parse_fasta_str("") == []
+
+    def test_streaming_iteration(self):
+        stream = io.StringIO(SIMPLE)
+        names = [r.name for r in iter_fasta(stream)]
+        assert names == ["chr1", "chr2"]
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "g.fa"
+        records = parse_fasta_str(SIMPLE)
+        write_fasta(records, path, line_width=5)
+        back = read_fasta(path)
+        assert [r.decode() for r in back] == [r.decode() for r in records]
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "g.fa.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(SIMPLE)
+        back = read_fasta(path)
+        assert back[0].decode() == "ACGTACGTACGT"
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "g.fa"
+        write_fasta([FastaRecord("x", sequence_to_array("A" * 25))],
+                    path, line_width=10)
+        lines = path.read_text().splitlines()
+        assert lines[1:] == ["A" * 10, "A" * 10, "A" * 5]
+
+    def test_bad_line_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta([], tmp_path / "g.fa", line_width=0)
+
+    def test_description_preserved(self, tmp_path):
+        path = tmp_path / "g.fa"
+        write_fasta([FastaRecord("x", sequence_to_array("AC"),
+                                 "my notes")], path)
+        assert read_fasta(path)[0].description == "my notes"
+
+
+class TestRecord:
+    def test_upper(self):
+        record = FastaRecord("x", sequence_to_array("acgTN"))
+        assert record.upper().decode() == "ACGTN"
+        assert record.decode() == "acgTN", "upper() must not mutate"
+
+    def test_sequence_to_array_forms(self):
+        expected = np.frombuffer(b"ACGT", dtype=np.uint8)
+        np.testing.assert_array_equal(sequence_to_array("ACGT"), expected)
+        np.testing.assert_array_equal(sequence_to_array(b"ACGT"), expected)
+        np.testing.assert_array_equal(sequence_to_array(expected),
+                                      expected)
+
+
+@settings(max_examples=30)
+@given(st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+        st.text(alphabet="ACGTN", min_size=0, max_size=100)),
+    min_size=1, max_size=5, unique_by=lambda t: t[0]))
+def test_roundtrip_property(records):
+    """write -> parse is the identity for any record set."""
+    original = [FastaRecord(name, sequence_to_array(seq))
+                for name, seq in records]
+    out = io.StringIO()
+    write_fasta(original, out, line_width=7)
+    back = parse_fasta_str(out.getvalue())
+    assert [(r.name, r.decode()) for r in back] == \
+        [(r.name, r.decode()) for r in original]

@@ -1,0 +1,83 @@
+"""Tests for sequence statistics (and the synthetic-design numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.genome.statistics import (GapRun, assembly_stats, gap_fraction,
+                                     gc_content, gc_windows, n_runs,
+                                     pam_density)
+from repro.genome.synthetic import synthetic_assembly
+
+
+class TestGC:
+    def test_gc_content_basics(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+        assert gc_content("ACGT") == 0.5
+
+    def test_gaps_excluded(self):
+        assert gc_content("GCNN") == 1.0
+        assert gc_content("NNNN") == 0.0
+
+    def test_gc_windows(self):
+        values = gc_windows("GGGGAAAA", window=4)
+        np.testing.assert_array_equal(values, [1.0, 0.0])
+
+    def test_gc_windows_nan_for_gap_window(self):
+        values = gc_windows("NNNNGGGG", window=4)
+        assert np.isnan(values[0])
+        assert values[1] == 1.0
+
+    def test_gc_windows_validation(self):
+        with pytest.raises(ValueError):
+            gc_windows("ACGT", window=0)
+
+
+class TestGaps:
+    def test_n_runs(self):
+        runs = n_runs("AANNNAANNA")
+        assert runs == [GapRun(2, 3), GapRun(7, 2)]
+        assert runs[0].end == 5
+
+    def test_min_length_filter(self):
+        runs = n_runs("AANNNAANNA", min_length=3)
+        assert runs == [GapRun(2, 3)]
+
+    def test_no_runs(self):
+        assert n_runs("ACGT") == []
+
+    def test_gap_fraction(self):
+        assert gap_fraction("AANN") == 0.5
+        assert gap_fraction("") == 0.0
+
+
+class TestPamDensity:
+    def test_short_pattern(self):
+        # NRG on AGGAGG...: every position followed by {A,G}G qualifies.
+        assert pam_density("AGGAGGAGG", "NRG") > 0.5
+
+    def test_all_n_pattern_matches_everywhere(self):
+        assert pam_density("ACGTACGT", "NNN") == 1.0
+
+    def test_gap_regions_excluded(self):
+        dense = pam_density("AGG" * 20, "NRG")
+        gapped = pam_density("AGG" * 10 + "N" * 30, "NRG")
+        assert gapped < dense
+
+    def test_sequence_shorter_than_pattern(self):
+        assert pam_density("AC", "NNNRG") == 0.0
+
+
+class TestAssemblyStats:
+    def test_synthetic_profiles_have_designed_statistics(self):
+        hg19 = assembly_stats(synthetic_assembly(
+            "hg19", scale=0.0003, chromosomes=["chr1", "chr2"]))
+        hg38 = assembly_stats(synthetic_assembly(
+            "hg38", scale=0.0003, chromosomes=["chr1", "chr2"]))
+        # The DESIGN.md §2 numbers, verified end to end.
+        assert 0.08 < hg19.gap_fraction < 0.13
+        assert hg38.gap_fraction < 0.03
+        assert 0.38 < hg19.gc_content < 0.44
+        assert hg38.pam_density > hg19.pam_density * 1.1
+        assert hg19.largest_gap > 1000
+        assert hg19.chromosome_count == 2

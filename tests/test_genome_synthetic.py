@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic hg19/hg38 stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.genome.synthetic import (HG19_PROFILE, HG19_SIZES,
+                                    HG38_PROFILE, HG38_SIZES,
+                                    HG38_SATELLITE_MONOMER, PROFILES,
+                                    synthesize_chromosome,
+                                    synthetic_assembly)
+
+
+class TestProfiles:
+    def test_real_size_tables(self):
+        assert HG19_SIZES["chr1"] == 249_250_621
+        assert HG38_SIZES["chr1"] == 248_956_422
+        assert len(HG19_SIZES) == 24
+        assert len(HG38_SIZES) == 24
+
+    def test_profile_structure_difference(self):
+        """hg19 carries larger gaps; hg38 replaces them with satellite."""
+        assert HG19_PROFILE.gap_fraction > HG38_PROFILE.gap_fraction
+        assert HG38_PROFILE.satellite_fraction > 0
+        assert HG19_PROFILE.satellite_fraction == 0
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = synthetic_assembly("hg19", scale=0.0001,
+                               chromosomes=["chr21"], seed=1)
+        b = synthetic_assembly("hg19", scale=0.0001,
+                               chromosomes=["chr21"], seed=1)
+        np.testing.assert_array_equal(a["chr21"].sequence,
+                                      b["chr21"].sequence)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_assembly("hg19", scale=0.0001,
+                               chromosomes=["chr21"], seed=1)
+        b = synthetic_assembly("hg19", scale=0.0001,
+                               chromosomes=["chr21"], seed=2)
+        assert not np.array_equal(a["chr21"].sequence,
+                                  b["chr21"].sequence)
+
+    def test_subset_matches_full_generation(self):
+        """Per-chromosome RNG streams: a subset equals the full run."""
+        sub = synthetic_assembly("hg19", scale=0.0001,
+                                 chromosomes=["chr22"], seed=3)
+        full = synthetic_assembly("hg19", scale=0.0001,
+                                  chromosomes=["chr21", "chr22"], seed=3)
+        np.testing.assert_array_equal(sub["chr22"].sequence,
+                                      full["chr22"].sequence)
+
+    def test_sizes_scale(self):
+        asm = synthetic_assembly("hg19", scale=0.0002,
+                                 chromosomes=["chr21"])
+        assert len(asm["chr21"]) == int(HG19_SIZES["chr21"] * 0.0002)
+
+    def test_telomere_gaps_present(self):
+        asm = synthetic_assembly("hg19", scale=0.0002,
+                                 chromosomes=["chr21"])
+        seq = asm["chr21"].sequence
+        assert seq[0] == ord("N")
+        assert seq[-1] == ord("N")
+
+    def test_gap_fractions(self):
+        hg19 = synthetic_assembly("hg19", scale=0.0005,
+                                  chromosomes=["chr1"])
+        hg38 = synthetic_assembly("hg38", scale=0.0005,
+                                  chromosomes=["chr1"])
+        n19 = 1 - hg19.effective_length() / hg19.total_length
+        n38 = 1 - hg38.effective_length() / hg38.total_length
+        assert 0.08 < n19 < 0.13
+        assert 0.005 < n38 < 0.03
+
+    def test_satellite_array_present_in_hg38(self):
+        hg38 = synthetic_assembly("hg38", scale=0.0005,
+                                  chromosomes=["chr1"])
+        text = hg38["chr1"].sequence.tobytes()
+        monomer = HG38_SATELLITE_MONOMER.encode()
+        count = text.count(monomer)
+        expected = int(0.12 * len(text) / len(monomer))
+        assert count > expected * 0.5
+
+    def test_gc_content_realistic(self):
+        asm = synthetic_assembly("hg19", scale=0.0005,
+                                 chromosomes=["chr2"])
+        seq = asm["chr2"].sequence
+        acgt = seq[np.isin(seq, np.frombuffer(b"ACGT", dtype=np.uint8))]
+        gc = np.isin(acgt, np.frombuffer(b"GC", dtype=np.uint8)).mean()
+        assert 0.38 < gc < 0.44
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            synthetic_assembly("hg99")
+
+    def test_unknown_chromosome_rejected(self):
+        with pytest.raises(KeyError, match="no chromosome"):
+            synthetic_assembly("hg19", chromosomes=["chrZ"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            synthetic_assembly("hg19", scale=0)
+
+    def test_too_small_chromosome_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="too small"):
+            synthesize_chromosome("x", 10, PROFILES["hg19"], rng)
+
+    def test_candidate_density_hg38_exceeds_hg19(self):
+        """The workload-relevant property: hg38 yields more candidate
+        sites per scanned position than hg19 (Table VIII's hg38 rows are
+        slower for this reason)."""
+        from repro.core.config import example_request
+        from repro.core.pipeline import search
+        request = example_request()
+        densities = {}
+        for profile in ("hg19", "hg38"):
+            asm = synthetic_assembly(profile, scale=0.0002,
+                                     chromosomes=["chr1", "chr2"])
+            result = search(asm, request, chunk_size=1 << 18)
+            densities[profile] = result.workload.candidate_density
+        assert densities["hg38"] > densities["hg19"] * 1.1

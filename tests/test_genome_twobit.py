@@ -1,0 +1,90 @@
+"""Unit + property tests for the 2-bit encoding substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.fasta import sequence_to_array
+from repro.genome.twobit import (TwoBitSequence, base_at,
+                                 compression_ratio, decode, encode)
+
+
+def seq(text):
+    return sequence_to_array(text)
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        enc = encode(seq("ACGT"))
+        assert decode(enc).tobytes() == b"ACGT"
+
+    def test_lowercase_normalized(self):
+        enc = encode(seq("acgt"))
+        assert decode(enc).tobytes() == b"ACGT"
+
+    def test_n_positions_preserved(self):
+        enc = encode(seq("ACNNGT"))
+        assert decode(enc).tobytes() == b"ACNNGT"
+
+    def test_other_ambiguity_codes_become_n(self):
+        enc = encode(seq("ARYG"))
+        assert decode(enc).tobytes() == b"ANNG"
+
+    def test_empty_sequence(self):
+        enc = encode(seq(""))
+        assert len(enc) == 0
+        assert decode(enc).size == 0
+
+    def test_non_multiple_of_four_lengths(self):
+        for n in range(1, 9):
+            text = ("ACGTN" * 3)[:n]
+            assert decode(encode(seq(text))).tobytes() == \
+                text.replace("N", "N").encode()
+
+    def test_packing_density(self):
+        enc = encode(seq("ACGT" * 1000))
+        assert enc.packed.nbytes == 1000
+        assert enc.n_mask.nbytes == 500
+        assert compression_ratio(enc) > 2.5
+
+
+class TestBaseAt:
+    def test_random_access_matches_decode(self):
+        rng = np.random.default_rng(3)
+        text = rng.choice(np.frombuffer(b"ACGTN", dtype=np.uint8), 97)
+        enc = encode(text)
+        decoded = decode(enc)
+        for index in range(97):
+            assert base_at(enc, index) == decoded[index]
+
+    def test_bounds_checked(self):
+        enc = encode(seq("ACGT"))
+        with pytest.raises(IndexError):
+            base_at(enc, 4)
+        with pytest.raises(IndexError):
+            base_at(enc, -1)
+
+
+@settings(max_examples=60)
+@given(st.text(alphabet="ACGTNacgtn", max_size=300))
+def test_roundtrip_property(text):
+    """decode(encode(x)) == uppercase(x) with non-ACGT mapped to N."""
+    original = seq(text)
+    upper = original.copy()
+    lower = (upper >= ord("a")) & (upper <= ord("z"))
+    upper[lower] -= 32
+    expected = np.where(
+        np.isin(upper, np.frombuffer(b"ACGT", dtype=np.uint8)),
+        upper, np.uint8(ord("N"))).astype(np.uint8)
+    np.testing.assert_array_equal(decode(encode(original)), expected)
+
+
+@settings(max_examples=30)
+@given(st.text(alphabet="ACGTN", min_size=1, max_size=100),
+       st.integers(min_value=0, max_value=99))
+def test_base_at_property(text, index):
+    if index >= len(text):
+        index = index % len(text)
+    enc = encode(seq(text))
+    assert chr(base_at(enc, index)) == text[index]

@@ -1,0 +1,120 @@
+"""Equivalence tests: every kernel variant, both API dialects, both
+execution modes, against the pure-Python oracle.
+
+This is the load-bearing correctness suite: the paper's entire premise is
+that the OpenCL application, the SYCL port, and all four optimization
+levels compute the same result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Query, SearchRequest
+from repro.core.pipeline import (OpenCLCasOffinder, SyclCasOffinder,
+                                 search)
+from repro.core.records import sort_hits
+from repro.core.reference import reference_search
+from repro.genome.assembly import Assembly, Chromosome
+from repro.kernels.variants import VARIANT_ORDER
+
+
+def oracle(assembly, request):
+    return sort_hits(reference_search(
+        assembly, request.pattern,
+        [q.sequence for q in request.queries],
+        [q.max_mismatches for q in request.queries]))
+
+
+@pytest.fixture(scope="module")
+def tiny_truth(tiny_assembly, short_request):
+    return oracle(tiny_assembly, short_request)
+
+
+class TestSyclVariants:
+    @pytest.mark.parametrize("variant", VARIANT_ORDER)
+    def test_interpreted_variant_matches_oracle(self, tiny_assembly,
+                                                short_request,
+                                                tiny_truth, variant):
+        pipeline = SyclCasOffinder(device="MI60", variant=variant,
+                                   chunk_size=256, mode="interpreted",
+                                   work_group_size=16)
+        result = pipeline.search(tiny_assembly, short_request)
+        assert result.sorted_hits() == tiny_truth
+
+    @pytest.mark.parametrize("variant", VARIANT_ORDER)
+    def test_vectorized_variant_matches_oracle(self, tiny_assembly,
+                                               short_request,
+                                               tiny_truth, variant):
+        result = search(tiny_assembly, short_request, api="sycl",
+                        variant=variant, chunk_size=256)
+        assert result.sorted_hits() == tiny_truth
+
+
+class TestOpenCLDialect:
+    def test_interpreted_matches_oracle(self, tiny_assembly,
+                                        short_request, tiny_truth):
+        with OpenCLCasOffinder(device="RVII", chunk_size=256,
+                               mode="interpreted") as pipeline:
+            result = pipeline.search(tiny_assembly, short_request)
+        assert result.sorted_hits() == tiny_truth
+
+    def test_vectorized_matches_oracle(self, tiny_assembly,
+                                       short_request, tiny_truth):
+        result = search(tiny_assembly, short_request, api="opencl",
+                        chunk_size=256)
+        assert result.sorted_hits() == tiny_truth
+
+    def test_opencl_equals_sycl(self, tiny_assembly, short_request):
+        """The migration-preserves-semantics invariant, directly."""
+        ocl = search(tiny_assembly, short_request, api="opencl",
+                     chunk_size=512)
+        sycl = search(tiny_assembly, short_request, api="sycl",
+                      chunk_size=512)
+        assert ocl.sorted_hits() == sycl.sorted_hits()
+
+
+class TestModesAgree:
+    def test_interpreted_equals_vectorized(self, tiny_assembly,
+                                           short_request):
+        interp = SyclCasOffinder(device="MI60", chunk_size=300,
+                                 mode="interpreted",
+                                 work_group_size=8)
+        vector = SyclCasOffinder(device="MI60", chunk_size=300,
+                                 mode="vectorized", work_group_size=8)
+        assert interp.search(tiny_assembly, short_request).sorted_hits() \
+            == vector.search(tiny_assembly, short_request).sorted_hits()
+
+
+SEQS = st.text(alphabet="ACGTN", min_size=30, max_size=160)
+
+
+@settings(max_examples=25, deadline=None)
+@given(genome=SEQS, seed=st.integers(0, 2 ** 16))
+def test_vectorized_matches_oracle_on_random_genomes(genome, seed):
+    """Property: for arbitrary genomes (including N runs) the vectorized
+    pipeline equals the oracle."""
+    rng = np.random.default_rng(seed)
+    bases = np.frombuffer(b"ACGT", dtype=np.uint8)
+    query = rng.choice(bases, size=6).tobytes().decode() + "NN"
+    request = SearchRequest("NNNNNNRG", [Query(query, 3)])
+    assembly = Assembly("rand", [Chromosome("c", genome)])
+    expected = oracle(assembly, request)
+    result = search(assembly, request, chunk_size=64)
+    assert result.sorted_hits() == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(genome=st.text(alphabet="ACGT", min_size=40, max_size=90),
+       variant=st.sampled_from(VARIANT_ORDER))
+def test_interpreted_variants_match_oracle_on_random_genomes(genome,
+                                                             variant):
+    request = SearchRequest("NNNNNNRG",
+                            [Query("GACGTCNN", 2), Query("TTTTTTNN", 3)])
+    assembly = Assembly("rand", [Chromosome("c", genome)])
+    expected = oracle(assembly, request)
+    pipeline = SyclCasOffinder(device="RVII", variant=variant,
+                               chunk_size=48, mode="interpreted",
+                               work_group_size=8)
+    assert pipeline.search(assembly, request).sorted_hits() == expected

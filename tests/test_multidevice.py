@@ -1,0 +1,95 @@
+"""Tests for multi-device execution (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multidevice import (MultiDeviceCasOffinder,
+                                    multi_device_search)
+from repro.core.pipeline import search
+from repro.devices.specs import MI60, MI100, RADEON_VII
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("devices", [
+        ("MI100",),
+        ("MI100", "MI60"),
+        ("MI100", "MI60", "RVII"),
+    ])
+    def test_results_equal_single_device(self, tiny_assembly,
+                                         short_request, devices):
+        baseline = search(tiny_assembly, short_request,
+                          chunk_size=256).sorted_hits()
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=devices, chunk_size=256)
+        assert result.sorted_hits() == baseline
+
+    def test_chunks_are_distributed(self, tiny_assembly, short_request):
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=("MI100", "MI60"),
+                                     chunk_size=256)
+        chunk_counts = [share.chunks for share in result.shares]
+        assert sum(chunk_counts) == search(
+            tiny_assembly, short_request,
+            chunk_size=256).workload.chunk_count
+        assert all(count > 0 for count in chunk_counts)
+        assert abs(chunk_counts[0] - chunk_counts[1]) <= 1
+
+    def test_candidates_conserved(self, tiny_assembly, short_request):
+        single = search(tiny_assembly, short_request, chunk_size=256)
+        multi = multi_device_search(tiny_assembly, short_request,
+                                    devices=("MI100", "MI60", "RVII"),
+                                    chunk_size=256)
+        assert multi.total_candidates == single.workload.candidates
+
+    def test_launches_carry_per_device_records(self, tiny_assembly,
+                                               short_request):
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=("MI100", "MI60"),
+                                     chunk_size=256)
+        assert all(r.api == "sycl" for r in result.launches)
+        assert len(result.launches) > 0
+
+    def test_needs_a_device(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiDeviceCasOffinder(devices=())
+
+    def test_variant_supported(self, tiny_assembly, short_request):
+        baseline = search(tiny_assembly, short_request,
+                          chunk_size=256).sorted_hits()
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=("MI60", "RVII"),
+                                     chunk_size=256, variant="opt3")
+        assert result.sorted_hits() == baseline
+
+
+class TestModeledScaling:
+    def test_two_devices_beat_one_on_kernel_time(self, small_assembly,
+                                                 example_style_request):
+        single = multi_device_search(small_assembly,
+                                     example_style_request,
+                                     devices=("MI60",),
+                                     chunk_size=1 << 15)
+        double = multi_device_search(small_assembly,
+                                     example_style_request,
+                                     devices=("MI60", "MI60"),
+                                     chunk_size=1 << 15)
+        scale = 1000.0
+        one = single.modeled_elapsed([MI60], scale)
+        two = double.modeled_elapsed([MI60, MI60], scale)
+        assert two["parallel"] < one["parallel"]
+
+    def test_spec_count_validated(self, tiny_assembly, short_request):
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=("MI100", "MI60"),
+                                     chunk_size=256)
+        with pytest.raises(ValueError, match="shares"):
+            result.modeled_elapsed([MI100])
+
+    def test_per_device_entries_present(self, tiny_assembly,
+                                        short_request):
+        result = multi_device_search(tiny_assembly, short_request,
+                                     devices=("MI100", "MI60"),
+                                     chunk_size=256)
+        modeled = result.modeled_elapsed([MI100, MI60], 100.0)
+        assert set(modeled) == {"MI100", "MI60", "parallel"}
+        assert all(value > 0 for value in modeled.values())

@@ -1,0 +1,190 @@
+"""Integration tests for the host pipelines: chunking invariance,
+workload accounting, resource hygiene, launch tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Query, SearchRequest
+from repro.core.pipeline import (DEFAULT_CHUNK_SIZE, OpenCLCasOffinder,
+                                 SyclCasOffinder, search)
+from repro.runtime.sycl import Queue
+
+
+class TestChunkingInvariance:
+    @pytest.mark.parametrize("chunk_size", [64, 100, 256, 999, 4096])
+    def test_results_independent_of_chunk_size(self, tiny_assembly,
+                                               short_request,
+                                               chunk_size):
+        baseline = search(tiny_assembly, short_request,
+                          chunk_size=100000).sorted_hits()
+        result = search(tiny_assembly, short_request,
+                        chunk_size=chunk_size)
+        assert result.sorted_hits() == baseline
+
+    def test_positions_scanned_invariant(self, tiny_assembly,
+                                         short_request):
+        plen = short_request.pattern_length
+        expected = sum(max(0, len(c) - plen + 1) for c in tiny_assembly)
+        for chunk_size in (64, 512):
+            result = search(tiny_assembly, short_request,
+                            chunk_size=chunk_size)
+            assert result.workload.positions_scanned == expected
+
+    def test_candidates_invariant_across_chunk_sizes(self, tiny_assembly,
+                                                     short_request):
+        counts = {search(tiny_assembly, short_request,
+                         chunk_size=c).workload.candidates
+                  for c in (64, 256, 2048)}
+        assert len(counts) == 1
+
+
+class TestWorkloadAccounting:
+    def test_strand_candidate_counts(self, small_assembly,
+                                     example_style_request):
+        result = search(small_assembly, example_style_request)
+        workload = result.workload
+        assert workload.candidates > 0
+        assert 0 < workload.candidates_forward <= workload.candidates
+        assert 0 < workload.candidates_reverse <= workload.candidates
+        # flag 0 entries count toward both strands.
+        assert (workload.candidates_forward
+                + workload.candidates_reverse) >= workload.candidates
+
+    def test_query_workloads_populated(self, small_assembly,
+                                       example_style_request):
+        workload = search(small_assembly,
+                          example_style_request).workload
+        assert len(workload.queries) == 2
+        for query_load in workload.queries:
+            assert query_load.checked_forward == 20
+            assert query_load.checked_reverse == 20
+            assert 0 < query_load.avg_trips_forward <= 20
+            assert 0 < query_load.avg_trips_reverse <= 20
+            # Early exit: average trips well under the full 20 checks.
+            assert query_load.avg_trips_forward < 15
+
+    def test_hits_match_query_workload_hits(self, small_assembly,
+                                            example_style_request):
+        result = search(small_assembly, example_style_request)
+        assert sum(q.hits for q in result.workload.queries) == \
+            len(result.hits)
+
+    def test_scaled_profile(self, small_assembly, example_style_request):
+        workload = search(small_assembly, example_style_request,
+                          chunk_size=4096).workload
+        scaled = workload.scaled(100.0)
+        assert scaled.positions_scanned == \
+            workload.positions_scanned * 100
+        assert scaled.candidates == workload.candidates * 100
+        assert scaled.queries[0].candidates == \
+            workload.queries[0].candidates * 100
+        # Intensive quantities preserved.
+        assert scaled.queries[0].avg_trips_forward == \
+            workload.queries[0].avg_trips_forward
+        assert scaled.pattern_length == workload.pattern_length
+        # Chunk count re-derived from capacity, not multiplied blindly.
+        expected_chunks = -(-scaled.positions_scanned
+                            // workload.chunk_capacity)
+        assert scaled.chunk_count == max(1, expected_chunks)
+
+    def test_scaled_rejects_bad_factor(self, small_assembly,
+                                       example_style_request):
+        workload = search(small_assembly, example_style_request).workload
+        with pytest.raises(ValueError):
+            workload.scaled(0)
+
+    def test_summary_keys(self, small_assembly, example_style_request):
+        summary = search(small_assembly,
+                         example_style_request).workload.summary()
+        assert {"dataset", "positions_scanned", "candidates",
+                "candidate_density", "chunks", "queries",
+                "hits"} <= set(summary)
+
+
+class TestLaunchTracing:
+    def test_sycl_launch_records(self, tiny_assembly, short_request):
+        result = search(tiny_assembly, short_request, chunk_size=512)
+        kernels = [r for r in result.launches if r.is_kernel]
+        names = {r.name for r in kernels}
+        assert names == {"finder", "comparer"}
+        finders = [r for r in kernels if r.name == "finder"]
+        assert len(finders) == result.workload.chunk_count
+        for record in kernels:
+            assert record.api == "sycl"
+            assert record.local_size == 256
+
+    def test_opencl_launch_records_runtime_wg(self, tiny_assembly,
+                                              short_request):
+        result = search(tiny_assembly, short_request, api="opencl",
+                        chunk_size=512)
+        kernels = [r for r in result.launches if r.is_kernel]
+        assert kernels, "expected kernel launches"
+        for record in kernels:
+            assert record.api == "opencl"
+            assert record.runtime_chosen_wg
+            assert record.local_size <= 64
+
+    def test_variant_recorded(self, tiny_assembly, short_request):
+        result = search(tiny_assembly, short_request, variant="opt3",
+                        chunk_size=512)
+        comparers = [r for r in result.launches
+                     if r.is_kernel and r.name == "comparer"]
+        assert comparers
+        assert all(r.variant == "opt3" for r in comparers)
+
+
+class TestResourceHygiene:
+    def test_sycl_run_leaves_no_device_allocations(self, tiny_assembly,
+                                                   short_request):
+        queue = Queue("RVII")
+        before = queue.device.memory.leak_report()
+        pipeline = SyclCasOffinder(device=queue, chunk_size=512)
+        pipeline.search(tiny_assembly, short_request)
+        assert queue.device.memory.leak_report() == before
+
+    def test_opencl_run_releases_everything(self, tiny_assembly,
+                                            short_request):
+        with OpenCLCasOffinder(device="MI60",
+                               chunk_size=512) as pipeline:
+            device = pipeline.device
+            pipeline.search(tiny_assembly, short_request)
+            live, _ = device.memory.leak_report()
+            assert live == 0
+
+    def test_release_is_required_api(self, tiny_assembly, short_request):
+        pipeline = OpenCLCasOffinder(device="MI60", chunk_size=512)
+        pipeline.search(tiny_assembly, short_request)
+        pipeline.release()
+        assert not pipeline.program.alive
+        assert not pipeline.queue.alive
+        assert not pipeline.context.alive
+
+
+class TestApiSurface:
+    def test_unknown_api_rejected(self, tiny_assembly, short_request):
+        with pytest.raises(ValueError, match="unknown api"):
+            search(tiny_assembly, short_request, api="cuda")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SyclCasOffinder(mode="jit")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(Exception):
+            OpenCLCasOffinder(device="H100")
+
+    def test_result_metadata(self, tiny_assembly, short_request):
+        result = search(tiny_assembly, short_request, device="RVII",
+                        variant="opt1")
+        assert result.api == "sycl"
+        assert result.variant == "opt1"
+        assert result.work_group_size == 256
+        assert result.wall_time_s > 0
+
+    def test_zero_candidate_chunks_handled(self, short_request):
+        """A genome that is all N produces no candidates anywhere."""
+        from repro.genome.assembly import Assembly, Chromosome
+        assembly = Assembly("n", [Chromosome("c", "N" * 500)])
+        result = search(assembly, short_request, chunk_size=128)
+        assert result.hits == []
+        assert result.workload.candidates == 0

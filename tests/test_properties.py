@@ -1,0 +1,117 @@
+"""Cross-cutting property tests (hypothesis) on runtime invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.executor import LocalDecl, NDRangeExecutor
+from repro.runtime.sycl import (Buffer, NdRange, Queue, sycl_read,
+                                sycl_read_write, sycl_write)
+
+
+@settings(max_examples=40, deadline=None)
+@given(groups=st.integers(1, 12), local=st.integers(1, 16),
+       order=st.sampled_from(["linear", "shuffled"]),
+       seed=st.integers(0, 100))
+def test_every_work_item_runs_exactly_once(groups, local, order, seed):
+    """For any ND-range shape and scheduling order, each global id is
+    visited exactly once."""
+    total = groups * local
+    counts = np.zeros(total, dtype=np.int64)
+
+    def kernel(item, out):
+        out[item.get_global_id(0)] += 1
+
+    executor = NDRangeExecutor(group_order=order, seed=seed)
+    stats = executor.run(kernel, total, local, (counts,))
+    assert (counts == 1).all()
+    assert stats.work_items == total
+    assert stats.work_groups == groups
+
+
+@settings(max_examples=30, deadline=None)
+@given(groups=st.integers(1, 8), local=st.integers(2, 12))
+def test_barrier_reduction_is_exact(groups, local):
+    """A local-memory tree-free reduction after a barrier always sees
+    every lane's contribution."""
+    total = groups * local
+    out = np.zeros(total, dtype=np.int64)
+
+    def kernel(item, result, scratch):
+        li = item.get_local_id(0)
+        scratch[li] = item.get_global_id(0)
+        yield item.barrier()
+        result[item.get_global_id(0)] = sum(
+            int(scratch[k]) for k in range(item.get_local_range(0)))
+
+    NDRangeExecutor().run(kernel, total, local, (out,),
+                          [LocalDecl("scratch", np.int64, local)])
+    for group in range(groups):
+        base = group * local
+        expected = sum(range(base, base + local))
+        assert (out[base:base + local] == expected).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(size=st.integers(1, 64),
+       operations=st.lists(
+           st.tuples(st.sampled_from(["kernel", "host_write",
+                                      "host_read"]),
+                     st.integers(0, 63), st.integers(-50, 50)),
+           min_size=1, max_size=8))
+def test_buffer_coherence_any_interleaving(size, operations):
+    """For any interleaving of kernel writes and host accesses, the
+    buffer behaves like one coherent array."""
+    queue = Queue("MI60")
+    shadow = np.zeros(size, dtype=np.int64)
+    data = np.zeros(size, dtype=np.int64)
+    buf = Buffer(data)
+    wg = 1
+    for op, index, value in operations:
+        index = index % size
+        if op == "kernel":
+            def kernel(item, acc, target=index, delta=value):
+                if item.get_global_id(0) == target:
+                    acc[target] += delta
+
+            queue.submit(lambda h: h.parallel_for(
+                NdRange(size, wg), kernel,
+                args=(buf.get_access(h, sycl_read_write),)))
+            shadow[index] += value
+        elif op == "host_write":
+            buf.get_host_access(sycl_read_write)[index] = value
+            shadow[index] = value
+        else:
+            host = buf.get_host_access(sycl_read)
+            assert host[index] == shadow[index]
+    final = buf.get_host_access(sycl_read)
+    np.testing.assert_array_equal(
+        np.array([final[i] for i in range(size)]), shadow)
+    buf.close()
+    np.testing.assert_array_equal(data, shadow)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 200), block=st.integers(1, 64))
+def test_vectorized_blocks_equal_interpreted(n, block):
+    """run_vectorized with any block size equals interpreted run."""
+    local = 4
+    total = ((n + local - 1) // local) * local
+    a = np.zeros(total, dtype=np.int64)
+    b = np.zeros(total, dtype=np.int64)
+
+    def interp(item, out):
+        gid = item.get_global_id(0)
+        out[gid] = gid * 3 + 1
+
+    def vector(group, out):
+        sl = slice(group.group_start, group.group_start + group.group_size)
+        out[sl] = np.arange(group.group_start,
+                            group.group_start + group.group_size) * 3 + 1
+
+    executor = NDRangeExecutor()
+    executor.run(interp, total, local, (a,))
+    executor.run_vectorized(vector, total, local, (b,),
+                            block_items=block)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Unit tests for off-target hit records and the output format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import reverse_complement
+from repro.core.records import (HEADER, OffTargetHit, read_hits,
+                                sort_hits, write_hits)
+from repro.genome.fasta import sequence_to_array
+
+
+def seq(text):
+    return sequence_to_array(text)
+
+
+class TestFromSite:
+    def test_forward_hit_marks_mismatches_lowercase(self):
+        window = seq("ACGTAGG")
+        query = seq("ACCTNGG")  # mismatch at position 2 only
+        hit = OffTargetHit.from_site("ACCTNGG", "chr1", 10, "+", 1,
+                                     window, query)
+        assert hit.site == "ACgTAGG"
+        assert hit.position == 10
+        assert hit.mismatches == 1
+
+    def test_reverse_hit_displayed_in_query_orientation(self):
+        window = seq("ACGTAGG")
+        rc_query = reverse_complement(seq("CCTNACG"))  # compared vs window
+        hit = OffTargetHit.from_site("CCTNACG", "chr1", 5, "-", None or 0,
+                                     window, rc_query)
+        # Display = revcomp(window), mismatch flags reversed.
+        assert hit.site.upper() == "CCTACGT"
+        assert hit.strand == "-"
+
+    def test_no_mismatch_all_uppercase(self):
+        window = seq("ACGT")
+        hit = OffTargetHit.from_site("ACGT", "c", 0, "+", 0, window,
+                                     seq("ACGT"))
+        assert hit.site == "ACGT"
+
+    def test_n_in_genome_marked_against_concrete_query(self):
+        window = seq("ANGT")
+        hit = OffTargetHit.from_site("ACGT", "c", 0, "+", 1, window,
+                                     seq("ACGT"))
+        # N is not a letter change candidate for lowercase (N stays N).
+        assert hit.site[1] in ("N", "n")
+
+
+class TestIO:
+    def make_hits(self):
+        return [
+            OffTargetHit("ACGT", "chr2", 5, "+", 1, "ACgT"),
+            OffTargetHit("ACGT", "chr1", 9, "-", 0, "ACGT"),
+            OffTargetHit("ACGT", "chr1", 2, "+", 2, "AcgT"),
+        ]
+
+    def test_tsv_roundtrip_stream(self):
+        hits = self.make_hits()
+        out = io.StringIO()
+        write_hits(hits, out)
+        text = out.getvalue()
+        assert text.startswith(HEADER)
+        back = read_hits(io.StringIO(text))
+        assert back == hits
+
+    def test_tsv_roundtrip_file(self, tmp_path):
+        path = tmp_path / "hits.tsv"
+        hits = self.make_hits()
+        write_hits(hits, path)
+        assert read_hits(path) == hits
+
+    def test_header_optional(self):
+        out = io.StringIO()
+        write_hits(self.make_hits(), out, header=False)
+        assert not out.getvalue().startswith("#")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="6 tab-separated"):
+            read_hits(io.StringIO("a\tb\tc\n"))
+
+    def test_sort_hits_canonical(self):
+        ordered = sort_hits(self.make_hits())
+        assert [(h.chrom, h.position) for h in ordered] == \
+            [("chr1", 2), ("chr1", 9), ("chr2", 5)]
+
+    def test_to_tsv_fields(self):
+        hit = OffTargetHit("Q", "chr1", 3, "-", 2, "site")
+        assert hit.to_tsv() == "Q\tchr1\t3\tsite\t-\t2"

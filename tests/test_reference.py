@@ -1,0 +1,97 @@
+"""Tests for the pure-Python oracle on hand-built genomes with planted
+sites — the ground truth everything else is compared against."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import OffTargetHit
+from repro.core.reference import reference_search
+from repro.genome.assembly import Assembly, Chromosome
+
+
+def asm(*seqs):
+    return Assembly("t", [Chromosome(f"chr{i}", s)
+                          for i, s in enumerate(seqs)])
+
+
+class TestPlantedSites:
+    def test_exact_forward_site(self):
+        # Pattern NNNGG, query ACGGG planted at position 2.
+        genome = asm("TTACGGGTT")
+        hits = reference_search(genome, "NNNGG", ["ACGNN"], 0)
+        assert len(hits) == 1
+        hit = hits[0]
+        assert (hit.chrom, hit.position, hit.strand) == ("chr0", 2, "+")
+        assert hit.mismatches == 0
+        assert hit.site == "ACGGG"
+
+    def test_exact_reverse_site(self):
+        # Reverse site: revcomp(CCNNN) = NNNGG; plant CC at start so the
+        # window CCTAA matches the reverse pattern.
+        genome = asm("TTCCTAATT")
+        # Window at pos 2 is CCTAA (matches CCNNN = revcomp pattern);
+        # the query whose revcomp matches it is revcomp(NNTAA) = TTANN.
+        hits = reference_search(genome, "NNNGG", ["TTANN"], 0)
+        rev = [h for h in hits if h.strand == "-"]
+        assert len(rev) == 1
+        assert rev[0].position == 2
+        # Displayed in query orientation: revcomp(CCTAA) = TTAGG.
+        assert rev[0].site.upper() == "TTAGG"
+
+    def test_mismatch_counting_and_threshold(self):
+        genome = asm("TTACGGGTT")
+        # Query differs from site ACG at one checked position.
+        assert reference_search(genome, "NNNGG", ["AGGNN"], 0) == []
+        hits = reference_search(genome, "NNNGG", ["AGGNN"], 1)
+        assert len(hits) == 1
+        assert hits[0].mismatches == 1
+        assert hits[0].site == "AcGGG"
+
+    def test_n_gap_blocks_pam(self):
+        genome = asm("TTACGNGTT")
+        assert reference_search(genome, "NNNGG", ["ACGNN"], 0) == []
+
+    def test_multiple_queries_independent_thresholds(self):
+        genome = asm("TTACGGGTT")
+        hits = reference_search(genome, "NNNGG", ["ACGNN", "AGGNN"],
+                                [0, 0])
+        assert len(hits) == 1
+        hits = reference_search(genome, "NNNGG", ["ACGNN", "AGGNN"],
+                                [0, 1])
+        assert len(hits) == 2
+
+    def test_threshold_count_mismatch_rejected(self):
+        genome = asm("TTACGGGTT")
+        with pytest.raises(ValueError, match="thresholds"):
+            reference_search(genome, "NNNGG", ["ACGNN"], [0, 1])
+
+    def test_query_length_mismatch_rejected(self):
+        genome = asm("TTACGGGTT")
+        with pytest.raises(ValueError, match="length"):
+            reference_search(genome, "NNNGG", ["ACG"], 0)
+
+    def test_multiple_chromosomes(self):
+        genome = asm("TTACGGGTT", "ACGGG")
+        hits = reference_search(genome, "NNNGG", ["ACGNN"], 0)
+        assert {(h.chrom, h.position) for h in hits} == \
+            {("chr0", 2), ("chr1", 0)}
+
+    def test_site_shorter_than_pattern_ignored(self):
+        genome = asm("ACG")
+        assert reference_search(genome, "NNNGG", ["ACGNN"], 0) == []
+
+    def test_palindromic_pam_matches_both_strands(self):
+        # Pattern NCGN matches its own revcomp; a site can hit both.
+        genome = asm("ACGT")
+        hits = reference_search(genome, "NCGN", ["ACGT"], 4)
+        strands = {h.strand for h in hits}
+        assert strands == {"+", "-"}
+
+    def test_early_exit_equals_full_count_for_kept_hits(self):
+        """Kept hits must report the exact mismatch count even though
+        the loop may exit early for discarded ones."""
+        genome = asm("TTACGGGTTTTAAAAGGTT")
+        hits = reference_search(genome, "NNNGG", ["AAANN"], 2)
+        for hit in hits:
+            # Count lowercase letters == reported mismatches.
+            assert sum(c.islower() for c in hit.site) == hit.mismatches

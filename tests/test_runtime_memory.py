@@ -1,0 +1,173 @@
+"""Unit tests for the abstract memory model (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import AddressSpaceViolation, DeviceAllocationError
+from repro.runtime.memory import (AccessMode, AddressSpace,
+                                  DeviceMemoryModel, LocalMemory)
+
+
+@pytest.fixture
+def model():
+    return DeviceMemoryModel(capacity_bytes=1 << 20, name="test")
+
+
+class TestDeviceMemoryModel:
+    def test_allocate_zero_initialized(self, model):
+        alloc = model.allocate(16, np.int32)
+        assert alloc.size == 16
+        assert alloc.nbytes == 64
+        assert (alloc.array == 0).all()
+
+    def test_allocate_with_initial_data_copies(self, model):
+        host = np.arange(8, dtype=np.uint8)
+        alloc = model.allocate(8, np.uint8, initial=host)
+        host[0] = 99
+        assert alloc.array[0] == 0, "device copy must not alias host data"
+
+    def test_capacity_enforced(self, model):
+        with pytest.raises(DeviceAllocationError, match="out of memory"):
+            model.allocate(1 << 21, np.uint8)
+
+    def test_usage_accounting_and_release(self, model):
+        a = model.allocate(100, np.uint8)
+        b = model.allocate(50, np.float64)
+        assert model.used_bytes == 100 + 400
+        model.release(a)
+        assert model.used_bytes == 400
+        model.release(b)
+        assert model.leak_report() == (0, 0)
+
+    def test_peak_tracking(self, model):
+        a = model.allocate(1000, np.uint8)
+        model.release(a)
+        model.allocate(10, np.uint8)
+        assert model.peak_bytes == 1000
+
+    def test_double_release_rejected(self, model):
+        alloc = model.allocate(4, np.uint8)
+        model.release(alloc)
+        with pytest.raises(DeviceAllocationError, match="double release"):
+            model.release(alloc)
+
+    def test_use_after_release_rejected(self, model):
+        alloc = model.allocate(4, np.uint8)
+        view = alloc.view(AccessMode.READ)
+        model.release(alloc)
+        with pytest.raises(AddressSpaceViolation, match="released"):
+            view[0]
+
+    def test_negative_allocation_rejected(self, model):
+        with pytest.raises(DeviceAllocationError):
+            model.allocate(-4, np.uint8)
+
+    def test_local_space_not_device_allocatable(self, model):
+        with pytest.raises(DeviceAllocationError, match="per work-group"):
+            model.allocate(4, np.uint8, AddressSpace.LOCAL)
+
+
+class TestMemoryView:
+    def test_read_write_through_view(self, model):
+        alloc = model.allocate(8, np.int64)
+        view = alloc.view(AccessMode.READ_WRITE)
+        view[3] = 42
+        assert view[3] == 42
+        assert alloc.array[3] == 42
+
+    def test_write_only_view_rejects_reads(self, model):
+        alloc = model.allocate(8, np.int64)
+        view = alloc.view(AccessMode.WRITE)
+        view[0] = 1
+        with pytest.raises(AddressSpaceViolation, match="read"):
+            view[0]
+
+    def test_read_only_view_rejects_writes(self, model):
+        alloc = model.allocate(8, np.int64)
+        view = alloc.view(AccessMode.READ)
+        with pytest.raises(AddressSpaceViolation, match="write"):
+            view[0] = 1
+
+    def test_ranged_view_offsets_indices(self, model):
+        alloc = model.allocate(10, np.int32)
+        alloc.array[:] = np.arange(10)
+        view = alloc.view(AccessMode.READ, offset=4, count=3)
+        assert len(view) == 3
+        assert view[0] == 4
+        assert view[2] == 6
+
+    def test_ranged_view_bounds_checked(self, model):
+        alloc = model.allocate(10, np.int32)
+        view = alloc.view(AccessMode.READ, offset=4, count=3)
+        with pytest.raises(AddressSpaceViolation, match="outside"):
+            view[3]
+        with pytest.raises(AddressSpaceViolation):
+            alloc.view(AccessMode.READ, offset=8, count=5)
+
+    def test_constant_space_rejects_write_views(self, model):
+        alloc = model.allocate(4, np.uint8, AddressSpace.CONSTANT)
+        with pytest.raises(AddressSpaceViolation, match="constant"):
+            alloc.view(AccessMode.READ_WRITE)
+        alloc.view(AccessMode.READ)  # read views are fine
+
+    def test_ndarray_read_only_window_not_writeable(self, model):
+        alloc = model.allocate(4, np.uint8)
+        window = alloc.view(AccessMode.READ).ndarray()
+        with pytest.raises(ValueError):
+            window[0] = 1
+
+    def test_ndarray_writable_window_aliases_storage(self, model):
+        alloc = model.allocate(4, np.uint8)
+        window = alloc.view(AccessMode.READ_WRITE).ndarray()
+        window[2] = 7
+        assert alloc.array[2] == 7
+
+    def test_traffic_counters(self, model):
+        alloc = model.allocate(8, np.int32)
+        view = alloc.view(AccessMode.READ_WRITE)
+        view[0] = 1
+        _ = view[0]
+        _ = view[1]
+        assert alloc.counters.writes == 1
+        assert alloc.counters.reads == 2
+        assert alloc.counters.bytes_written == 4
+        assert alloc.counters.bytes_read == 8
+
+    def test_bulk_traffic_recording(self, model):
+        alloc = model.allocate(8, np.int32)
+        view = alloc.view(AccessMode.READ)
+        view.record_bulk_traffic(bytes_read=32)
+        assert alloc.counters.bytes_read == 32
+        assert alloc.counters.reads == 8
+
+    def test_slice_translation(self, model):
+        alloc = model.allocate(10, np.int32)
+        alloc.array[:] = np.arange(10)
+        view = alloc.view(AccessMode.READ, offset=2, count=6)
+        np.testing.assert_array_equal(view[1:4], [3, 4, 5])
+
+
+class TestLocalMemory:
+    def test_declare_and_access(self):
+        lds = LocalMemory(1024)
+        arr = lds.declare("pat", np.uint8, 64)
+        assert arr.shape == (64,)
+        assert lds["pat"] is arr
+        assert lds.used_bytes == 64
+
+    def test_zero_initialized_per_group(self):
+        lds = LocalMemory(1024)
+        arr = lds.declare("x", np.int32, 4)
+        assert (arr == 0).all()
+
+    def test_capacity_enforced(self):
+        lds = LocalMemory(100)
+        lds.declare("a", np.uint8, 60)
+        with pytest.raises(DeviceAllocationError, match="overflow"):
+            lds.declare("b", np.uint8, 60)
+
+    def test_duplicate_declaration_rejected(self):
+        lds = LocalMemory(1024)
+        lds.declare("a", np.uint8, 4)
+        with pytest.raises(DeviceAllocationError, match="twice"):
+            lds.declare("a", np.uint8, 4)

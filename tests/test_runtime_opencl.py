@@ -1,0 +1,274 @@
+"""Unit tests for the OpenCL-style runtime front-end (the 13 steps)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import (CL_INVALID_ARG_INDEX,
+                                  CL_INVALID_BUFFER_SIZE,
+                                  CL_INVALID_KERNEL_NAME, CLError,
+                                  cl_error_name)
+from repro.runtime.opencl import (CL_DEVICE_TYPE_CPU, CL_DEVICE_TYPE_GPU,
+                                  CL_MEM_COPY_HOST_PTR, CL_MEM_READ_ONLY,
+                                  CL_MEM_READ_WRITE, CL_MEM_WRITE_ONLY,
+                                  KernelDefinition, KernelParam, LocalArg,
+                                  clBuildProgram, clCreateBuffer,
+                                  clCreateCommandQueue, clCreateContext,
+                                  clCreateKernel, clCreateProgram,
+                                  clEnqueueNDRangeKernel,
+                                  clEnqueueReadBuffer,
+                                  clEnqueueWriteBuffer, clFinish,
+                                  clGetDeviceIDs, clGetPlatformIDs,
+                                  clReleaseCommandQueue, clReleaseContext,
+                                  clReleaseKernel, clReleaseMemObject,
+                                  clReleaseProgram, clWaitForEvents)
+
+
+@pytest.fixture
+def ctx_queue():
+    platforms = clGetPlatformIDs(fresh=True)
+    device = clGetDeviceIDs(platforms[0], CL_DEVICE_TYPE_GPU)[0]
+    context = clCreateContext([device])
+    queue = clCreateCommandQueue(context, device)
+    yield context, queue, device
+    clReleaseCommandQueue(queue)
+    clReleaseContext(context)
+
+
+def _double_kernel():
+    def double(cl, data):
+        data[cl.get_global_id(0)] *= 2
+
+    return KernelDefinition(double, [KernelParam("data", "global", "rw")])
+
+
+class TestDiscovery:
+    def test_platforms_expose_paper_gpus(self):
+        platforms = clGetPlatformIDs(fresh=True)
+        gpu_names = {d.spec.short_name
+                     for p in platforms
+                     for d in p.get_devices(CL_DEVICE_TYPE_GPU)}
+        assert gpu_names == {"RVII", "MI60", "MI100"}
+
+    def test_cpu_platform_present(self):
+        platforms = clGetPlatformIDs()
+        cpus = [d for p in platforms
+                for d in p.get_devices(CL_DEVICE_TYPE_CPU)]
+        assert len(cpus) == 1
+
+    def test_device_query_missing_type_raises(self):
+        platforms = clGetPlatformIDs()
+        gpu_platform = platforms[0]
+        with pytest.raises(CLError) as err:
+            clGetDeviceIDs(gpu_platform, CL_DEVICE_TYPE_CPU)
+        assert "CL_DEVICE_NOT_FOUND" in str(err.value)
+
+
+class TestBuffers:
+    def test_create_and_copy_host_ptr(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        host = np.arange(16, dtype=np.int32)
+        mem = clCreateBuffer(context,
+                             CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                             host.nbytes, host)
+        out = np.zeros(16, dtype=np.int32)
+        clEnqueueReadBuffer(queue, mem, out)
+        np.testing.assert_array_equal(out, host)
+        clReleaseMemObject(mem)
+
+    def test_zero_size_rejected(self, ctx_queue):
+        context, _, _ = ctx_queue
+        with pytest.raises(CLError) as err:
+            clCreateBuffer(context, CL_MEM_READ_WRITE, 0)
+        assert err.value.code == CL_INVALID_BUFFER_SIZE
+
+    def test_write_then_read_roundtrip(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 64,
+                             dtype=np.int32)
+        data = np.arange(16, dtype=np.int32)
+        clEnqueueWriteBuffer(queue, mem, data)
+        out = np.zeros(16, dtype=np.int32)
+        clEnqueueReadBuffer(queue, mem, out)
+        np.testing.assert_array_equal(out, data)
+        clReleaseMemObject(mem)
+
+    def test_offset_read(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        data = np.arange(16, dtype=np.int32)
+        mem = clCreateBuffer(context,
+                             CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             data.nbytes, data)
+        out = np.zeros(4, dtype=np.int32)
+        clEnqueueReadBuffer(queue, mem, out, offset_bytes=8 * 4,
+                            size_bytes=4 * 4)
+        np.testing.assert_array_equal(out, [8, 9, 10, 11])
+        clReleaseMemObject(mem)
+
+    def test_release_frees_device_memory(self, ctx_queue):
+        context, _, device = ctx_queue
+        before = device.memory.used_bytes
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 1024)
+        assert device.memory.used_bytes == before + 1024
+        clReleaseMemObject(mem)
+        assert device.memory.used_bytes == before
+
+    def test_misaligned_size_rejected(self, ctx_queue):
+        context, _, _ = ctx_queue
+        with pytest.raises(CLError):
+            clCreateBuffer(context, CL_MEM_READ_WRITE, 7, dtype=np.int32)
+
+
+class TestProgramsAndKernels:
+    def test_kernel_requires_built_program(self, ctx_queue):
+        context, _, _ = ctx_queue
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        with pytest.raises(CLError, match="not built"):
+            clCreateKernel(program, "double")
+        clReleaseProgram(program)
+
+    def test_unknown_kernel_name(self, ctx_queue):
+        context, _, _ = ctx_queue
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program)
+        with pytest.raises(CLError) as err:
+            clCreateKernel(program, "nope")
+        assert err.value.code == CL_INVALID_KERNEL_NAME
+        clReleaseProgram(program)
+
+    def test_arg_index_checked(self, ctx_queue):
+        context, _, _ = ctx_queue
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "double")
+        with pytest.raises(CLError) as err:
+            kernel.set_arg(5, 1)
+        assert err.value.code == CL_INVALID_ARG_INDEX
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+    def test_launch_with_unset_args_rejected(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "double")
+        with pytest.raises(CLError, match="args not set"):
+            clEnqueueNDRangeKernel(queue, kernel, 16, 16)
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+    def test_scalar_arg_rejects_buffer(self, ctx_queue):
+        context, _, _ = ctx_queue
+        definition = KernelDefinition(
+            lambda cl, n: None, [KernelParam("n", "scalar")])
+        program = clCreateProgram(context, {"k": definition})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "k")
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 4)
+        with pytest.raises(CLError, match="scalar"):
+            kernel.set_arg(0, mem)
+        clReleaseMemObject(mem)
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+    def test_local_arg_requires_localarg(self, ctx_queue):
+        context, _, _ = ctx_queue
+        definition = KernelDefinition(
+            lambda cl, l: None, [KernelParam("l", "local")])
+        program = clCreateProgram(context, {"k": definition})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "k")
+        with pytest.raises(CLError, match="LocalArg"):
+            kernel.set_arg(0, 4)
+        kernel.set_arg(0, LocalArg(np.uint8, 16))
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+
+class TestExecution:
+    def test_end_to_end_kernel(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        host = np.arange(32, dtype=np.int32)
+        mem = clCreateBuffer(context,
+                             CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                             host.nbytes, host)
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program, "-O3")
+        kernel = clCreateKernel(program, "double")
+        kernel.set_arg(0, mem)
+        event = clEnqueueNDRangeKernel(queue, kernel, 32, 8)
+        clWaitForEvents([event])
+        clFinish(queue)
+        out = np.zeros(32, dtype=np.int32)
+        clEnqueueReadBuffer(queue, mem, out)
+        np.testing.assert_array_equal(out, host * 2)
+        assert event.stats.work_groups == 4
+        for release, obj in ((clReleaseMemObject, mem),
+                             (clReleaseKernel, kernel),
+                             (clReleaseProgram, program)):
+            release(obj)
+
+    def test_runtime_chosen_work_group_size_divides(self, ctx_queue):
+        context, queue, device = ctx_queue
+        host = np.zeros(96, dtype=np.int32)
+        mem = clCreateBuffer(context,
+                             CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                             host.nbytes, host)
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "double")
+        kernel.set_arg(0, mem)
+        event = clEnqueueNDRangeKernel(queue, kernel, 96, None)
+        assert 96 % event.stats.work_group_size == 0
+        record = queue.launches[-1]
+        assert record.runtime_chosen_wg
+        clReleaseMemObject(mem)
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+    def test_explicit_non_dividing_size_rejected(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 40,
+                             dtype=np.int32)
+        program = clCreateProgram(context, {"double": _double_kernel()})
+        clBuildProgram(program)
+        kernel = clCreateKernel(program, "double")
+        kernel.set_arg(0, mem)
+        with pytest.raises(CLError, match="does not divide"):
+            clEnqueueNDRangeKernel(queue, kernel, 10, 4)
+        clReleaseMemObject(mem)
+        clReleaseKernel(kernel)
+        clReleaseProgram(program)
+
+    def test_launch_records_accumulate(self, ctx_queue):
+        context, queue, _ = ctx_queue
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 64,
+                             dtype=np.int32)
+        clEnqueueWriteBuffer(queue, mem, np.zeros(16, dtype=np.int32))
+        out = np.zeros(16, dtype=np.int32)
+        clEnqueueReadBuffer(queue, mem, out)
+        kinds = [r.kind for r in queue.launches]
+        assert kinds == ["h2d", "d2h"]
+        assert queue.launches[0].bytes_moved == 64
+        clReleaseMemObject(mem)
+
+
+class TestRefCounting:
+    def test_double_release_rejected(self, ctx_queue):
+        context, _, _ = ctx_queue
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 16)
+        clReleaseMemObject(mem)
+        with pytest.raises(CLError):
+            clReleaseMemObject(mem)
+
+    def test_retain_extends_lifetime(self, ctx_queue):
+        context, _, _ = ctx_queue
+        mem = clCreateBuffer(context, CL_MEM_READ_WRITE, 16)
+        mem.retain()
+        clReleaseMemObject(mem)
+        assert mem.alive
+        clReleaseMemObject(mem)
+        assert not mem.alive
+
+    def test_error_names(self):
+        assert cl_error_name(-61) == "CL_INVALID_BUFFER_SIZE"
+        assert "UNKNOWN" in cl_error_name(-9999)

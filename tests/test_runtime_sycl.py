@@ -1,0 +1,407 @@
+"""Unit tests for the SYCL-style runtime front-end (the 8 steps)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import (SYCLAccessorError, SYCLInvalidParameter,
+                                  SYCLNDRangeError, SYCLRuntimeError)
+from repro.runtime.sycl import (AtomicRef, Buffer, LocalAccessor, NdRange,
+                                Queue, Range, SyclDevice, atomic_inc,
+                                cpu_selector, default_selector,
+                                get_devices, gpu_selector, named_selector,
+                                select_device, sycl_read,
+                                sycl_read_write, sycl_write,
+                                TARGET_CONSTANT)
+
+
+class TestRanges:
+    def test_range_basic(self):
+        r = Range(8)
+        assert r.dimensions == 1
+        assert r.get(0) == 8
+        assert r.size() == 8
+        assert list(r) == [8]
+
+    def test_range_multi_dim(self):
+        r = Range(4, 5, 6)
+        assert r.dimensions == 3
+        assert r.size() == 120
+        assert r[2] == 6
+
+    def test_range_rejects_bad_dims(self):
+        with pytest.raises(SYCLNDRangeError):
+            Range()
+        with pytest.raises(SYCLNDRangeError):
+            Range(1, 2, 3, 4)
+        with pytest.raises(SYCLNDRangeError):
+            Range(-1)
+
+    def test_range_equality_and_hash(self):
+        assert Range(4, 4) == Range(4, 4)
+        assert Range(4) == (4,)
+        assert hash(Range(3)) == hash(Range(3))
+
+    def test_nd_range_divisibility_enforced(self):
+        NdRange(Range(64), Range(8))
+        with pytest.raises(SYCLNDRangeError, match="divide"):
+            NdRange(Range(60), Range(8))
+
+    def test_nd_range_dimension_mismatch(self):
+        with pytest.raises(SYCLNDRangeError, match="dimensionality"):
+            NdRange(Range(8, 8), Range(8))
+
+    def test_nd_range_group_range(self):
+        nd = NdRange(Range(64), Range(8))
+        assert nd.get_group_range() == Range(8)
+
+    def test_nd_range_accepts_ints(self):
+        nd = NdRange(16, 4)
+        assert nd.get_global_range() == Range(16)
+
+
+class TestSelectors:
+    def test_default_selector_picks_biggest_gpu(self):
+        device = select_device(None)
+        assert device.short_name == "MI100"
+
+    def test_gpu_selector(self):
+        assert select_device(gpu_selector).is_gpu
+
+    def test_cpu_selector(self):
+        assert select_device(cpu_selector).is_cpu
+
+    def test_named_selector(self):
+        assert select_device("MI60").short_name == "MI60"
+
+    def test_rejecting_selector_raises(self):
+        with pytest.raises(SYCLRuntimeError, match="no device"):
+            select_device(lambda d: -1)
+
+    def test_custom_scoring_selector(self):
+        smallest = select_device(
+            lambda d: 1_000_000 - d.spec.cores if d.is_gpu else -1)
+        assert smallest.short_name == "RVII"
+
+    def test_device_instance_passthrough(self):
+        device = get_devices()[0]
+        assert select_device(device) is device
+
+
+class TestBuffer:
+    def test_size_only_construction(self):
+        buf = Buffer(count=16, dtype=np.int32)
+        assert buf.count == 16
+        assert buf.nbytes == 64
+        buf.close()
+
+    def test_requires_count_and_dtype_without_host(self):
+        with pytest.raises(SYCLInvalidParameter):
+            Buffer(count=16)
+        with pytest.raises(SYCLInvalidParameter):
+            Buffer(dtype=np.int32)
+
+    def test_host_construction_checks_consistency(self):
+        data = np.zeros(4, dtype=np.int32)
+        with pytest.raises(SYCLInvalidParameter):
+            Buffer(data, count=5)
+        with pytest.raises(SYCLInvalidParameter):
+            Buffer(data, dtype=np.int64)
+        with pytest.raises(SYCLInvalidParameter):
+            Buffer(np.zeros((2, 2)))
+
+    def test_write_back_on_close(self):
+        queue = Queue("MI60")
+        data = np.arange(8, dtype=np.int64)
+        buf = Buffer(data)
+
+        def kernel(item, acc):
+            acc[item.get_global_id(0)] += 10
+
+        queue.submit(lambda h: h.parallel_for(
+            NdRange(8, 4), kernel,
+            args=(buf.get_access(h, sycl_read_write),)))
+        assert data[0] == 0, "write-back happens at destruction, not before"
+        buf.close()
+        np.testing.assert_array_equal(data, np.arange(8) + 10)
+
+    def test_write_back_disabled(self):
+        queue = Queue("MI60")
+        data = np.zeros(4, dtype=np.int64)
+        buf = Buffer(data, write_back=False)
+        queue.submit(lambda h: h.parallel_for(
+            NdRange(4, 4),
+            lambda item, acc: acc.__setitem__(item.get_global_id(0), 5),
+            args=(buf.get_access(h, sycl_write),)))
+        buf.close()
+        assert (data == 0).all()
+
+    def test_context_manager_closes(self):
+        data = np.zeros(4, dtype=np.int64)
+        with Buffer(data) as buf:
+            assert not buf.closed
+        assert buf.closed
+
+    def test_close_idempotent(self):
+        buf = Buffer(count=4, dtype=np.int8)
+        buf.close()
+        buf.close()
+
+    def test_use_after_close_rejected(self):
+        queue = Queue("MI60")
+        buf = Buffer(count=4, dtype=np.int8)
+        buf.close()
+        with pytest.raises(SYCLInvalidParameter, match="after destruction"):
+            queue.submit(lambda h: buf.get_access(h, sycl_read))
+
+    def test_close_releases_device_memory(self):
+        queue = Queue("RVII")
+        before = queue.device.memory.used_bytes
+        buf = Buffer(count=1024, dtype=np.uint8)
+        queue.submit(lambda h: buf.get_access(h, sycl_read))
+        assert queue.device.memory.used_bytes > before
+        buf.close()
+        assert queue.device.memory.used_bytes == before
+
+    def test_host_accessor_sees_device_writes(self):
+        queue = Queue("MI60")
+        buf = Buffer(count=4, dtype=np.int64)
+        queue.submit(lambda h: h.parallel_for(
+            NdRange(4, 4),
+            lambda item, acc: acc.__setitem__(item.get_global_id(0),
+                                              item.get_global_id(0) * 3),
+            args=(buf.get_access(h, sycl_write),)))
+        host = buf.get_host_access(sycl_read)
+        assert [host[i] for i in range(4)] == [0, 3, 6, 9]
+        buf.close()
+
+    def test_host_write_visible_to_next_kernel(self):
+        queue = Queue("MI60")
+        buf = Buffer(count=4, dtype=np.int64)
+        host = buf.get_host_access(sycl_read_write)
+        host[2] = 21
+        out = np.zeros(4, dtype=np.int64)
+        with Buffer(out) as out_buf:
+            def kernel(item, src, dst):
+                gid = item.get_global_id(0)
+                dst[gid] = src[gid] * 2
+
+            queue.submit(lambda h: h.parallel_for(
+                NdRange(4, 4), kernel,
+                args=(buf.get_access(h, sycl_read),
+                      out_buf.get_access(h, sycl_write))))
+        assert out[2] == 42
+        buf.close()
+
+
+class TestAccessors:
+    def test_unbound_accessor_rejected(self):
+        buf = Buffer(count=4, dtype=np.int8)
+        from repro.runtime.sycl.accessor import Accessor
+        acc = Accessor(buf, sycl_read)
+        with pytest.raises(SYCLAccessorError, match="outside a command"):
+            acc[0]
+        buf.close()
+
+    def test_constant_target_must_be_read_only(self):
+        buf = Buffer(count=4, dtype=np.int8)
+        from repro.runtime.sycl.accessor import Accessor
+        with pytest.raises(SYCLAccessorError, match="read-only"):
+            Accessor(buf, sycl_write, TARGET_CONSTANT)
+        buf.close()
+
+    def test_ranged_accessor_bounds(self):
+        buf = Buffer(np.arange(10, dtype=np.int32))
+        queue = Queue("MI60")
+        collected = []
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_read, count=3, offset=4)
+            collected.append((len(acc), acc[0], acc.get_offset()))
+
+        queue.submit(cg)
+        assert collected == [(3, 4, 4)]
+        buf.close()
+
+    def test_ranged_accessor_overflow_rejected(self):
+        buf = Buffer(count=10, dtype=np.int32)
+        queue = Queue("MI60")
+        with pytest.raises(SYCLAccessorError, match="exceeds"):
+            queue.submit(
+                lambda h: buf.get_access(h, sycl_read, count=8, offset=4))
+        buf.close()
+
+    def test_read_accessor_data_not_writeable(self):
+        buf = Buffer(np.arange(4, dtype=np.int32))
+        queue = Queue("MI60")
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_read)
+            with pytest.raises(ValueError):
+                acc.data[0] = 9
+
+        queue.submit(cg)
+        buf.close()
+
+    def test_local_accessor_validation(self):
+        with pytest.raises(SYCLAccessorError):
+            LocalAccessor(np.uint8, 0)
+        acc = LocalAccessor(np.int32, 16)
+        assert acc.nbytes == 64
+
+
+class TestHandlerAndQueue:
+    def test_copy_device_to_host(self):
+        queue = Queue("MI60")
+        buf = Buffer(np.arange(8, dtype=np.int32))
+        out = np.zeros(8, dtype=np.int32)
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_read)
+            h.copy(acc, out)
+
+        queue.submit(cg).wait()
+        np.testing.assert_array_equal(out, np.arange(8))
+        buf.close()
+
+    def test_copy_host_to_device_with_offset(self):
+        """Table III's ranged write path."""
+        queue = Queue("MI60")
+        buf = Buffer(np.zeros(8, dtype=np.int32))
+        src = np.array([7, 8, 9], dtype=np.int32)
+
+        def write_cg(h):
+            acc = buf.get_access(h, sycl_write, count=3, offset=2)
+            h.copy(src, acc)
+
+        queue.submit(write_cg).wait()
+        host = buf.get_host_access(sycl_read)
+        assert [host[i] for i in range(8)] == [0, 0, 7, 8, 9, 0, 0, 0]
+        buf.close()
+
+    def test_copy_type_checking(self):
+        queue = Queue("MI60")
+        buf = Buffer(np.zeros(4, dtype=np.int32))
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_write)
+            h.copy(acc, np.zeros(4, dtype=np.int32))
+
+        with pytest.raises(SYCLInvalidParameter, match="readable"):
+            queue.submit(cg)
+        buf.close()
+
+    def test_one_command_per_group(self):
+        queue = Queue("MI60")
+        buf = Buffer(np.zeros(4, dtype=np.int32))
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_read)
+            h.copy(acc, np.zeros(4, dtype=np.int32))
+            h.copy(acc, np.zeros(4, dtype=np.int32))
+
+        with pytest.raises(SYCLRuntimeError, match="one command"):
+            queue.submit(cg)
+        buf.close()
+
+    def test_single_task(self):
+        queue = Queue("MI60")
+        out = []
+        queue.submit(lambda h: h.single_task(lambda: out.append(1)))
+        assert out == [1]
+
+    def test_empty_command_group(self):
+        queue = Queue("MI60")
+        event = queue.submit(lambda h: None)
+        assert event.command == "empty"
+
+    def test_event_profiling_info(self):
+        queue = Queue("MI60")
+        buf = Buffer(np.zeros(4, dtype=np.int32))
+        event = queue.submit(lambda h: h.parallel_for(
+            NdRange(4, 4), lambda item, a: None,
+            args=(buf.get_access(h, sycl_read),)))
+        start = event.get_profiling_info("command_start")
+        end = event.get_profiling_info("command_end")
+        assert end >= start
+        with pytest.raises(SYCLInvalidParameter):
+            event.get_profiling_info("bogus")
+        buf.close()
+
+    def test_local_accessor_positional_args(self):
+        """Locals resolve to per-group arrays, in declaration order."""
+        queue = Queue("MI60")
+        out = np.zeros(8, dtype=np.int64)
+        buf = Buffer(out, write_back=True)
+
+        def kernel(item, acc, scratch_a, scratch_b):
+            li = item.get_local_id(0)
+            scratch_a[li] = li
+            scratch_b[li] = 10 * li
+            yield item.barrier()
+            acc[item.get_global_id(0)] = scratch_a[li] + scratch_b[li]
+
+        def cg(h):
+            acc = buf.get_access(h, sycl_write)
+            a = LocalAccessor(np.int64, 4, h)
+            b = LocalAccessor(np.int64, 4, h)
+            h.parallel_for(NdRange(8, 4), kernel, args=(acc, a, b))
+
+        queue.submit(cg)
+        buf.close()
+        np.testing.assert_array_equal(out, [0, 11, 22, 33, 0, 11, 22, 33])
+
+    def test_nd_range_must_be_1d(self):
+        queue = Queue("MI60")
+        with pytest.raises(SYCLInvalidParameter, match="1-D"):
+            queue.submit(lambda h: h.parallel_for(
+                NdRange(Range(4, 4), Range(2, 2)), lambda item: None))
+
+
+class TestAtomics:
+    def test_atomic_ref_operations(self):
+        arr = np.array([10], dtype=np.int64)
+        ref = AtomicRef(arr, 0)
+        assert ref.fetch_add(5) == 10
+        assert ref.load() == 15
+        assert ref.exchange(3) == 15
+        assert ref.fetch_sub(1) == 3
+        assert ref.fetch_max(100) == 2
+        assert ref.fetch_min(-1) == 100
+        assert ref.compare_exchange_strong(-1, 7)
+        assert not ref.compare_exchange_strong(0, 9)
+        assert arr[0] == 7
+
+    def test_atomic_ref_validates_parameters(self):
+        arr = np.zeros(1, dtype=np.int64)
+        with pytest.raises(SYCLInvalidParameter):
+            AtomicRef(arr, 0, memory_order="bogus")
+        with pytest.raises(SYCLInvalidParameter):
+            AtomicRef(arr, 0, memory_scope="bogus")
+        with pytest.raises(SYCLInvalidParameter):
+            AtomicRef(arr, 0, address_space="bogus")
+        with pytest.raises(SYCLInvalidParameter):
+            AtomicRef([0], 0)
+
+    def test_atomic_inc_returns_old_value(self):
+        arr = np.zeros(1, dtype=np.uint32)
+        assert atomic_inc(arr, 0) == 0
+        assert atomic_inc(arr, 0) == 1
+        assert arr[0] == 2
+
+    def test_atomic_inc_unique_slots_across_group_orders(self):
+        """The paper: update order is non-deterministic, but every
+        work-item gets a unique slot."""
+        from repro.runtime.executor import NDRangeExecutor
+
+        def kernel(item, counter, slots):
+            old = atomic_inc(counter, 0)
+            slots[old] = item.get_global_id(0)
+
+        for order, seed in (("linear", 0), ("shuffled", 1),
+                            ("shuffled", 2)):
+            counter = np.zeros(1, dtype=np.int64)
+            slots = np.full(64, -1, dtype=np.int64)
+            ex = NDRangeExecutor(group_order=order, seed=seed)
+            ex.run(kernel, 64, 8, (counter, slots))
+            assert counter[0] == 64
+            assert sorted(slots.tolist()) == list(range(64))

@@ -1,0 +1,161 @@
+"""Tests for unified shared memory (the SYCL abstraction the paper
+names but does not migrate to — Section III.A)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import (SYCLInvalidParameter,
+                                  SYCLMemoryAllocationError)
+from repro.runtime.sycl import (NdRange, Queue, Range, UsmKind,
+                                UsmPointer, free, malloc_device,
+                                malloc_host, malloc_shared)
+
+
+@pytest.fixture
+def queue():
+    return Queue("MI60")
+
+
+class TestAllocation:
+    def test_kinds(self, queue):
+        device = malloc_device(8, np.int32, queue)
+        host = malloc_host(8, np.int32, queue)
+        shared = malloc_shared(8, np.int32, queue)
+        assert device.kind is UsmKind.DEVICE
+        assert host.kind is UsmKind.HOST
+        assert shared.kind is UsmKind.SHARED
+        for pointer in (device, host, shared):
+            assert len(pointer) == 8
+            assert pointer.nbytes == 32
+            pointer.free()
+
+    def test_device_and_shared_charged_to_device(self, queue):
+        before = queue.device.memory.used_bytes
+        device = malloc_device(1024, np.uint8, queue)
+        shared = malloc_shared(1024, np.uint8, queue)
+        assert queue.device.memory.used_bytes == before + 2048
+        host = malloc_host(1024, np.uint8, queue)
+        assert queue.device.memory.used_bytes == before + 2048
+        for pointer in (device, shared, host):
+            pointer.free()
+        assert queue.device.memory.used_bytes == before
+
+    def test_bad_count_rejected(self, queue):
+        with pytest.raises(SYCLMemoryAllocationError):
+            malloc_device(0, np.int32, queue)
+
+    def test_accepts_device_directly(self, queue):
+        pointer = malloc_device(4, np.int8, queue.device)
+        pointer.free()
+
+    def test_rejects_non_queue(self):
+        with pytest.raises(SYCLInvalidParameter):
+            malloc_device(4, np.int8, "MI60")
+
+
+class TestAccessRules:
+    def test_device_pointer_host_dereference_rejected(self, queue):
+        pointer = malloc_device(4, np.int32, queue)
+        with pytest.raises(SYCLInvalidParameter, match="host deref"):
+            pointer[0]
+        pointer.free()
+
+    def test_host_and_shared_dereference_allowed(self, queue):
+        for factory in (malloc_host, malloc_shared):
+            pointer = factory(4, np.int32, queue)
+            pointer[1] = 5
+            assert pointer[1] == 5
+            pointer.free()
+
+    def test_use_after_free_rejected(self, queue):
+        pointer = malloc_shared(4, np.int32, queue)
+        free(pointer)
+        with pytest.raises(SYCLInvalidParameter, match="freed"):
+            pointer[0]
+        with pytest.raises(SYCLInvalidParameter, match="freed"):
+            pointer.free()
+
+
+class TestQueueOperations:
+    def test_memcpy_roundtrip_through_device(self, queue):
+        data = np.arange(16, dtype=np.int64)
+        pointer = malloc_device(16, np.int64, queue)
+        queue.memcpy(pointer, data)
+        out = np.zeros(16, dtype=np.int64)
+        queue.memcpy(out, pointer)
+        np.testing.assert_array_equal(out, data)
+        pointer.free()
+
+    def test_memcpy_partial_count(self, queue):
+        pointer = malloc_device(8, np.int32, queue)
+        queue.memcpy(pointer, np.arange(8, dtype=np.int32))
+        out = np.full(8, -1, dtype=np.int32)
+        queue.memcpy(out, pointer, count=3)
+        np.testing.assert_array_equal(out, [0, 1, 2, -1, -1, -1, -1, -1])
+        pointer.free()
+
+    def test_memcpy_overflow_rejected(self, queue):
+        pointer = malloc_device(4, np.int32, queue)
+        with pytest.raises(SYCLInvalidParameter, match="exceeds"):
+            queue.memcpy(pointer, np.zeros(2, dtype=np.int32), count=8)
+        pointer.free()
+
+    def test_memcpy_records_transfers(self, queue):
+        pointer = malloc_device(4, np.int32, queue)
+        queue.memcpy(pointer, np.zeros(4, dtype=np.int32))
+        assert queue.launches[-1].kind == "h2d"
+        out = np.zeros(4, dtype=np.int32)
+        queue.memcpy(out, pointer)
+        assert queue.launches[-1].kind == "d2h"
+        pointer.free()
+
+    def test_fill_and_memset(self, queue):
+        pointer = malloc_shared(4, np.int32, queue)
+        queue.fill(pointer, 7)
+        assert [pointer[i] for i in range(4)] == [7, 7, 7, 7]
+        queue.memset(pointer, 0)
+        assert [pointer[i] for i in range(4)] == [0, 0, 0, 0]
+        pointer.free()
+
+    def test_queue_parallel_for_shortcut(self, queue):
+        pointer = malloc_shared(8, np.int64, queue)
+        queue.fill(pointer, 1)
+
+        def kernel(item, data):
+            data[item.get_global_id(0)] *= item.get_global_id(0)
+
+        queue.parallel_for(NdRange(8, 4), kernel, args=(pointer,))
+        assert [pointer[i] for i in range(8)] == list(range(8))
+        pointer.free()
+
+
+class TestUsmPipeline:
+    def test_usm_pipeline_equals_buffer_pipeline(self, tiny_assembly,
+                                                 short_request):
+        from repro.core.pipeline import search
+        buffers = search(tiny_assembly, short_request,
+                         chunk_size=512).sorted_hits()
+        usm = search(tiny_assembly, short_request, api="sycl-usm",
+                     chunk_size=512).sorted_hits()
+        assert usm == buffers
+
+    def test_usm_pipeline_interpreted_mode(self, tiny_assembly,
+                                           short_request):
+        from repro.core.pipeline import SyclUsmCasOffinder, search
+        baseline = search(tiny_assembly, short_request,
+                          chunk_size=512).sorted_hits()
+        pipeline = SyclUsmCasOffinder(chunk_size=512,
+                                      mode="interpreted",
+                                      work_group_size=16)
+        assert pipeline.search(tiny_assembly,
+                               short_request).sorted_hits() == baseline
+
+    def test_usm_pipeline_frees_everything(self, tiny_assembly,
+                                           short_request):
+        from repro.core.pipeline import SyclUsmCasOffinder
+        from repro.runtime.sycl import Queue as SyclQueue
+        queue = SyclQueue("RVII")
+        before = queue.device.memory.leak_report()
+        pipeline = SyclUsmCasOffinder(device=queue, chunk_size=512)
+        pipeline.search(tiny_assembly, short_request)
+        assert queue.device.memory.leak_report() == before

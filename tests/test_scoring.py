@@ -1,0 +1,107 @@
+"""Tests for the MIT off-target scoring scheme."""
+
+import pytest
+
+from repro.core.records import OffTargetHit
+from repro.core.scoring import (GUIDE_LENGTH, MIT_WEIGHTS, GuideReport,
+                                ScoringError, aggregate_specificity,
+                                mismatch_positions, mit_site_score,
+                                rank_guides, score_hit)
+
+
+def hit(site: str, mismatches: int, query: str = "Q") -> OffTargetHit:
+    return OffTargetHit(query=query, chrom="chr1", position=0,
+                        strand="+", mismatches=mismatches, site=site)
+
+
+class TestSiteScore:
+    def test_exact_match_scores_100(self):
+        assert mit_site_score([]) == 100.0
+
+    def test_single_mismatch_uses_weight(self):
+        # Position 13 has weight 0.851 -> score 14.9.
+        assert mit_site_score([13]) == pytest.approx(14.9, abs=0.01)
+        # Position 0 has weight 0 -> no penalty from the product term.
+        assert mit_site_score([0]) == 100.0
+
+    def test_pam_proximal_mismatches_hurt_more(self):
+        assert mit_site_score([19]) < mit_site_score([2])
+
+    def test_more_mismatches_score_lower(self):
+        assert mit_site_score([5, 10]) < mit_site_score([5])
+        assert mit_site_score([5, 10, 15]) < mit_site_score([5, 10])
+
+    def test_clustered_mismatches_score_lower_than_spread(self):
+        # Same positions' weights, different spacing: adjacent
+        # mismatches are penalized harder by the distance term.
+        clustered = mit_site_score([9, 10])
+        spread = mit_site_score([9, 19])
+        # Compare after removing the weight product difference.
+        from repro.core.scoring import MIT_WEIGHTS
+        clustered_norm = clustered / ((1 - MIT_WEIGHTS[9])
+                                      * (1 - MIT_WEIGHTS[10]))
+        spread_norm = spread / ((1 - MIT_WEIGHTS[9])
+                                * (1 - MIT_WEIGHTS[19]))
+        assert clustered_norm < spread_norm
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ScoringError):
+            mit_site_score([20])
+        with pytest.raises(ScoringError):
+            mit_site_score([-1])
+
+    def test_score_bounds(self):
+        assert 0 < mit_site_score(list(range(20))) < 1.0
+
+
+class TestHitAdapters:
+    def test_mismatch_positions_from_markup(self):
+        site = "ACGTa" + "C" * 14 + "t" + "AGG"
+        assert mismatch_positions(hit(site, 2)) == [4, 19]
+
+    def test_pam_region_lowercase_ignored(self):
+        site = "A" * 20 + "agg"
+        assert mismatch_positions(hit(site, 0)) == []
+
+    def test_score_hit(self):
+        site = "A" * 13 + "a" + "A" * 6 + "AGG"
+        assert score_hit(hit(site, 1)) == pytest.approx(14.9, abs=0.01)
+
+
+class TestAggregate:
+    def test_no_off_targets_gives_100(self):
+        reports = aggregate_specificity([hit("A" * 23, 0, "G1")])
+        assert reports["G1"].specificity == 100.0
+        assert reports["G1"].on_targets == 1
+        assert reports["G1"].off_targets == 0
+
+    def test_off_targets_reduce_specificity(self):
+        hits = [hit("A" * 23, 0, "G1"),
+                hit("A" * 13 + "a" + "A" * 6 + "AGG", 1, "G1")]
+        reports = aggregate_specificity(hits)
+        assert reports["G1"].specificity < 100.0
+        assert reports["G1"].worst_off_target > 0
+
+    def test_rank_guides_orders_by_specificity(self):
+        hits = [
+            hit("A" * 23, 0, "CLEAN"),
+            hit("A" * 23, 0, "RISKY"),
+            hit("A" * 19 + "a" + "AGG", 1, "RISKY"),
+            hit("A" * 18 + "aA" + "AGG", 1, "RISKY"),
+        ]
+        ranked = rank_guides(hits)
+        assert [r.guide for r in ranked] == ["CLEAN", "RISKY"]
+        assert ranked[0].specificity > ranked[1].specificity
+
+    def test_weights_table_shape(self):
+        assert len(MIT_WEIGHTS) == GUIDE_LENGTH == 20
+        assert all(0 <= w < 1 for w in MIT_WEIGHTS)
+
+    def test_pipeline_integration(self, tiny_assembly, short_request):
+        """Scores apply directly to pipeline output (8-nt toy guides
+        use a truncated weight window)."""
+        from repro.core.pipeline import search
+        result = search(tiny_assembly, short_request, chunk_size=512)
+        reports = aggregate_specificity(result.hits, guide_length=6)
+        for report in reports.values():
+            assert 0 < report.specificity <= 100.0

@@ -1,0 +1,79 @@
+"""Tests for the ablation sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (chunk_size_sweep, occupancy_sweep,
+                                   threshold_sweep,
+                                   work_group_size_sweep)
+from repro.core.workload import QueryWorkload, WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    candidates = 100_000_000
+    return WorkloadProfile(
+        dataset="sweep", pattern="N" * 21 + "RG", pattern_length=23,
+        positions_scanned=600_000_000, candidates=candidates,
+        candidates_forward=int(candidates * 0.55),
+        candidates_reverse=int(candidates * 0.55),
+        chunk_count=150, chunk_capacity=(4 << 20) - 22,
+        bytes_h2d=600_000_000, bytes_d2h=10_000_000,
+        queries=[QueryWorkload(
+            query="q", threshold=4, checked_forward=20,
+            checked_reverse=20, candidates=candidates, hits=10,
+            avg_trips_forward=6.5, avg_trips_reverse=6.5)])
+
+
+class TestWorkGroupSweep:
+    def test_staging_share_falls_with_group_size(self, workload):
+        rows = work_group_size_sweep(workload)
+        shares = [row.staging_share for row in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert shares[0] > 2 * shares[-1]
+
+    def test_base_kernel_prefers_large_groups(self, workload):
+        rows = work_group_size_sweep(workload, sizes=(64, 256))
+        assert rows[0].comparer_cycles > rows[1].comparer_cycles
+
+    def test_coop_fetch_is_insensitive(self, workload):
+        rows = work_group_size_sweep(workload, variant="opt3",
+                                     sizes=(64, 256))
+        ratio = rows[0].comparer_cycles / rows[1].comparer_cycles
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestOccupancySweep:
+    def test_cliff_between_64_and_80(self):
+        rows = {row.vgprs: row for row in occupancy_sweep()}
+        assert rows[64].waves == 4
+        assert rows[80].waves == 2
+        assert rows[80].relative_time > 1.5 * rows[64].relative_time
+
+    def test_relative_to_best(self):
+        rows = occupancy_sweep()
+        assert min(row.relative_time for row in rows) == 1.0
+        times = [row.relative_time for row in rows]
+        assert times == sorted(times)
+
+
+class TestMeasuredSweeps:
+    def test_threshold_sweep_trips_monotone(self, small_assembly):
+        rows = threshold_sweep(small_assembly, "NNNNNNNNNNNNNNNNNNNNNRG",
+                               "GGCCGACCTGTCGCTGACGCNNN",
+                               thresholds=(0, 3, 6), chunk_size=1 << 16)
+        trips = [row.avg_trips_forward for row in rows]
+        assert trips == sorted(trips)
+        hits = [row.hits for row in rows]
+        assert hits == sorted(hits)
+        candidates = {row.candidates for row in rows}
+        assert len(candidates) == 1, \
+            "the finder is threshold-independent"
+
+    def test_chunk_size_sweep_invariant_results(self, tiny_assembly,
+                                                short_request):
+        rows = chunk_size_sweep(tiny_assembly, short_request,
+                                sizes=(128, 512, 4096))
+        hits = {row.hits for row in rows}
+        assert len(hits) == 1
+        counts = [row.chunk_count for row in rows]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,86 @@
+"""Unit tests for workload profiles and launch records."""
+
+import pytest
+
+from repro.core.workload import QueryWorkload, WorkloadProfile
+from repro.runtime.launch import LaunchRecord
+
+
+def make_profile(**overrides):
+    values = dict(
+        dataset="d", pattern="NNRG", pattern_length=4,
+        positions_scanned=1000, candidates=100,
+        candidates_forward=60, candidates_reverse=55,
+        chunk_count=2, chunk_capacity=600, bytes_h2d=1000,
+        bytes_d2h=50,
+        queries=[QueryWorkload(
+            query="AANN", threshold=1, checked_forward=2,
+            checked_reverse=2, candidates=100, hits=5,
+            avg_trips_forward=1.5, avg_trips_reverse=1.4)])
+    values.update(overrides)
+    return WorkloadProfile(**values)
+
+
+class TestWorkloadProfile:
+    def test_candidate_density(self):
+        assert make_profile().candidate_density == pytest.approx(0.1)
+
+    def test_density_zero_positions(self):
+        profile = make_profile(positions_scanned=0)
+        assert profile.candidate_density == 0.0
+
+    def test_total_hits(self):
+        assert make_profile().total_hits == 5
+
+    def test_scaled_extensive_vs_intensive(self):
+        scaled = make_profile().scaled(10)
+        assert scaled.positions_scanned == 10_000
+        assert scaled.candidates == 1000
+        assert scaled.candidates_forward == 600
+        assert scaled.bytes_h2d == 10_000
+        assert scaled.pattern_length == 4
+        assert scaled.queries[0].avg_trips_forward == 1.5
+        assert scaled.queries[0].candidates == 1000
+
+    def test_scaled_chunk_count_from_capacity(self):
+        scaled = make_profile().scaled(10)
+        # ceil(10000 / 600) = 17.
+        assert scaled.chunk_count == 17
+
+    def test_scaled_never_zero_chunks(self):
+        scaled = make_profile().scaled(0.0001)
+        assert scaled.chunk_count >= 1
+
+    def test_summary_round_trip_fields(self):
+        summary = make_profile().summary()
+        assert summary["candidates"] == 100
+        assert summary["hits"] == 5
+
+    def test_query_workload_scaled(self):
+        query = make_profile().queries[0]
+        scaled = query.scaled(3)
+        assert scaled.candidates == 300
+        assert scaled.hits == 15
+        assert scaled.threshold == 1
+
+
+class TestLaunchRecord:
+    def test_kernel_factory(self):
+        record = LaunchRecord.kernel("finder", 1024, 256, 0.5, None,
+                                     "sycl", variant="opt2")
+        assert record.is_kernel
+        assert record.kind == "kernel"
+        assert record.variant == "opt2"
+        assert record.local_size == 256
+        assert record.profile == {}
+
+    def test_transfer_factory(self):
+        record = LaunchRecord.transfer("h2d", 4096, 0.01, "opencl")
+        assert not record.is_kernel
+        assert record.bytes_moved == 4096
+        assert record.api == "opencl"
+
+    def test_profile_payload(self):
+        record = LaunchRecord.kernel("comparer", 64, 64, 0.1, None,
+                                     "sycl", profile={"trips": 6.5})
+        assert record.profile["trips"] == 6.5
