@@ -1,0 +1,154 @@
+"""Pipeline execution-engine benchmark: serial vs batched vs streaming.
+
+Times the reference multi-query workload (4 queries, >= 8 chunks) through
+three execution configurations of the same SYCL pipeline:
+
+* ``serial``    — the classic chunk loop, one comparer launch per
+                  (chunk, query);
+* ``batched``   — serial loop with the batched multi-query comparer, one
+                  launch per chunk;
+* ``streaming`` — the full engine: producer prefetch, parallel chunk
+                  workers, batched comparer.
+
+Each configuration runs ``--reps`` times (default 3); the median wall
+seconds land in ``BENCH_PIPELINE.json`` together with launch counts and
+the streaming engine's stage breakdown.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.config import ExecutionPolicy, Query, SearchRequest
+from repro.core.engine import StreamingEngine
+from repro.core.pipeline import SyclCasOffinder
+from repro.genome.synthetic import synthetic_assembly
+
+#: Reference workload: 4 guide queries against the near-PAMless NRN
+#: pattern of SpRY-style relaxed Cas9 variants, sized so the chunk loop
+#: runs >= 8 chunks.  The relaxed PAM yields roughly one candidate per
+#: genome position, so the comparer dominates — the regime the batched
+#: multi-query kernel targets.
+PATTERN = "NNNNNNNNNNNNNNNNNNNNNRN"
+QUERIES = [
+    Query("GGCCGACCTGTCGCTGACGCNNN", 5),
+    Query("CGCCAGCGTCAGCGACAGGTNNN", 5),
+    Query("ACGTACGTACGTACGTACGTNNN", 6),
+    Query("TTGGCCAATTGGCCAATTGGNNN", 6),
+]
+
+
+def _comparer_launches(result) -> int:
+    return sum(1 for record in result.launches
+               if record.is_kernel and record.name.startswith("comparer"))
+
+
+def run_bench(scale: float, chunk_size: int, reps: int, workers: int,
+              prefetch: int, device: str) -> dict:
+    assembly = synthetic_assembly("hg19", scale=scale, seed=42)
+    request = SearchRequest(pattern=PATTERN, queries=QUERIES)
+
+    def serial():
+        pipeline = SyclCasOffinder(device=device, chunk_size=chunk_size)
+        return pipeline.search(assembly, request)
+
+    def batched():
+        pipeline = SyclCasOffinder(device=device, chunk_size=chunk_size)
+        return pipeline.search(assembly, request, batched=True)
+
+    def streaming():
+        engine = StreamingEngine(
+            ExecutionPolicy(streaming=True, prefetch_depth=prefetch,
+                            workers=workers, batch_queries=True,
+                            backend="process" if workers > 1
+                            else "thread"),
+            api="sycl", device=device, chunk_size=chunk_size)
+        return engine.search(assembly, request)
+
+    configs = (("serial", serial), ("batched", batched),
+               ("streaming", streaming))
+    results = {}
+    reference_hits = None
+    for name, runner in configs:
+        times = []
+        last = None
+        for _ in range(reps):
+            started = time.perf_counter()
+            last = runner()
+            times.append(time.perf_counter() - started)
+        if reference_hits is None:
+            reference_hits = last.hits
+        elif last.hits != reference_hits:
+            raise AssertionError(f"{name} hits differ from serial")
+        entry = {
+            "median_s": statistics.median(times),
+            "times_s": times,
+            "hits": len(last.hits),
+            "chunks": last.workload.chunk_count,
+            "comparer_launches": _comparer_launches(last),
+        }
+        if last.workload.stages is not None:
+            entry["stages"] = last.workload.stages.as_dict()
+        results[name] = entry
+    serial_median = results["serial"]["median_s"]
+    return {
+        "workload": {
+            "profile": "hg19", "scale": scale, "seed": 42,
+            "chunk_size": chunk_size, "queries": len(QUERIES),
+            "pattern": PATTERN, "device": device,
+            "chunks": results["serial"]["chunks"],
+        },
+        "config": {"reps": reps, "workers": workers,
+                   "prefetch_depth": prefetch},
+        "results": results,
+        "speedup": {
+            name: serial_median / entry["median_s"]
+            for name, entry in results.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.0008,
+                        help="synthetic hg19 scale (default ~2.5 Mbp)")
+    parser.add_argument("--chunk-size", type=int, default=1 << 18,
+                        help="chunk size in bases (default 256 KiB)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per configuration (median kept)")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="streaming engine worker threads")
+    parser.add_argument("--prefetch", type=int, default=4,
+                        help="streaming engine prefetch depth")
+    parser.add_argument("--device", default="MI100")
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "..", "BENCH_PIPELINE.json"))
+    args = parser.parse_args(argv)
+    report = run_bench(scale=args.scale, chunk_size=args.chunk_size,
+                       reps=args.reps, workers=args.workers,
+                       prefetch=args.prefetch, device=args.device)
+    path = os.path.abspath(args.output)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["results"].items():
+        print(f"{name:10} median {entry['median_s']:.3f}s  "
+              f"speedup {report['speedup'][name]:.2f}x  "
+              f"comparer launches {entry['comparer_launches']}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,27 @@ def render_table10(rows_model: Dict[str, Tuple[int, int, int, int]]
         rows, title="Table X — resource usage and occupancy")
 
 
+def render_stage_timings(stages) -> str:
+    """Per-stage wall-second breakdown of an engine/pipeline run.
+
+    ``stages`` is a :class:`repro.core.workload.StageTimings`; rendered
+    as one row per stage with its share of the run's wall time.
+    """
+    wall = stages.wall_s or 0.0
+    rows = []
+    for label, seconds in (("stage-in", stages.stage_in_s),
+                           ("finder", stages.finder_s),
+                           ("comparer", stages.comparer_s),
+                           ("merge", stages.merge_s),
+                           ("idle", stages.idle_s)):
+        share = f"{seconds / wall:.1%}" if wall > 0 else "-"
+        rows.append((label, f"{seconds:.3f}", share))
+    rows.append(("wall", f"{wall:.3f}", "100.0%" if wall > 0 else "-"))
+    rows.append(("overlap", f"{stages.overlap_ratio:.2f}", ""))
+    return format_table(("Stage", "Seconds", "Share"), rows,
+                        title="Stage timings")
+
+
 def render_fig2(series: Dict[Tuple[str, str], List[float]]) -> str:
     """Figure 2 as a table: kernel seconds per variant.
 

@@ -25,9 +25,10 @@ import sys
 import time
 from typing import List, Optional
 
-from .analysis.reporting import (render_fig2, render_table8,
-                                 render_table9, render_table10)
-from .core.config import SearchRequest
+from .analysis.reporting import (render_fig2, render_stage_timings,
+                                 render_table8, render_table9,
+                                 render_table10)
+from .core.config import ExecutionPolicy, SearchRequest
 from .core.pipeline import DEFAULT_CHUNK_SIZE, search
 from .core.records import write_hits
 from .genome.assembly import Assembly, Chromosome
@@ -39,7 +40,9 @@ def _load_assembly(args: argparse.Namespace,
                    genome_path: Optional[str]) -> Assembly:
     if args.synthetic:
         return synthetic_assembly(args.synthetic, scale=args.scale,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  cache=False if args.no_genome_cache
+                                  else None)
     path = args.genome or genome_path
     if not path:
         raise SystemExit("no genome: give --synthetic, --genome, or a "
@@ -63,6 +66,19 @@ def _run_search(args: argparse.Namespace) -> int:
         raise SystemExit("an input file is required (see --help)")
     request = SearchRequest.from_input_file(args.input)
     assembly = _load_assembly(args, request.genome_path)
+    execution = None
+    streaming = args.streaming or args.workers > 1
+    if streaming or args.batch_comparer:
+        try:
+            execution = ExecutionPolicy(streaming=streaming,
+                                        prefetch_depth=args.prefetch,
+                                        workers=args.workers,
+                                        batch_queries=args.batch_comparer)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    elif args.workers < 1:
+        raise SystemExit(f"error: worker count must be >= 1, "
+                         f"got {args.workers}")
     started = time.perf_counter()
     if args.engine == "bitparallel":
         from .core.bitparallel import bitparallel_search
@@ -72,7 +88,8 @@ def _run_search(args: argparse.Namespace) -> int:
     else:
         result = search(assembly, request, api=args.api,
                         device=args.device, variant=args.variant,
-                        chunk_size=args.chunk_size, mode=args.mode)
+                        chunk_size=args.chunk_size, mode=args.mode,
+                        execution=execution)
     elapsed = time.perf_counter() - started
     hits = result.sorted_hits()
     if args.output and args.output != "-":
@@ -83,6 +100,9 @@ def _run_search(args: argparse.Namespace) -> int:
           f"{result.workload.candidates} candidates | "
           f"api={args.api} device={args.device} variant={args.variant} | "
           f"{elapsed:.2f}s wall", file=sys.stderr)
+    if result.workload.stages is not None and execution is not None:
+        print(render_stage_timings(result.workload.stages),
+              file=sys.stderr)
     return 0
 
 
@@ -165,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chunk-size", type=int,
                         default=DEFAULT_CHUNK_SIZE,
                         help="device chunk size in bases")
+    parser.add_argument("--streaming", action="store_true",
+                        help="run the streaming chunk engine (prefetch "
+                             "next chunk while kernels run)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel chunk workers for the streaming "
+                             "engine (implies --streaming when > 1)")
+    parser.add_argument("--prefetch", type=int, default=2,
+                        help="chunks staged ahead by the streaming "
+                             "engine's producer")
+    parser.add_argument("--batch-comparer", dest="batch_comparer",
+                        action="store_true", default=False,
+                        help="fuse per-query comparer launches into one "
+                             "batched launch per chunk")
+    parser.add_argument("--no-batch-comparer", dest="batch_comparer",
+                        action="store_false",
+                        help="keep one comparer launch per query")
     parser.add_argument("--genome",
                         help="FASTA file or directory (overrides the "
                              "input file's genome line)")
@@ -174,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="synthetic assembly scale factor")
     parser.add_argument("--seed", type=int, default=42,
                         help="synthetic assembly seed")
+    parser.add_argument("--no-genome-cache", action="store_true",
+                        help="regenerate synthetic assemblies instead of "
+                             "using the on-disk cache")
     parser.add_argument("--report", choices=("tables",),
                         help="regenerate the paper's tables and exit")
     return parser

@@ -18,6 +18,51 @@ from .patterns import PatternError, validate_iupac
 
 
 @dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a search should be executed by the streaming engine.
+
+    The serial chunk loop of the paper's host program is the default
+    (``streaming=False``).  Opting in to the engine enables any
+    combination of:
+
+    * **prefetch** — a producer thread stages the next chunks (slicing
+      and materialising the device view) while the current chunk's
+      kernels run, with at most ``prefetch_depth`` staged chunks in
+      flight;
+    * **workers** — ``workers > 1`` processes chunks concurrently on a
+      thread or process pool (``backend``), one pipeline (queue + device
+      context) per worker, with results merged back in chunk order so
+      hit lists stay byte-identical to the serial loop;
+    * **batch_queries** — fuse the per-query comparer launches into one
+      batched launch per chunk over a stacked pattern matrix, collapsing
+      the launch count from ``chunks x queries`` to ``chunks``.
+
+    The ``"thread"`` backend shares memory but serializes Python-level
+    kernel work on the GIL, so it mainly overlaps staging with compute;
+    the ``"process"`` backend runs kernels truly in parallel at the cost
+    of pickling chunks/outputs across the pool boundary.
+    """
+
+    streaming: bool = True
+    prefetch_depth: int = 2
+    workers: int = 1
+    batch_queries: bool = True
+    backend: str = "thread"
+
+    def __post_init__(self):
+        if self.prefetch_depth < 1:
+            raise ValueError(
+                f"prefetch depth must be >= 1, got {self.prefetch_depth}")
+        if self.workers < 1:
+            raise ValueError(
+                f"worker count must be >= 1, got {self.workers}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', "
+                f"got {self.backend!r}")
+
+
+@dataclass(frozen=True)
 class Query:
     """One query sequence and its mismatch threshold."""
 
@@ -38,6 +83,8 @@ class SearchRequest:
     pattern: str
     queries: List[Query]
     genome_path: Optional[str] = None
+    #: Optional streaming-engine opt-in; ``None`` keeps the serial loop.
+    execution: Optional[ExecutionPolicy] = None
 
     def __post_init__(self):
         pattern_codes = validate_iupac(self.pattern)

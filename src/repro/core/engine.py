@@ -1,0 +1,364 @@
+"""Streaming execution engine: prefetch, worker parallelism, ordered merge.
+
+The serial chunk loop in :mod:`repro.core.pipeline` stages a chunk, runs
+both kernels, merges the outputs, and only then touches the next chunk —
+so the host sits idle while the device works and vice versa.  The real
+Cas-OFFinder application hides that latency by double-buffering chunk
+uploads; this engine models the same overlap structure explicitly:
+
+* a producer thread walks ``assembly.chunks`` and stages up to
+  ``prefetch_depth`` chunks ahead of the consumers (bounded queue);
+* ``workers`` consumer threads each own a full pipeline instance (their
+  own queue/context, so no shared mutable device state) and run the
+  finder/comparer kernels per chunk;
+* the main thread merges finished chunks strictly in chunk-index order
+  through the same :class:`~repro.core.pipeline.SearchAccumulator` the
+  serial loop uses, so hit lists and workload counters are identical to
+  a serial run — the property the equivalence tests pin down.
+
+The total in-flight window (staged + processing + awaiting merge) is
+bounded by ``prefetch_depth + workers`` via a semaphore, so memory use
+stays proportional to the window, not the genome.
+
+Per-stage wall seconds (stage-in, finder, comparer, merge, idle) are
+recorded in :class:`~repro.core.workload.StageTimings` and attached to
+the returned :class:`~repro.core.workload.WorkloadProfile`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from ..genome.assembly import Assembly, Chunk
+from ..runtime.launch import LaunchRecord
+from .config import ExecutionPolicy, Query, SearchRequest
+from .patterns import compile_pattern
+from .pipeline import (DEFAULT_CHUNK_SIZE, OpenCLCasOffinder,
+                       PipelineResult, SearchAccumulator,
+                       _kernel_stage_times, make_pipeline)
+from .workload import StageTimings
+
+#: Poll interval for interruptible blocking waits (seconds).
+_POLL_S = 0.05
+
+# -- process-pool worker state ------------------------------------------------
+# One pipeline per worker process, built lazily by the pool initializer.
+# Module-level because process pools can only call picklable top-level
+# functions; each child process has its own copy.
+
+_worker_pipeline = None
+
+
+def _process_pool_init(api: str, device: str, variant: str, mode: str,
+                       chunk_size: int, work_group_size: int) -> None:
+    global _worker_pipeline
+    _worker_pipeline = make_pipeline(api=api, device=device,
+                                     variant=variant, mode=mode,
+                                     chunk_size=chunk_size,
+                                     work_group_size=work_group_size)
+
+
+def _process_pool_run(chunk: Chunk, pattern_text: str,
+                      queries: Sequence[Query], batched: bool):
+    """Run both kernels for one chunk inside a worker process.
+
+    Patterns recompile per process through the LRU cache, so the cost is
+    paid once per worker, not per chunk.  Returns the chunk output plus
+    the launch records it generated (the pipeline is long-lived, so only
+    the new slice is shipped back).
+    """
+    pipeline = _worker_pipeline
+    pattern = compile_pattern(pattern_text)
+    compiled_queries = [compile_pattern(q.sequence) for q in queries]
+    base = len(pipeline.launches)
+    output = pipeline._process_chunk(chunk, pattern, list(queries),
+                                     compiled_queries, batched=batched)
+    return output, list(pipeline.launches[base:])
+
+
+class ChunkShardView:
+    """Assembly view exposing every ``step``-th chunk starting at
+    ``index``.
+
+    Chunks are independent (each carries its own pattern staging and
+    candidate set), so a round-robin shard processed by its own pipeline
+    yields exactly the results the full assembly would for those chunks.
+    Shared by the multi-device searcher and the engine's composition
+    with it.
+    """
+
+    def __init__(self, assembly: Assembly, index: int, step: int):
+        if step < 1 or not 0 <= index < step:
+            raise ValueError(f"bad shard ({index}, {step})")
+        self._asm = assembly
+        self.name = assembly.name
+        self.chromosomes = assembly.chromosomes
+        self.shard_index = index
+        self.shard_step = step
+
+    def chunks(self, chunk_size, pattern_length):
+        for number, chunk in enumerate(
+                self._asm.chunks(chunk_size, pattern_length)):
+            if number % self.shard_step == self.shard_index:
+                yield chunk
+
+    def __iter__(self):
+        return iter(self._asm)
+
+    def __getattr__(self, name):
+        return getattr(self._asm, name)
+
+
+class StreamingEngine:
+    """Producer/consumer chunk engine over any of the three pipelines."""
+
+    def __init__(self, policy: Optional[ExecutionPolicy] = None,
+                 api: str = "sycl", device: str = "MI100",
+                 variant: str = "base", mode: str = "vectorized",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 work_group_size: int = 256):
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.api = api
+        self.device = device
+        self.variant_name = variant
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self.work_group_size = work_group_size
+
+    def search(self, assembly: Assembly, request: SearchRequest
+               ) -> PipelineResult:
+        started = time.perf_counter()
+        policy = self.policy
+        pattern = compile_pattern(request.pattern)
+        compiled_queries = [compile_pattern(q.sequence)
+                            for q in request.queries]
+        use_batched = policy.batch_queries and len(request.queries) > 1
+        acc = SearchAccumulator(request, pattern, compiled_queries)
+        if policy.backend == "process" and policy.workers > 1:
+            outcome = self._run_processes(assembly, request, pattern,
+                                          use_batched, acc)
+        else:
+            outcome = self._run_threads(assembly, request, pattern,
+                                        compiled_queries, use_batched,
+                                        acc)
+        launches, stage_in_s, idle_s, api, variant, wg = outcome
+        wall = time.perf_counter() - started
+        finder_s, comparer_s = _kernel_stage_times(launches)
+        stages = StageTimings(stage_in_s=stage_in_s, finder_s=finder_s,
+                              comparer_s=comparer_s,
+                              merge_s=acc.merge_time_s,
+                              idle_s=idle_s, wall_s=wall)
+        workload = acc.build_workload(assembly.name, self.chunk_size,
+                                      stages)
+        return PipelineResult(hits=acc.hits, launches=launches,
+                              workload=workload, wall_time_s=wall,
+                              api=api, variant=variant,
+                              work_group_size=wg)
+
+    def _run_processes(self, assembly, request, pattern, use_batched,
+                       acc):
+        """Ordered-merge fan-out over a process pool.
+
+        The main process stages chunks and merges results; worker
+        processes run the kernels.  The in-flight window (submitted but
+        not yet merged) is bounded by ``prefetch_depth + workers``.
+        Merging strictly in submission order keeps results identical to
+        the serial loop.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        policy = self.policy
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        window = policy.prefetch_depth + policy.workers
+        launches: List[LaunchRecord] = []
+        pending = {}
+        state = {"next": 0, "stage_in": 0.0, "idle": 0.0}
+        queries = tuple(request.queries)
+
+        def merge_next() -> None:
+            future, chunk = pending.pop(state["next"])
+            mark = time.perf_counter()
+            output, records = future.result()
+            state["idle"] += time.perf_counter() - mark
+            acc.add_chunk(chunk, output)
+            launches.extend(records)
+            state["next"] += 1
+
+        with ProcessPoolExecutor(
+                max_workers=policy.workers, mp_context=ctx,
+                initializer=_process_pool_init,
+                initargs=(self.api, self.device, self.variant_name,
+                          self.mode, self.chunk_size,
+                          self.work_group_size)) as pool:
+            mark = time.perf_counter()
+            for index, chunk in enumerate(
+                    assembly.chunks(self.chunk_size, pattern.plen)):
+                state["stage_in"] += time.perf_counter() - mark
+                future = pool.submit(_process_pool_run, chunk,
+                                     request.pattern, queries,
+                                     use_batched)
+                pending[index] = (future, chunk)
+                while len(pending) >= window:
+                    merge_next()
+                mark = time.perf_counter()
+            while pending:
+                merge_next()
+        if self.api == "opencl":
+            api, variant, wg = "opencl", "base", None
+        else:
+            from ..kernels.variants import get_variant
+            api = self.api
+            variant = get_variant(self.variant_name).name
+            wg = self.work_group_size
+        return (launches, state["stage_in"], state["idle"], api, variant,
+                wg)
+
+    def _run_threads(self, assembly, request, pattern, compiled_queries,
+                     use_batched, acc):
+        policy = self.policy
+        workers = policy.workers
+        pipelines = [make_pipeline(api=self.api, device=self.device,
+                                   variant=self.variant_name,
+                                   mode=self.mode,
+                                   chunk_size=self.chunk_size,
+                                   work_group_size=self.work_group_size)
+                     for _ in range(workers)]
+        chunk_q: "queue_mod.Queue" = queue_mod.Queue(
+            maxsize=policy.prefetch_depth)
+        window = threading.Semaphore(policy.prefetch_depth + workers)
+        cond = threading.Condition()
+        results = {}
+        finished_workers = [0]
+        errors: List[BaseException] = []
+        stop = threading.Event()
+        stage_in = [0.0]
+        idle = [0.0] * workers
+
+        def fail(exc: BaseException) -> None:
+            errors.append(exc)
+            stop.set()
+            with cond:
+                cond.notify_all()
+
+        def produce() -> None:
+            try:
+                mark = time.perf_counter()
+                for index, chunk in enumerate(
+                        assembly.chunks(self.chunk_size, pattern.plen)):
+                    stage_in[0] += time.perf_counter() - mark
+                    while not window.acquire(timeout=_POLL_S):
+                        if stop.is_set():
+                            return
+                    while True:
+                        if stop.is_set():
+                            return
+                        try:
+                            chunk_q.put((index, chunk), timeout=_POLL_S)
+                            break
+                        except queue_mod.Full:
+                            continue
+                    mark = time.perf_counter()
+            except BaseException as exc:
+                fail(exc)
+            finally:
+                for _ in range(workers):
+                    while True:
+                        try:
+                            chunk_q.put(None, timeout=_POLL_S)
+                            break
+                        except queue_mod.Full:
+                            if stop.is_set():
+                                return
+
+        def consume(worker_index: int) -> None:
+            pipeline = pipelines[worker_index]
+            try:
+                while True:
+                    mark = time.perf_counter()
+                    item = chunk_q.get()
+                    idle[worker_index] += time.perf_counter() - mark
+                    if item is None:
+                        return
+                    if stop.is_set():
+                        continue
+                    index, chunk = item
+                    base = len(pipeline.launches)
+                    output = pipeline._process_chunk(
+                        chunk, pattern, request.queries,
+                        compiled_queries, batched=use_batched)
+                    records = list(pipeline.launches[base:])
+                    with cond:
+                        results[index] = (chunk, output, records)
+                        cond.notify_all()
+            except BaseException as exc:
+                fail(exc)
+            finally:
+                with cond:
+                    finished_workers[0] += 1
+                    cond.notify_all()
+
+        producer = threading.Thread(target=produce, name="chunk-producer",
+                                    daemon=True)
+        consumers = [threading.Thread(target=consume, args=(i,),
+                                      name=f"chunk-worker-{i}",
+                                      daemon=True)
+                     for i in range(workers)]
+        launches: List[LaunchRecord] = []
+        try:
+            producer.start()
+            for thread in consumers:
+                thread.start()
+            next_index = 0
+            while True:
+                with cond:
+                    while True:
+                        if next_index in results:
+                            item = results.pop(next_index)
+                            break
+                        if stop.is_set():
+                            item = None
+                            break
+                        if finished_workers[0] == workers:
+                            item = None
+                            break
+                        cond.wait(_POLL_S)
+                if item is None:
+                    break
+                chunk, output, records = item
+                acc.add_chunk(chunk, output)
+                launches.extend(records)
+                window.release()
+                next_index += 1
+            producer.join()
+            for thread in consumers:
+                thread.join()
+            if errors:
+                raise errors[0]
+        finally:
+            stop.set()
+            for pipeline in pipelines:
+                if isinstance(pipeline, OpenCLCasOffinder):
+                    pipeline.release()
+        template = pipelines[0]
+        return (launches, stage_in[0], sum(idle), template.api,
+                template.variant, template.work_group_size)
+
+
+def streaming_search(assembly: Assembly, request: SearchRequest,
+                     api: str = "sycl", device: str = "MI100",
+                     variant: str = "base", mode: str = "vectorized",
+                     chunk_size: int = DEFAULT_CHUNK_SIZE,
+                     policy: Optional[ExecutionPolicy] = None
+                     ) -> PipelineResult:
+    """Convenience wrapper over :class:`StreamingEngine`."""
+    engine = StreamingEngine(policy, api=api, device=device,
+                             variant=variant, mode=mode,
+                             chunk_size=chunk_size)
+    return engine.search(assembly, request)

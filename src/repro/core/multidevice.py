@@ -26,7 +26,8 @@ from ..devices.timing import (DEFAULT_CALIBRATION, TimingCalibration,
                               model_elapsed)
 from ..genome.assembly import Assembly
 from ..runtime.launch import LaunchRecord
-from .config import SearchRequest
+from .config import ExecutionPolicy, SearchRequest
+from .engine import ChunkShardView, StreamingEngine
 from .pipeline import (DEFAULT_CHUNK_SIZE, PipelineResult,
                        SyclCasOffinder, _BasePipeline)
 from .records import OffTargetHit
@@ -43,13 +44,21 @@ class DeviceShare:
 
 
 class MultiDeviceCasOffinder:
-    """Chunk-parallel search across several modeled devices."""
+    """Chunk-parallel search across several modeled devices.
+
+    ``execution`` composes the streaming engine with the device
+    decomposition: each device's chunk shard runs under its own engine
+    (prefetch + batched comparer per the policy), or — when the policy
+    disables streaming — through the serial loop with the batched
+    comparer.  Results stay identical either way.
+    """
 
     def __init__(self, devices: Sequence[str] = ("MI100", "MI60"),
                  variant: str = "base",
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  mode: str = "vectorized",
-                 work_group_size: int = 256):
+                 work_group_size: int = 256,
+                 execution: Optional[ExecutionPolicy] = None):
         if not devices:
             raise ValueError("need at least one device")
         self.pipelines: List[SyclCasOffinder] = [
@@ -59,18 +68,32 @@ class MultiDeviceCasOffinder:
             for device in devices]
         self.chunk_size = chunk_size
         self.devices = list(devices)
+        self.variant = variant
+        self.mode = mode
+        self.work_group_size = work_group_size
+        self.execution = execution
+
+    def _share_search(self, share_index: int, assembly: Assembly,
+                      request: SearchRequest) -> PipelineResult:
+        view = ChunkShardView(assembly, share_index, len(self.devices))
+        policy = self.execution
+        if policy is not None and policy.streaming:
+            engine = StreamingEngine(
+                policy, api="sycl", device=self.devices[share_index],
+                variant=self.variant, mode=self.mode,
+                chunk_size=self.chunk_size,
+                work_group_size=self.work_group_size)
+            return engine.search(view, request)
+        batched = policy is not None and policy.batch_queries
+        return self.pipelines[share_index].search(view, request,
+                                                  batched=batched)
 
     def search(self, assembly: Assembly, request: SearchRequest
                ) -> "MultiDeviceResult":
         """Round-robin the chunk stream over the device queues."""
         started = time.perf_counter()
-        plen = request.pattern_length
-        # Build per-device sub-assemblies by assigning chunks; the
-        # simplest correct decomposition reuses the single-device
-        # pipeline per device over a filtered chunk iterator.
-        shares = [_ChunkFilterPipeline(p, i, len(self.pipelines))
-                  for i, p in enumerate(self.pipelines)]
-        results = [share.search(assembly, request) for share in shares]
+        results = [self._share_search(i, assembly, request)
+                   for i in range(len(self.devices))]
         wall = time.perf_counter() - started
         return MultiDeviceResult(
             shares=[DeviceShare(device=self.devices[i],
@@ -78,45 +101,6 @@ class MultiDeviceCasOffinder:
                                 chunks=results[i].workload.chunk_count)
                     for i in range(len(results))],
             wall_time_s=wall)
-
-
-class _ChunkFilterPipeline:
-    """Wraps a pipeline so it only processes chunks ``index mod step``."""
-
-    def __init__(self, pipeline: SyclCasOffinder, index: int, step: int):
-        self.pipeline = pipeline
-        self.index = index
-        self.step = step
-
-    def search(self, assembly: Assembly, request: SearchRequest
-               ) -> PipelineResult:
-        original_chunks = Assembly.chunks
-
-        def filtered_chunks(asm, chunk_size, pattern_length):
-            for number, chunk in enumerate(
-                    original_chunks(asm, chunk_size, pattern_length)):
-                if number % self.step == self.index:
-                    yield chunk
-
-        class _View:
-            """Assembly view exposing only this device's chunks."""
-
-            def __init__(self, asm):
-                self._asm = asm
-                self.name = asm.name
-                self.chromosomes = asm.chromosomes
-
-            def chunks(self, chunk_size, pattern_length):
-                return filtered_chunks(self._asm, chunk_size,
-                                       pattern_length)
-
-            def __iter__(self):
-                return iter(self._asm)
-
-            def __getattr__(self, name):
-                return getattr(self._asm, name)
-
-        return self.pipeline.search(_View(assembly), request)
 
 
 @dataclass
@@ -180,9 +164,12 @@ class MultiDeviceResult:
 def multi_device_search(assembly: Assembly, request: SearchRequest,
                         devices: Sequence[str] = ("MI100", "MI60"),
                         chunk_size: int = DEFAULT_CHUNK_SIZE,
-                        variant: str = "base") -> MultiDeviceResult:
+                        variant: str = "base",
+                        execution: Optional[ExecutionPolicy] = None
+                        ) -> MultiDeviceResult:
     """Convenience wrapper over :class:`MultiDeviceCasOffinder`."""
     searcher = MultiDeviceCasOffinder(devices=devices,
                                       chunk_size=chunk_size,
-                                      variant=variant)
+                                      variant=variant,
+                                      execution=execution)
     return searcher.search(assembly, request)

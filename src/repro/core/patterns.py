@@ -32,6 +32,7 @@ lines (``R``, ``Y``, ``M``, ``W``, ``H``, ``B``, ``V``, ``D``, ``G``,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Tuple, Union
 
 import numpy as np
@@ -192,7 +193,44 @@ class CompiledPattern:
 
 def compile_pattern(sequence: Union[str, bytes, np.ndarray]
                     ) -> CompiledPattern:
-    """Compile a pattern/query into the device layout described above."""
+    """Compile a pattern/query into the device layout described above.
+
+    Compilation results are memoized per pattern string: every chunk of
+    every search re-uses the same pattern and query layouts, so repeated
+    compilation is pure overhead.  Array inputs bypass the cache (they
+    are unhashable and rare).  The returned object is shared — callers
+    must treat its arrays as read-only, which all kernels do.
+    """
+    if isinstance(sequence, bytes):
+        sequence = sequence.decode("ascii")
+    if isinstance(sequence, str):
+        return _compile_pattern_cached(sequence)
+    return _compile_pattern_uncached(sequence)
+
+
+@lru_cache(maxsize=256)
+def _compile_pattern_cached(sequence: str) -> CompiledPattern:
+    compiled = _compile_pattern_uncached(sequence)
+    # The cached object is shared across searches and threads; freeze the
+    # arrays so accidental mutation fails loudly instead of corrupting
+    # every later search for the same pattern.
+    for array in (compiled.sequence, compiled.rc_sequence, compiled.comp,
+                  compiled.comp_index):
+        array.setflags(write=False)
+    return compiled
+
+
+def compile_pattern_cache_info():
+    """Hit/miss statistics of the pattern-compilation cache."""
+    return _compile_pattern_cached.cache_info()
+
+
+def clear_pattern_cache() -> None:
+    _compile_pattern_cached.cache_clear()
+
+
+def _compile_pattern_uncached(sequence: Union[str, bytes, np.ndarray]
+                              ) -> CompiledPattern:
     fwd = validate_iupac(sequence)
     plen = fwd.size
     if plen == 0:

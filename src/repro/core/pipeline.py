@@ -28,10 +28,10 @@ from ..runtime.launch import LaunchRecord
 from ..runtime.sycl import (Buffer, LocalAccessor, NdRange, Queue, Range,
                             TARGET_CONSTANT, free, malloc_device,
                             sycl_read, sycl_read_write, sycl_write)
-from .config import Query, SearchRequest
+from .config import ExecutionPolicy, Query, SearchRequest
 from .patterns import MISMATCH_LUT, CompiledPattern, compile_pattern
 from .records import OffTargetHit, sort_hits
-from .workload import QueryWorkload, WorkloadProfile
+from .workload import QueryWorkload, StageTimings, WorkloadProfile
 
 #: Default device chunk size in bases (the real application sizes chunks
 #: to device memory; 4 MiB keeps Python-side latencies reasonable while
@@ -115,6 +115,150 @@ class _ChunkOutput:
     flags: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
 
 
+def _demux_batched(mm_loci: np.ndarray, mm_count: np.ndarray,
+                   mm_query: np.ndarray, direction: np.ndarray,
+                   nqueries: int
+                   ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Split batched comparer outputs back into per-query triples.
+
+    Boolean-mask selection preserves emission order, so each query's
+    triple is element-identical to what its own kernel launch would have
+    produced.
+    """
+    per_query = []
+    for q in range(nqueries):
+        m = mm_query == q
+        per_query.append((mm_loci[m].copy(), mm_count[m].copy(),
+                          direction[m].copy()))
+    return per_query
+
+
+def _kernel_stage_times(launches: Sequence[LaunchRecord]
+                        ) -> Tuple[float, float]:
+    """Sum (finder, comparer) kernel wall seconds over launch records."""
+    finder_s = 0.0
+    comparer_s = 0.0
+    for record in launches:
+        if not record.is_kernel:
+            continue
+        if record.name.startswith("finder"):
+            finder_s += record.wall_time_s
+        elif record.name.startswith("comparer"):
+            comparer_s += record.wall_time_s
+    return finder_s, comparer_s
+
+
+class SearchAccumulator:
+    """Order-preserving fold of per-chunk device outputs into a result.
+
+    Both the serial chunk loop and the streaming engine feed chunks
+    through the same accumulator (the engine in chunk-index order), so
+    hit lists, workload counters and even float-summation order are
+    identical between the two execution paths — the invariant the engine
+    equivalence tests pin down.
+    """
+
+    def __init__(self, request: SearchRequest, pattern: CompiledPattern,
+                 compiled_queries: Sequence[CompiledPattern]):
+        self.request = request
+        self.pattern = pattern
+        self.compiled_queries = list(compiled_queries)
+        self.hits: List[OffTargetHit] = []
+        self.positions_scanned = 0
+        self.candidates_total = 0
+        self.candidates_forward = 0
+        self.candidates_reverse = 0
+        self.chunk_count = 0
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+        self.hit_counts = [0] * len(request.queries)
+        self.trip_fwd = [_TripAverager() for _ in request.queries]
+        self.trip_rev = [_TripAverager() for _ in request.queries]
+        self.merge_time_s = 0.0
+
+    def add_chunk(self, chunk: Chunk, output: _ChunkOutput) -> None:
+        started = time.perf_counter()
+        pattern = self.pattern
+        plen = pattern.plen
+        self.chunk_count += 1
+        self.positions_scanned += chunk.scan_length
+        self.bytes_h2d += chunk.data.nbytes + pattern.comp.nbytes * 2
+        self.candidates_total += output.candidate_count
+        if output.flags.size:
+            self.candidates_forward += int(
+                ((output.flags == 0) | (output.flags == 1)).sum())
+            self.candidates_reverse += int(
+                ((output.flags == 0) | (output.flags == 2)).sum())
+        for qi, (query, cq) in enumerate(
+                zip(self.request.queries, self.compiled_queries)):
+            mm_loci, mm_count, direction = output.per_query[qi]
+            self.bytes_d2h += mm_loci.nbytes + mm_count.nbytes \
+                + direction.nbytes
+            self.hit_counts[qi] += mm_loci.size
+            self.hits.extend(self._build_hits(
+                chunk, cq, query, mm_loci, mm_count, direction))
+            if output.loci.size:
+                mean_f, n_f = _measure_trips(
+                    chunk.data, output.loci, cq.comp, cq.comp_index,
+                    plen, query.max_mismatches, 0)
+                mean_r, n_r = _measure_trips(
+                    chunk.data, output.loci, cq.comp, cq.comp_index,
+                    plen, query.max_mismatches, plen)
+                self.trip_fwd[qi].add(mean_f, n_f)
+                self.trip_rev[qi].add(mean_r, n_r)
+        self.merge_time_s += time.perf_counter() - started
+
+    def build_workload(self, dataset: str, chunk_size: int,
+                       stages: Optional[StageTimings] = None
+                       ) -> WorkloadProfile:
+        plen = self.pattern.plen
+        return WorkloadProfile(
+            dataset=dataset,
+            pattern=self.request.pattern,
+            pattern_length=plen,
+            positions_scanned=self.positions_scanned,
+            candidates=self.candidates_total,
+            candidates_forward=self.candidates_forward,
+            candidates_reverse=self.candidates_reverse,
+            chunk_count=self.chunk_count,
+            chunk_capacity=max(1, chunk_size - (plen - 1)),
+            bytes_h2d=self.bytes_h2d,
+            bytes_d2h=self.bytes_d2h,
+            queries=[
+                QueryWorkload(
+                    query=q.sequence,
+                    threshold=q.max_mismatches,
+                    checked_forward=int(
+                        cq.checked_positions_forward.size),
+                    checked_reverse=int(
+                        cq.checked_positions_reverse.size),
+                    candidates=self.candidates_total,
+                    hits=self.hit_counts[qi],
+                    avg_trips_forward=self.trip_fwd[qi].mean,
+                    avg_trips_reverse=self.trip_rev[qi].mean)
+                for qi, (q, cq) in enumerate(
+                    zip(self.request.queries, self.compiled_queries))
+            ],
+            stages=stages)
+
+    @staticmethod
+    def _build_hits(chunk: Chunk, cq: CompiledPattern, query: Query,
+                    mm_loci: np.ndarray, mm_count: np.ndarray,
+                    direction: np.ndarray) -> List[OffTargetHit]:
+        plen = cq.plen
+        out: List[OffTargetHit] = []
+        for lo, mm, d in zip(mm_loci, mm_count, direction):
+            lo = int(lo)
+            window = chunk.data[lo:lo + plen]
+            strand = "+" if d == ord("+") else "-"
+            codes = cq.sequence if strand == "+" else cq.rc_sequence
+            out.append(OffTargetHit.from_site(
+                query=query.sequence, chrom=chunk.chrom,
+                position=chunk.start + lo, strand=strand,
+                mismatches=int(mm), window=window, query_codes=codes))
+        return out
+
+
 class _BasePipeline:
     """Shared chunk loop, workload accounting and hit construction."""
 
@@ -132,8 +276,8 @@ class _BasePipeline:
 
     def _process_chunk(self, chunk: Chunk, pattern: CompiledPattern,
                        queries: Sequence[Query],
-                       compiled_queries: Sequence[CompiledPattern]
-                       ) -> _ChunkOutput:
+                       compiled_queries: Sequence[CompiledPattern],
+                       batched: bool = False) -> _ChunkOutput:
         raise NotImplementedError
 
     @property
@@ -146,102 +290,39 @@ class _BasePipeline:
 
     # -- main entry ----------------------------------------------------------
 
-    def search(self, assembly: Assembly, request: SearchRequest
-               ) -> PipelineResult:
-        """Run the full chunked search over an assembly."""
+    def search(self, assembly: Assembly, request: SearchRequest,
+               batched: bool = False) -> PipelineResult:
+        """Run the full chunked search over an assembly.
+
+        ``batched=True`` fuses the per-query comparer launches into one
+        batched launch per chunk (results identical; see
+        :func:`_demux_batched`).
+        """
         start_time = time.perf_counter()
         pattern = compile_pattern(request.pattern)
         compiled_queries = [compile_pattern(q.sequence)
                             for q in request.queries]
-        plen = pattern.plen
-        hits: List[OffTargetHit] = []
-        positions_scanned = 0
-        candidates_total = 0
-        candidates_forward = 0
-        candidates_reverse = 0
-        chunk_count = 0
-        bytes_h2d = 0
-        bytes_d2h = 0
-        hit_counts = [0] * len(request.queries)
-        trip_fwd = [_TripAverager() for _ in request.queries]
-        trip_rev = [_TripAverager() for _ in request.queries]
-        for chunk in assembly.chunks(self.chunk_size, plen):
-            chunk_count += 1
-            positions_scanned += chunk.scan_length
-            bytes_h2d += chunk.data.nbytes + pattern.comp.nbytes * 2
+        acc = SearchAccumulator(request, pattern, compiled_queries)
+        launch_base = len(self.launches)
+        use_batched = batched and len(request.queries) > 1
+        for chunk in assembly.chunks(self.chunk_size, pattern.plen):
             output = self._process_chunk(chunk, pattern, request.queries,
-                                         compiled_queries)
-            candidates_total += output.candidate_count
-            if output.flags.size:
-                candidates_forward += int(
-                    ((output.flags == 0) | (output.flags == 1)).sum())
-                candidates_reverse += int(
-                    ((output.flags == 0) | (output.flags == 2)).sum())
-            for qi, (query, cq) in enumerate(
-                    zip(request.queries, compiled_queries)):
-                mm_loci, mm_count, direction = output.per_query[qi]
-                bytes_d2h += mm_loci.nbytes + mm_count.nbytes \
-                    + direction.nbytes
-                hit_counts[qi] += mm_loci.size
-                hits.extend(self._build_hits(
-                    chunk, cq, query, mm_loci, mm_count, direction))
-                if output.loci.size:
-                    mean_f, n_f = _measure_trips(
-                        chunk.data, output.loci, cq.comp, cq.comp_index,
-                        plen, query.max_mismatches, 0)
-                    mean_r, n_r = _measure_trips(
-                        chunk.data, output.loci, cq.comp, cq.comp_index,
-                        plen, query.max_mismatches, plen)
-                    trip_fwd[qi].add(mean_f, n_f)
-                    trip_rev[qi].add(mean_r, n_r)
-        workload = WorkloadProfile(
-            dataset=assembly.name,
-            pattern=request.pattern,
-            pattern_length=plen,
-            positions_scanned=positions_scanned,
-            candidates=candidates_total,
-            candidates_forward=candidates_forward,
-            candidates_reverse=candidates_reverse,
-            chunk_count=chunk_count,
-            chunk_capacity=max(1, self.chunk_size - (plen - 1)),
-            bytes_h2d=bytes_h2d,
-            bytes_d2h=bytes_d2h,
-            queries=[
-                QueryWorkload(
-                    query=q.sequence,
-                    threshold=q.max_mismatches,
-                    checked_forward=int(
-                        cq.checked_positions_forward.size),
-                    checked_reverse=int(
-                        cq.checked_positions_reverse.size),
-                    candidates=candidates_total,
-                    hits=hit_counts[qi],
-                    avg_trips_forward=trip_fwd[qi].mean,
-                    avg_trips_reverse=trip_rev[qi].mean)
-                for qi, (q, cq) in enumerate(
-                    zip(request.queries, compiled_queries))
-            ])
+                                         compiled_queries,
+                                         batched=use_batched)
+            acc.add_chunk(chunk, output)
         wall = time.perf_counter() - start_time
-        return PipelineResult(hits=hits, launches=list(self.launches),
+        finder_s, comparer_s = _kernel_stage_times(
+            self.launches[launch_base:])
+        stages = StageTimings(stage_in_s=0.0, finder_s=finder_s,
+                              comparer_s=comparer_s,
+                              merge_s=acc.merge_time_s, idle_s=0.0,
+                              wall_s=wall)
+        workload = acc.build_workload(assembly.name, self.chunk_size,
+                                      stages)
+        return PipelineResult(hits=acc.hits, launches=list(self.launches),
                               workload=workload, wall_time_s=wall,
                               api=self.api, variant=self.variant,
                               work_group_size=self.work_group_size)
-
-    def _build_hits(self, chunk: Chunk, cq: CompiledPattern, query: Query,
-                    mm_loci: np.ndarray, mm_count: np.ndarray,
-                    direction: np.ndarray) -> List[OffTargetHit]:
-        plen = cq.plen
-        out: List[OffTargetHit] = []
-        for lo, mm, d in zip(mm_loci, mm_count, direction):
-            lo = int(lo)
-            window = chunk.data[lo:lo + plen]
-            strand = "+" if d == ord("+") else "-"
-            codes = cq.sequence if strand == "+" else cq.rc_sequence
-            out.append(OffTargetHit.from_site(
-                query=query.sequence, chrom=chunk.chrom,
-                position=chunk.start + lo, strand=strand,
-                mismatches=int(mm), window=window, query_codes=codes))
-        return out
 
 
 # ---------------------------------------------------------------------------
@@ -277,7 +358,8 @@ class SyclCasOffinder(_BasePipeline):
     def variant(self) -> str:
         return self._variant.name
 
-    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries,
+                       batched=False):
         plen = pattern.plen
         wg = self._wg
         scan_len = chunk.scan_length
@@ -321,11 +403,16 @@ class SyclCasOffinder(_BasePipeline):
                 :count].copy()
             flag_host = flag_buf.get_host_access(sycl_read).data[
                 :count].copy()
-            per_query = []
-            for query, cq in zip(queries, compiled_queries):
-                per_query.append(self._run_comparer(
-                    chr_buf, loci_buf, flag_buf, count, cq,
-                    query.max_mismatches, vector_mode))
+            if batched:
+                per_query = self._run_comparer_batched(
+                    chr_buf, loci_buf, flag_buf, count, queries,
+                    compiled_queries, vector_mode)
+            else:
+                per_query = []
+                for query, cq in zip(queries, compiled_queries):
+                    per_query.append(self._run_comparer(
+                        chr_buf, loci_buf, flag_buf, count, cq,
+                        query.max_mismatches, vector_mode))
             return _ChunkOutput(candidate_count=count,
                                 per_query=per_query, loci=loci_host,
                                 flags=flag_host)
@@ -387,6 +474,78 @@ class SyclCasOffinder(_BasePipeline):
                 :n_out].copy()
             return mm_loci, mm_count, direction
 
+    def _run_comparer_batched(self, chr_buf, loci_buf, flag_buf, count,
+                              queries, compiled_queries, vector_mode):
+        nq = len(queries)
+        plen = compiled_queries[0].plen
+        wg = self._wg
+        if count == 0:
+            return [(np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8)) for _ in range(nq)]
+        comp_all = np.concatenate([cq.comp for cq in compiled_queries])
+        cidx_all = np.concatenate(
+            [cq.comp_index for cq in compiled_queries])
+        thresholds = np.array([q.max_mismatches for q in queries],
+                              dtype=np.int32)
+        out_capacity = 2 * count * nq
+        with Buffer(comp_all, name="comp", write_back=False) as comp_buf, \
+                Buffer(cidx_all, name="comp_index",
+                       write_back=False) as comp_index_buf, \
+                Buffer(thresholds, name="thresholds",
+                       write_back=False) as thr_buf, \
+                Buffer(count=out_capacity, dtype=np.uint32,
+                       name="mm_loci") as mm_loci_buf, \
+                Buffer(count=out_capacity, dtype=np.uint16,
+                       name="mm_count") as mm_count_buf, \
+                Buffer(count=out_capacity, dtype=np.uint16,
+                       name="mm_query") as mm_query_buf, \
+                Buffer(count=out_capacity, dtype=np.uint8,
+                       name="direction") as dir_buf, \
+                Buffer(count=1, dtype=np.uint32,
+                       name="entrycount2") as entry_buf:
+
+            def comparer_cg(h):
+                a_chr = chr_buf.get_access(h, sycl_read)
+                a_loci = loci_buf.get_access(h, sycl_read)
+                a_flag = flag_buf.get_access(h, sycl_read)
+                a_comp = comp_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+                a_cidx = comp_index_buf.get_access(h, sycl_read,
+                                                   TARGET_CONSTANT)
+                a_thr = thr_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+                a_mm_loci = mm_loci_buf.get_access(h, sycl_write)
+                a_mm_count = mm_count_buf.get_access(h, sycl_write)
+                a_mm_query = mm_query_buf.get_access(h, sycl_write)
+                a_dir = dir_buf.get_access(h, sycl_write)
+                a_entry = entry_buf.get_access(h, sycl_read_write)
+                l_comp = LocalAccessor(np.uint8, nq * plen * 2, h,
+                                       name="l_comp")
+                l_cidx = LocalAccessor(np.int32, nq * plen * 2, h,
+                                       name="l_comp_index")
+                kern = (vectorized.comparer_batched_vectorized
+                        if vector_mode else sycl_kernels.comparer_batched)
+                h.parallel_for(
+                    NdRange(Range(_round_up(count, wg)), Range(wg)),
+                    kern,
+                    args=(count, nq, a_chr, a_loci, a_mm_loci, a_comp,
+                          a_cidx, plen, a_thr, a_flag, a_mm_count,
+                          a_mm_query, a_dir, a_entry, l_comp, l_cidx),
+                    vectorized=vector_mode,
+                    kernel_name="comparer_batched",
+                    variant=self._variant.name, batch=nq)
+
+            self.queue.submit(comparer_cg).wait()
+            n_out = int(entry_buf.get_host_access(sycl_read)[0])
+            mm_loci = mm_loci_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            mm_count = mm_count_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            mm_query = mm_query_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            direction = dir_buf.get_host_access(sycl_read).data[
+                :n_out].copy()
+            return _demux_batched(mm_loci, mm_count, mm_query, direction,
+                                  nq)
+
 
 class SyclUsmCasOffinder(SyclCasOffinder):
     """The SYCL application on unified shared memory (Section III.A).
@@ -403,7 +562,8 @@ class SyclUsmCasOffinder(SyclCasOffinder):
 
     api = "sycl-usm"
 
-    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries,
+                       batched=False):
         plen = pattern.plen
         wg = self._wg
         scan_len = chunk.scan_length
@@ -441,11 +601,16 @@ class SyclUsmCasOffinder(SyclCasOffinder):
             if count:
                 queue.memcpy(loci_host, d_loci, count)
                 queue.memcpy(flag_host, d_flag, count)
-            per_query = []
-            for query, cq in zip(queries, compiled_queries):
-                per_query.append(self._run_comparer_usm(
-                    d_chr, d_loci, d_flag, count, cq,
-                    query.max_mismatches, vector_mode))
+            if batched:
+                per_query = self._run_comparer_batched_usm(
+                    d_chr, d_loci, d_flag, count, queries,
+                    compiled_queries, vector_mode)
+            else:
+                per_query = []
+                for query, cq in zip(queries, compiled_queries):
+                    per_query.append(self._run_comparer_usm(
+                        d_chr, d_loci, d_flag, count, cq,
+                        query.max_mismatches, vector_mode))
             return _ChunkOutput(candidate_count=count,
                                 per_query=per_query,
                                 loci=loci_host[:count],
@@ -505,6 +670,73 @@ class SyclUsmCasOffinder(SyclCasOffinder):
         finally:
             for pointer in (d_comp, d_cidx, d_mm_loci, d_mm_count,
                             d_dir, d_entry):
+                free(pointer)
+
+    def _run_comparer_batched_usm(self, d_chr, d_loci, d_flag, count,
+                                  queries, compiled_queries, vector_mode):
+        nq = len(queries)
+        if count == 0:
+            return [(np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8)) for _ in range(nq)]
+        plen = compiled_queries[0].plen
+        wg = self._wg
+        queue = self.queue
+        comp_all = np.concatenate([cq.comp for cq in compiled_queries])
+        cidx_all = np.concatenate(
+            [cq.comp_index for cq in compiled_queries])
+        thresholds = np.array([q.max_mismatches for q in queries],
+                              dtype=np.int32)
+        out_capacity = 2 * count * nq
+        d_comp = malloc_device(comp_all.size, np.uint8, queue, "comp")
+        d_cidx = malloc_device(cidx_all.size, np.int32, queue,
+                               "comp_index")
+        d_thr = malloc_device(nq, np.int32, queue, "thresholds")
+        d_mm_loci = malloc_device(out_capacity, np.uint32, queue,
+                                  "mm_loci")
+        d_mm_count = malloc_device(out_capacity, np.uint16, queue,
+                                   "mm_count")
+        d_mm_query = malloc_device(out_capacity, np.uint16, queue,
+                                   "mm_query")
+        d_dir = malloc_device(out_capacity, np.uint8, queue,
+                              "direction")
+        d_entry = malloc_device(1, np.uint32, queue, "entrycount2")
+        try:
+            queue.memcpy(d_comp, comp_all)
+            queue.memcpy(d_cidx, cidx_all)
+            queue.memcpy(d_thr, thresholds)
+            queue.fill(d_entry, 0)
+            l_comp = LocalAccessor(np.uint8, nq * plen * 2,
+                                   name="l_comp")
+            l_cidx = LocalAccessor(np.int32, nq * plen * 2,
+                                   name="l_comp_index")
+            kern = (vectorized.comparer_batched_vectorized
+                    if vector_mode else sycl_kernels.comparer_batched)
+            queue.parallel_for(
+                NdRange(Range(_round_up(count, wg)), Range(wg)),
+                kern,
+                args=(count, nq, d_chr, d_loci, d_mm_loci, d_comp,
+                      d_cidx, plen, d_thr, d_flag, d_mm_count,
+                      d_mm_query, d_dir, d_entry, l_comp, l_cidx),
+                vectorized=vector_mode, kernel_name="comparer_batched",
+                variant=self._variant.name, batch=nq).wait()
+            n_host = np.zeros(1, dtype=np.uint32)
+            queue.memcpy(n_host, d_entry)
+            n_out = int(n_host[0])
+            mm_loci = np.zeros(max(1, n_out), dtype=np.uint32)
+            mm_count = np.zeros(max(1, n_out), dtype=np.uint16)
+            mm_query = np.zeros(max(1, n_out), dtype=np.uint16)
+            direction = np.zeros(max(1, n_out), dtype=np.uint8)
+            if n_out:
+                queue.memcpy(mm_loci, d_mm_loci, n_out)
+                queue.memcpy(mm_count, d_mm_count, n_out)
+                queue.memcpy(mm_query, d_mm_query, n_out)
+                queue.memcpy(direction, d_dir, n_out)
+            return _demux_batched(mm_loci[:n_out], mm_count[:n_out],
+                                  mm_query[:n_out], direction[:n_out],
+                                  nq)
+        finally:
+            for pointer in (d_comp, d_cidx, d_thr, d_mm_loci,
+                            d_mm_count, d_mm_query, d_dir, d_entry):
                 free(pointer)
 
 
@@ -571,6 +803,25 @@ class OpenCLCasOffinder(_BasePipeline):
                  ocl.KernelParam("l_comp", "local"),
                  ocl.KernelParam("l_comp_index", "local")],
                 vectorized=vectorized.comparer_vectorized),
+            "comparer_batched": ocl.KernelDefinition(
+                opencl_kernels.comparer_batched,
+                [ocl.KernelParam("locicnts", "scalar"),
+                 ocl.KernelParam("nqueries", "scalar"),
+                 ocl.KernelParam("chr", "global", "r"),
+                 ocl.KernelParam("loci", "global", "r"),
+                 ocl.KernelParam("mm_loci", "global", "w"),
+                 ocl.KernelParam("comp", "constant"),
+                 ocl.KernelParam("comp_index", "constant"),
+                 ocl.KernelParam("plen", "scalar"),
+                 ocl.KernelParam("thresholds", "constant"),
+                 ocl.KernelParam("flag", "global", "r"),
+                 ocl.KernelParam("mm_count", "global", "w"),
+                 ocl.KernelParam("mm_query", "global", "w"),
+                 ocl.KernelParam("direction", "global", "w"),
+                 ocl.KernelParam("entrycount", "global", "rw"),
+                 ocl.KernelParam("l_comp", "local"),
+                 ocl.KernelParam("l_comp_index", "local")],
+                vectorized=vectorized.comparer_batched_vectorized),
         })
         ocl.clBuildProgram(self.program, "-O3")
 
@@ -590,7 +841,8 @@ class OpenCLCasOffinder(_BasePipeline):
     def __exit__(self, *exc) -> None:
         self.release()
 
-    def _process_chunk(self, chunk, pattern, queries, compiled_queries):
+    def _process_chunk(self, chunk, pattern, queries, compiled_queries,
+                       batched=False):
         plen = pattern.plen
         scan_len = chunk.scan_length
         capacity = max(1, scan_len)
@@ -636,11 +888,16 @@ class OpenCLCasOffinder(_BasePipeline):
                                     size_bytes=count * 4)
             ocl.clEnqueueReadBuffer(q, flag_mem, flag_host,
                                     size_bytes=count)
-        per_query = []
-        for query, cq in zip(queries, compiled_queries):
-            per_query.append(self._run_comparer(
-                chr_mem, loci_mem, flag_mem, count, cq,
-                query.max_mismatches, vector_mode))
+        if batched:
+            per_query = self._run_comparer_batched(
+                chr_mem, loci_mem, flag_mem, count, queries,
+                compiled_queries, vector_mode)
+        else:
+            per_query = []
+            for query, cq in zip(queries, compiled_queries):
+                per_query.append(self._run_comparer(
+                    chr_mem, loci_mem, flag_mem, count, cq,
+                    query.max_mismatches, vector_mode))
         for mem in (chr_mem, pat_mem, pat_index_mem, loci_mem, flag_mem,
                     entry_mem):
             ocl.clReleaseMemObject(mem)
@@ -707,22 +964,129 @@ class OpenCLCasOffinder(_BasePipeline):
         return (mm_loci[:n_out], mm_count_host[:n_out].copy(),
                 direction[:n_out])
 
+    def _run_comparer_batched(self, chr_mem, loci_mem, flag_mem, count,
+                              queries, compiled_queries, vector_mode):
+        nq = len(queries)
+        if count == 0:
+            return [(np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8)) for _ in range(nq)]
+        ctx, q = self.context, self.queue
+        plen = compiled_queries[0].plen
+        comp_all = np.concatenate([cq.comp for cq in compiled_queries])
+        cidx_all = np.concatenate(
+            [cq.comp_index for cq in compiled_queries])
+        thresholds = np.array([qr.max_mismatches for qr in queries],
+                              dtype=np.int32)
+        out_capacity = 2 * count * nq
+        comp_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            comp_all.nbytes, comp_all, name="comp")
+        comp_index_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            cidx_all.nbytes, cidx_all, name="comp_index")
+        thr_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            thresholds.nbytes, thresholds, name="thresholds")
+        mm_loci_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity * 4, name="mm_loci",
+            dtype=np.uint32)
+        mm_count_host = np.zeros(out_capacity, dtype=np.uint16)
+        mm_count_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity * 2, name="mm_count",
+            dtype=np.uint16)
+        mm_query_host = np.zeros(out_capacity, dtype=np.uint16)
+        mm_query_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity * 2, name="mm_query",
+            dtype=np.uint16)
+        dir_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_WRITE_ONLY, out_capacity, name="direction",
+            dtype=np.uint8)
+        entry_host = np.zeros(1, dtype=np.uint32)
+        entry_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE | ocl.CL_MEM_COPY_HOST_PTR,
+            4, entry_host, name="entrycount2")
+        comparer = ocl.clCreateKernel(self.program, "comparer_batched")
+        for index, arg in enumerate((
+                count, nq, chr_mem, loci_mem, mm_loci_mem, comp_mem,
+                comp_index_mem, plen, thr_mem, flag_mem, mm_count_mem,
+                mm_query_mem, dir_mem, entry_mem,
+                ocl.LocalArg(np.uint8, nq * plen * 2),
+                ocl.LocalArg(np.int32, nq * plen * 2))):
+            ocl.clSetKernelArg(comparer, index, arg)
+        global_size = _round_up(count, 256)
+        ocl.clEnqueueNDRangeKernel(q, comparer, global_size, None,
+                                   vectorized=vector_mode, batch=nq)
+        ocl.clFinish(q)
+        ocl.clEnqueueReadBuffer(q, entry_mem, entry_host)
+        n_out = int(entry_host[0])
+        mm_loci = np.zeros(max(1, n_out), dtype=np.uint32)
+        direction = np.zeros(max(1, n_out), dtype=np.uint8)
+        if n_out:
+            ocl.clEnqueueReadBuffer(q, mm_loci_mem, mm_loci,
+                                    size_bytes=n_out * 4)
+            ocl.clEnqueueReadBuffer(q, mm_count_mem, mm_count_host,
+                                    size_bytes=n_out * 2)
+            ocl.clEnqueueReadBuffer(q, mm_query_mem, mm_query_host,
+                                    size_bytes=n_out * 2)
+            ocl.clEnqueueReadBuffer(q, dir_mem, direction,
+                                    size_bytes=n_out)
+        for mem in (comp_mem, comp_index_mem, thr_mem, mm_loci_mem,
+                    mm_count_mem, mm_query_mem, dir_mem, entry_mem):
+            ocl.clReleaseMemObject(mem)
+        ocl.clReleaseKernel(comparer)
+        return _demux_batched(mm_loci[:n_out],
+                              mm_count_host[:n_out].copy(),
+                              mm_query_host[:n_out].copy(),
+                              direction[:n_out], nq)
+
+
+def make_pipeline(api: str = "sycl", device: str = "MI100",
+                  variant: str = "base", mode: str = "vectorized",
+                  chunk_size: int = DEFAULT_CHUNK_SIZE,
+                  work_group_size: int = 256) -> _BasePipeline:
+    """Construct a pipeline instance for the given API.
+
+    OpenCL pipelines must be released after use (``with`` or
+    ``.release()``); the streaming engine uses this factory to build one
+    pipeline per worker so each has its own queue.
+    """
+    if api == "sycl":
+        return SyclCasOffinder(device=device, variant=variant,
+                               chunk_size=chunk_size, mode=mode,
+                               work_group_size=work_group_size)
+    if api == "sycl-usm":
+        return SyclUsmCasOffinder(device=device, variant=variant,
+                                  chunk_size=chunk_size, mode=mode,
+                                  work_group_size=work_group_size)
+    if api == "opencl":
+        return OpenCLCasOffinder(device=device, chunk_size=chunk_size,
+                                 mode=mode)
+    raise ValueError(
+        f"unknown api {api!r}; choose 'sycl', 'sycl-usm' or 'opencl'")
+
 
 def search(assembly: Assembly, request: SearchRequest,
            api: str = "sycl", device: str = "MI100",
            variant: str = "base", mode: str = "vectorized",
-           chunk_size: int = DEFAULT_CHUNK_SIZE) -> PipelineResult:
-    """One-call convenience wrapper over both pipelines."""
-    if api == "sycl":
-        pipeline = SyclCasOffinder(device=device, variant=variant,
-                                   chunk_size=chunk_size, mode=mode)
-        return pipeline.search(assembly, request)
-    if api == "sycl-usm":
-        pipeline = SyclUsmCasOffinder(device=device, variant=variant,
-                                      chunk_size=chunk_size, mode=mode)
-        return pipeline.search(assembly, request)
+           chunk_size: int = DEFAULT_CHUNK_SIZE,
+           execution: Optional[ExecutionPolicy] = None) -> PipelineResult:
+    """One-call convenience wrapper over both pipelines.
+
+    ``execution`` opts into the streaming engine / batched comparer; when
+    omitted, ``request.execution`` is honoured, and when that is also
+    unset the classic serial loop runs.
+    """
+    policy = execution if execution is not None else request.execution
+    if policy is not None and policy.streaming:
+        from .engine import StreamingEngine
+        engine = StreamingEngine(policy, api=api, device=device,
+                                 variant=variant, mode=mode,
+                                 chunk_size=chunk_size)
+        return engine.search(assembly, request)
+    batched = policy is not None and policy.batch_queries
+    pipeline = make_pipeline(api=api, device=device, variant=variant,
+                             mode=mode, chunk_size=chunk_size)
     if api == "opencl":
-        with OpenCLCasOffinder(device=device, chunk_size=chunk_size,
-                               mode=mode) as pipeline:
-            return pipeline.search(assembly, request)
-    raise ValueError(f"unknown api {api!r}; choose 'sycl', 'sycl-usm' or 'opencl'")
+        with pipeline:
+            return pipeline.search(assembly, request, batched=batched)
+    return pipeline.search(assembly, request, batched=batched)

@@ -12,7 +12,56 @@ substitution for the real hg19/hg38 runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StageTimings:
+    """Where wall-clock time went in one pipeline run, per stage.
+
+    The serial chunk loop interleaves all stages on one thread; the
+    streaming engine overlaps them, and these counters make the overlap
+    observable instead of asserted.  All values are seconds of work
+    summed across chunks (and workers, for the busy stages), so with
+    overlap ``total_busy_s`` may exceed ``wall_s``.
+
+    * ``stage_in_s`` — host-side chunk staging (slicing, materialising
+      the contiguous device view) before kernels can run;
+    * ``finder_s`` / ``comparer_s`` — kernel launches, from the launch
+      records;
+    * ``merge_s`` — hit construction and workload accounting;
+    * ``idle_s`` — time the merging thread spent waiting for chunk
+      results (0 for the serial loop, which never waits).
+    """
+
+    stage_in_s: float = 0.0
+    finder_s: float = 0.0
+    comparer_s: float = 0.0
+    merge_s: float = 0.0
+    idle_s: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def total_busy_s(self) -> float:
+        return (self.stage_in_s + self.finder_s + self.comparer_s
+                + self.merge_s)
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Busy seconds per wall second (> 1 means stages overlapped)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.total_busy_s / self.wall_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "stage_in_s": self.stage_in_s,
+            "finder_s": self.finder_s,
+            "comparer_s": self.comparer_s,
+            "merge_s": self.merge_s,
+            "idle_s": self.idle_s,
+            "wall_s": self.wall_s,
+        }
 
 
 @dataclass
@@ -62,6 +111,9 @@ class WorkloadProfile:
     #: Result bytes read back.
     bytes_d2h: int
     queries: List[QueryWorkload] = field(default_factory=list)
+    #: Per-stage wall-time breakdown (populated by the streaming engine;
+    #: the serial loop fills the busy stages and leaves idle at 0).
+    stages: Optional[StageTimings] = None
 
     @property
     def total_hits(self) -> int:
@@ -94,7 +146,9 @@ class WorkloadProfile:
                      // max(1, self.chunk_capacity))),
             bytes_h2d=int(self.bytes_h2d * factor),
             bytes_d2h=int(self.bytes_d2h * factor),
-            queries=[q.scaled(factor) for q in self.queries])
+            queries=[q.scaled(factor) for q in self.queries],
+            # Measured timings do not extrapolate with workload size.
+            stages=None)
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -23,6 +23,9 @@ The generator is pure numpy and deterministic for a given
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -162,9 +165,74 @@ def synthesize_chromosome(name: str, length: int,
     return Chromosome(name, seq)
 
 
+# ---------------------------------------------------------------------------
+# On-disk assembly cache
+# ---------------------------------------------------------------------------
+
+#: Bump when the generator changes in a way that alters output, so stale
+#: cache entries are never reused.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment switches: ``REPRO_GENOME_CACHE=off`` disables the cache,
+#: ``REPRO_GENOME_CACHE_DIR`` overrides the cache directory.
+CACHE_ENV = "REPRO_GENOME_CACHE"
+CACHE_DIR_ENV = "REPRO_GENOME_CACHE_DIR"
+
+_DISABLE_VALUES = ("off", "0", "no", "false")
+
+
+def genome_cache_enabled() -> bool:
+    """Whether the on-disk cache is active (env switch honoured)."""
+    return os.environ.get(CACHE_ENV, "").lower() not in _DISABLE_VALUES
+
+
+def genome_cache_dir() -> str:
+    """The cache directory (env override honoured; not created here)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache",
+                        "repro-genomes")
+
+
+def _cache_path(cache_dir: str, profile: str, scale: float, seed: int,
+                names: Sequence[str]) -> str:
+    key = (f"v{CACHE_FORMAT_VERSION}|{profile}|{scale!r}|{seed}|"
+           + ",".join(names))
+    digest = hashlib.sha256(key.encode("ascii")).hexdigest()[:16]
+    return os.path.join(cache_dir,
+                        f"{profile}-s{scale}-r{seed}-{digest}.npz")
+
+
+def _cache_load(path: str, names: Sequence[str]) -> Optional[List[Chromosome]]:
+    try:
+        with np.load(path) as archive:
+            return [Chromosome(name, archive[name]) for name in names]
+    except Exception:
+        return None  # missing or corrupt entry; regenerate
+
+
+def _cache_store(path: str, chroms: Sequence[Chromosome]) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Suffix must stay ".npz" or np.savez silently writes elsewhere.
+        fd, tmp = tempfile.mkstemp(suffix=".tmp.npz",
+                                   dir=os.path.dirname(path))
+        os.close(fd)
+        try:
+            np.savez(tmp, **{c.name: c.sequence for c in chroms})
+            os.replace(tmp, path)  # atomic vs concurrent writers
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        pass  # cache is best-effort; generation already succeeded
+
+
 def synthetic_assembly(profile: str = "hg19", scale: float = 0.001,
                        seed: int = 42,
-                       chromosomes: Optional[Sequence[str]] = None
+                       chromosomes: Optional[Sequence[str]] = None,
+                       cache: Optional[bool] = None
                        ) -> Assembly:
     """Generate a scaled synthetic assembly.
 
@@ -181,6 +249,11 @@ def synthetic_assembly(profile: str = "hg19", scale: float = 0.001,
         differences between builds.
     chromosomes:
         Optional subset of chromosome names to generate.
+    cache:
+        Reuse/populate the on-disk cache keyed by
+        ``(profile, scale, seed, chromosomes)``.  ``None`` (default)
+        defers to the ``REPRO_GENOME_CACHE`` environment switch; the
+        cache directory honours ``REPRO_GENOME_CACHE_DIR``.
     """
     try:
         prof = PROFILES[profile]
@@ -190,6 +263,15 @@ def synthetic_assembly(profile: str = "hg19", scale: float = 0.001,
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     names = list(prof.sizes) if chromosomes is None else list(chromosomes)
+    use_cache = genome_cache_enabled() if cache is None else cache
+    assembly_name = f"{profile}-synthetic-{scale}"
+    path = None
+    if use_cache:
+        path = _cache_path(genome_cache_dir(), profile, scale, seed,
+                           names)
+        cached = _cache_load(path, names)
+        if cached is not None:
+            return Assembly(assembly_name, cached)
     chroms: List[Chromosome] = []
     for name in names:
         try:
@@ -203,4 +285,6 @@ def synthetic_assembly(profile: str = "hg19", scale: float = 0.001,
         rng = np.random.default_rng(
             np.random.SeedSequence([seed, zlib.crc32(name.encode("ascii"))]))
         chroms.append(synthesize_chromosome(name, length, prof, rng))
-    return Assembly(f"{profile}-synthetic-{scale}", chroms)
+    if use_cache and path is not None:
+        _cache_store(path, chroms)
+    return Assembly(assembly_name, chroms)

@@ -104,3 +104,48 @@ def comparer(cl, locicnts, chr, loci, mm_loci, comp, comp_index, plen,
                 mm_count[old] = lmm_count
                 direction[old] = _MINUS
                 mm_loci[old] = loci[i]
+
+
+def comparer_batched(cl, locicnts, nqueries, chr, loci, mm_loci, comp,
+                     comp_index, plen, thresholds, flag, mm_count,
+                     mm_query, direction, entrycount, l_comp,
+                     l_comp_index):
+    """OpenCL batched multi-query compare kernel.
+
+    Same contract as :func:`repro.kernels.sycl_kernels.comparer_batched`:
+    ``nqueries`` stacked pattern layouts, one threshold per query, and a
+    ``mm_query`` output recording which query accepted each site.
+    """
+    i = cl.get_global_id(0)
+    lws = cl.get_local_size(0)
+    li = i - cl.get_group_id(0) * lws
+    for k in range(li, nqueries * plen * 2, lws):
+        l_comp[k] = comp[k]
+        l_comp_index[k] = comp_index[k]
+    yield cl.barrier(cl.CLK_LOCAL_MEM_FENCE)
+    if i < locicnts:
+        f = flag[i]
+        base = loci[i]
+        for offset, direction_char, selected in (
+                (0, _PLUS, f == 0 or f == 1),
+                (plen, _MINUS, f == 0 or f == 2)):
+            if not selected:
+                continue
+            for q in range(nqueries):
+                qoff = q * 2 * plen + offset
+                threshold = thresholds[q]
+                lmm_count = 0
+                for j in range(plen):
+                    k = l_comp_index[qoff + j]
+                    if k == -1:
+                        break
+                    if _is_mismatch(l_comp[qoff + k], chr[base + k]):
+                        lmm_count += 1
+                        if lmm_count > threshold:
+                            break
+                if lmm_count <= threshold:
+                    old = _atomic_inc(entrycount, 0)
+                    mm_count[old] = lmm_count
+                    mm_query[old] = q
+                    direction[old] = direction_char
+                    mm_loci[old] = base

@@ -334,6 +334,53 @@ def comparer_opt4(item, locicnts, chr, loci, mm_loci, comp, comp_index,
                 mm_loci[old] = base
 
 
+def comparer_batched(item, locicnts, nqueries, chr, loci, mm_loci, comp,
+                     comp_index, plen, thresholds, flag, mm_count,
+                     mm_query, direction, entrycount, l_comp,
+                     l_comp_index):
+    """Batched multi-query comparer: all queries in one launch.
+
+    ``comp``/``comp_index`` stack ``nqueries`` layouts of ``2 * plen``
+    entries (query ``q`` at offset ``q * 2 * plen``); ``thresholds``
+    holds one budget per query; accepted sites record their query index
+    in ``mm_query``.  The staging fetch is cooperative (opt3-style)
+    because the staged region grows with the query count.
+    """
+    i = item.get_global_id(0)
+    lws = item.get_local_range(0)
+    li = i - item.get_group(0) * lws
+    for k in range(li, nqueries * plen * 2, lws):
+        l_comp[k] = comp[k]
+        l_comp_index[k] = comp_index[k]
+    yield item.barrier(FenceSpace.LOCAL)
+    if i < locicnts:
+        f = flag[i]
+        base = loci[i]
+        for offset, direction_char, selected in (
+                (0, _PLUS, f == 0 or f == 1),
+                (plen, _MINUS, f == 0 or f == 2)):
+            if not selected:
+                continue
+            for q in range(nqueries):
+                qoff = q * 2 * plen + offset
+                threshold = thresholds[q]
+                lmm_count = 0
+                for j in range(plen):
+                    k = l_comp_index[qoff + j]
+                    if k == -1:
+                        break
+                    if _is_mismatch(l_comp[qoff + k], chr[base + k]):
+                        lmm_count += 1
+                        if lmm_count > threshold:
+                            break
+                if lmm_count <= threshold:
+                    old = atomic_inc(entrycount, 0)
+                    mm_count[old] = lmm_count
+                    mm_query[old] = q
+                    direction[old] = direction_char
+                    mm_loci[old] = base
+
+
 COMPARER_VARIANTS = {
     "base": comparer_base,
     "opt1": comparer_opt1,

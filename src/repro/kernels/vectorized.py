@@ -66,6 +66,85 @@ def finder_vectorized(group: GroupContext, chr, pat, pat_index, plen,
     flag[old:old + count] = flags[sel]
 
 
+def comparer_batched_vectorized(group: GroupContext, locicnts, nqueries,
+                                chr, loci, mm_loci, comp, comp_index, plen,
+                                thresholds, flag, mm_count, mm_query,
+                                direction, entrycount, l_comp,
+                                l_comp_index):
+    """Batched multi-query compare kernel: one launch for all queries.
+
+    ``comp``/``comp_index`` stack ``nqueries`` pattern layouts of
+    ``2 * plen`` entries each (query ``q``'s layout starts at
+    ``q * 2 * plen``), and ``thresholds`` holds one mismatch budget per
+    query.  Each accepted site additionally records its query index in
+    ``mm_query`` so the host can demultiplex.
+
+    The expensive part of the per-query kernel is the per-launch gather
+    of genome windows at the candidate loci plus a mismatch-table lookup
+    per (candidate, position).  All queries share the same candidates, so
+    the batched kernel gathers each strand's windows once and then packs
+    every query's per-position mismatch indicator into one byte lane of a
+    shared ``(plen, 256)`` lookup table: a single table pass counts
+    mismatches for up to four queries simultaneously, with each query's
+    exact count recovered from its lane (:data:`MISMATCH_LUT` is strictly
+    0/1 and ``plen < 256``, so lanes cannot carry into each other).
+    Unchecked pattern positions hold ``N``, whose table row is all zeros,
+    so full-window counting equals checked-only counting.  Emission order
+    per query (ascending candidate within forward, then reverse, per
+    block) matches the per-query kernel exactly, so demultiplexed results
+    are identical.
+    """
+    nq = int(nqueries)
+    plen = int(plen)
+    n = min(nq * plen * 2, l_comp.shape[0])
+    l_comp[:n] = comp[:n]
+    l_comp_index[:n] = comp_index[:n]
+    start = group.group_start
+    end = min(start + group.group_size, int(locicnts))
+    if end <= start:
+        return
+    idx = np.arange(start, end, dtype=np.int64)
+    f = flag[idx]
+    base = loci[idx].astype(np.int64)
+    cols = np.arange(plen, dtype=np.int64)
+    qrows = (np.arange(nq, dtype=np.int64) * (2 * plen))[:, None]
+    lane_shifts = (np.arange(4, dtype=np.uint32) * np.uint32(8))
+    for offset, direction_char, strand_sel in (
+            (0, _PLUS, (f == 0) | (f == 1)),
+            (plen, _MINUS, (f == 0) | (f == 2))):
+        sub = base[strand_sel]
+        if sub.size == 0:
+            continue
+        windows = chr[sub[:, None] + cols[None, :]]
+        counts_by_query = []
+        for g0 in range(0, nq, 4):
+            gq = min(4, nq - g0)
+            # Stacked (gq, plen) pattern matrix for this strand.
+            pats = comp[qrows[g0:g0 + gq] + offset + cols[None, :]]
+            packed_lut = (
+                MISMATCH_LUT[pats].astype(np.uint32)
+                << lane_shifts[:gq, None, None]).sum(
+                axis=0, dtype=np.uint32)
+            packed = packed_lut[cols[None, :], windows].sum(
+                axis=1, dtype=np.uint32)
+            counts_by_query.extend(
+                ((packed >> lane_shifts[lane]) & np.uint32(0xFF))
+                .astype(np.int64)
+                for lane in range(gq))
+        for q in range(nq):
+            counts = counts_by_query[q]
+            keep = counts <= int(thresholds[q])
+            kept = int(keep.sum())
+            if not kept:
+                continue
+            old = int(entrycount[0])
+            entrycount[0] = old + kept
+            mm_count[old:old + kept] = counts[keep].astype(mm_count.dtype)
+            mm_query[old:old + kept] = q
+            direction[old:old + kept] = direction_char
+            mm_loci[old:old + kept] = sub[keep]
+
+
 def comparer_vectorized(group: GroupContext, locicnts, chr, loci, mm_loci,
                         comp, comp_index, plen, threshold, flag, mm_count,
                         direction, entrycount, l_comp, l_comp_index):

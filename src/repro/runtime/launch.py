@@ -34,6 +34,9 @@ class LaunchRecord:
     runtime_chosen_wg: bool = False
     #: Kernel variant label ("base", "opt1" ... "opt4") when applicable.
     variant: str = "base"
+    #: Number of queries fused into this launch (1 for the per-query
+    #: comparer loop; > 1 for the batched multi-query comparer).
+    batch: int = 1
     #: Free-form counters the timing model consumes (e.g. candidate count,
     #: average compare-loop trip count).
     profile: dict = field(default_factory=dict)
@@ -42,12 +45,13 @@ class LaunchRecord:
     def kernel(cls, name: str, global_size: int, local_size: int,
                wall_time_s: float, stats: ExecutionStats, api: str,
                runtime_chosen_wg: bool = False, variant: str = "base",
+               batch: int = 1,
                profile: Optional[dict] = None) -> "LaunchRecord":
         return cls(kind="kernel", name=name, api=api,
                    wall_time_s=wall_time_s, global_size=global_size,
                    local_size=local_size, stats=stats,
                    runtime_chosen_wg=runtime_chosen_wg, variant=variant,
-                   profile=profile or {})
+                   batch=batch, profile=profile or {})
 
     @classmethod
     def transfer(cls, direction: str, bytes_moved: int, wall_time_s: float,

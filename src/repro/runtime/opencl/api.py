@@ -103,9 +103,10 @@ def clSetKernelArg(kernel: Kernel, index: int, value) -> None:
 def clEnqueueNDRangeKernel(queue: CommandQueue, kernel: Kernel,
                            global_size: int,
                            local_size: Optional[int] = None,
-                           vectorized: bool = False) -> Event:
+                           vectorized: bool = False,
+                           batch: int = 1) -> Event:
     return queue.enqueue_nd_range_kernel(kernel, global_size, local_size,
-                                         vectorized=vectorized)
+                                         vectorized=vectorized, batch=batch)
 
 
 # Step 11: transfer data between device and host.

@@ -447,7 +447,8 @@ class CommandQueue(_RefCounted):
 
     def enqueue_nd_range_kernel(self, kernel: Kernel, global_size: int,
                                 local_size: Optional[int] = None,
-                                vectorized: bool = False) -> Event:
+                                vectorized: bool = False,
+                                batch: int = 1) -> Event:
         """Model of ``clEnqueueNDRangeKernel``.
 
         Passing ``local_size=None`` lets the runtime choose the work-group
@@ -494,7 +495,7 @@ class CommandQueue(_RefCounted):
         event = Event(CL_COMMAND_NDRANGE_KERNEL, start, end, stats)
         self.launches.append(LaunchRecord.kernel(
             kernel.name, padded, local_size, end - start, stats,
-            api="opencl", runtime_chosen_wg=runtime_chosen))
+            api="opencl", runtime_chosen_wg=runtime_chosen, batch=batch))
         return event
 
     def finish(self) -> None:

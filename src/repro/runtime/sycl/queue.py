@@ -75,6 +75,7 @@ class Handler:
     def parallel_for(self, nd_range: NdRange, kernel: Callable,
                      args: Sequence = (), vectorized: bool = False,
                      kernel_name: str = "", variant: str = "base",
+                     batch: int = 1,
                      profile: Optional[dict] = None) -> None:
         """Record an ND-range kernel launch.
 
@@ -120,7 +121,8 @@ class Handler:
             end = time.perf_counter()
             self.queue.launches.append(LaunchRecord.kernel(
                 name, global_size, local_size, end - start, stats,
-                api="sycl", variant=variant, profile=profile))
+                api="sycl", variant=variant, batch=batch,
+                profile=profile))
             return SyclEvent("parallel_for", start, end, stats)
 
         self._command = run
@@ -254,7 +256,7 @@ class Queue:
     def parallel_for(self, nd_range: NdRange, kernel: Callable,
                      args: Sequence = (), vectorized: bool = False,
                      kernel_name: str = "",
-                     variant: str = "base") -> SyclEvent:
+                     variant: str = "base", batch: int = 1) -> SyclEvent:
         """Queue shortcut: submit a one-command group (USM style).
 
         With USM there are no accessors to declare, so SYCL programs
@@ -263,7 +265,7 @@ class Queue:
         """
         return self.submit(lambda h: h.parallel_for(
             nd_range, kernel, args=args, vectorized=vectorized,
-            kernel_name=kernel_name, variant=variant))
+            kernel_name=kernel_name, variant=variant, batch=batch))
 
     def __repr__(self) -> str:
         return f"Queue(device={self.device.short_name})"

@@ -80,6 +80,36 @@ class TestSearchCommand:
             outs[engine] = sorted(h.to_tsv() for h in read_hits(out))
         assert outs["listing1"] == outs["bitparallel"]
 
+    def test_streaming_flags_agree_with_serial(self, tmp_path, input_file,
+                                               capsys):
+        serial_out = tmp_path / "serial.tsv"
+        stream_out = tmp_path / "stream.tsv"
+        base = [str(input_file), "--synthetic", "hg19",
+                "--scale", "0.00005"]
+        assert main(base + ["-o", str(serial_out)]) == 0
+        assert main(base + ["--streaming", "--prefetch", "3",
+                            "--batch-comparer",
+                            "-o", str(stream_out)]) == 0
+        assert stream_out.read_text() == serial_out.read_text()
+        assert "Stage timings" in capsys.readouterr().err
+
+    def test_no_genome_cache_flag(self, tmp_path, input_file,
+                                  monkeypatch):
+        from repro.genome import synthetic
+        cache_dir = tmp_path / "genome-cache"
+        monkeypatch.setenv(synthetic.CACHE_DIR_ENV, str(cache_dir))
+        monkeypatch.delenv(synthetic.CACHE_ENV, raising=False)
+        out = tmp_path / "hits.tsv"
+        code = main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "--no-genome-cache",
+                     "-o", str(out)])
+        assert code == 0
+        assert not cache_dir.exists()
+        code = main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "-o", str(out)])
+        assert code == 0
+        assert len(list(cache_dir.glob("*.npz"))) == 1
+
     def test_missing_genome_errors(self, input_file, tmp_path):
         with pytest.raises(SystemExit):
             main([str(input_file), "--genome",

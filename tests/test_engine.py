@@ -1,0 +1,270 @@
+"""Streaming engine equivalence, launch fusion and stage timings.
+
+The engine's one hard invariant is byte-identical results: for any
+pipeline API, comparer variant, chunk size and query count, the
+streaming/batched execution paths must produce exactly the hit list (and
+workload counters) of the serial chunk loop.  The hypothesis test sweeps
+that space; the directed tests pin the launch-count collapse, the edge
+cases and the composition with the multi-device searcher.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ExecutionPolicy, Query, SearchRequest
+from repro.core.engine import ChunkShardView, StreamingEngine, streaming_search
+from repro.core.multidevice import multi_device_search
+from repro.core.patterns import (clear_pattern_cache, compile_pattern,
+                                 compile_pattern_cache_info)
+from repro.core.pipeline import make_pipeline, search
+from repro.kernels.variants import VARIANT_ORDER
+
+PATTERN = "NNNNNNRG"
+QUERY_POOL = ["GACGTCNN", "TTACGANN", "CCGGAANN", "ACGTACNN"]
+
+
+def _request(nqueries: int, thresholds=None) -> SearchRequest:
+    if thresholds is None:
+        thresholds = [3] * nqueries
+    return SearchRequest(
+        pattern=PATTERN,
+        queries=[Query(QUERY_POOL[i], thresholds[i])
+                 for i in range(nqueries)])
+
+
+def _serial(assembly, request, api="sycl", variant="base",
+            chunk_size=1 << 10):
+    pipeline = make_pipeline(api=api, device="MI100", variant=variant,
+                             mode="vectorized", chunk_size=chunk_size)
+    try:
+        return pipeline.search(assembly, request)
+    finally:
+        if api == "opencl":
+            pipeline.release()
+
+
+def _streaming(assembly, request, api="sycl", variant="base",
+               chunk_size=1 << 10, **policy_kw):
+    policy = ExecutionPolicy(streaming=True, **policy_kw)
+    engine = StreamingEngine(policy, api=api, device="MI100",
+                             variant=variant, mode="vectorized",
+                             chunk_size=chunk_size)
+    return engine.search(assembly, request)
+
+
+class TestEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(api=st.sampled_from(["opencl", "sycl", "sycl-usm"]),
+           variant=st.sampled_from(VARIANT_ORDER),
+           chunk_size=st.sampled_from([257, 1 << 10, 1 << 20]),
+           nqueries=st.integers(1, 4),
+           prefetch=st.integers(1, 3))
+    def test_engine_matches_serial(self, small_assembly, api, variant,
+                                   chunk_size, nqueries, prefetch):
+        """Hit sets are identical to the serial loop for every API,
+        comparer variant, chunk size (including a single-chunk run at
+        1 MiB) and query count."""
+        if api == "opencl" and variant != "base":
+            variant = "base"
+        request = _request(nqueries)
+        serial = _serial(small_assembly, request, api=api,
+                         variant=variant, chunk_size=chunk_size)
+        stream = _streaming(small_assembly, request, api=api,
+                            variant=variant, chunk_size=chunk_size,
+                            prefetch_depth=prefetch)
+        assert stream.hits == serial.hits
+        assert stream.workload.candidates == serial.workload.candidates
+        assert (stream.workload.positions_scanned
+                == serial.workload.positions_scanned)
+
+    def test_empty_hit_sets_match(self, small_assembly):
+        """Zero-threshold queries that do not occur verbatim in the
+        fixture genome: both paths agree on the empty result."""
+        request = SearchRequest(
+            pattern=PATTERN,
+            queries=[Query("TACTATNN", 0), Query("GGGTTTNN", 0)])
+        serial = _serial(small_assembly, request)
+        stream = _streaming(small_assembly, request)
+        assert serial.hits == stream.hits == []
+
+    def test_single_chunk_genome(self, tiny_assembly):
+        """A chunk size larger than the genome exercises the
+        one-chunk-per-chromosome edge."""
+        request = _request(3)
+        serial = _serial(tiny_assembly, request, chunk_size=1 << 20)
+        stream = _streaming(tiny_assembly, request, chunk_size=1 << 20)
+        assert stream.hits == serial.hits
+        assert stream.workload.chunk_count == serial.workload.chunk_count
+
+    @pytest.mark.slow
+    def test_process_backend_matches(self, tiny_assembly):
+        """The process pool path (true parallelism) merges in chunk
+        order and stays identical."""
+        request = _request(2)
+        serial = _serial(tiny_assembly, request, chunk_size=512)
+        stream = _streaming(tiny_assembly, request, chunk_size=512,
+                            workers=2, backend="process")
+        assert stream.hits == serial.hits
+
+    def test_thread_workers_match(self, small_assembly):
+        request = _request(2)
+        serial = _serial(small_assembly, request, chunk_size=1 << 10)
+        stream = _streaming(small_assembly, request, chunk_size=1 << 10,
+                            workers=3)
+        assert stream.hits == serial.hits
+
+    def test_search_wrapper_honours_request_policy(self, small_assembly):
+        request = _request(2)
+        request.execution = ExecutionPolicy(streaming=True)
+        via_request = search(small_assembly, request, chunk_size=1 << 10)
+        serial = _serial(small_assembly, _request(2))
+        assert via_request.hits == serial.hits
+        assert via_request.workload.stages is not None
+
+    def test_streaming_search_wrapper(self, small_assembly):
+        request = _request(2)
+        serial = _serial(small_assembly, request)
+        stream = streaming_search(small_assembly, request,
+                                  chunk_size=1 << 10)
+        assert stream.hits == serial.hits
+
+
+class TestLaunchFusion:
+    def test_batched_collapses_comparer_launches(self, small_assembly):
+        """chunks x queries comparer launches become one per chunk."""
+        request = _request(3)
+        serial = _serial(small_assembly, request, chunk_size=1 << 10)
+        stream = _streaming(small_assembly, request, chunk_size=1 << 10)
+
+        def comparer_launches(result):
+            return [r for r in result.launches
+                    if r.is_kernel and r.name.startswith("comparer")]
+
+        chunks = serial.workload.chunk_count
+        assert len(comparer_launches(serial)) == chunks * 3
+        fused = comparer_launches(stream)
+        assert len(fused) == chunks
+        assert all(r.name == "comparer_batched" and r.batch == 3
+                   for r in fused)
+
+    def test_single_query_keeps_per_query_kernel(self, small_assembly):
+        """Batching one query would only rename the launch; the engine
+        keeps the classic kernel."""
+        stream = _streaming(small_assembly, _request(1),
+                            chunk_size=1 << 10)
+        assert all(r.name == "comparer" for r in stream.launches
+                   if r.is_kernel and r.name.startswith("comparer"))
+
+
+class TestStageTimings:
+    def test_engine_reports_stage_timings(self, small_assembly):
+        stream = _streaming(small_assembly, _request(2),
+                            chunk_size=1 << 10)
+        stages = stream.workload.stages
+        assert stages is not None
+        assert stages.wall_s > 0
+        assert stages.finder_s > 0
+        assert stages.comparer_s > 0
+        assert set(stages.as_dict()) == {
+            "stage_in_s", "finder_s", "comparer_s", "merge_s", "idle_s",
+            "wall_s"}
+
+    def test_serial_batched_reports_stage_timings(self, small_assembly):
+        result = search(small_assembly, _request(2), chunk_size=1 << 10,
+                        execution=ExecutionPolicy(streaming=False))
+        assert result.workload.stages is not None
+        assert result.workload.stages.comparer_s > 0
+
+    def test_render_stage_timings(self, small_assembly):
+        from repro.analysis.reporting import render_stage_timings
+        stream = _streaming(small_assembly, _request(2),
+                            chunk_size=1 << 10)
+        text = render_stage_timings(stream.workload.stages)
+        for label in ("stage-in", "finder", "comparer", "merge", "idle",
+                      "wall"):
+            assert label in text
+
+
+class TestComposition:
+    def test_multidevice_with_streaming_engine(self, small_assembly):
+        request = _request(2)
+        serial = _serial(small_assembly, request, chunk_size=1 << 10)
+        multi = multi_device_search(
+            small_assembly, request, devices=("MI100", "MI60"),
+            chunk_size=1 << 10,
+            execution=ExecutionPolicy(streaming=True))
+        from repro.core.records import sort_hits
+        assert multi.sorted_hits() == sort_hits(serial.hits)
+
+    def test_chunk_shard_view_partitions_exactly(self, small_assembly):
+        full = list(small_assembly.chunks(1 << 10, len(PATTERN)))
+        shards = [list(ChunkShardView(small_assembly, i, 3)
+                       .chunks(1 << 10, len(PATTERN)))
+                  for i in range(3)]
+        assert sum(len(s) for s in shards) == len(full)
+        for i, shard in enumerate(shards):
+            assert [c.start for c in shard] == [
+                c.start for j, c in enumerate(full) if j % 3 == i]
+
+    def test_bad_shard_rejected(self, small_assembly):
+        with pytest.raises(ValueError, match="shard"):
+            ChunkShardView(small_assembly, 3, 3)
+
+
+class TestPolicyValidation:
+    def test_bad_prefetch_rejected(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            ExecutionPolicy(prefetch_depth=0)
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="worker"):
+            ExecutionPolicy(workers=0)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionPolicy(backend="gpu")
+
+    def test_worker_error_propagates(self, small_assembly):
+        engine = StreamingEngine(ExecutionPolicy(streaming=True),
+                                 api="sycl", chunk_size=1 << 10)
+        request = _request(2)
+        request.queries = [Query(QUERY_POOL[0], 3)] * 2
+        request.pattern = PATTERN
+
+        class Boom(Exception):
+            pass
+
+        class ExplodingAssembly:
+            name = "boom"
+
+            def chunks(self, chunk_size, pattern_length):
+                yield from small_assembly.chunks(chunk_size,
+                                                 pattern_length)
+                raise Boom("staging failed")
+
+        with pytest.raises(Boom):
+            engine.search(ExplodingAssembly(), request)
+
+
+class TestPatternCache:
+    def test_compile_pattern_is_memoized(self):
+        clear_pattern_cache()
+        first = compile_pattern("NNNNNNRG")
+        info = compile_pattern_cache_info()
+        assert info.misses >= 1
+        before_hits = info.hits
+        second = compile_pattern("NNNNNNRG")
+        assert compile_pattern_cache_info().hits == before_hits + 1
+        assert second is first
+
+    def test_cached_arrays_are_immutable(self):
+        compiled = compile_pattern("NNNNNNRG")
+        with pytest.raises(ValueError):
+            compiled.comp[0] = 0
+
+    def test_distinct_patterns_not_conflated(self):
+        a = compile_pattern("NNNNNNRG")
+        b = compile_pattern("NNNNNNGG")
+        assert not np.array_equal(a.comp, b.comp)

@@ -120,3 +120,60 @@ class TestGenerator:
             result = search(asm, request, chunk_size=1 << 18)
             densities[profile] = result.workload.candidate_density
         assert densities["hg38"] > densities["hg19"] * 1.1
+
+
+class TestGenomeCache:
+    """On-disk synthetic-genome cache keyed by (build, scale, seed)."""
+
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        from repro.genome import synthetic
+        path = tmp_path / "genome-cache"
+        monkeypatch.setenv(synthetic.CACHE_DIR_ENV, str(path))
+        monkeypatch.delenv(synthetic.CACHE_ENV, raising=False)
+        return path
+
+    def test_roundtrip_is_identical(self, cache_dir):
+        fresh = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        assert len(list(cache_dir.glob("*.npz"))) == 1
+        cached = synthetic_assembly("hg19", scale=0.0001,
+                                    chromosomes=["chr21"], seed=3,
+                                    cache=True)
+        assert cached.name == fresh.name
+        np.testing.assert_array_equal(cached["chr21"].sequence,
+                                      fresh["chr21"].sequence)
+
+    def test_key_distinguishes_build_seed_scale(self, cache_dir):
+        for profile, scale, seed in (("hg19", 0.0001, 1),
+                                     ("hg38", 0.0001, 1),
+                                     ("hg19", 0.0002, 1),
+                                     ("hg19", 0.0001, 2)):
+            synthetic_assembly(profile, scale=scale, seed=seed,
+                               chromosomes=["chr21"], cache=True)
+        assert len(list(cache_dir.glob("*.npz"))) == 4
+
+    def test_cache_flag_false_bypasses(self, cache_dir):
+        synthetic_assembly("hg19", scale=0.0001, chromosomes=["chr21"],
+                           cache=False)
+        assert not cache_dir.exists()
+
+    def test_env_switch_disables(self, cache_dir, monkeypatch):
+        from repro.genome import synthetic
+        monkeypatch.setenv(synthetic.CACHE_ENV, "off")
+        assert not synthetic.genome_cache_enabled()
+        synthetic_assembly("hg19", scale=0.0001, chromosomes=["chr21"])
+        assert not cache_dir.exists()
+
+    def test_corrupt_entry_regenerates(self, cache_dir):
+        fresh = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        entry = next(cache_dir.glob("*.npz"))
+        entry.write_bytes(b"not an npz archive")
+        again = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        np.testing.assert_array_equal(again["chr21"].sequence,
+                                      fresh["chr21"].sequence)
