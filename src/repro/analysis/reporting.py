@@ -134,6 +134,40 @@ def render_stage_timings(stages) -> str:
                         title="Stage timings")
 
 
+def render_trace_summary(spans) -> str:
+    """Aggregate a trace into per-category/per-kernel summary rows.
+
+    ``spans`` is a sequence of :class:`repro.observability.tracing.Span`.
+    Complete events ("X") aggregate by name within category (kernels
+    keep their per-kernel names, so finder and comparer report
+    separately); instant events ("i") are counted, with cache instants
+    split into hits and misses.
+    """
+    durations: Dict[Tuple[str, str], List[float]] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    for span in spans:
+        if span.phase == "X":
+            durations.setdefault((span.cat, span.name),
+                                 []).append(span.duration_s)
+            continue
+        name = span.name
+        if span.cat == "cache":
+            name += " hit" if span.args.get("hit") else " miss"
+        key = (span.cat, name)
+        counts[key] = counts.get(key, 0) + 1
+    rows = []
+    for (cat, name), values in sorted(durations.items()):
+        total = sum(values)
+        rows.append((cat, name, len(values), f"{total:.4f}",
+                     f"{total / len(values):.5f}",
+                     f"{max(values):.5f}"))
+    for (cat, name), count in sorted(counts.items()):
+        rows.append((cat, name, count, "-", "-", "-"))
+    return format_table(
+        ("Category", "Event", "Count", "Total(s)", "Mean(s)", "Max(s)"),
+        rows, title="Trace summary")
+
+
 def render_fig2(series: Dict[Tuple[str, str], List[float]]) -> str:
     """Figure 2 as a table: kernel seconds per variant.
 

@@ -27,13 +27,17 @@ from typing import List, Optional
 
 from .analysis.reporting import (render_fig2, render_stage_timings,
                                  render_table8, render_table9,
-                                 render_table10)
+                                 render_table10, render_trace_summary)
 from .core.config import ExecutionPolicy, SearchRequest
 from .core.pipeline import DEFAULT_CHUNK_SIZE, search
 from .core.records import write_hits
 from .genome.assembly import Assembly, Chromosome
 from .genome.fasta import iter_fasta
 from .genome.synthetic import PROFILES, synthetic_assembly
+from .observability import tracing
+
+#: Work-group size used when ``--work-group-size`` is not given.
+DEFAULT_WORK_GROUP_SIZE = 256
 
 
 def _load_assembly(args: argparse.Namespace,
@@ -61,35 +65,76 @@ def _load_assembly(args: argparse.Namespace,
     raise SystemExit(f"genome path {path!r} does not exist")
 
 
+def _check_engine_flags(args: argparse.Namespace) -> None:
+    """Reject engine-only flags that other paths would silently drop."""
+    if args.engine == "bitparallel":
+        offending = [flag for flag, given in (
+            ("--streaming", args.streaming),
+            ("--workers", args.workers != 1),
+            ("--prefetch", args.prefetch is not None),
+            ("--batch-comparer", args.batch_comparer),
+            ("--work-group-size", args.work_group_size is not None),
+            ("--fault-inject", args.fault_inject is not None),
+            ("--max-retries", args.max_retries is not None),
+            ("--chunk-deadline", args.chunk_deadline is not None),
+        ) if given]
+        if offending:
+            raise SystemExit(
+                "error: --engine bitparallel runs its own serial chunk "
+                "loop and does not support " + ", ".join(offending))
+        return
+    streaming = args.streaming or args.workers > 1
+    if args.fault_inject is not None and not streaming:
+        raise SystemExit(
+            "error: --fault-inject targets the streaming engine; add "
+            "--streaming (or --workers > 1)")
+
+
 def _run_search(args: argparse.Namespace) -> int:
     if not args.input:
         raise SystemExit("an input file is required (see --help)")
+    _check_engine_flags(args)
     request = SearchRequest.from_input_file(args.input)
     assembly = _load_assembly(args, request.genome_path)
     execution = None
     streaming = args.streaming or args.workers > 1
     if streaming or args.batch_comparer:
+        policy_kw = {}
+        if args.max_retries is not None:
+            policy_kw["max_retries"] = args.max_retries
+        if args.chunk_deadline is not None:
+            policy_kw["chunk_deadline_s"] = args.chunk_deadline
+        if args.fault_inject is not None:
+            policy_kw["fault_plan"] = args.fault_inject
         try:
-            execution = ExecutionPolicy(streaming=streaming,
-                                        prefetch_depth=args.prefetch,
-                                        workers=args.workers,
-                                        batch_queries=args.batch_comparer)
+            execution = ExecutionPolicy(
+                streaming=streaming,
+                prefetch_depth=(2 if args.prefetch is None
+                                else args.prefetch),
+                workers=args.workers,
+                batch_queries=args.batch_comparer, **policy_kw)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
     elif args.workers < 1:
         raise SystemExit(f"error: worker count must be >= 1, "
                          f"got {args.workers}")
+    recorder = tracing.TraceRecorder() if args.trace else None
     started = time.perf_counter()
-    if args.engine == "bitparallel":
-        from .core.bitparallel import bitparallel_search
-        result = bitparallel_search(assembly, request,
-                                    device=args.device,
-                                    chunk_size=args.chunk_size)
-    else:
-        result = search(assembly, request, api=args.api,
-                        device=args.device, variant=args.variant,
-                        chunk_size=args.chunk_size, mode=args.mode,
-                        execution=execution)
+    with tracing.recording(recorder) if recorder else _null_context():
+        if args.engine == "bitparallel":
+            from .core.bitparallel import bitparallel_search
+            result = bitparallel_search(assembly, request,
+                                        device=args.device,
+                                        chunk_size=args.chunk_size)
+        else:
+            work_group_size = (DEFAULT_WORK_GROUP_SIZE
+                               if args.work_group_size is None
+                               else args.work_group_size)
+            result = search(assembly, request, api=args.api,
+                            device=args.device, variant=args.variant,
+                            chunk_size=args.chunk_size, mode=args.mode,
+                            work_group_size=work_group_size,
+                            execution=execution)
     elapsed = time.perf_counter() - started
     hits = result.sorted_hits()
     if args.output and args.output != "-":
@@ -103,7 +148,16 @@ def _run_search(args: argparse.Namespace) -> int:
     if result.workload.stages is not None and execution is not None:
         print(render_stage_timings(result.workload.stages),
               file=sys.stderr)
+    if recorder is not None:
+        recorder.save(args.trace)
+        print(render_trace_summary(recorder.spans()), file=sys.stderr)
+        print(f"# trace written to {args.trace}", file=sys.stderr)
     return 0
+
+
+def _null_context():
+    import contextlib
+    return contextlib.nullcontext()
 
 
 def _run_report(args: argparse.Namespace) -> int:
@@ -191,9 +245,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel chunk workers for the streaming "
                              "engine (implies --streaming when > 1)")
-    parser.add_argument("--prefetch", type=int, default=2,
+    parser.add_argument("--prefetch", type=int, default=None,
                         help="chunks staged ahead by the streaming "
-                             "engine's producer")
+                             "engine's producer (default 2)")
+    parser.add_argument("--work-group-size", type=int, default=None,
+                        help="kernel work-group size for the SYCL "
+                             "pipelines (default 256)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="per-chunk retries after a processing "
+                             "failure in the streaming engine "
+                             "(default 1)")
+    parser.add_argument("--chunk-deadline", type=float, default=None,
+                        help="per-chunk wall-clock deadline in seconds; "
+                             "overruns are retried on a fresh pipeline")
+    parser.add_argument("--fault-inject", default=None, metavar="PLAN",
+                        help="deterministic fault plan for the streaming "
+                             "engine, e.g. 'raise@0,stall@2:0.4' "
+                             "(also via REPRO_FAULT_INJECT)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a runtime trace and write it as "
+                             "Chrome-trace JSON (chrome://tracing, "
+                             "Perfetto)")
     parser.add_argument("--batch-comparer", dest="batch_comparer",
                         action="store_true", default=False,
                         help="fuse per-query comparer launches into one "

@@ -14,6 +14,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
+from ..observability.faults import parse_fault_plan
 from .patterns import PatternError, validate_iupac
 
 
@@ -41,6 +42,15 @@ class ExecutionPolicy:
     kernel work on the GIL, so it mainly overlaps staging with compute;
     the ``"process"`` backend runs kernels truly in parallel at the cost
     of pickling chunks/outputs across the pool boundary.
+
+    The remaining fields control the engine's failure behavior.  A chunk
+    whose processing raises (or overruns ``chunk_deadline_s``) is
+    retried up to ``max_retries`` times with capped exponential backoff;
+    when retries are exhausted the chunk degrades to a fresh serial
+    pipeline on the merging thread (``serial_fallback``) so one bad
+    worker cannot truncate or reorder results.  ``fault_plan`` is the
+    deterministic fault-injection spec (see
+    :mod:`repro.observability.faults`) used to exercise those paths.
     """
 
     streaming: bool = True
@@ -48,6 +58,21 @@ class ExecutionPolicy:
     workers: int = 1
     batch_queries: bool = True
     backend: str = "thread"
+    #: Per-chunk retries after a processing failure (0 disables).
+    max_retries: int = 1
+    #: Base delay of the capped exponential retry backoff.
+    retry_backoff_s: float = 0.05
+    #: Ceiling on any single retry delay.
+    retry_backoff_cap_s: float = 1.0
+    #: Per-chunk wall-clock deadline; overruns count as failures and the
+    #: stalled pipeline is abandoned (None disables the watchdog).
+    chunk_deadline_s: Optional[float] = None
+    #: Re-run a chunk whose retries are exhausted on a fresh pipeline in
+    #: the merging thread instead of failing the whole search.
+    serial_fallback: bool = True
+    #: Fault-injection spec (``KIND@INDEX[:SECONDS][xCOUNT],...``); None
+    #: defers to the ``REPRO_FAULT_INJECT`` environment variable.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self):
         if self.prefetch_depth < 1:
@@ -60,6 +85,21 @@ class ExecutionPolicy:
             raise ValueError(
                 f"backend must be 'thread' or 'process', "
                 f"got {self.backend!r}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s <= 0:
+            raise ValueError(f"retry backoff must be positive, "
+                             f"got {self.retry_backoff_s}")
+        if self.retry_backoff_cap_s < self.retry_backoff_s:
+            raise ValueError(
+                f"retry backoff cap {self.retry_backoff_cap_s} is below "
+                f"the base backoff {self.retry_backoff_s}")
+        if self.chunk_deadline_s is not None and self.chunk_deadline_s <= 0:
+            raise ValueError(f"chunk deadline must be positive, "
+                             f"got {self.chunk_deadline_s}")
+        if self.fault_plan is not None:
+            parse_fault_plan(self.fault_plan)  # fail loudly, up front
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Tuple, Union
 import numpy as np
 
 from ..genome.fasta import sequence_to_array
+from ..observability import tracing
 
 #: 4-bit base masks: A=1, C=2, G=4, T=8.
 IUPAC_MASKS: Dict[str, int] = {
@@ -204,7 +205,17 @@ def compile_pattern(sequence: Union[str, bytes, np.ndarray]
     if isinstance(sequence, bytes):
         sequence = sequence.decode("ascii")
     if isinstance(sequence, str):
-        return _compile_pattern_cached(sequence)
+        if tracing.active() is None:
+            return _compile_pattern_cached(sequence)
+        # Hit/miss attribution is approximate under concurrent
+        # compilation (another thread may land a miss between the two
+        # cache_info() reads); good enough for trace annotation.
+        before = _compile_pattern_cached.cache_info().hits
+        compiled = _compile_pattern_cached(sequence)
+        hit = _compile_pattern_cached.cache_info().hits > before
+        tracing.instant("pattern_cache", cat="cache", pattern=sequence,
+                        hit=hit)
+        return compiled
     return _compile_pattern_uncached(sequence)
 
 

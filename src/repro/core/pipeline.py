@@ -22,6 +22,7 @@ import numpy as np
 
 from ..genome.assembly import Assembly, Chunk
 from ..kernels import opencl_kernels, sycl_kernels, vectorized
+from ..observability import tracing
 from ..kernels.variants import VARIANT_ORDER, get_variant
 from ..runtime import opencl as ocl
 from ..runtime.launch import LaunchRecord
@@ -305,11 +306,15 @@ class _BasePipeline:
         acc = SearchAccumulator(request, pattern, compiled_queries)
         launch_base = len(self.launches)
         use_batched = batched and len(request.queries) > 1
-        for chunk in assembly.chunks(self.chunk_size, pattern.plen):
-            output = self._process_chunk(chunk, pattern, request.queries,
-                                         compiled_queries,
-                                         batched=use_batched)
-            acc.add_chunk(chunk, output)
+        for index, chunk in enumerate(
+                assembly.chunks(self.chunk_size, pattern.plen)):
+            with tracing.span("chunk", cat="chunk", chunk=index):
+                output = self._process_chunk(chunk, pattern,
+                                             request.queries,
+                                             compiled_queries,
+                                             batched=use_batched)
+            with tracing.span("merge", cat="merge", chunk=index):
+                acc.add_chunk(chunk, output)
         wall = time.perf_counter() - start_time
         finder_s, comparer_s = _kernel_stage_times(
             self.launches[launch_base:])
@@ -1069,6 +1074,7 @@ def search(assembly: Assembly, request: SearchRequest,
            api: str = "sycl", device: str = "MI100",
            variant: str = "base", mode: str = "vectorized",
            chunk_size: int = DEFAULT_CHUNK_SIZE,
+           work_group_size: int = 256,
            execution: Optional[ExecutionPolicy] = None) -> PipelineResult:
     """One-call convenience wrapper over both pipelines.
 
@@ -1081,11 +1087,13 @@ def search(assembly: Assembly, request: SearchRequest,
         from .engine import StreamingEngine
         engine = StreamingEngine(policy, api=api, device=device,
                                  variant=variant, mode=mode,
-                                 chunk_size=chunk_size)
+                                 chunk_size=chunk_size,
+                                 work_group_size=work_group_size)
         return engine.search(assembly, request)
     batched = policy is not None and policy.batch_queries
     pipeline = make_pipeline(api=api, device=device, variant=variant,
-                             mode=mode, chunk_size=chunk_size)
+                             mode=mode, chunk_size=chunk_size,
+                             work_group_size=work_group_size)
     if api == "opencl":
         with pipeline:
             return pipeline.search(assembly, request, batched=batched)

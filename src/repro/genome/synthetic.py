@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..observability import tracing
 from .assembly import Assembly, Chromosome
 
 # Real chromosome sizes (bp), UCSC hg19 and hg38, chr1..22, X, Y.
@@ -204,10 +205,29 @@ def _cache_path(cache_dir: str, profile: str, scale: float, seed: int,
                         f"{profile}-s{scale}-r{seed}-{digest}.npz")
 
 
-def _cache_load(path: str, names: Sequence[str]) -> Optional[List[Chromosome]]:
+def _cache_load(path: str, names: Sequence[str],
+                expected_lengths: Dict[str, int]
+                ) -> Optional[List[Chromosome]]:
+    """Load a cache entry, validating shape before trusting it.
+
+    A cache file is shared, best-effort state: it may have been written
+    by a different generator version, truncated mid-write, or clobbered
+    by another tool.  Any entry whose arrays are not 1-D ``uint8`` of
+    the expected per-chromosome length is rejected wholesale (returns
+    None → regenerate) rather than poisoning every downstream search.
+    """
     try:
         with np.load(path) as archive:
-            return [Chromosome(name, archive[name]) for name in names]
+            chroms = []
+            for name in names:
+                if name not in archive.files:
+                    return None  # stale entry from an older key/subset
+                array = archive[name]
+                if (array.dtype != np.uint8 or array.ndim != 1
+                        or array.size != expected_lengths[name]):
+                    return None
+                chroms.append(Chromosome(name, array))
+            return chroms
     except Exception:
         return None  # missing or corrupt entry; regenerate
 
@@ -265,26 +285,31 @@ def synthetic_assembly(profile: str = "hg19", scale: float = 0.001,
     names = list(prof.sizes) if chromosomes is None else list(chromosomes)
     use_cache = genome_cache_enabled() if cache is None else cache
     assembly_name = f"{profile}-synthetic-{scale}"
-    path = None
-    if use_cache:
-        path = _cache_path(genome_cache_dir(), profile, scale, seed,
-                           names)
-        cached = _cache_load(path, names)
-        if cached is not None:
-            return Assembly(assembly_name, cached)
-    chroms: List[Chromosome] = []
+    expected_lengths: Dict[str, int] = {}
     for name in names:
         try:
             real_size = prof.sizes[name]
         except KeyError:
             raise KeyError(f"profile {profile!r} has no chromosome "
                            f"{name!r}") from None
-        length = max(1000, int(real_size * scale))
+        expected_lengths[name] = max(1000, int(real_size * scale))
+    path = None
+    if use_cache:
+        path = _cache_path(genome_cache_dir(), profile, scale, seed,
+                           names)
+        cached = _cache_load(path, names, expected_lengths)
+        tracing.instant("genome_cache", cat="cache", profile=profile,
+                        scale=scale, hit=cached is not None)
+        if cached is not None:
+            return Assembly(assembly_name, cached)
+    chroms: List[Chromosome] = []
+    for name in names:
         # Independent stream per chromosome so subsets are reproducible
         # (crc32 rather than hash(): str hashing is salted per process).
         rng = np.random.default_rng(
             np.random.SeedSequence([seed, zlib.crc32(name.encode("ascii"))]))
-        chroms.append(synthesize_chromosome(name, length, prof, rng))
+        chroms.append(synthesize_chromosome(name, expected_lengths[name],
+                                            prof, rng))
     if use_cache and path is not None:
         _cache_store(path, chroms)
     return Assembly(assembly_name, chroms)

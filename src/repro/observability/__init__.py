@@ -1,0 +1,27 @@
+"""Runtime observability and robustness: tracing and fault injection.
+
+Two cooperating layers over the streaming engine and the runtime
+models:
+
+* :mod:`repro.observability.tracing` — a lightweight span recorder with
+  per-thread buffers.  The engine, the pipelines and both runtime
+  front-ends record spans (chunk stage-in, every kernel launch, merges,
+  cache hits/misses) when a recorder is active; the result exports as
+  Chrome-trace JSON (``chrome://tracing`` / Perfetto) or a per-kernel
+  summary table.
+* :mod:`repro.observability.faults` — deterministic fault injection
+  (``REPRO_FAULT_INJECT`` / ``ExecutionPolicy.fault_plan``) that makes a
+  pipeline's ``_process_chunk`` raise or stall on chosen chunk indices,
+  so the engine's retry / deadline / serial-fallback paths can be
+  exercised in tests and tier-1 CI.
+"""
+
+from .faults import (FAULT_ENV, FaultInjector, FaultSpec, InjectedFault,
+                     parse_fault_plan, resolve_injector)
+from .tracing import Span, TraceRecorder, recording
+
+__all__ = [
+    "FAULT_ENV", "FaultInjector", "FaultSpec", "InjectedFault",
+    "Span", "TraceRecorder", "parse_fault_plan", "recording",
+    "resolve_injector",
+]

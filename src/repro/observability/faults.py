@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the streaming engine.
+
+A *fault plan* names chunk indices on which a pipeline's
+``_process_chunk`` should misbehave, and how:
+
+* ``raise`` — raise :class:`InjectedFault` before the kernels run
+  (models a worker dying mid-chunk);
+* ``stall`` — sleep for a configurable duration before the kernels run
+  (models a hung device/queue; combined with the engine's per-chunk
+  deadline this exercises the watchdog path).
+
+Plans are written as a comma-separated spec, accepted from
+``ExecutionPolicy.fault_plan`` or the ``REPRO_FAULT_INJECT``
+environment variable::
+
+    raise@2            # raise once on chunk 2
+    stall@5:0.4        # stall 0.4 s once on chunk 5
+    raise@7x3          # raise on the first three attempts at chunk 7
+    raise@0,stall@2:0.3,raise@7x3   # combined
+
+Each entry fires a bounded number of times (``xCOUNT``, default once)
+and then goes quiet, so a retried chunk succeeds deterministically —
+the property the fault-injected equivalence tests rely on.  The
+:class:`FaultInjector` holding the remaining-fire state is thread-safe;
+process-pool workers each build their own injector from the same spec
+(per-process counters), so plans aimed at the process backend should
+use single-fire entries and rely on the engine's main-process fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+from . import tracing
+
+#: Environment variable consulted when no explicit plan is configured.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+#: Default stall duration (seconds) when an entry gives none.
+DEFAULT_STALL_S = 0.25
+
+_KINDS = ("raise", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by a ``raise`` fault action."""
+
+    def __init__(self, chunk_index: int):
+        super().__init__(f"injected fault on chunk {chunk_index}")
+        self.chunk_index = chunk_index
+
+    def __reduce__(self):
+        # Keep the constructor signature across pickling (process pools
+        # ship worker exceptions back to the parent).
+        return (InjectedFault, (self.chunk_index,))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One plan entry: what to do, where, and how many times."""
+
+    chunk_index: int
+    kind: str
+    count: int = 1
+    stall_s: float = DEFAULT_STALL_S
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.chunk_index < 0:
+            raise ValueError(
+                f"fault chunk index must be >= 0, got {self.chunk_index}")
+        if self.count < 1:
+            raise ValueError(
+                f"fault fire count must be >= 1, got {self.count}")
+        if self.stall_s <= 0:
+            raise ValueError(
+                f"stall duration must be positive, got {self.stall_s}")
+
+
+def parse_fault_plan(spec: str) -> Tuple[FaultSpec, ...]:
+    """Parse a plan spec (``KIND@INDEX[:SECONDS][xCOUNT],...``).
+
+    Raises :class:`ValueError` with the offending entry on any malformed
+    input, so a bad ``REPRO_FAULT_INJECT`` fails loudly at engine start
+    instead of silently injecting nothing.
+    """
+    entries = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, rest = part.partition("@")
+        kind = kind.strip().lower()
+        if not sep or not rest:
+            raise ValueError(
+                f"bad fault entry {part!r}: expected KIND@INDEX"
+                f"[:SECONDS][xCOUNT]")
+        count = 1
+        if "x" in rest:
+            rest, _, count_text = rest.partition("x")
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(f"bad fault fire count in {part!r}"
+                                 ) from None
+        stall_s = DEFAULT_STALL_S
+        if ":" in rest:
+            rest, _, stall_text = rest.partition(":")
+            try:
+                stall_s = float(stall_text)
+            except ValueError:
+                raise ValueError(f"bad stall duration in {part!r}"
+                                 ) from None
+        try:
+            index = int(rest)
+        except ValueError:
+            raise ValueError(f"bad chunk index in {part!r}") from None
+        entries.append(FaultSpec(chunk_index=index, kind=kind,
+                                 count=count, stall_s=stall_s))
+    if not entries:
+        raise ValueError(f"fault plan {spec!r} names no entries")
+    return tuple(entries)
+
+
+class FaultInjector:
+    """Stateful, thread-safe firing of a fault plan.
+
+    Each plan entry is expanded to ``count`` queued firings per chunk
+    index; :meth:`inject` pops and applies the next one (if any) under a
+    lock, so concurrent workers and retries consume firings exactly
+    once, in plan order.
+    """
+
+    def __init__(self, plan: Sequence[FaultSpec]):
+        self._lock = threading.Lock()
+        self._queues: Dict[int, Deque[FaultSpec]] = {}
+        for entry in plan:
+            queue = self._queues.setdefault(entry.chunk_index, deque())
+            for _ in range(entry.count):
+                queue.append(entry)
+
+    def pending(self) -> int:
+        """How many firings remain across all chunk indices."""
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def fire(self, chunk_index: int) -> Optional[FaultSpec]:
+        """Consume and return the next firing for ``chunk_index``."""
+        with self._lock:
+            queue = self._queues.get(chunk_index)
+            if not queue:
+                return None
+            return queue.popleft()
+
+    def inject(self, chunk_index: int) -> None:
+        """Apply the next fault for this chunk index, if one remains."""
+        entry = self.fire(chunk_index)
+        if entry is None:
+            return
+        tracing.instant("fault", cat="fault", chunk=chunk_index,
+                        kind=entry.kind)
+        if entry.kind == "raise":
+            raise InjectedFault(chunk_index)
+        time.sleep(entry.stall_s)
+
+
+def resolve_injector(plan_spec: Optional[str] = None
+                     ) -> Optional[FaultInjector]:
+    """Build an injector from an explicit spec or ``REPRO_FAULT_INJECT``.
+
+    Returns None when neither source names a plan — the engine's normal,
+    zero-overhead state.
+    """
+    spec = plan_spec if plan_spec is not None else os.environ.get(FAULT_ENV)
+    if not spec:
+        return None
+    return FaultInjector(parse_fault_plan(spec))

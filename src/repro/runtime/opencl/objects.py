@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ...devices.specs import ALL_DEVICES, DeviceSpec, PAPER_GPUS
+from ...observability import tracing
 from ..device import ComputeDevice
 from ..errors import (CL_INVALID_ARG_INDEX, CL_INVALID_ARG_VALUE,
                       CL_INVALID_BUFFER_SIZE, CL_INVALID_CONTEXT,
@@ -477,21 +478,25 @@ class CommandQueue(_RefCounted):
                           f"size {global_size}")
         padded = global_size
         kernel_args, local_decls = kernel.bound_arguments()
-        start = time.perf_counter()
-        fn = kernel.definition.function
-        if vectorized:
-            if kernel.definition.vectorized is None:
-                raise CLError(CL_INVALID_OPERATION,
-                              f"kernel {kernel.name!r} has no vectorized "
-                              "implementation")
-            stats = self.executor.run_vectorized(
-                kernel.definition.vectorized, padded, local_size,
-                kernel_args, local_decls, kernel_name=kernel.name)
-        else:
-            stats = self.executor.run(
-                fn, padded, local_size, kernel_args, local_decls,
-                kernel_name=kernel.name, opencl_style=True)
-        end = time.perf_counter()
+        with tracing.span(f"kernel:{kernel.name}", cat="kernel",
+                          api="opencl", kernel=kernel.name,
+                          global_size=padded, local_size=local_size,
+                          batch=batch):
+            start = time.perf_counter()
+            fn = kernel.definition.function
+            if vectorized:
+                if kernel.definition.vectorized is None:
+                    raise CLError(CL_INVALID_OPERATION,
+                                  f"kernel {kernel.name!r} has no "
+                                  "vectorized implementation")
+                stats = self.executor.run_vectorized(
+                    kernel.definition.vectorized, padded, local_size,
+                    kernel_args, local_decls, kernel_name=kernel.name)
+            else:
+                stats = self.executor.run(
+                    fn, padded, local_size, kernel_args, local_decls,
+                    kernel_name=kernel.name, opencl_style=True)
+            end = time.perf_counter()
         event = Event(CL_COMMAND_NDRANGE_KERNEL, start, end, stats)
         self.launches.append(LaunchRecord.kernel(
             kernel.name, padded, local_size, end - start, stats,

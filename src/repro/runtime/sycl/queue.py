@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ...observability import tracing
 from ..device import ComputeDevice
 from ..errors import SYCLInvalidParameter, SYCLRuntimeError
 from ..executor import ExecutionStats, LocalDecl, NDRangeExecutor
@@ -109,16 +110,20 @@ class Handler:
         name = kernel_name or getattr(kernel, "__name__", "kernel")
 
         def run() -> SyclEvent:
-            start = time.perf_counter()
-            if vectorized:
-                stats = self.queue.executor.run_vectorized(
-                    kernel, global_size, local_size, resolved, local_decls,
-                    kernel_name=name)
-            else:
-                stats = self.queue.executor.run(
-                    kernel, global_size, local_size, resolved, local_decls,
-                    kernel_name=name, opencl_style=False)
-            end = time.perf_counter()
+            with tracing.span(f"kernel:{name}", cat="kernel", api="sycl",
+                              kernel=name, global_size=global_size,
+                              local_size=local_size, variant=variant,
+                              batch=batch):
+                start = time.perf_counter()
+                if vectorized:
+                    stats = self.queue.executor.run_vectorized(
+                        kernel, global_size, local_size, resolved,
+                        local_decls, kernel_name=name)
+                else:
+                    stats = self.queue.executor.run(
+                        kernel, global_size, local_size, resolved,
+                        local_decls, kernel_name=name, opencl_style=False)
+                end = time.perf_counter()
             self.queue.launches.append(LaunchRecord.kernel(
                 name, global_size, local_size, end - start, stats,
                 api="sycl", variant=variant, batch=batch,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import Query, SearchRequest
+from repro.core.config import ExecutionPolicy, Query, SearchRequest
 from repro.genome.assembly import Assembly, Chromosome
 from repro.genome.synthetic import synthetic_assembly
 
@@ -52,6 +52,21 @@ def short_request() -> SearchRequest:
     return SearchRequest(
         pattern="NNNNNNRG",
         queries=[Query("GACGTCNN", 3), Query("TTACGANN", 2)])
+
+
+@pytest.fixture(scope="session")
+def fault_injected_policy() -> ExecutionPolicy:
+    """A streaming policy whose fault plan walks every recovery path.
+
+    ``raise@0`` is absorbed by the worker retry; ``stall@2:0.6`` outlives
+    the 0.25 s deadline, so the watchdog abandons the pipeline and the
+    retry succeeds on a fresh one; ``raise@3x3`` exhausts all three
+    worker attempts and lands in the merge thread's serial fallback.
+    Used by the tier-1 fault-marked equivalence sweep.
+    """
+    return ExecutionPolicy(streaming=True, workers=2, max_retries=2,
+                           retry_backoff_s=0.01, chunk_deadline_s=0.25,
+                           fault_plan="raise@0,stall@2:0.6,raise@3x3")
 
 
 @pytest.fixture(scope="session")

@@ -126,6 +126,72 @@ class TestSearchCommand:
                      "-o", str(out)])
         assert code == 0
 
+    def test_work_group_size_flag_agrees_with_default(self, tmp_path,
+                                                      input_file):
+        default_out = tmp_path / "default.tsv"
+        wgs_out = tmp_path / "wgs.tsv"
+        base = [str(input_file), "--synthetic", "hg19",
+                "--scale", "0.00005"]
+        assert main(base + ["-o", str(default_out)]) == 0
+        assert main(base + ["--work-group-size", "128",
+                            "-o", str(wgs_out)]) == 0
+        assert wgs_out.read_text() == default_out.read_text()
+
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, input_file,
+                                            capsys):
+        import json
+        out = tmp_path / "hits.tsv"
+        trace = tmp_path / "trace.json"
+        code = main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "--trace", str(trace),
+                     "-o", str(out)])
+        assert code == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("cat") == "kernel" for e in events)
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        assert "Trace summary" in capsys.readouterr().err
+
+    def test_fault_inject_with_streaming_matches_serial(
+            self, tmp_path, input_file):
+        serial_out = tmp_path / "serial.tsv"
+        faulted_out = tmp_path / "faulted.tsv"
+        base = [str(input_file), "--synthetic", "hg19",
+                "--scale", "0.00005"]
+        assert main(base + ["-o", str(serial_out)]) == 0
+        assert main(base + ["--streaming", "--workers", "2",
+                            "--fault-inject", "raise@0",
+                            "--max-retries", "2",
+                            "-o", str(faulted_out)]) == 0
+        assert faulted_out.read_text() == serial_out.read_text()
+
+    def test_fault_inject_requires_streaming(self, input_file):
+        with pytest.raises(SystemExit, match="fault-inject"):
+            main([str(input_file), "--synthetic", "hg19",
+                  "--fault-inject", "raise@0"])
+
+    def test_bad_fault_plan_rejected(self, input_file):
+        with pytest.raises(SystemExit, match="fault"):
+            main([str(input_file), "--synthetic", "hg19",
+                  "--streaming", "--fault-inject", "explode@1"])
+
+    @pytest.mark.parametrize("flags", [
+        ["--streaming"],
+        ["--workers", "2"],
+        ["--prefetch", "3"],
+        ["--batch-comparer"],
+        ["--work-group-size", "128"],
+        ["--fault-inject", "raise@0"],
+        ["--max-retries", "2"],
+        ["--chunk-deadline", "0.5"],
+    ])
+    def test_bitparallel_rejects_engine_flags(self, input_file, flags):
+        """PR-1 silently dropped these with --engine bitparallel; they
+        must now fail loudly naming the offending flag."""
+        with pytest.raises(SystemExit, match="bitparallel") as excinfo:
+            main([str(input_file), "--synthetic", "hg19",
+                  "--engine", "bitparallel"] + flags)
+        assert flags[0] in str(excinfo.value)
+
 
 class TestParser:
     def test_defaults(self):

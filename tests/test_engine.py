@@ -248,6 +248,121 @@ class TestPolicyValidation:
             engine.search(ExplodingAssembly(), request)
 
 
+class TestWorkGroupSize:
+    def test_streaming_search_forwards_work_group_size(self,
+                                                       small_assembly):
+        """The wrapper threads ``work_group_size`` to worker pipelines
+        (PR-1 dropped it, silently pinning every streamed run to 256)."""
+        request = _request(2)
+        result = streaming_search(small_assembly, request,
+                                  chunk_size=1 << 10,
+                                  work_group_size=128)
+        assert result.work_group_size == 128
+        kernels = [r for r in result.launches if r.is_kernel]
+        assert kernels and all(r.local_size == 128 for r in kernels)
+
+    def test_search_wrapper_forwards_work_group_size(self,
+                                                     small_assembly):
+        request = _request(2)
+        for execution in (None, ExecutionPolicy(streaming=True)):
+            result = search(small_assembly, request, chunk_size=1 << 10,
+                            work_group_size=64, execution=execution)
+            assert result.work_group_size == 64
+
+    def test_work_group_size_preserves_hits(self, small_assembly):
+        request = _request(2)
+        baseline = _serial(small_assembly, request)
+        result = streaming_search(small_assembly, request,
+                                  chunk_size=1 << 10,
+                                  work_group_size=128)
+        assert result.hits == baseline.hits
+
+
+class TestChunkShardViewAttributes:
+    def test_missing_private_attribute_raises_attribute_error(self):
+        """A shard view whose __init__ never ran (pickle/copy protocols)
+        must raise AttributeError, not recurse through __getattr__."""
+        view = ChunkShardView.__new__(ChunkShardView)
+        with pytest.raises(AttributeError):
+            view._asm
+        with pytest.raises(AttributeError):
+            view.__deepcopy__
+
+    def test_dunder_probe_not_delegated(self, small_assembly):
+        view = ChunkShardView(small_assembly, 0, 2)
+        with pytest.raises(AttributeError):
+            view.__wrapped__
+
+    def test_pickle_round_trip(self, small_assembly):
+        import pickle
+        view = ChunkShardView(small_assembly, 1, 3)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.shard_index == 1 and clone.shard_step == 3
+        assert ([c.start for c in clone.chunks(1 << 10, len(PATTERN))]
+                == [c.start for c in view.chunks(1 << 10, len(PATTERN))])
+
+    def test_public_delegation_still_works(self, small_assembly):
+        view = ChunkShardView(small_assembly, 0, 2)
+        assert view.total_length == small_assembly.total_length
+
+
+class _SlowTailAssembly:
+    """Assembly whose chunk stream stalls before raising StopIteration.
+
+    With the PR-1 idle accounting, the wait for the end-of-stream
+    sentinel during this stall was booked as worker idle time."""
+
+    def __init__(self, assembly, tail_delay_s: float):
+        self._asm = assembly
+        self._delay = tail_delay_s
+        self.name = assembly.name
+        self.chromosomes = assembly.chromosomes
+
+    def chunks(self, chunk_size, pattern_length):
+        yield from self._asm.chunks(chunk_size, pattern_length)
+        import time
+        time.sleep(self._delay)
+
+
+class TestIdleAccounting:
+    def test_shutdown_drain_not_counted_as_idle(self, small_assembly):
+        """A 0.3 s producer tail stall must not inflate idle_s: waiting
+        for the shutdown sentinel is not time a worker could have spent
+        computing."""
+        request = _request(1)
+        slow = _SlowTailAssembly(small_assembly, 0.3)
+        result = streaming_search(slow, request, chunk_size=1 << 10)
+        assert result.workload.stages.idle_s < 0.25
+
+    def test_saturated_single_worker_near_zero_idle(self,
+                                                    small_assembly):
+        request = _request(2)
+        result = streaming_search(small_assembly, request,
+                                  chunk_size=1 << 10)
+        stages = result.workload.stages
+        assert stages.idle_s < max(0.2, 0.5 * stages.wall_s)
+
+
+class TestFaultInjectedEquivalence:
+    @pytest.mark.fault
+    def test_equivalence_sweep_with_faults(self, small_assembly,
+                                           fault_injected_policy):
+        """Tier-1 retry-path coverage: with raise, stall-past-deadline
+        and retries-exhausted faults on three chunk indices, every API's
+        streamed hits stay byte-identical to the serial loop."""
+        request = _request(2)
+        for api in ("sycl", "sycl-usm", "opencl"):
+            serial = _serial(small_assembly, request, api=api)
+            engine = StreamingEngine(fault_injected_policy, api=api,
+                                     device="MI100", variant="base",
+                                     mode="vectorized",
+                                     chunk_size=1 << 10)
+            stream = engine.search(small_assembly, request)
+            assert stream.hits == serial.hits, api
+            assert (stream.workload.candidates
+                    == serial.workload.candidates), api
+
+
 class TestPatternCache:
     def test_compile_pattern_is_memoized(self):
         clear_pattern_cache()

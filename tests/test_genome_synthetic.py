@@ -177,3 +177,38 @@ class TestGenomeCache:
                                    cache=True)
         np.testing.assert_array_equal(again["chr21"].sequence,
                                       fresh["chr21"].sequence)
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda seq: seq.astype(np.int64),          # wrong dtype
+        lambda seq: seq[: seq.size // 2],          # truncated
+        lambda seq: np.concatenate([seq, seq]),    # wrong length
+        lambda seq: seq.reshape(1, -1),            # wrong rank
+    ], ids=["dtype", "truncated", "padded", "rank"])
+    def test_malformed_array_entry_regenerates(self, cache_dir,
+                                               corrupt):
+        """A cache entry that is a valid npz but holds the wrong array
+        shape/dtype (older generator, clobbered file) is rejected and
+        regenerated, not served to the pipelines."""
+        fresh = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        entry = next(cache_dir.glob("*.npz"))
+        np.savez(str(entry), chr21=corrupt(fresh["chr21"].sequence))
+        again = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        assert again["chr21"].sequence.dtype == np.uint8
+        np.testing.assert_array_equal(again["chr21"].sequence,
+                                      fresh["chr21"].sequence)
+
+    def test_entry_missing_chromosome_regenerates(self, cache_dir):
+        fresh = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        entry = next(cache_dir.glob("*.npz"))
+        np.savez(str(entry), other=fresh["chr21"].sequence)
+        again = synthetic_assembly("hg19", scale=0.0001,
+                                   chromosomes=["chr21"], seed=3,
+                                   cache=True)
+        np.testing.assert_array_equal(again["chr21"].sequence,
+                                      fresh["chr21"].sequence)
