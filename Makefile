@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test fault verify
+
+# Tier-1 suite (includes the fault-marked tests).
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Only the fault-injection / failover equivalence tests.
+fault:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m fault
+
+# Tier-1 suite plus an explicit fault pass, one command.
+verify:
+	./scripts/verify.sh

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# One-command verification: the tier-1 suite, then an explicit pass over
+# the fault-marked failover/recovery tests. The fault tests also run as
+# part of the default suite; the second pass keeps them green even when
+# developers filter the first run (e.g. `-m "not slow"` via PYTEST_ADDOPTS).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+python -m pytest -x -q "$@"
+python -m pytest -x -q -m fault "$@"

@@ -35,6 +35,7 @@ from .genome.assembly import Assembly, Chromosome
 from .genome.fasta import iter_fasta
 from .genome.synthetic import PROFILES, synthetic_assembly
 from .observability import tracing
+from .resilience import CHECKPOINT_ENV, CheckpointError
 
 #: Work-group size used when ``--work-group-size`` is not given.
 DEFAULT_WORK_GROUP_SIZE = 256
@@ -77,6 +78,8 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
             ("--fault-inject", args.fault_inject is not None),
             ("--max-retries", args.max_retries is not None),
             ("--chunk-deadline", args.chunk_deadline is not None),
+            ("--checkpoint-dir", args.checkpoint_dir is not None),
+            ("--resume", args.resume),
         ) if given]
         if offending:
             raise SystemExit(
@@ -88,6 +91,11 @@ def _check_engine_flags(args: argparse.Namespace) -> None:
         raise SystemExit(
             "error: --fault-inject targets the streaming engine; add "
             "--streaming (or --workers > 1)")
+    if args.resume and args.checkpoint_dir is None \
+            and not os.environ.get(CHECKPOINT_ENV):
+        raise SystemExit(
+            "error: --resume needs a checkpoint directory; pass "
+            f"--checkpoint-dir or set {CHECKPOINT_ENV}")
 
 
 def _run_search(args: argparse.Namespace) -> int:
@@ -98,7 +106,8 @@ def _run_search(args: argparse.Namespace) -> int:
     assembly = _load_assembly(args, request.genome_path)
     execution = None
     streaming = args.streaming or args.workers > 1
-    if streaming or args.batch_comparer:
+    if streaming or args.batch_comparer or args.checkpoint_dir \
+            or args.resume:
         policy_kw = {}
         if args.max_retries is not None:
             policy_kw["max_retries"] = args.max_retries
@@ -106,6 +115,10 @@ def _run_search(args: argparse.Namespace) -> int:
             policy_kw["chunk_deadline_s"] = args.chunk_deadline
         if args.fault_inject is not None:
             policy_kw["fault_plan"] = args.fault_inject
+        if args.checkpoint_dir is not None:
+            policy_kw["checkpoint_dir"] = args.checkpoint_dir
+        if args.resume:
+            policy_kw["resume"] = True
         try:
             execution = ExecutionPolicy(
                 streaming=streaming,
@@ -130,11 +143,15 @@ def _run_search(args: argparse.Namespace) -> int:
             work_group_size = (DEFAULT_WORK_GROUP_SIZE
                                if args.work_group_size is None
                                else args.work_group_size)
-            result = search(assembly, request, api=args.api,
-                            device=args.device, variant=args.variant,
-                            chunk_size=args.chunk_size, mode=args.mode,
-                            work_group_size=work_group_size,
-                            execution=execution)
+            try:
+                result = search(assembly, request, api=args.api,
+                                device=args.device, variant=args.variant,
+                                chunk_size=args.chunk_size,
+                                mode=args.mode,
+                                work_group_size=work_group_size,
+                                execution=execution)
+            except CheckpointError as exc:
+                raise SystemExit(f"error: {exc}") from None
     elapsed = time.perf_counter() - started
     hits = result.sorted_hits()
     if args.output and args.output != "-":
@@ -262,6 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic fault plan for the streaming "
                              "engine, e.g. 'raise@0,stall@2:0.4' "
                              "(also via REPRO_FAULT_INJECT)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="journal completed chunks to DIR so an "
+                             "interrupted run can be resumed (also via "
+                             "REPRO_CHECKPOINT_DIR)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint directory: skip "
+                             "journaled chunks and replay their outputs "
+                             "(refuses on a manifest mismatch)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a runtime trace and write it as "
                              "Chrome-trace JSON (chrome://tracing, "

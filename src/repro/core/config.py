@@ -51,6 +51,11 @@ class ExecutionPolicy:
     worker cannot truncate or reorder results.  ``fault_plan`` is the
     deterministic fault-injection spec (see
     :mod:`repro.observability.faults`) used to exercise those paths.
+
+    ``checkpoint_dir``/``resume`` add durability *across* process
+    lifetimes (see :mod:`repro.resilience`): completed chunks are
+    journaled as the run progresses, and a resumed run with the same
+    fingerprint skips them, producing a byte-identical hit list.
     """
 
     streaming: bool = True
@@ -70,9 +75,17 @@ class ExecutionPolicy:
     #: Re-run a chunk whose retries are exhausted on a fresh pipeline in
     #: the merging thread instead of failing the whole search.
     serial_fallback: bool = True
-    #: Fault-injection spec (``KIND@INDEX[:SECONDS][xCOUNT],...``); None
-    #: defers to the ``REPRO_FAULT_INJECT`` environment variable.
+    #: Fault-injection spec (``[DEVICE!]KIND@INDEX[:SECONDS][xCOUNT],...``);
+    #: None defers to the ``REPRO_FAULT_INJECT`` environment variable.
     fault_plan: Optional[str] = None
+    #: Directory for the durable run checkpoint (manifest + per-chunk
+    #: journal); None defers to ``REPRO_CHECKPOINT_DIR``, and an unset
+    #: environment leaves checkpointing off.
+    checkpoint_dir: Optional[str] = None
+    #: Resume from the checkpoint directory: skip journaled chunks and
+    #: replay their persisted outputs.  A fingerprint mismatch between
+    #: the stored manifest and this run refuses to resume.
+    resume: bool = False
 
     def __post_init__(self):
         if self.prefetch_depth < 1:

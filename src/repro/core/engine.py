@@ -38,6 +38,14 @@ the returned :class:`~repro.core.workload.WorkloadProfile`; when a
 :mod:`repro.observability.tracing` recorder is active the engine also
 records spans for every chunk stage-in, processing attempt, kernel
 launch (via the runtime models), merge and fallback.
+
+Durability composes on top of the in-run fault handling: when the
+policy (or ``REPRO_CHECKPOINT_DIR``) names a checkpoint directory, the
+merging thread journals every freshly merged chunk through a
+:class:`~repro.resilience.checkpoint.CheckpointSession`, and on resume
+the workers skip journaled chunks entirely, replaying their persisted
+outputs through the same ordered merge (``checkpoint_skip`` /
+``checkpoint_write`` trace events mark both paths).
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ from .pipeline import (DEFAULT_CHUNK_SIZE, OpenCLCasOffinder,
                        PipelineResult, SearchAccumulator,
                        _kernel_stage_times, make_pipeline)
 from .workload import StageTimings
+from ..resilience.checkpoint import CheckpointSession, resolve_session
 
 #: Poll interval for interruptible blocking waits (seconds).
 _POLL_S = 0.05
@@ -112,7 +121,8 @@ def _process_pool_init(api: str, device: str, variant: str, mode: str,
     # should use single-fire entries (the parent-side fallback absorbs
     # the failure deterministically either way).
     _worker_injector = (faults.FaultInjector(
-        faults.parse_fault_plan(fault_spec)) if fault_spec else None)
+        faults.parse_fault_plan(fault_spec), device=device)
+        if fault_spec else None)
     if trace:
         tracing.activate(tracing.TraceRecorder())
 
@@ -179,6 +189,39 @@ class ChunkShardView:
         return getattr(self._asm, name)
 
 
+class ChunkSubsetView:
+    """Assembly view exposing exactly the chunks whose ``(chrom, start)``
+    keys are named.
+
+    The multi-device searcher uses this for failover: a failed device's
+    shard is an arbitrary key set once its completed chunks are
+    subtracted, and redistributing those keys across surviving devices
+    must yield exactly the chunks the failed shard would have produced.
+    Chunk order follows the assembly's canonical enumeration, so the
+    ordered-merge invariant holds within each redistributed slice.
+    """
+
+    def __init__(self, assembly, keys):
+        self._asm = assembly
+        self.name = assembly.name
+        self.chromosomes = assembly.chromosomes
+        self.keys = frozenset(keys)
+
+    def chunks(self, chunk_size, pattern_length):
+        for chunk in self._asm.chunks(chunk_size, pattern_length):
+            if (chunk.chrom, chunk.start) in self.keys:
+                yield chunk
+
+    def __iter__(self):
+        return iter(self._asm)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(
+                f"{type(self).__name__} object has no attribute {name!r}")
+        return getattr(self._asm, name)
+
+
 class StreamingEngine:
     """Producer/consumer chunk engine over any of the three pipelines."""
 
@@ -186,7 +229,9 @@ class StreamingEngine:
                  api: str = "sycl", device: str = "MI100",
                  variant: str = "base", mode: str = "vectorized",
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 work_group_size: int = 256):
+                 work_group_size: int = 256,
+                 checkpoint_session: Optional[CheckpointSession] = None,
+                 checkpoint_meta: Optional[dict] = None):
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.api = api
         self.device = device
@@ -194,6 +239,15 @@ class StreamingEngine:
         self.mode = mode
         self.chunk_size = chunk_size
         self.work_group_size = work_group_size
+        #: Externally owned session (multi-device shares one); when
+        #: None, ``search`` resolves and owns its own from the policy.
+        self.checkpoint_session = checkpoint_session
+        self.checkpoint_meta = dict(checkpoint_meta or ())
+
+    def _journal_meta(self) -> dict:
+        meta = {"device": self.device}
+        meta.update(self.checkpoint_meta)
+        return meta
 
     def _make_worker_pipeline(self):
         return make_pipeline(api=self.api, device=self.device,
@@ -210,14 +264,24 @@ class StreamingEngine:
                             for q in request.queries]
         use_batched = policy.batch_queries and len(request.queries) > 1
         acc = SearchAccumulator(request, pattern, compiled_queries)
-        if policy.backend == "process" and policy.workers > 1:
-            outcome = self._run_processes(assembly, request, pattern,
-                                          compiled_queries, use_batched,
-                                          acc)
-        else:
-            outcome = self._run_threads(assembly, request, pattern,
-                                        compiled_queries, use_batched,
-                                        acc)
+        session = self.checkpoint_session
+        owned = False
+        if session is None:
+            session = resolve_session(policy, assembly, request,
+                                      self.chunk_size)
+            owned = session is not None
+        try:
+            if policy.backend == "process" and policy.workers > 1:
+                outcome = self._run_processes(assembly, request, pattern,
+                                              compiled_queries,
+                                              use_batched, acc, session)
+            else:
+                outcome = self._run_threads(assembly, request, pattern,
+                                            compiled_queries, use_batched,
+                                            acc, session)
+        finally:
+            if owned:
+                session.close()
         launches, stage_in_s, idle_s, api, variant, wg = outcome
         wall = time.perf_counter() - started
         finder_s, comparer_s = _kernel_stage_times(launches)
@@ -292,7 +356,7 @@ class StreamingEngine:
     # -- process backend ---------------------------------------------------
 
     def _run_processes(self, assembly, request, pattern,
-                       compiled_queries, use_batched, acc):
+                       compiled_queries, use_batched, acc, session=None):
         """Ordered-merge fan-out over a process pool.
 
         The main process stages chunks and merges results; worker
@@ -302,7 +366,9 @@ class StreamingEngine:
         the serial loop.  A worker failure (raised fault, dead process,
         deadline overrun) degrades that chunk to the main process's
         serial fallback pipeline; a broken pool additionally degrades
-        every not-yet-submitted chunk.
+        every not-yet-submitted chunk.  Checkpoint restores and journal
+        writes both happen parent-side, so the journal never crosses
+        the pool boundary.
         """
         import multiprocessing
         from concurrent.futures import TimeoutError as FutureTimeout
@@ -327,6 +393,8 @@ class StreamingEngine:
         fallback = lambda index, failure: self._serial_fallback_run(
             index, failure, fallback_box, pattern, list(queries),
             compiled_queries, use_batched, injector=None)
+
+        restored_ix: set = set()
 
         def merge_next() -> None:
             index = state["next"]
@@ -356,6 +424,10 @@ class StreamingEngine:
             with tracing.span("merge", cat="merge", chunk=index):
                 acc.add_chunk(chunk, output)
             launches.extend(records)
+            if session is not None and index not in restored_ix:
+                with tracing.span("checkpoint_write", cat="checkpoint",
+                                  chunk=index):
+                    session.record(chunk, output, **self._journal_meta())
             state["next"] += 1
 
         def _pool_is_broken(exc: BaseException) -> bool:
@@ -374,7 +446,14 @@ class StreamingEngine:
                 for index, chunk in enumerate(
                         assembly.chunks(self.chunk_size, pattern.plen)):
                     state["stage_in"] += time.perf_counter() - mark
-                    if state["broken"]:
+                    restored = (session.restore(chunk)
+                                if session is not None else None)
+                    if restored is not None:
+                        tracing.instant("checkpoint_skip",
+                                        cat="checkpoint", chunk=index)
+                        restored_ix.add(index)
+                        future = _ResolvedFuture((restored, [], []))
+                    elif state["broken"]:
                         future = _ResolvedFuture(fallback(
                             index, _ChunkFailure(
                                 chunk, RuntimeError("process pool broken"),
@@ -410,10 +489,11 @@ class StreamingEngine:
     # -- thread backend ----------------------------------------------------
 
     def _run_threads(self, assembly, request, pattern, compiled_queries,
-                     use_batched, acc):
+                     use_batched, acc, session=None):
         policy = self.policy
         workers = policy.workers
-        injector = faults.resolve_injector(policy.fault_plan)
+        injector = faults.resolve_injector(policy.fault_plan,
+                                           device=self.device)
         pipelines = [self._make_worker_pipeline()
                      for _ in range(workers)]
         retired: List = []  # abandoned (deadline-wedged) pipelines
@@ -554,13 +634,20 @@ class StreamingEngine:
                     if stop.is_set():
                         continue
                     index, chunk = item
-                    try:
-                        output, records = process_chunk(worker_index,
-                                                        index, chunk)
-                        payload = (chunk, output, records)
-                    except _RetriesExhausted as exc:
-                        payload = _ChunkFailure(chunk, exc.error,
-                                                exc.attempts)
+                    restored = (session.restore(chunk)
+                                if session is not None else None)
+                    if restored is not None:
+                        tracing.instant("checkpoint_skip",
+                                        cat="checkpoint", chunk=index)
+                        payload = (chunk, restored, [], True)
+                    else:
+                        try:
+                            output, records = process_chunk(worker_index,
+                                                            index, chunk)
+                            payload = (chunk, output, records, False)
+                        except _RetriesExhausted as exc:
+                            payload = _ChunkFailure(chunk, exc.error,
+                                                    exc.attempts)
                     with cond:
                         results[index] = payload
                         cond.notify_all()
@@ -605,12 +692,19 @@ class StreamingEngine:
                         request.queries, compiled_queries, use_batched,
                         injector)
                     chunk = item.chunk
+                    from_journal = False
                 else:
-                    chunk, output, records = item
+                    chunk, output, records, from_journal = item
                 with tracing.span("merge", cat="merge",
                                   chunk=next_index):
                     acc.add_chunk(chunk, output)
                 launches.extend(records)
+                if session is not None and not from_journal:
+                    with tracing.span("checkpoint_write",
+                                      cat="checkpoint",
+                                      chunk=next_index):
+                        session.record(chunk, output,
+                                       **self._journal_meta())
                 window.release()
                 next_index += 1
             producer.join()

@@ -13,6 +13,18 @@ The device timing model extends naturally: per-device elapsed time is
 the re-costed share of the workload each device processed, and the
 multi-device elapsed estimate is their maximum plus the (serialized)
 host time.
+
+Failover extends the decomposition to device loss: a share whose device
+fails persistently (retries, fallback and all — e.g. a device-scoped
+fault plan like ``MI60!raise@0x9``) has its chunks redistributed
+round-robin across the surviving devices as
+:class:`~repro.core.engine.ChunkSubsetView` slices.  Chunks are
+independent, so the redistributed run produces exactly the hits the
+failed share would have — the ``fault``-marked equivalence test pins
+this down.  When a checkpoint session is active it is shared across all
+shares, so chunks the failed device journaled before dying are restored,
+not recomputed, and reassigned journal records carry the device they
+were reassigned from.
 """
 
 from __future__ import annotations
@@ -21,13 +33,15 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..devices.specs import DeviceSpec
+from ..devices.specs import ALL_DEVICES, DeviceSpec
 from ..devices.timing import (DEFAULT_CALIBRATION, TimingCalibration,
                               model_elapsed)
 from ..genome.assembly import Assembly
+from ..observability import tracing
+from ..resilience.checkpoint import CheckpointError, resolve_session
 from ..runtime.launch import LaunchRecord
 from .config import ExecutionPolicy, SearchRequest
-from .engine import ChunkShardView, StreamingEngine
+from .engine import ChunkShardView, ChunkSubsetView, StreamingEngine
 from .pipeline import (DEFAULT_CHUNK_SIZE, PipelineResult,
                        SyclCasOffinder, _BasePipeline)
 from .records import OffTargetHit
@@ -61,6 +75,11 @@ class MultiDeviceCasOffinder:
                  execution: Optional[ExecutionPolicy] = None):
         if not devices:
             raise ValueError("need at least one device")
+        unknown = [name for name in devices if name not in ALL_DEVICES]
+        if unknown:
+            raise ValueError(
+                f"unknown device(s) {unknown!r}; known devices: "
+                f"{sorted(ALL_DEVICES)}")
         self.pipelines: List[SyclCasOffinder] = [
             SyclCasOffinder(device=device, variant=variant,
                             chunk_size=chunk_size, mode=mode,
@@ -73,34 +92,138 @@ class MultiDeviceCasOffinder:
         self.work_group_size = work_group_size
         self.execution = execution
 
-    def _share_search(self, share_index: int, assembly: Assembly,
-                      request: SearchRequest) -> PipelineResult:
-        view = ChunkShardView(assembly, share_index, len(self.devices))
+    def _run_view(self, device: str, view, request: SearchRequest,
+                  session, reassigned_from: Optional[str] = None,
+                  pipeline: Optional[SyclCasOffinder] = None
+                  ) -> PipelineResult:
+        """Run one assembly view (shard or redistributed slice) on a
+        device, journaling through the shared session when one is
+        active."""
         policy = self.execution
+        meta = {"device": device}
+        if reassigned_from is not None:
+            meta["reassigned_from"] = reassigned_from
         if policy is not None and policy.streaming:
             engine = StreamingEngine(
-                policy, api="sycl", device=self.devices[share_index],
+                policy, api="sycl", device=device,
                 variant=self.variant, mode=self.mode,
                 chunk_size=self.chunk_size,
-                work_group_size=self.work_group_size)
+                work_group_size=self.work_group_size,
+                checkpoint_session=session, checkpoint_meta=meta)
             return engine.search(view, request)
         batched = policy is not None and policy.batch_queries
-        return self.pipelines[share_index].search(view, request,
-                                                  batched=batched)
+        if pipeline is None:
+            pipeline = SyclCasOffinder(
+                device=device, variant=self.variant,
+                chunk_size=self.chunk_size, mode=self.mode,
+                work_group_size=self.work_group_size)
+        return pipeline.search(view, request, batched=batched,
+                               checkpoint=session, checkpoint_meta=meta)
+
+    def _share_search(self, share_index: int, assembly: Assembly,
+                      request: SearchRequest,
+                      session=None) -> PipelineResult:
+        view = ChunkShardView(assembly, share_index, len(self.devices))
+        return self._run_view(self.devices[share_index], view, request,
+                              session,
+                              pipeline=self.pipelines[share_index])
+
+    def _failed_shard_keys(self, assembly: Assembly,
+                           request: SearchRequest,
+                           failed: Sequence[int]) -> Dict[int, list]:
+        """Durable ``(chrom, start)`` keys of every failed shard's
+        chunks, in canonical enumeration order."""
+        keys: Dict[int, list] = {index: [] for index in failed}
+        step = len(self.devices)
+        for number, chunk in enumerate(
+                assembly.chunks(self.chunk_size,
+                                len(request.pattern))):
+            shard = number % step
+            if shard in keys:
+                keys[shard].append((chunk.chrom, int(chunk.start)))
+        return keys
 
     def search(self, assembly: Assembly, request: SearchRequest
                ) -> "MultiDeviceResult":
-        """Round-robin the chunk stream over the device queues."""
+        """Round-robin the chunk stream over the device queues.
+
+        A share that fails persistently (its engine exhausted retries
+        and the serial fallback) does not fail the search while other
+        devices survive: the failed device's chunks are redistributed
+        round-robin across the survivors and re-run as extra shares.
+        Only when every device has failed does the first failure
+        propagate.  Checkpoint configuration errors
+        (:class:`~repro.resilience.checkpoint.CheckpointError`) are
+        never absorbed as device failures.
+        """
         started = time.perf_counter()
-        results = [self._share_search(i, assembly, request)
-                   for i in range(len(self.devices))]
+        ndev = len(self.devices)
+        session = resolve_session(self.execution, assembly, request,
+                                  self.chunk_size)
+        shares: List[DeviceShare] = []
+        failures: Dict[int, BaseException] = {}
+        try:
+            for i in range(ndev):
+                try:
+                    result = self._share_search(i, assembly, request,
+                                                session)
+                except (KeyboardInterrupt, SystemExit, CheckpointError):
+                    raise
+                except Exception as exc:
+                    failures[i] = exc
+                    tracing.instant(
+                        "device_failed", cat="failover",
+                        device=self.devices[i],
+                        error=type(exc).__name__)
+                    continue
+                shares.append(DeviceShare(
+                    device=self.devices[i], result=result,
+                    chunks=result.workload.chunk_count))
+            if failures:
+                if len(failures) == ndev:
+                    raise failures[min(failures)]
+                shares.extend(self._redistribute(
+                    assembly, request, session, sorted(failures)))
+        finally:
+            if session is not None:
+                session.close()
         wall = time.perf_counter() - started
-        return MultiDeviceResult(
-            shares=[DeviceShare(device=self.devices[i],
-                                result=results[i],
-                                chunks=results[i].workload.chunk_count)
-                    for i in range(len(results))],
-            wall_time_s=wall)
+        return MultiDeviceResult(shares=shares, wall_time_s=wall)
+
+    def _redistribute(self, assembly: Assembly, request: SearchRequest,
+                      session, failed: Sequence[int]
+                      ) -> List[DeviceShare]:
+        """Re-run every failed shard's chunks on the survivors."""
+        survivors = [i for i in range(len(self.devices))
+                     if i not in failed]
+        if not survivors:
+            raise RuntimeError(
+                f"all {len(self.devices)} devices failed"
+            ) from None
+        shard_keys = self._failed_shard_keys(assembly, request, failed)
+        extra: List[DeviceShare] = []
+        for failed_index in failed:
+            keys = shard_keys[failed_index]
+            failed_device = self.devices[failed_index]
+            tracing.instant("device_failover", cat="failover",
+                            device=failed_device, chunks=len(keys),
+                            survivors=len(survivors))
+            if not keys:
+                continue
+            slices: Dict[int, list] = {s: [] for s in survivors}
+            for number, key in enumerate(keys):
+                slices[survivors[number % len(survivors)]].append(key)
+            for survivor, slice_keys in slices.items():
+                if not slice_keys:
+                    continue
+                view = ChunkSubsetView(assembly, slice_keys)
+                result = self._run_view(
+                    self.devices[survivor], view, request, session,
+                    reassigned_from=failed_device)
+                extra.append(DeviceShare(
+                    device=self.devices[survivor], result=result,
+                    chunks=result.workload.chunk_count))
+        return extra
 
 
 @dataclass

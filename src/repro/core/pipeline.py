@@ -292,12 +292,17 @@ class _BasePipeline:
     # -- main entry ----------------------------------------------------------
 
     def search(self, assembly: Assembly, request: SearchRequest,
-               batched: bool = False) -> PipelineResult:
+               batched: bool = False, checkpoint=None,
+               checkpoint_meta: Optional[Dict] = None) -> PipelineResult:
         """Run the full chunked search over an assembly.
 
         ``batched=True`` fuses the per-query comparer launches into one
         batched launch per chunk (results identical; see
-        :func:`_demux_batched`).
+        :func:`_demux_batched`).  ``checkpoint`` is an optional
+        :class:`~repro.resilience.checkpoint.CheckpointSession`: chunks
+        it can restore skip the kernels, freshly computed chunks are
+        journaled after merging (``checkpoint_meta`` rides along on each
+        record, e.g. the device name).
         """
         start_time = time.perf_counter()
         pattern = compile_pattern(request.pattern)
@@ -308,13 +313,25 @@ class _BasePipeline:
         use_batched = batched and len(request.queries) > 1
         for index, chunk in enumerate(
                 assembly.chunks(self.chunk_size, pattern.plen)):
-            with tracing.span("chunk", cat="chunk", chunk=index):
-                output = self._process_chunk(chunk, pattern,
-                                             request.queries,
-                                             compiled_queries,
-                                             batched=use_batched)
+            restored = (checkpoint.restore(chunk)
+                        if checkpoint is not None else None)
+            if restored is not None:
+                tracing.instant("checkpoint_skip", cat="checkpoint",
+                                chunk=index)
+                output = restored
+            else:
+                with tracing.span("chunk", cat="chunk", chunk=index):
+                    output = self._process_chunk(chunk, pattern,
+                                                 request.queries,
+                                                 compiled_queries,
+                                                 batched=use_batched)
             with tracing.span("merge", cat="merge", chunk=index):
                 acc.add_chunk(chunk, output)
+            if checkpoint is not None and restored is None:
+                with tracing.span("checkpoint_write", cat="checkpoint",
+                                  chunk=index):
+                    checkpoint.record(chunk, output,
+                                      **(checkpoint_meta or {}))
         wall = time.perf_counter() - start_time
         finder_s, comparer_s = _kernel_stage_times(
             self.launches[launch_base:])
@@ -1094,7 +1111,17 @@ def search(assembly: Assembly, request: SearchRequest,
     pipeline = make_pipeline(api=api, device=device, variant=variant,
                              mode=mode, chunk_size=chunk_size,
                              work_group_size=work_group_size)
-    if api == "opencl":
-        with pipeline:
-            return pipeline.search(assembly, request, batched=batched)
-    return pipeline.search(assembly, request, batched=batched)
+    from ..resilience.checkpoint import resolve_session
+    session = resolve_session(policy, assembly, request, chunk_size)
+    meta = {"device": device}
+    try:
+        if api == "opencl":
+            with pipeline:
+                return pipeline.search(assembly, request, batched=batched,
+                                       checkpoint=session,
+                                       checkpoint_meta=meta)
+        return pipeline.search(assembly, request, batched=batched,
+                               checkpoint=session, checkpoint_meta=meta)
+    finally:
+        if session is not None:
+            session.close()

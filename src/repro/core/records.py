@@ -72,11 +72,29 @@ HEADER = "#Query\tChromosome\tPosition\tSite\tDirection\tMismatches"
 def write_hits(hits: Iterable[OffTargetHit],
                destination: Union[str, os.PathLike, io.TextIOBase],
                header: bool = True) -> None:
-    """Write hits in Cas-OFFinder's tab-separated output format."""
+    """Write hits in Cas-OFFinder's tab-separated output format.
+
+    Path destinations are written crash-safely: the rows go to a
+    ``.part`` temp file in the destination directory, fsynced, and
+    atomically renamed into place — a reader never observes a
+    truncated hits file, only the previous one or the complete new one.
+    """
     if isinstance(destination, (str, os.PathLike)):
-        with open(destination, "w", encoding="ascii") as handle:
-            write_hits(hits, handle, header)
-            return
+        path = os.fspath(destination)
+        part = path + ".part"
+        try:
+            with open(part, "w", encoding="ascii") as handle:
+                write_hits(hits, handle, header)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(part, path)
+        except BaseException:
+            try:
+                os.unlink(part)
+            except OSError:
+                pass
+            raise
+        return
     if header:
         destination.write(HEADER + "\n")
     for hit in hits:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import gzip
 import io
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, List, Tuple, Union
 
@@ -78,8 +79,11 @@ def iter_fasta(source: Union[PathLike, io.TextIOBase]
     """Stream records from a FASTA file, path or open text handle.
 
     Accepts ``;`` comment lines (original FASTA dialect) and blank lines.
-    Raises :class:`FastaError` on sequence data before the first header or
-    on headers with empty names.
+    Raises :class:`FastaError` on sequence data before the first header,
+    on headers with empty names, on records with no sequence lines, and
+    on truncated or corrupt (e.g. mid-member gzip EOF) input — always
+    naming the record being read, never leaking a bare ``EOFError`` or
+    yielding a silently empty record.
     """
     if isinstance(source, (str, os.PathLike)):
         with _open_text(source) as handle:
@@ -88,13 +92,39 @@ def iter_fasta(source: Union[PathLike, io.TextIOBase]
     name = None
     description = ""
     parts: List[bytes] = []
-    for lineno, line in enumerate(source, 1):
+
+    def flush() -> FastaRecord:
+        if not parts:
+            raise FastaError(
+                f"FASTA record {name!r} has no sequence lines")
+        return FastaRecord(name, _concat(parts), description)
+
+    iterator = iter(source)
+    lineno = 0
+    while True:
+        try:
+            line = next(iterator)
+        except StopIteration:
+            break
+        except (EOFError, gzip.BadGzipFile, zlib.error,
+                OSError) as exc:
+            where = (f"while reading record {name!r}"
+                     if name is not None else "before the first record")
+            raise FastaError(
+                f"truncated or corrupt FASTA input {where}: "
+                f"{exc}") from exc
+        except UnicodeDecodeError as exc:
+            where = (f"in record {name!r}" if name is not None
+                     else "before the first record")
+            raise FastaError(
+                f"undecodable FASTA input {where}: {exc}") from exc
+        lineno += 1
         line = line.rstrip("\r\n")
         if not line or line.startswith(";"):
             continue
         if line.startswith(">"):
             if name is not None:
-                yield FastaRecord(name, _concat(parts), description)
+                yield flush()
             header = line[1:].strip()
             if not header:
                 raise FastaError(f"line {lineno}: empty FASTA header")
@@ -109,7 +139,7 @@ def iter_fasta(source: Union[PathLike, io.TextIOBase]
                 raise FastaError(f"line {lineno}: non-ASCII sequence data")
             parts.append(cleaned.encode("ascii"))
     if name is not None:
-        yield FastaRecord(name, _concat(parts), description)
+        yield flush()
 
 
 def _concat(parts: List[bytes]) -> np.ndarray:

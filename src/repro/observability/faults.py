@@ -17,6 +17,13 @@ environment variable::
     stall@5:0.4        # stall 0.4 s once on chunk 5
     raise@7x3          # raise on the first three attempts at chunk 7
     raise@0,stall@2:0.3,raise@7x3   # combined
+    MI60!raise@0x9     # device-scoped: fires only on the MI60 share
+
+A ``DEVICE!`` prefix scopes an entry to one modeled device: injectors
+are resolved with the device their engine drives, and entries naming a
+different device never fire.  This is how multi-device failover is
+exercised — a persistent plan like ``MI60!raise@0x9`` kills exactly one
+device's shard while the survivors keep working.
 
 Each entry fires a bounded number of times (``xCOUNT``, default once)
 and then goes quiet, so a retried chunk succeeds deterministically —
@@ -68,6 +75,8 @@ class FaultSpec:
     kind: str
     count: int = 1
     stall_s: float = DEFAULT_STALL_S
+    #: Restrict this entry to one modeled device (None = any device).
+    device: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -85,7 +94,7 @@ class FaultSpec:
 
 
 def parse_fault_plan(spec: str) -> Tuple[FaultSpec, ...]:
-    """Parse a plan spec (``KIND@INDEX[:SECONDS][xCOUNT],...``).
+    """Parse a plan spec (``[DEVICE!]KIND@INDEX[:SECONDS][xCOUNT],...``).
 
     Raises :class:`ValueError` with the offending entry on any malformed
     input, so a bad ``REPRO_FAULT_INJECT`` fails loudly at engine start
@@ -96,6 +105,15 @@ def parse_fault_plan(spec: str) -> Tuple[FaultSpec, ...]:
         part = part.strip()
         if not part:
             continue
+        device = None
+        if "!" in part:
+            device, _, part = part.partition("!")
+            device = device.strip()
+            part = part.strip()
+            if not device:
+                raise ValueError(
+                    f"bad fault entry {part!r}: empty device name "
+                    f"before '!'")
         kind, sep, rest = part.partition("@")
         kind = kind.strip().lower()
         if not sep or not rest:
@@ -123,7 +141,8 @@ def parse_fault_plan(spec: str) -> Tuple[FaultSpec, ...]:
         except ValueError:
             raise ValueError(f"bad chunk index in {part!r}") from None
         entries.append(FaultSpec(chunk_index=index, kind=kind,
-                                 count=count, stall_s=stall_s))
+                                 count=count, stall_s=stall_s,
+                                 device=device))
     if not entries:
         raise ValueError(f"fault plan {spec!r} names no entries")
     return tuple(entries)
@@ -138,10 +157,14 @@ class FaultInjector:
     once, in plan order.
     """
 
-    def __init__(self, plan: Sequence[FaultSpec]):
+    def __init__(self, plan: Sequence[FaultSpec],
+                 device: Optional[str] = None):
         self._lock = threading.Lock()
         self._queues: Dict[int, Deque[FaultSpec]] = {}
         for entry in plan:
+            if (device is not None and entry.device is not None
+                    and entry.device != device):
+                continue  # scoped to a different device
             queue = self._queues.setdefault(entry.chunk_index, deque())
             for _ in range(entry.count):
                 queue.append(entry)
@@ -171,14 +194,17 @@ class FaultInjector:
         time.sleep(entry.stall_s)
 
 
-def resolve_injector(plan_spec: Optional[str] = None
+def resolve_injector(plan_spec: Optional[str] = None,
+                     device: Optional[str] = None
                      ) -> Optional[FaultInjector]:
     """Build an injector from an explicit spec or ``REPRO_FAULT_INJECT``.
 
-    Returns None when neither source names a plan — the engine's normal,
+    ``device`` names the modeled device the calling engine drives;
+    plan entries scoped to a different device are dropped.  Returns
+    None when neither source names a plan — the engine's normal,
     zero-overhead state.
     """
     spec = plan_spec if plan_spec is not None else os.environ.get(FAULT_ENV)
     if not spec:
         return None
-    return FaultInjector(parse_fault_plan(spec))
+    return FaultInjector(parse_fault_plan(spec), device=device)

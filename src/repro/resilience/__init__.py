@@ -1,0 +1,40 @@
+"""Durability layer: checkpointed, resumable searches.
+
+The paper's workload is long-running by construction — full hg19/hg38
+sweeps cover hundreds of device-sized chunks (Table VIII) — so a process
+dying near the end of a run must not throw the run away.  This package
+makes any search resumable and its output crash-safe:
+
+* :mod:`repro.resilience.journal` — an append-only per-chunk journal
+  with per-record checksums.  Every completed chunk's device outputs are
+  appended with flush + fsync, so a SIGKILL at any byte leaves a file
+  that recovery can truncate to the last valid record.
+* :mod:`repro.resilience.checkpoint` — the run manifest (a fingerprint
+  of genome identity, pattern, queries and chunking) and the
+  :class:`~repro.resilience.checkpoint.CheckpointSession` that the
+  serial loop, the streaming engine and the multi-device searcher all
+  drive: completed chunks are skipped on resume and their persisted
+  outputs are replayed through the ordered
+  :class:`~repro.core.pipeline.SearchAccumulator`, so a resumed run's
+  hit list is byte-identical to an uninterrupted one.
+"""
+
+from .checkpoint import (CHECKPOINT_ENV, CheckpointError,
+                         CheckpointMismatchError, CheckpointSession,
+                         RunManifest, resolve_session)
+from .journal import (JOURNAL_NAME, JournalError, JournalWriter,
+                      load_journal, repair_journal)
+
+__all__ = [
+    "CHECKPOINT_ENV",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointSession",
+    "JOURNAL_NAME",
+    "JournalError",
+    "JournalWriter",
+    "RunManifest",
+    "load_journal",
+    "repair_journal",
+    "resolve_session",
+]

@@ -1,0 +1,258 @@
+"""Append-only per-chunk journal with per-record checksums.
+
+One journal line per completed chunk::
+
+    <crc32 hex, 8 chars> <canonical JSON payload>\\n
+
+The payload carries the chunk's identity (chromosome, start offset,
+scan length), the device that processed it (plus the device it was
+reassigned from, when multi-device failover moved the chunk), and the
+raw device outputs (:class:`~repro.core.pipeline._ChunkOutput`) with
+every numpy array base64-encoded alongside its dtype — enough to replay
+the chunk through :class:`~repro.core.pipeline.SearchAccumulator`
+without touching a kernel.
+
+Crash-safety model:
+
+* **Append** — each record is written as one line followed by flush +
+  fsync, so a record is either fully durable or entirely absent from
+  the valid prefix.
+* **Recovery** — :func:`load_journal` scans from the start and stops at
+  the first line that is torn (no trailing newline), fails its
+  checksum, or does not decode; everything after that point is
+  untrusted.  :func:`repair_journal` rewrites the valid prefix through
+  a temp file + atomic rename, so recovery itself is crash-safe too.
+
+Records are *never* trusted blindly: the checksum guards the line, and
+:func:`unpack_output` re-validates dtypes and shapes before handing
+arrays back to the accumulator.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.pipeline import _ChunkOutput
+from ..genome.assembly import Chunk
+
+#: Journal file name inside a checkpoint directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Record format version, bumped on any layout change.
+JOURNAL_VERSION = 1
+
+#: dtypes a journal record is allowed to name (what the kernels emit).
+_ALLOWED_DTYPES = ("uint8", "uint16", "uint32")
+
+_REQUIRED_KEYS = ("v", "chrom", "start", "scan_length", "output")
+
+
+class JournalError(ValueError):
+    """Raised for malformed journal lines or payloads."""
+
+
+# ---------------------------------------------------------------------------
+# Array / output (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _pack_array(arr: np.ndarray) -> Dict[str, str]:
+    arr = np.ascontiguousarray(arr)
+    return {"dtype": str(arr.dtype),
+            "b64": base64.b64encode(arr.tobytes()).decode("ascii")}
+
+
+def _unpack_array(obj: Any) -> np.ndarray:
+    if (not isinstance(obj, dict) or "dtype" not in obj
+            or "b64" not in obj):
+        raise JournalError(f"bad packed array {obj!r}")
+    dtype = obj["dtype"]
+    if dtype not in _ALLOWED_DTYPES:
+        raise JournalError(f"journal names disallowed dtype {dtype!r}")
+    try:
+        raw = base64.b64decode(obj["b64"], validate=True)
+    except Exception as exc:
+        raise JournalError(f"bad base64 array payload: {exc}") from exc
+    return np.frombuffer(raw, dtype=np.dtype(dtype)).copy()
+
+
+def pack_output(output: _ChunkOutput) -> Dict[str, Any]:
+    """Serialize one chunk's device outputs to a JSON-able dict."""
+    return {
+        "candidate_count": int(output.candidate_count),
+        "loci": _pack_array(output.loci),
+        "flags": _pack_array(output.flags),
+        "per_query": [[_pack_array(mm_loci), _pack_array(mm_count),
+                       _pack_array(direction)]
+                      for mm_loci, mm_count, direction
+                      in output.per_query],
+    }
+
+
+def unpack_output(obj: Any) -> _ChunkOutput:
+    """Rebuild a :class:`_ChunkOutput`, validating the payload shape."""
+    if not isinstance(obj, dict):
+        raise JournalError(f"journal output is not an object: {obj!r}")
+    try:
+        count = int(obj["candidate_count"])
+        per_query = [tuple(_unpack_array(part) for part in triple)
+                     for triple in obj["per_query"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JournalError(f"bad journal output payload: {exc}") from exc
+    for triple in per_query:
+        if len(triple) != 3:
+            raise JournalError("per-query entry is not a triple")
+    return _ChunkOutput(candidate_count=count, per_query=list(per_query),
+                        loci=_unpack_array(obj["loci"]),
+                        flags=_unpack_array(obj["flags"]))
+
+
+# ---------------------------------------------------------------------------
+# Record encoding
+# ---------------------------------------------------------------------------
+
+
+def make_record(chunk: Chunk, output: _ChunkOutput,
+                device: Optional[str] = None,
+                reassigned_from: Optional[str] = None) -> Dict[str, Any]:
+    """Build the journal record dict for one completed chunk."""
+    record: Dict[str, Any] = {
+        "v": JOURNAL_VERSION,
+        "chrom": chunk.chrom,
+        "start": int(chunk.start),
+        "scan_length": int(chunk.scan_length),
+        "output": pack_output(output),
+    }
+    if device is not None:
+        record["device"] = device
+    if reassigned_from is not None:
+        record["reassigned_from"] = reassigned_from
+    return record
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """Encode a record dict as one checksummed journal line."""
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode("ascii")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x " % crc + payload + b"\n"
+
+
+def decode_record(line: bytes) -> Dict[str, Any]:
+    """Decode one journal line (without its newline), verifying the CRC."""
+    if len(line) < 10 or line[8:9] != b" ":
+        raise JournalError("journal line too short or missing CRC field")
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        raise JournalError("journal line has a non-hex CRC") from None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise JournalError("journal record checksum mismatch")
+    try:
+        record = json.loads(payload.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise JournalError(f"journal record is not JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise JournalError("journal record is not an object")
+    missing = [key for key in _REQUIRED_KEYS if key not in record]
+    if missing:
+        raise JournalError(f"journal record missing keys {missing}")
+    if record["v"] != JOURNAL_VERSION:
+        raise JournalError(f"unsupported journal version {record['v']!r}")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# File-level read / repair / append
+# ---------------------------------------------------------------------------
+
+
+def load_journal(path: str) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Read the valid prefix of a journal file.
+
+    Returns ``(records, valid_bytes, total_bytes)``.  Scanning stops at
+    the first record that is torn (no trailing newline), corrupt
+    (checksum/JSON failure) or structurally invalid; a missing file
+    reads as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    while offset < len(blob):
+        newline = blob.find(b"\n", offset)
+        if newline < 0:
+            break  # torn tail: the write never completed
+        try:
+            records.append(decode_record(blob[offset:newline]))
+        except JournalError:
+            break
+        offset = newline + 1
+    return records, offset, len(blob)
+
+
+def repair_journal(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Truncate a journal to its last valid record, crash-safely.
+
+    Returns ``(records, truncated_bytes)``.  When the tail is corrupt or
+    torn, the valid prefix is rewritten through a temp file in the same
+    directory and atomically renamed over the original, so a crash
+    during repair leaves either the old or the repaired file — never a
+    half-written one.
+    """
+    records, valid, total = load_journal(path)
+    truncated = total - valid
+    if truncated:
+        with open(path, "rb") as handle:
+            prefix = handle.read(valid)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".journal-",
+                                   suffix=".part")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(prefix)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    return records, truncated
+
+
+class JournalWriter:
+    """Durable appender: one fsynced line per completed chunk."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "ab")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        line = encode_record(record)
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -93,6 +93,17 @@ class TestSearchCommand:
         assert stream_out.read_text() == serial_out.read_text()
         assert "Stage timings" in capsys.readouterr().err
 
+    def test_checkpoint_resume_roundtrip(self, tmp_path, input_file):
+        first_out = tmp_path / "first.tsv"
+        resumed_out = tmp_path / "resumed.tsv"
+        ckpt = tmp_path / "ckpt"
+        base = [str(input_file), "--synthetic", "hg19",
+                "--scale", "0.00005", "--checkpoint-dir", str(ckpt)]
+        assert main(base + ["-o", str(first_out)]) == 0
+        assert (ckpt / "journal.jsonl").stat().st_size > 0
+        assert main(base + ["--resume", "-o", str(resumed_out)]) == 0
+        assert resumed_out.read_bytes() == first_out.read_bytes()
+
     def test_no_genome_cache_flag(self, tmp_path, input_file,
                                   monkeypatch):
         from repro.genome import synthetic

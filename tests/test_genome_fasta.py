@@ -37,10 +37,15 @@ class TestParsing:
         records = parse_fasta_str(">a\nAC GT\tAC\n")
         assert records[0].decode() == "ACGTAC"
 
-    def test_empty_record_allowed(self):
-        records = parse_fasta_str(">empty\n>next\nAC\n")
-        assert len(records[0]) == 0
-        assert records[1].decode() == "AC"
+    def test_empty_record_rejected(self):
+        # A header with no sequence lines is a sign of truncated or
+        # mis-concatenated input; it must fail loudly, naming the record.
+        with pytest.raises(FastaError, match="'empty'.*no sequence"):
+            parse_fasta_str(">empty\n>next\nAC\n")
+
+    def test_empty_trailing_record_rejected(self):
+        with pytest.raises(FastaError, match="'tail'.*no sequence"):
+            parse_fasta_str(">ok\nACGT\n>tail\n")
 
     def test_sequence_before_header_rejected(self):
         with pytest.raises(FastaError, match="before first"):
@@ -73,6 +78,32 @@ class TestFiles:
             handle.write(SIMPLE)
         back = read_fasta(path)
         assert back[0].decode() == "ACGTACGTACGT"
+
+    def test_truncated_gzip_names_record(self, tmp_path):
+        # Cut a gzip member short mid-stream: the parser must surface a
+        # FastaError naming the record being read, not a bare EOFError.
+        path = tmp_path / "g.fa.gz"
+        rng = np.random.default_rng(11)
+        sequence = "".join(rng.choice(list("ACGT"), size=200_000))
+        with gzip.open(path, "wt") as handle:
+            handle.write(">chrZ truncated member\n")
+            for start in range(0, len(sequence), 60):
+                handle.write(sequence[start:start + 60] + "\n")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(FastaError, match="chrZ"):
+            read_fasta(path)
+
+    def test_corrupt_gzip_rejected(self, tmp_path):
+        path = tmp_path / "g.fa.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(">chrY\n" + "ACGT" * 5000)
+        blob = bytearray(path.read_bytes())
+        for i in range(64, min(len(blob) - 16, 512)):
+            blob[i] ^= 0xFF  # scramble the deflate stream
+        path.write_bytes(bytes(blob))
+        with pytest.raises(FastaError):
+            read_fasta(path)
 
     def test_line_wrapping(self, tmp_path):
         path = tmp_path / "g.fa"
@@ -110,7 +141,7 @@ class TestRecord:
 @given(st.lists(
     st.tuples(
         st.text(alphabet="abcdefgh", min_size=1, max_size=8),
-        st.text(alphabet="ACGTN", min_size=0, max_size=100)),
+        st.text(alphabet="ACGTN", min_size=1, max_size=100)),
     min_size=1, max_size=5, unique_by=lambda t: t[0]))
 def test_roundtrip_property(records):
     """write -> parse is the identity for any record set."""

@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.core.config import ExecutionPolicy
 from repro.core.multidevice import (MultiDeviceCasOffinder,
                                     multi_device_search)
 from repro.core.pipeline import search
 from repro.devices.specs import MI60, MI100, RADEON_VII
+from repro.observability import tracing
 
 
 class TestCorrectness:
@@ -53,6 +55,15 @@ class TestCorrectness:
         with pytest.raises(ValueError, match="at least one"):
             MultiDeviceCasOffinder(devices=())
 
+    def test_unknown_device_rejected_at_construction(self):
+        with pytest.raises(ValueError) as excinfo:
+            MultiDeviceCasOffinder(devices=("MI100", "MI6O"))  # typo
+        message = str(excinfo.value)
+        assert "MI6O" in message
+        # The error lists the known devices so the fix is obvious.
+        for known in ("MI100", "MI60", "RVII", "CPU"):
+            assert known in message
+
     def test_variant_supported(self, tiny_assembly, short_request):
         baseline = search(tiny_assembly, short_request,
                           chunk_size=256).sorted_hits()
@@ -60,6 +71,72 @@ class TestCorrectness:
                                      devices=("MI60", "RVII"),
                                      chunk_size=256, variant="opt3")
         assert result.sorted_hits() == baseline
+
+
+def _kill_mi60_plan(indices: int = 16, fires: int = 10) -> str:
+    """A persistent device-scoped plan: every chunk of the MI60 share
+    raises through all retries and the serial fallback, so the whole
+    share fails and failover must redistribute it."""
+    return ",".join(f"MI60!raise@{i}x{fires}" for i in range(indices))
+
+
+@pytest.mark.fault
+class TestFailover:
+    def test_failed_device_redistributed_to_survivors(
+            self, tiny_assembly, short_request):
+        clean = search(tiny_assembly, short_request, chunk_size=256)
+        policy = ExecutionPolicy(streaming=True, workers=1,
+                                 max_retries=0, retry_backoff_s=0.01,
+                                 batch_queries=False,
+                                 fault_plan=_kill_mi60_plan())
+        searcher = MultiDeviceCasOffinder(devices=("MI100", "MI60"),
+                                          chunk_size=256,
+                                          execution=policy)
+        recorder = tracing.TraceRecorder()
+        with tracing.recording(recorder):
+            result = searcher.search(tiny_assembly, short_request)
+        assert result.sorted_hits() == clean.sorted_hits()
+        # Every surviving share ran on MI100; chunk coverage is total.
+        assert all(s.device == "MI100" for s in result.shares)
+        assert sum(s.chunks for s in result.shares) == \
+            clean.workload.chunk_count
+        names = [s.name for s in recorder.spans()]
+        assert "device_failed" in names
+        assert "device_failover" in names
+
+    def test_failover_journal_carries_reassignment(
+            self, tmp_path, tiny_assembly, short_request):
+        from repro.resilience import JOURNAL_NAME, load_journal
+        directory = tmp_path / "ckpt"
+        policy = ExecutionPolicy(streaming=True, workers=1,
+                                 max_retries=0, retry_backoff_s=0.01,
+                                 batch_queries=False,
+                                 fault_plan=_kill_mi60_plan(),
+                                 checkpoint_dir=str(directory))
+        searcher = MultiDeviceCasOffinder(devices=("MI100", "MI60"),
+                                          chunk_size=256,
+                                          execution=policy)
+        result = searcher.search(tiny_assembly, short_request)
+        clean = search(tiny_assembly, short_request, chunk_size=256)
+        assert result.sorted_hits() == clean.sorted_hits()
+        records = load_journal(str(directory / JOURNAL_NAME))[0]
+        assert len(records) == clean.workload.chunk_count
+        reassigned = [r for r in records
+                      if r.get("reassigned_from") == "MI60"]
+        assert reassigned, "redistributed chunks must be marked"
+        assert all(r["device"] == "MI100" for r in reassigned)
+
+    def test_all_devices_failing_raises(self, tiny_assembly,
+                                        short_request):
+        plan = ",".join(f"MI60!raise@{i}x10" for i in range(16))
+        policy = ExecutionPolicy(streaming=True, workers=1,
+                                 max_retries=0, retry_backoff_s=0.01,
+                                 batch_queries=False, fault_plan=plan)
+        searcher = MultiDeviceCasOffinder(devices=("MI60", "MI60"),
+                                          chunk_size=256,
+                                          execution=policy)
+        with pytest.raises(Exception, match="failed"):
+            searcher.search(tiny_assembly, short_request)
 
 
 class TestModeledScaling:

@@ -88,3 +88,42 @@ class TestIO:
     def test_to_tsv_fields(self):
         hit = OffTargetHit("Q", "chr1", 3, "-", 2, "site")
         assert hit.to_tsv() == "Q\tchr1\t3\tsite\t-\t2"
+
+
+class TestAtomicWrite:
+    def make_hits(self):
+        return TestIO.make_hits(self)
+
+    def test_no_part_file_left_behind(self, tmp_path):
+        path = tmp_path / "hits.tsv"
+        write_hits(self.make_hits(), path)
+        assert read_hits(path) == self.make_hits()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_write_preserves_previous_output(self, tmp_path):
+        path = tmp_path / "hits.tsv"
+        write_hits(self.make_hits(), path)
+        before = path.read_bytes()
+
+        def poisoned():
+            yield self.make_hits()[0]
+            raise RuntimeError("boom mid-iteration")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            write_hits(poisoned(), path)
+        # A crashed write never truncates the existing file, and the
+        # temp file is cleaned up.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_write_leaves_no_file_when_none_existed(self,
+                                                           tmp_path):
+        path = tmp_path / "hits.tsv"
+
+        def poisoned():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            write_hits(poisoned(), path)
+        assert list(tmp_path.iterdir()) == []
