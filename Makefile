@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test fault verify
+.PHONY: test fault service verify
 
 # Tier-1 suite (includes the fault-marked tests).
 test:
@@ -10,6 +10,12 @@ test:
 fault:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m fault
 
-# Tier-1 suite plus an explicit fault pass, one command.
+# Query-service tests plus a 5-second load-generator smoke run.
+service:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service.py
+	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
+		--clients 4 --duration 5
+
+# Tier-1 suite plus explicit fault and service passes, one command.
 verify:
 	./scripts/verify.sh

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # One-command verification: the tier-1 suite, then an explicit pass over
-# the fault-marked failover/recovery tests. The fault tests also run as
-# part of the default suite; the second pass keeps them green even when
-# developers filter the first run (e.g. `-m "not slow"` via PYTEST_ADDOPTS).
+# the fault-marked failover/recovery tests, then the query-service tests
+# with a 5-second load-generator smoke. The fault and service tests also
+# run as part of the default suite; the extra passes keep them green even
+# when developers filter the first run (e.g. `-m "not slow"` via
+# PYTEST_ADDOPTS).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
+python -m pytest -x -q tests/test_service.py "$@"
+python -m repro.service.client --smoke --clients 4 --duration 5

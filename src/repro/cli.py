@@ -20,6 +20,7 @@ of FASTA files; it is ignored when ``--synthetic`` is given.
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 import time
@@ -39,6 +40,60 @@ from .resilience import CHECKPOINT_ENV, CheckpointError
 
 #: Work-group size used when ``--work-group-size`` is not given.
 DEFAULT_WORK_GROUP_SIZE = 256
+
+
+# ---------------------------------------------------------------------------
+# argparse value types: reject zero/negative/NaN counts at the parser so
+# a bad flag fails with a usage error naming the flag, not a traceback
+# from deep inside the engine.
+# ---------------------------------------------------------------------------
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive finite number, got {text}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative finite number, got {text}")
+    return value
 
 
 def _load_assembly(args: argparse.Namespace,
@@ -128,9 +183,6 @@ def _run_search(args: argparse.Namespace) -> int:
                 batch_queries=args.batch_comparer, **policy_kw)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
-    elif args.workers < 1:
-        raise SystemExit(f"error: worker count must be >= 1, "
-                         f"got {args.workers}")
     recorder = tracing.TraceRecorder() if args.trace else None
     started = time.perf_counter()
     with tracing.recording(recorder) if recorder else _null_context():
@@ -253,26 +305,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=("vectorized", "interpreted"),
                         default="vectorized",
                         help="kernel execution mode")
-    parser.add_argument("--chunk-size", type=int,
+    parser.add_argument("--chunk-size", type=_positive_int,
                         default=DEFAULT_CHUNK_SIZE,
                         help="device chunk size in bases")
     parser.add_argument("--streaming", action="store_true",
                         help="run the streaming chunk engine (prefetch "
                              "next chunk while kernels run)")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=_positive_int, default=1,
                         help="parallel chunk workers for the streaming "
                              "engine (implies --streaming when > 1)")
-    parser.add_argument("--prefetch", type=int, default=None,
+    parser.add_argument("--prefetch", type=_positive_int, default=None,
                         help="chunks staged ahead by the streaming "
                              "engine's producer (default 2)")
-    parser.add_argument("--work-group-size", type=int, default=None,
+    parser.add_argument("--work-group-size", type=_positive_int,
+                        default=None,
                         help="kernel work-group size for the SYCL "
                              "pipelines (default 256)")
-    parser.add_argument("--max-retries", type=int, default=None,
+    parser.add_argument("--max-retries", type=_nonnegative_int,
+                        default=None,
                         help="per-chunk retries after a processing "
                              "failure in the streaming engine "
                              "(default 1)")
-    parser.add_argument("--chunk-deadline", type=float, default=None,
+    parser.add_argument("--chunk-deadline", type=_positive_float,
+                        default=None,
                         help="per-chunk wall-clock deadline in seconds; "
                              "overruns are retried on a fresh pipeline")
     parser.add_argument("--fault-inject", default=None, metavar="PLAN",
@@ -315,7 +370,191 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ---------------------------------------------------------------------------
+# Service subcommands: `serve` and `query`.  Dispatched by peeking at the
+# first argument so the classic flat invocation (positional input file)
+# keeps working unchanged.
+# ---------------------------------------------------------------------------
+
+def _add_genome_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--genome",
+                        help="FASTA file or directory to index")
+    parser.add_argument("--synthetic", choices=sorted(PROFILES),
+                        help="use a synthetic assembly instead of files")
+    parser.add_argument("--scale", type=_positive_float, default=0.001,
+                        help="synthetic assembly scale factor")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="synthetic assembly seed")
+    parser.add_argument("--no-genome-cache", action="store_true",
+                        help="regenerate synthetic assemblies instead of "
+                             "using the on-disk cache")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py serve",
+        description="Serve off-target queries over a resident genome "
+                    "site index (JSON-lines over TCP).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_nonnegative_int, default=0,
+                        help="TCP port (0 picks an ephemeral port; see "
+                             "--ready-file)")
+    parser.add_argument("--index-dir", default=None, metavar="DIR",
+                        help="load a saved index from DIR if present, "
+                             "else build one and save it there")
+    parser.add_argument("--pattern", default=None,
+                        help="PAM-bearing pattern to index (required "
+                             "unless a saved index is loaded)")
+    _add_genome_flags(parser)
+    parser.add_argument("--api",
+                        choices=("sycl", "sycl-usm", "opencl"),
+                        default="sycl")
+    parser.add_argument("--device", default="MI100")
+    parser.add_argument("--chunk-size", type=_positive_int,
+                        default=DEFAULT_CHUNK_SIZE,
+                        help="index chunk size in bases")
+    parser.add_argument("--max-batch", type=_positive_int, default=8,
+                        help="flush a micro-batch at this many queries")
+    parser.add_argument("--max-wait-ms", type=_nonnegative_float,
+                        default=5.0,
+                        help="flush a micro-batch after this long even "
+                             "if it is not full")
+    parser.add_argument("--max-queue", type=_positive_int, default=64,
+                        help="admission-control queue bound; beyond it "
+                             "requests are rejected as overloaded")
+    parser.add_argument("--max-retries", type=_nonnegative_int,
+                        default=2,
+                        help="per-chunk retries during the index build")
+    parser.add_argument("--fault-inject", default=None, metavar="PLAN",
+                        help="deterministic fault plan exercised during "
+                             "the index build")
+    parser.add_argument("--duration-s", type=_positive_float,
+                        default=None,
+                        help="serve for this long then exit (smoke "
+                             "tests); default: until interrupted")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write 'host port' to PATH once listening "
+                             "(how callers learn an ephemeral port)")
+    return parser
+
+
+def _run_serve(argv: List[str]) -> int:
+    from .service import (GenomeSiteIndex, OffTargetServer,
+                          SiteIndexError)
+    from .service.index import INDEX_MANIFEST_NAME
+
+    args = build_serve_parser().parse_args(argv)
+    index = None
+    manifest_path = (os.path.join(args.index_dir, INDEX_MANIFEST_NAME)
+                     if args.index_dir else None)
+    if manifest_path and os.path.exists(manifest_path):
+        assembly = _load_assembly(args, args.genome)
+        try:
+            index = GenomeSiteIndex.load(args.index_dir, assembly,
+                                         api=args.api,
+                                         device=args.device)
+        except SiteIndexError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"# loaded index from {args.index_dir}: "
+              f"{index.chunk_count} chunks, {index.site_count} sites",
+              file=sys.stderr)
+    if index is None:
+        if not args.pattern:
+            raise SystemExit(
+                "error: --pattern is required when no saved index is "
+                "available to load")
+        assembly = _load_assembly(args, args.genome)
+        try:
+            index = GenomeSiteIndex.build(
+                assembly, args.pattern, chunk_size=args.chunk_size,
+                api=args.api, device=args.device,
+                fault_plan=args.fault_inject,
+                max_retries=args.max_retries)
+        except (SiteIndexError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"# built index: {index.chunk_count} chunks, "
+              f"{index.site_count} sites in {index.build_wall_s:.2f}s",
+              file=sys.stderr)
+        if args.index_dir:
+            index.save(args.index_dir)
+            print(f"# index saved to {args.index_dir}",
+                  file=sys.stderr)
+    server = OffTargetServer(index, host=args.host, port=args.port,
+                             max_batch=args.max_batch,
+                             max_wait_ms=args.max_wait_ms,
+                             max_queue=args.max_queue)
+    print(f"# serving {index.assembly.name} pattern={index.pattern} "
+          f"on {args.host} (max_batch={args.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms:g})", file=sys.stderr)
+    server.run(duration_s=args.duration_s, ready_file=args.ready_file)
+    return 0
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py query",
+        description="Query a running off-target service; output is "
+                    "byte-identical to an offline search.")
+    parser.add_argument("queries", nargs="+", metavar="SEQ:MM",
+                        help="query spec(s): sequence, colon, max "
+                             "mismatches (e.g. GACGTCNN:3)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_positive_int, required=True)
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file ('-' for stdout)")
+    parser.add_argument("--deadline", type=_positive_float,
+                        default=None,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--timeout", type=_positive_float, default=30.0,
+                        help="socket timeout in seconds")
+    return parser
+
+
+def _run_query(argv: List[str]) -> int:
+    from .core.config import Query
+    from .core.records import sort_hits
+    from .service import ServiceClient, ServiceError
+
+    args = build_query_parser().parse_args(argv)
+    queries = []
+    for spec in args.queries:
+        seq, sep, mm = spec.rpartition(":")
+        if not sep or not seq:
+            raise SystemExit(f"error: bad query spec {spec!r}; "
+                             f"expected SEQ:MM (e.g. GACGTCNN:3)")
+        try:
+            queries.append(Query(seq.upper(), int(mm)))
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: bad query spec {spec!r}: {exc}") from None
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            per_query = client.query(queries,
+                                     deadline_s=args.deadline)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot reach service at "
+                         f"{args.host}:{args.port}: {exc}") from None
+    hits = sort_hits([hit for per in per_query for hit in per])
+    if args.output and args.output != "-":
+        write_hits(hits, args.output)
+    else:
+        write_hits(hits, sys.stdout)
+    print(f"# {len(hits)} hits | {len(queries)} queries | "
+          f"service {args.host}:{args.port}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "query":
+        return _run_query(argv[1:])
     args = build_parser().parse_args(argv)
     if args.report:
         return _run_report(args)

@@ -10,12 +10,29 @@ that example; :meth:`SearchRequest.from_input_text` parses the format.
 from __future__ import annotations
 
 import io
+import math
 import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 from ..observability.faults import parse_fault_plan
 from .patterns import PatternError, validate_iupac
+
+
+def _require_int(name: str, value) -> None:
+    """Reject bools, floats and other non-integers posing as counts."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{name} must be an integer, got {value!r} "
+            f"({type(value).__name__})")
+
+
+def _require_finite(name: str, value) -> None:
+    """Reject NaN/inf, which slip past plain comparisons."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not math.isfinite(value):
+        raise ValueError(
+            f"{name} must be a finite number, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -88,9 +105,11 @@ class ExecutionPolicy:
     resume: bool = False
 
     def __post_init__(self):
+        _require_int("prefetch depth", self.prefetch_depth)
         if self.prefetch_depth < 1:
             raise ValueError(
                 f"prefetch depth must be >= 1, got {self.prefetch_depth}")
+        _require_int("worker count", self.workers)
         if self.workers < 1:
             raise ValueError(
                 f"worker count must be >= 1, got {self.workers}")
@@ -98,19 +117,24 @@ class ExecutionPolicy:
             raise ValueError(
                 f"backend must be 'thread' or 'process', "
                 f"got {self.backend!r}")
+        _require_int("max retries", self.max_retries)
         if self.max_retries < 0:
             raise ValueError(
                 f"max retries must be >= 0, got {self.max_retries}")
+        _require_finite("retry backoff", self.retry_backoff_s)
         if self.retry_backoff_s <= 0:
             raise ValueError(f"retry backoff must be positive, "
                              f"got {self.retry_backoff_s}")
+        _require_finite("retry backoff cap", self.retry_backoff_cap_s)
         if self.retry_backoff_cap_s < self.retry_backoff_s:
             raise ValueError(
                 f"retry backoff cap {self.retry_backoff_cap_s} is below "
                 f"the base backoff {self.retry_backoff_s}")
-        if self.chunk_deadline_s is not None and self.chunk_deadline_s <= 0:
-            raise ValueError(f"chunk deadline must be positive, "
-                             f"got {self.chunk_deadline_s}")
+        if self.chunk_deadline_s is not None:
+            _require_finite("chunk deadline", self.chunk_deadline_s)
+            if self.chunk_deadline_s <= 0:
+                raise ValueError(f"chunk deadline must be positive, "
+                                 f"got {self.chunk_deadline_s}")
         if self.fault_plan is not None:
             parse_fault_plan(self.fault_plan)  # fail loudly, up front
 

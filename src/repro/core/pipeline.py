@@ -281,6 +281,35 @@ class _BasePipeline:
                        batched: bool = False) -> _ChunkOutput:
         raise NotImplementedError
 
+    def find_candidates(self, chunk: Chunk, pattern: CompiledPattern
+                        ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Run only the finder kernel over one chunk.
+
+        Returns ``(count, loci, flags)`` as host arrays trimmed to the
+        entry count.  The finder's output depends only on the chunk and
+        the PAM pattern — not on any guide query — which is what lets
+        :class:`repro.service.index.GenomeSiteIndex` run this once per
+        chunk and amortize the scan across every query that follows.
+        """
+        raise NotImplementedError
+
+    def compare_candidates(self, chunk_data: np.ndarray,
+                           loci: np.ndarray, flags: np.ndarray,
+                           queries: Sequence[Query],
+                           compiled_queries: Sequence[CompiledPattern],
+                           batched: bool = True
+                           ) -> List[Tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]]:
+        """Run the comparer over pre-computed candidate sites.
+
+        ``chunk_data``/``loci``/``flags`` are host arrays (e.g. replayed
+        from a site index); they are re-staged to the device and the
+        batched (or per-query) comparer runs exactly as it would inside
+        the chunk loop, so the per-query triples are element-identical
+        to a full :meth:`search` over the same chunk.
+        """
+        raise NotImplementedError
+
     @property
     def work_group_size(self) -> Optional[int]:
         raise NotImplementedError
@@ -438,6 +467,75 @@ class SyclCasOffinder(_BasePipeline):
             return _ChunkOutput(candidate_count=count,
                                 per_query=per_query, loci=loci_host,
                                 flags=flag_host)
+
+    def find_candidates(self, chunk, pattern):
+        plen = pattern.plen
+        wg = self._wg
+        scan_len = chunk.scan_length
+        capacity = max(1, scan_len)
+        vector_mode = self.mode == "vectorized"
+        with Buffer(chunk.data, name="chr", write_back=False) as chr_buf, \
+                Buffer(pattern.comp, name="pat",
+                       write_back=False) as pat_buf, \
+                Buffer(pattern.comp_index, name="pat_index",
+                       write_back=False) as pat_index_buf, \
+                Buffer(count=capacity, dtype=np.uint32,
+                       name="loci") as loci_buf, \
+                Buffer(count=capacity, dtype=np.uint8,
+                       name="flag") as flag_buf, \
+                Buffer(count=1, dtype=np.uint32,
+                       name="entrycount") as entry_buf:
+
+            def finder_cg(h):
+                a_chr = chr_buf.get_access(h, sycl_read)
+                a_pat = pat_buf.get_access(h, sycl_read, TARGET_CONSTANT)
+                a_idx = pat_index_buf.get_access(h, sycl_read,
+                                                 TARGET_CONSTANT)
+                a_loci = loci_buf.get_access(h, sycl_write)
+                a_flag = flag_buf.get_access(h, sycl_write)
+                a_entry = entry_buf.get_access(h, sycl_read_write)
+                l_pat = LocalAccessor(np.uint8, plen * 2, h, name="l_pat")
+                l_idx = LocalAccessor(np.int32, plen * 2, h,
+                                      name="l_pat_index")
+                kern = (vectorized.finder_vectorized if vector_mode
+                        else sycl_kernels.finder)
+                h.parallel_for(
+                    NdRange(Range(_round_up(scan_len, wg)), Range(wg)),
+                    kern,
+                    args=(a_chr, a_pat, a_idx, plen, scan_len, a_loci,
+                          a_flag, a_entry, l_pat, l_idx),
+                    vectorized=vector_mode, kernel_name="finder")
+
+            self.queue.submit(finder_cg).wait()
+            count = int(entry_buf.get_host_access(sycl_read)[0])
+            loci_host = loci_buf.get_host_access(sycl_read).data[
+                :count].copy()
+            flag_host = flag_buf.get_host_access(sycl_read).data[
+                :count].copy()
+            return count, loci_host, flag_host
+
+    def compare_candidates(self, chunk_data, loci, flags, queries,
+                           compiled_queries, batched=True):
+        count = int(loci.size)
+        vector_mode = self.mode == "vectorized"
+        if count == 0:
+            return [(np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8)) for _ in queries]
+        chunk_data = np.ascontiguousarray(chunk_data, dtype=np.uint8)
+        loci = np.ascontiguousarray(loci, dtype=np.uint32)
+        flags = np.ascontiguousarray(flags, dtype=np.uint8)
+        with Buffer(chunk_data, name="chr",
+                    write_back=False) as chr_buf, \
+                Buffer(loci, name="loci", write_back=False) as loci_buf, \
+                Buffer(flags, name="flag", write_back=False) as flag_buf:
+            if batched and len(queries) > 1:
+                return self._run_comparer_batched(
+                    chr_buf, loci_buf, flag_buf, count, list(queries),
+                    list(compiled_queries), vector_mode)
+            return [self._run_comparer(chr_buf, loci_buf, flag_buf,
+                                       count, cq, query.max_mismatches,
+                                       vector_mode)
+                    for query, cq in zip(queries, compiled_queries)]
 
     def _run_comparer(self, chr_buf, loci_buf, flag_buf, count, cq,
                       threshold, vector_mode):
@@ -927,6 +1025,90 @@ class OpenCLCasOffinder(_BasePipeline):
         return _ChunkOutput(candidate_count=count, per_query=per_query,
                             loci=loci_host[:count],
                             flags=flag_host[:count])
+
+    def find_candidates(self, chunk, pattern):
+        plen = pattern.plen
+        scan_len = chunk.scan_length
+        capacity = max(1, scan_len)
+        vector_mode = self.mode == "vectorized"
+        ctx, q = self.context, self.queue
+        chr_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            chunk.data.nbytes, chunk.data, name="chr")
+        pat_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            pattern.comp.nbytes, pattern.comp, name="pat")
+        pat_index_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            pattern.comp_index.nbytes, pattern.comp_index,
+            name="pat_index")
+        loci_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE, capacity * 4, name="loci",
+            dtype=np.uint32)
+        flag_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE, capacity, name="flag",
+            dtype=np.uint8)
+        entry_host = np.zeros(1, dtype=np.uint32)
+        entry_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_WRITE | ocl.CL_MEM_COPY_HOST_PTR,
+            4, entry_host, name="entrycount")
+        finder = ocl.clCreateKernel(self.program, "finder")
+        for index, arg in enumerate((
+                chr_mem, pat_mem, pat_index_mem, plen, scan_len, loci_mem,
+                flag_mem, entry_mem,
+                ocl.LocalArg(np.uint8, plen * 2),
+                ocl.LocalArg(np.int32, plen * 2))):
+            ocl.clSetKernelArg(finder, index, arg)
+        ocl.clEnqueueNDRangeKernel(q, finder, _round_up(scan_len, 256),
+                                   None, vectorized=vector_mode)
+        ocl.clFinish(q)
+        ocl.clEnqueueReadBuffer(q, entry_mem, entry_host)
+        count = int(entry_host[0])
+        loci_host = np.zeros(max(1, count), dtype=np.uint32)
+        flag_host = np.zeros(max(1, count), dtype=np.uint8)
+        if count:
+            ocl.clEnqueueReadBuffer(q, loci_mem, loci_host,
+                                    size_bytes=count * 4)
+            ocl.clEnqueueReadBuffer(q, flag_mem, flag_host,
+                                    size_bytes=count)
+        for mem in (chr_mem, pat_mem, pat_index_mem, loci_mem, flag_mem,
+                    entry_mem):
+            ocl.clReleaseMemObject(mem)
+        ocl.clReleaseKernel(finder)
+        return count, loci_host[:count], flag_host[:count]
+
+    def compare_candidates(self, chunk_data, loci, flags, queries,
+                           compiled_queries, batched=True):
+        count = int(loci.size)
+        vector_mode = self.mode == "vectorized"
+        if count == 0:
+            return [(np.zeros(0, np.uint32), np.zeros(0, np.uint16),
+                     np.zeros(0, np.uint8)) for _ in queries]
+        chunk_data = np.ascontiguousarray(chunk_data, dtype=np.uint8)
+        loci = np.ascontiguousarray(loci, dtype=np.uint32)
+        flags = np.ascontiguousarray(flags, dtype=np.uint8)
+        ctx = self.context
+        chr_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            chunk_data.nbytes, chunk_data, name="chr")
+        loci_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            loci.nbytes, loci, name="loci")
+        flag_mem = ocl.clCreateBuffer(
+            ctx, ocl.CL_MEM_READ_ONLY | ocl.CL_MEM_COPY_HOST_PTR,
+            flags.nbytes, flags, name="flag")
+        try:
+            if batched and len(queries) > 1:
+                return self._run_comparer_batched(
+                    chr_mem, loci_mem, flag_mem, count, list(queries),
+                    list(compiled_queries), vector_mode)
+            return [self._run_comparer(chr_mem, loci_mem, flag_mem,
+                                       count, cq, query.max_mismatches,
+                                       vector_mode)
+                    for query, cq in zip(queries, compiled_queries)]
+        finally:
+            for mem in (chr_mem, loci_mem, flag_mem):
+                ocl.clReleaseMemObject(mem)
 
     def _run_comparer(self, chr_mem, loci_mem, flag_mem, count, cq,
                       threshold, vector_mode):

@@ -1,0 +1,40 @@
+"""Off-target query service: resident site index, batching, serving.
+
+The paper's two-kernel split has a serving-shaped property: the finder
+kernel's candidate sites depend only on the genome and the PAM pattern,
+never on the guide query.  This package exploits that once-per-genome /
+many-per-query asymmetry:
+
+* :mod:`repro.service.index` — :class:`~repro.service.index.
+  GenomeSiteIndex` runs the finder once per chunk and keeps the
+  candidate-site arrays memory-resident (with versioned, fingerprinted
+  save/load so a server can warm-start without rescanning);
+* :mod:`repro.service.scheduler` — a bounded request queue with
+  micro-batching that stacks concurrent requests' guides into a single
+  batched comparer launch over the resident index (the
+  continuous-batching pattern of production inference servers);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — an
+  asyncio JSON-lines TCP server (stdlib only) exposing ``query``,
+  ``stats`` and ``health`` ops, plus a blocking client and a load
+  generator.
+
+The serving layer is backend-agnostic over the OpenCL/SYCL runtimes:
+the index takes the same ``api``/``device`` selectors as
+:func:`repro.core.pipeline.make_pipeline`, and responses are
+byte-identical to an offline CLI search for the same genome, pattern
+and queries (pinned by ``tests/test_service.py``).
+"""
+
+from .index import (GenomeSiteIndex, SiteIndexError,
+                    SiteIndexMismatchError)
+from .scheduler import (BatchScheduler, DeadlineExceeded,
+                        SchedulerClosed, ServiceOverloaded)
+from .server import OffTargetServer
+from .client import ServiceClient, ServiceError, run_load
+
+__all__ = [
+    "GenomeSiteIndex", "SiteIndexError", "SiteIndexMismatchError",
+    "BatchScheduler", "DeadlineExceeded", "SchedulerClosed",
+    "ServiceOverloaded", "OffTargetServer", "ServiceClient",
+    "ServiceError", "run_load",
+]

@@ -1,0 +1,258 @@
+"""Blocking JSON-lines client and a thread-per-client load generator.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.server` protocol
+over a plain socket — one JSON object per line each way — and decodes
+``query`` responses back into :class:`~repro.core.records.OffTargetHit`
+lists so callers get exactly the objects an offline search produces.
+Server-reported failures surface as :class:`ServiceError` with the
+machine-readable ``code`` (``overloaded``, ``deadline``, ...) so
+callers can implement backoff.
+
+:func:`run_load` is the load generator: N threads, each with its own
+connection, issuing queries back-to-back for a duration, reporting
+client-side throughput and latency percentiles plus a final server
+``stats`` snapshot.  ``python -m repro.service.client --smoke`` builds
+a tiny synthetic index, serves it in-process and runs a short load —
+the 5-second smoke `make service` and `scripts/verify.sh` run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Query
+from ..core.records import OffTargetHit
+
+
+class ServiceError(RuntimeError):
+    """A server-reported failure; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _decode_hits(raw: List[List[Any]]) -> List[OffTargetHit]:
+    return [OffTargetHit(query=item[0], chrom=item[1],
+                         position=int(item[2]), site=item[3],
+                         strand=item[4], mismatches=int(item[5]))
+            for item in raw]
+
+
+class ServiceClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(json.dumps(request).encode("ascii") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("disconnected",
+                               "server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown"),
+                               response.get("message", ""))
+        return response
+
+    def query(self, queries: Sequence[Query],
+              deadline_s: Optional[float] = None
+              ) -> List[List[OffTargetHit]]:
+        """Run one request; returns one hit list per query, in order."""
+        request: Dict[str, Any] = {
+            "op": "query",
+            "queries": [[q.sequence, q.max_mismatches]
+                        for q in queries]}
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
+        response = self._call(request)
+        return [_decode_hits(per) for per in response["hits"]]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})["stats"]
+
+    def health(self) -> Dict[str, Any]:
+        return self._call({"op": "health"})
+
+
+# ---------------------------------------------------------------------------
+# Load generator
+# ---------------------------------------------------------------------------
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def run_load(host: str, port: int, queries: Sequence[Query],
+             clients: int = 8, duration_s: float = 5.0,
+             deadline_s: Optional[float] = None) -> Dict[str, Any]:
+    """Hammer the server with ``clients`` concurrent connections.
+
+    Each client thread issues ``queries`` as one request, back to back,
+    until the clock runs out.  Overload/deadline rejections count as
+    ``errors`` (the server telling us to back off), transport failures
+    re-raise.  Returns client-side throughput/latency plus the server's
+    own ``stats`` snapshot taken after the run.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if not duration_s > 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    results: List[Tuple[int, int, List[float]]] = []
+    results_lock = threading.Lock()
+    start_gate = threading.Event()
+    stop_at_holder: List[float] = []
+
+    def _worker() -> None:
+        completed = errors = 0
+        latencies: List[float] = []
+        with ServiceClient(host, port) as client:
+            start_gate.wait()
+            stop_at = stop_at_holder[0]
+            while time.perf_counter() < stop_at:
+                began = time.perf_counter()
+                try:
+                    client.query(queries, deadline_s=deadline_s)
+                except ServiceError as exc:
+                    if exc.code in ("overloaded", "deadline"):
+                        errors += 1
+                        continue
+                    raise
+                latencies.append(
+                    (time.perf_counter() - began) * 1000.0)
+                completed += 1
+        with results_lock:
+            results.append((completed, errors, latencies))
+
+    threads = [threading.Thread(target=_worker, name=f"load-{i}")
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    began = time.perf_counter()
+    stop_at_holder.append(began + duration_s)
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - began
+
+    with ServiceClient(host, port) as client:
+        server_stats = client.stats()
+
+    completed = sum(r[0] for r in results)
+    errors = sum(r[1] for r in results)
+    latencies = sorted(ms for r in results for ms in r[2])
+    return {
+        "clients": clients,
+        "duration_s": elapsed,
+        "queries_per_request": len(queries),
+        "requests": completed,
+        "errors": errors,
+        "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "count": len(latencies),
+            "mean": (sum(latencies) / len(latencies)
+                     if latencies else 0.0),
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "server_stats": server_stats,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Smoke entry point: `python -m repro.service.client --smoke`
+# ---------------------------------------------------------------------------
+
+def _smoke(clients: int, duration_s: float) -> int:
+    from ..genome.synthetic import synthetic_assembly
+    from .index import GenomeSiteIndex
+    from .server import OffTargetServer
+
+    assembly = synthetic_assembly("hg19", scale=0.00005, seed=7)
+    index = GenomeSiteIndex.build(assembly, "NNNNNNRG",
+                                  chunk_size=1 << 15)
+    server = OffTargetServer(index, max_batch=8, max_wait_ms=2.0)
+    handle = server.start_background()
+    try:
+        report = run_load(handle.host, handle.port,
+                          [Query("GACGTCNN", 3), Query("TTACGANN", 2)],
+                          clients=clients, duration_s=duration_s)
+    finally:
+        handle.stop()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["requests"] <= 0 or report["throughput_rps"] <= 0:
+        print("smoke FAILED: no requests completed")
+        return 1
+    print(f"smoke OK: {report['requests']} requests, "
+          f"{report['throughput_rps']:.1f} req/s over "
+          f"{report['duration_s']:.1f} s with {clients} clients")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="Load generator / smoke test for the off-target "
+                    "query service.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="serve a tiny synthetic index in-process "
+                             "and run a short load against it")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--query", action="append", default=[],
+                        metavar="SEQ:MM",
+                        help="query spec, repeatable (default two "
+                             "demo guides)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke(args.clients, args.duration)
+    if not args.port:
+        parser.error("--port is required unless --smoke is given")
+    if args.query:
+        queries = []
+        for spec in args.query:
+            seq, _, mm = spec.rpartition(":")
+            if not seq:
+                parser.error(f"bad query spec {spec!r}: expected "
+                             f"SEQ:MM")
+            queries.append(Query(seq.upper(), int(mm)))
+    else:
+        queries = [Query("GACGTCNN", 3), Query("TTACGANN", 2)]
+    report = run_load(args.host, args.port, queries,
+                      clients=args.clients, duration_s=args.duration)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

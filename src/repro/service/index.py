@@ -1,0 +1,369 @@
+"""Memory-resident genome site index: scan once, serve many queries.
+
+The finder kernel selects PAM-bearing candidate sites from the genome;
+its output is a pure function of ``(genome, pattern, chunk layout)`` and
+is completely independent of the guide queries.  A
+:class:`GenomeSiteIndex` therefore runs the finder exactly once per
+chunk over the whole assembly and keeps each chunk's candidate arrays
+(loci within the chunk, strand flags) memory-resident.  Serving a query
+then reduces to the comparer kernel over the stored candidates — the
+expensive genome scan is amortized across every request that follows.
+
+Results are pinned byte-identical to an offline search: the comparer is
+re-staged from the stored host arrays through the same pipeline entry
+points (:meth:`~repro.core.pipeline._BasePipeline.compare_candidates`),
+and hits are built by the same
+:meth:`~repro.core.pipeline.SearchAccumulator._build_hits` the chunk
+loop uses.
+
+Persistence reuses the :mod:`repro.resilience.checkpoint` fingerprint
+machinery: ``save`` writes a versioned ``index.json`` header carrying a
+SHA-256 manifest fingerprint over (genome identity, pattern, chunk
+size) plus a SHA-256 digest of the packed site arrays; ``load`` refuses
+an index built for a different genome/pattern/chunk size
+(:class:`SiteIndexMismatchError`) and detects corrupted site payloads
+(:class:`SiteIndexError`) — a warm-starting server never trusts a stale
+or torn index silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import Query
+from ..core.patterns import compile_pattern
+from ..core.pipeline import (DEFAULT_CHUNK_SIZE, SearchAccumulator,
+                             make_pipeline)
+from ..core.records import OffTargetHit
+from ..genome.assembly import Assembly, Chunk
+from ..observability import faults, tracing
+from ..resilience.checkpoint import RunManifest, _atomic_write_json
+
+#: Header file inside an index directory.
+INDEX_MANIFEST_NAME = "index.json"
+
+#: Packed candidate-site arrays inside an index directory.
+SITES_NAME = "sites.npz"
+
+#: Bumped on any change to the on-disk layout.
+INDEX_VERSION = 1
+
+
+class SiteIndexError(RuntimeError):
+    """Raised for unusable index state (corrupt payload, failed build)."""
+
+
+class SiteIndexMismatchError(SiteIndexError):
+    """A stored index was built for a different genome/pattern/layout."""
+
+
+@dataclass
+class _IndexedChunk:
+    """One chunk's resident finder output."""
+
+    chrom: str
+    start: int
+    scan_length: int
+    length: int  # chunk data length in bases (scan region + overlap)
+    loci: np.ndarray   # uint32 candidate offsets within the chunk
+    flags: np.ndarray  # uint8 strand flags, as the finder emitted them
+
+
+class GenomeSiteIndex:
+    """Resident candidate-site index over one assembly and PAM pattern.
+
+    Build once with :meth:`build` (or :meth:`load` from a saved
+    directory), then call :meth:`query_batch` any number of times; each
+    call runs only the comparer, batched across all given queries, over
+    the stored candidates.
+    """
+
+    def __init__(self, assembly: Assembly, pattern: str,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 api: str = "sycl", device: str = "MI100",
+                 variant: str = "base", mode: str = "vectorized",
+                 work_group_size: int = 256):
+        if chunk_size < 1:
+            raise ValueError(
+                f"chunk size must be >= 1, got {chunk_size}")
+        self.assembly = assembly
+        self.pattern = pattern.upper()
+        self.compiled_pattern = compile_pattern(self.pattern)
+        self.chunk_size = int(chunk_size)
+        self.api = api
+        self.device = device
+        self.pipeline = make_pipeline(api=api, device=device,
+                                      variant=variant, mode=mode,
+                                      chunk_size=chunk_size,
+                                      work_group_size=work_group_size)
+        self.build_wall_s = 0.0
+        self._chunks: List[_IndexedChunk] = []
+
+    # -- identity -------------------------------------------------------
+
+    def manifest(self) -> RunManifest:
+        """The index's fingerprintable identity.
+
+        Reuses the checkpoint manifest with an empty query tuple: the
+        finder's output depends on everything a search manifest names
+        *except* the queries.
+        """
+        return RunManifest(
+            genome=self.assembly.name,
+            chromosomes=tuple((chrom.name, len(chrom))
+                              for chrom in self.assembly.chromosomes),
+            pattern=self.pattern,
+            queries=(),
+            chunk_size=self.chunk_size)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def site_count(self) -> int:
+        return sum(entry.loci.size for entry in self._chunks)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, assembly: Assembly, pattern: str,
+              chunk_size: int = DEFAULT_CHUNK_SIZE,
+              api: str = "sycl", device: str = "MI100",
+              variant: str = "base", mode: str = "vectorized",
+              work_group_size: int = 256,
+              fault_plan: Optional[str] = None,
+              max_retries: int = 2) -> "GenomeSiteIndex":
+        """Scan the whole assembly through the finder kernel once.
+
+        ``fault_plan`` accepts the same deterministic spec the streaming
+        engine uses (:mod:`repro.observability.faults`); an injected
+        failure on a chunk is retried up to ``max_retries`` times, so a
+        transient fault during the build never changes the index
+        contents — the serving-equivalence tests pin this down.
+        """
+        index = cls(assembly, pattern, chunk_size=chunk_size, api=api,
+                    device=device, variant=variant, mode=mode,
+                    work_group_size=work_group_size)
+        injector = faults.resolve_injector(fault_plan, device=device)
+        started = time.perf_counter()
+        plen = index.compiled_pattern.plen
+        for number, chunk in enumerate(
+                assembly.chunks(chunk_size, plen)):
+            attempts = max_retries + 1
+            for attempt in range(attempts):
+                try:
+                    with tracing.span("index_chunk", cat="index",
+                                      chunk=number, attempt=attempt):
+                        if injector is not None:
+                            injector.inject(number)
+                        count, loci, flags = \
+                            index.pipeline.find_candidates(
+                                chunk, index.compiled_pattern)
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    tracing.instant("index_chunk_retry", cat="fault",
+                                    chunk=number, attempt=attempt,
+                                    error=type(exc).__name__)
+                    if attempt + 1 >= attempts:
+                        raise SiteIndexError(
+                            f"index build failed on chunk {number} "
+                            f"after {attempts} attempt(s): "
+                            f"{exc!r}") from exc
+            index._chunks.append(_IndexedChunk(
+                chrom=chunk.chrom, start=int(chunk.start),
+                scan_length=int(chunk.scan_length),
+                length=int(chunk.data.size),
+                loci=np.ascontiguousarray(loci, dtype=np.uint32),
+                flags=np.ascontiguousarray(flags, dtype=np.uint8)))
+        index.build_wall_s = time.perf_counter() - started
+        tracing.instant("index_built", cat="index",
+                        chunks=index.chunk_count,
+                        sites=index.site_count)
+        return index
+
+    # -- queries --------------------------------------------------------
+
+    def query_batch(self, queries: Sequence[Query]
+                    ) -> List[List[OffTargetHit]]:
+        """Run one batched comparer pass for every query at once.
+
+        Returns one hit list per query, in input order.  All queries of
+        a micro-batch — potentially from many concurrent requests —
+        ride in a single comparer launch per chunk, which is the
+        continuous-batching payoff: launch count stays ``chunks``, not
+        ``chunks x requests``.
+        """
+        if not queries:
+            return []
+        plen = self.compiled_pattern.plen
+        for query in queries:
+            if len(query.sequence) != plen:
+                raise ValueError(
+                    f"query {query.sequence!r} has length "
+                    f"{len(query.sequence)}, index pattern "
+                    f"{self.pattern!r} has length {plen}")
+        queries = list(queries)
+        compiled = [compile_pattern(q.sequence) for q in queries]
+        hits: List[List[OffTargetHit]] = [[] for _ in queries]
+        for entry in self._chunks:
+            if entry.loci.size == 0:
+                continue
+            data = self.assembly.fetch(entry.chrom, entry.start,
+                                       entry.start + entry.length)
+            per_query = self.pipeline.compare_candidates(
+                data, entry.loci, entry.flags, queries, compiled,
+                batched=True)
+            chunk = Chunk(chrom=entry.chrom, start=entry.start,
+                          data=data, scan_length=entry.scan_length)
+            for qi, (query, cq) in enumerate(zip(queries, compiled)):
+                mm_loci, mm_count, direction = per_query[qi]
+                hits[qi].extend(SearchAccumulator._build_hits(
+                    chunk, cq, query, mm_loci, mm_count, direction))
+        return hits
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist the index for warm-starting a later server.
+
+        The site arrays go to ``sites.npz`` (written via temp file +
+        atomic rename); ``index.json`` records the format version, the
+        manifest fingerprint and the payload's SHA-256, so :meth:`load`
+        can refuse mismatched or corrupted state up front.
+        """
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        chrom_names = sorted({entry.chrom for entry in self._chunks})
+        chrom_ids = {name: i for i, name in enumerate(chrom_names)}
+        offsets = np.zeros(len(self._chunks) + 1, dtype=np.int64)
+        for i, entry in enumerate(self._chunks):
+            offsets[i + 1] = offsets[i] + entry.loci.size
+        arrays = {
+            "chunk_chrom": np.array(
+                [chrom_ids[e.chrom] for e in self._chunks],
+                dtype=np.int64),
+            "chunk_start": np.array([e.start for e in self._chunks],
+                                    dtype=np.int64),
+            "chunk_scan": np.array(
+                [e.scan_length for e in self._chunks], dtype=np.int64),
+            "chunk_length": np.array([e.length for e in self._chunks],
+                                     dtype=np.int64),
+            "site_offsets": offsets,
+            "loci": (np.concatenate([e.loci for e in self._chunks])
+                     if self._chunks else np.zeros(0, np.uint32)),
+            "flags": (np.concatenate([e.flags for e in self._chunks])
+                      if self._chunks else np.zeros(0, np.uint8)),
+        }
+        sites_path = os.path.join(directory, SITES_NAME)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".sites-",
+                                   suffix=".part")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, sites_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with open(sites_path, "rb") as handle:
+            sites_sha = hashlib.sha256(handle.read()).hexdigest()
+        _atomic_write_json(
+            os.path.join(directory, INDEX_MANIFEST_NAME), {
+                "version": INDEX_VERSION,
+                "fingerprint": self.manifest().fingerprint(),
+                "genome": self.assembly.name,
+                "pattern": self.pattern,
+                "chunk_size": self.chunk_size,
+                "chunks": self.chunk_count,
+                "sites": self.site_count,
+                "chrom_names": chrom_names,
+                "sites_sha256": sites_sha,
+            })
+        tracing.instant("index_saved", cat="index", directory=directory)
+
+    @classmethod
+    def load(cls, directory: str, assembly: Assembly,
+             api: str = "sycl", device: str = "MI100",
+             variant: str = "base", mode: str = "vectorized",
+             work_group_size: int = 256) -> "GenomeSiteIndex":
+        """Warm-start from a saved directory, validating everything.
+
+        The stored fingerprint must match one recomputed from the live
+        ``assembly`` plus the stored pattern/chunk size — so loading an
+        index against a different genome (or after the genome changed)
+        refuses instead of silently serving wrong sites.
+        """
+        directory = os.fspath(directory)
+        manifest_path = os.path.join(directory, INDEX_MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r", encoding="ascii") as handle:
+                header = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SiteIndexError(
+                f"unreadable index header {manifest_path!r}: "
+                f"{exc}") from exc
+        if header.get("version") != INDEX_VERSION:
+            raise SiteIndexError(
+                f"unsupported index version {header.get('version')!r} "
+                f"in {manifest_path!r} (this build reads "
+                f"{INDEX_VERSION})")
+        index = cls(assembly, header["pattern"],
+                    chunk_size=int(header["chunk_size"]), api=api,
+                    device=device, variant=variant, mode=mode,
+                    work_group_size=work_group_size)
+        fingerprint = index.manifest().fingerprint()
+        if header.get("fingerprint") != fingerprint:
+            raise SiteIndexMismatchError(
+                f"index at {directory!r} was built for a different "
+                f"genome/pattern/chunk layout (stored fingerprint "
+                f"{header.get('fingerprint')!r}, this run "
+                f"{fingerprint!r}); rebuild the index or point the "
+                f"server at the matching genome")
+        sites_path = os.path.join(directory, SITES_NAME)
+        try:
+            with open(sites_path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise SiteIndexError(
+                f"unreadable index payload {sites_path!r}: "
+                f"{exc}") from exc
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header.get("sites_sha256"):
+            raise SiteIndexError(
+                f"index payload {sites_path!r} fails its SHA-256 check "
+                f"(stored {header.get('sites_sha256')!r}, actual "
+                f"{digest!r}); the file is corrupt — rebuild the index")
+        import io
+        with np.load(io.BytesIO(blob)) as arrays:
+            chrom_names = list(header["chrom_names"])
+            offsets = arrays["site_offsets"]
+            loci_all = arrays["loci"]
+            flags_all = arrays["flags"]
+            for i in range(arrays["chunk_start"].size):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                index._chunks.append(_IndexedChunk(
+                    chrom=chrom_names[int(arrays["chunk_chrom"][i])],
+                    start=int(arrays["chunk_start"][i]),
+                    scan_length=int(arrays["chunk_scan"][i]),
+                    length=int(arrays["chunk_length"][i]),
+                    loci=loci_all[lo:hi].copy(),
+                    flags=flags_all[lo:hi].copy()))
+        tracing.instant("index_loaded", cat="index", directory=directory,
+                        chunks=index.chunk_count,
+                        sites=index.site_count)
+        return index

@@ -1,0 +1,279 @@
+"""Asyncio JSON-lines TCP front end over the batch scheduler.
+
+Stdlib only: one :func:`asyncio.start_server` accept loop, one JSON
+object per line in each direction.  Requests carry an ``op`` —
+
+* ``query``: ``{"op": "query", "queries": [["GACGTCNN", 3], ...],
+  "deadline_s": 0.5}`` → per-query hit lists;
+* ``stats``: scheduler counters, queue depth, batch-size histogram and
+  latency percentiles (see :meth:`BatchScheduler.stats`);
+* ``health``: liveness plus index identity (genome, pattern, sites).
+
+Responses echo the request's ``id`` (if any) and carry ``ok``; failures
+carry a machine-readable ``error`` code (``bad-json``, ``bad-request``,
+``unknown-op``, ``overloaded``, ``deadline``, ``closed``, ``internal``)
+so clients can distinguish back-off-and-retry from bugs.
+
+The accept loop never blocks on the comparer: each connection awaits
+its scheduler future via :func:`asyncio.wrap_future`, so slow batches
+only delay their own requesters while other connections keep being
+served.  :meth:`OffTargetServer.start_background` runs the whole server
+in a daemon thread with its own event loop — the shape the tests and
+the load generator use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import Query
+from ..core.records import OffTargetHit
+from .index import GenomeSiteIndex
+from .scheduler import (BatchScheduler, DeadlineExceeded,
+                        SchedulerClosed, ServiceOverloaded)
+
+#: Refuse absurd single lines before json.loads sees them.
+MAX_LINE_BYTES = 1 << 20
+
+
+def _encode_hits(hits: List[OffTargetHit]) -> List[List[Any]]:
+    return [[h.query, h.chrom, int(h.position), h.site, h.strand,
+             int(h.mismatches)] for h in hits]
+
+
+def _decode_queries(raw: Any) -> List[Query]:
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("'queries' must be a non-empty list of "
+                         "[sequence, max_mismatches] pairs")
+    queries = []
+    for item in raw:
+        if (not isinstance(item, (list, tuple)) or len(item) != 2
+                or not isinstance(item[0], str)
+                or isinstance(item[1], bool)
+                or not isinstance(item[1], int)):
+            raise ValueError(
+                f"bad query entry {item!r}: expected "
+                f"[sequence, max_mismatches]")
+        if item[1] < 0:
+            raise ValueError(
+                f"max_mismatches must be >= 0, got {item[1]}")
+        queries.append(Query(sequence=item[0].upper(),
+                             max_mismatches=item[1]))
+    return queries
+
+
+@dataclass
+class ServerHandle:
+    """A running background server: address plus a way to stop it."""
+
+    host: str
+    port: int
+    _server: "OffTargetServer"
+    _thread: threading.Thread
+    _loop: asyncio.AbstractEventLoop
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(self._server._request_stop)
+            except RuntimeError:
+                pass  # loop already closed: the thread is finishing
+            thread.join(timeout=10.0)
+        self._server.close()
+
+
+class OffTargetServer:
+    """JSON-lines TCP server over one resident :class:`GenomeSiteIndex`."""
+
+    def __init__(self, index: GenomeSiteIndex, host: str = "127.0.0.1",
+                 port: int = 0, max_batch: int = 8,
+                 max_wait_ms: float = 5.0, max_queue: int = 64):
+        self.index = index
+        self.host = host
+        self.port = port  # 0 = ephemeral; bound port set once listening
+        self.scheduler = BatchScheduler(index, max_batch=max_batch,
+                                        max_wait_ms=max_wait_ms,
+                                        max_queue=max_queue)
+        self._stop_event: Optional[asyncio.Event] = None
+        self._closed = False
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle_request(self, request: Dict[str, Any]
+                              ) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "health":
+            return {"ok": True, "status": "serving",
+                    "genome": self.index.assembly.name,
+                    "pattern": self.index.pattern,
+                    "chunks": self.index.chunk_count,
+                    "sites": self.index.site_count}
+        if op == "stats":
+            return {"ok": True, "stats": self.scheduler.stats()}
+        if op == "query":
+            try:
+                queries = _decode_queries(request.get("queries"))
+                deadline = request.get("deadline_s")
+                if deadline is not None and (
+                        isinstance(deadline, bool)
+                        or not isinstance(deadline, (int, float))):
+                    raise ValueError(
+                        f"deadline_s must be a number, got "
+                        f"{deadline!r}")
+                future = self.scheduler.submit(queries,
+                                               deadline_s=deadline)
+            except ValueError as exc:
+                return {"ok": False, "error": "bad-request",
+                        "message": str(exc)}
+            except ServiceOverloaded as exc:
+                return {"ok": False, "error": "overloaded",
+                        "message": str(exc)}
+            except SchedulerClosed as exc:
+                return {"ok": False, "error": "closed",
+                        "message": str(exc)}
+            try:
+                results = await asyncio.wrap_future(future)
+            except DeadlineExceeded as exc:
+                return {"ok": False, "error": "deadline",
+                        "message": str(exc)}
+            except SchedulerClosed as exc:
+                return {"ok": False, "error": "closed",
+                        "message": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - report, keep serving
+                return {"ok": False, "error": "internal",
+                        "message": f"{type(exc).__name__}: {exc}"}
+            return {"ok": True,
+                    "hits": [_encode_hits(per) for per in results]}
+        return {"ok": False, "error": "unknown-op",
+                "message": f"unknown op {op!r}; expected query, stats "
+                           f"or health"}
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except (ValueError, json.JSONDecodeError) as exc:
+                    response: Dict[str, Any] = {
+                        "ok": False, "error": "bad-json",
+                        "message": str(exc)}
+                else:
+                    response = await self._handle_request(request)
+                    if "id" in request:
+                        response["id"] = request["id"]
+                writer.write(json.dumps(response).encode("ascii",
+                                                         "replace")
+                             + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutdown: drop the connection quietly
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _serve(self, ready: Optional[Tuple[str, threading.Event,
+                                                 List[int]]] = None,
+                     duration_s: Optional[float] = None,
+                     ready_file: Optional[str] = None) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=MAX_LINE_BYTES)
+        self.port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready[2].append(self.port)
+            ready[1].set()
+        if ready_file:
+            with open(ready_file, "w", encoding="ascii") as handle:
+                handle.write(f"{self.host} {self.port}\n")
+        try:
+            async with server:
+                if duration_s is not None:
+                    try:
+                        await asyncio.wait_for(self._stop_event.wait(),
+                                               timeout=duration_s)
+                    except asyncio.TimeoutError:
+                        pass
+                else:
+                    await self._stop_event.wait()
+        finally:
+            self._stop_event = None
+            # Cancel connection handlers still blocked in readline so
+            # the loop shuts down without pending-task warnings.
+            current = asyncio.current_task()
+            pending = [task for task in asyncio.all_tasks()
+                       if task is not current and not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    def run(self, duration_s: Optional[float] = None,
+            ready_file: Optional[str] = None) -> None:
+        """Serve on the calling thread until stopped.
+
+        ``ready_file`` (if given) is written with ``"host port"`` once
+        the socket is listening — so a supervisor (or smoke test) can
+        find an ephemeral port.  ``duration_s`` bounds the run, which
+        lets ``repro serve --duration-s 5`` act as its own smoke test.
+        """
+        try:
+            asyncio.run(self._serve(duration_s=duration_s,
+                                    ready_file=ready_file))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def start_background(self) -> ServerHandle:
+        """Serve on a daemon thread; returns a handle with the port."""
+        ready = threading.Event()
+        ports: List[int] = []
+        loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(
+                    self._serve(ready=(self.host, ready, ports)))
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="service-server",
+                                  daemon=True)
+        thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10 s")
+        return ServerHandle(host=self.host, port=ports[0], _server=self,
+                            _thread=thread, _loop=loop)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.scheduler.close()

@@ -229,3 +229,138 @@ class TestReportCommand:
         for marker in ("Table I", "Table VII", "Table VIII", "Table IX",
                        "Table X", "Figure 2"):
             assert marker in out
+
+
+class TestNumericFlagValidation:
+    """Zero/negative counts must die at the parser, naming the flag."""
+
+    @pytest.mark.parametrize("flags", [
+        ["--workers", "0"],
+        ["--workers", "-1"],
+        ["--workers", "2.5"],
+        ["--prefetch", "0"],
+        ["--chunk-size", "0"],
+        ["--chunk-size", "-4"],
+        ["--work-group-size", "0"],
+        ["--max-retries", "-1"],
+        ["--max-retries", "nope"],
+        ["--chunk-deadline", "0"],
+        ["--chunk-deadline", "-0.5"],
+        ["--chunk-deadline", "nan"],
+        ["--chunk-deadline", "inf"],
+    ])
+    def test_bad_values_rejected(self, flags, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["input.txt"] + flags)
+        assert flags[0] in capsys.readouterr().err
+
+    def test_good_values_accepted(self):
+        args = build_parser().parse_args(
+            ["input.txt", "--workers", "2", "--max-retries", "0",
+             "--chunk-deadline", "0.5"])
+        assert args.workers == 2
+        assert args.max_retries == 0
+        assert args.chunk_deadline == 0.5
+
+
+class TestServiceSubcommands:
+    """`serve` / `query` ride the same entry point as the flat CLI."""
+
+    @staticmethod
+    def _serve_in_thread(tmp_path, extra=()):
+        import threading
+        ready = tmp_path / "ready"
+        argv = ["serve", "--pattern", "NNNNNNRG", "--synthetic", "hg19",
+                "--scale", "0.00005", "--seed", "7",
+                "--chunk-size", str(1 << 15), "--port", "0",
+                "--max-wait-ms", "1", "--ready-file", str(ready),
+                "--duration-s", "30"] + list(extra)
+        thread = threading.Thread(target=main, args=(argv,),
+                                  daemon=True)
+        thread.start()
+        for _ in range(300):
+            if ready.exists():
+                break
+            import time
+            time.sleep(0.1)
+        else:
+            raise AssertionError("serve never wrote the ready file")
+        host, port = ready.read_text().split()
+        return host, port, thread
+
+    def test_serve_query_byte_identical_to_offline(self, tmp_path,
+                                                   input_file):
+        offline = tmp_path / "offline.tsv"
+        assert main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "--seed", "7",
+                     "-o", str(offline)]) == 0
+        host, port, _ = self._serve_in_thread(tmp_path)
+        served = tmp_path / "served.tsv"
+        assert main(["query", "GACGTCNN:3", "TTACGANN:2",
+                     "--host", host, "--port", port,
+                     "-o", str(served)]) == 0
+        assert served.read_bytes() == offline.read_bytes()
+
+    def test_serve_saves_and_warm_starts_index(self, tmp_path):
+        index_dir = tmp_path / "index"
+        host, port, _ = self._serve_in_thread(
+            tmp_path, ["--index-dir", str(index_dir)])
+        assert (index_dir / "index.json").exists()
+        assert (index_dir / "sites.npz").exists()
+        ready2 = tmp_path / "ready2"
+        warm = ["serve", "--synthetic", "hg19", "--scale", "0.00005",
+                "--seed", "7", "--index-dir", str(index_dir),
+                "--port", "0", "--ready-file", str(ready2),
+                "--duration-s", "5"]
+        import threading
+        import time
+        thread = threading.Thread(target=main, args=(warm,),
+                                  daemon=True)
+        thread.start()
+        for _ in range(300):
+            if ready2.exists():
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("warm start never became ready")
+        host2, port2 = ready2.read_text().split()
+        served = tmp_path / "warm.tsv"
+        assert main(["query", "GACGTCNN:3", "--host", host2,
+                     "--port", port2, "-o", str(served)]) == 0
+        assert served.stat().st_size > 0
+
+    def test_query_bad_spec_rejected(self):
+        with pytest.raises(SystemExit, match="SEQ:MM"):
+            main(["query", "GACGTCNN", "--port", "1"])
+
+    def test_query_unreachable_service_errors(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["query", "GACGTCNN:3", "--host", "127.0.0.1",
+                  "--port", "1"])
+
+    def test_serve_requires_pattern_without_index(self, capsys):
+        with pytest.raises(SystemExit, match="pattern"):
+            main(["serve", "--synthetic", "hg19",
+                  "--scale", "0.00005"])
+
+    @pytest.mark.parametrize("flags", [
+        ["--max-batch", "0"],
+        ["--max-queue", "0"],
+        ["--max-wait-ms", "-1"],
+        ["--port", "-1"],
+        ["--duration-s", "0"],
+    ])
+    def test_serve_numeric_validation(self, flags, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--pattern", "NNNNNNRG",
+                  "--synthetic", "hg19"] + flags)
+        assert flags[0] in capsys.readouterr().err
+
+    def test_flat_invocation_unbroken_by_dispatch(self, tmp_path,
+                                                  input_file):
+        """A positional input file must not be mistaken for a
+        subcommand."""
+        out = tmp_path / "hits.tsv"
+        assert main([str(input_file), "--synthetic", "hg19",
+                     "--scale", "0.00005", "-o", str(out)]) == 0
+        assert out.stat().st_size > 0

@@ -1,9 +1,46 @@
 """Unit tests for search requests and the input-file format."""
 
+import math
+
 import pytest
 
-from repro.core.config import (EXAMPLE_INPUT, Query, SearchRequest,
-                               example_request)
+from repro.core.config import (EXAMPLE_INPUT, ExecutionPolicy, Query,
+                               SearchRequest, example_request)
+
+
+class TestExecutionPolicyValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"workers": 0}, "worker count"),
+        ({"workers": -2}, "worker count"),
+        ({"workers": 2.0}, "integer"),
+        ({"workers": True}, "integer"),
+        ({"prefetch_depth": 0}, "prefetch depth"),
+        ({"prefetch_depth": -1}, "prefetch depth"),
+        ({"prefetch_depth": 1.5}, "integer"),
+        ({"max_retries": -1}, "max retries"),
+        ({"max_retries": 0.5}, "integer"),
+        ({"retry_backoff_s": 0}, "backoff"),
+        ({"retry_backoff_s": -0.1}, "backoff"),
+        ({"retry_backoff_s": math.nan}, "finite"),
+        ({"retry_backoff_cap_s": math.inf}, "finite"),
+        ({"chunk_deadline_s": 0}, "deadline"),
+        ({"chunk_deadline_s": -1.0}, "deadline"),
+        ({"chunk_deadline_s": math.nan}, "finite"),
+        ({"backend": "fiber"}, "backend"),
+    ])
+    def test_bad_values_rejected_at_construction(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExecutionPolicy(**kwargs)
+
+    def test_good_values_accepted(self):
+        policy = ExecutionPolicy(workers=4, prefetch_depth=3,
+                                 max_retries=0, chunk_deadline_s=1.5)
+        assert policy.workers == 4
+        assert policy.max_retries == 0
+
+    def test_none_deadline_allowed(self):
+        assert ExecutionPolicy(chunk_deadline_s=None) \
+            .chunk_deadline_s is None
 
 
 class TestQuery:

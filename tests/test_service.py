@@ -1,0 +1,346 @@
+"""Off-target query service: index, scheduler, server, equivalence.
+
+The load-bearing invariant is serving equivalence: the index-backed
+service must return exactly the hits an offline search produces — the
+finder/comparer split, the resident index, micro-batching and the wire
+protocol are all supposed to be invisible in the output.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.config import Query, SearchRequest
+from repro.core.pipeline import search
+from repro.core.records import sort_hits
+from repro.observability import tracing
+from repro.service import (BatchScheduler, DeadlineExceeded,
+                           GenomeSiteIndex, OffTargetServer,
+                           SchedulerClosed, ServiceClient, ServiceError,
+                           ServiceOverloaded, SiteIndexError,
+                           SiteIndexMismatchError, run_load)
+
+PATTERN = "NNNNNNRG"
+QUERIES = [Query("GACGTCNN", 3), Query("TTACGANN", 2)]
+CHUNK = 1 << 12
+
+
+def offline_hits(assembly, queries=QUERIES, chunk_size=CHUNK):
+    request = SearchRequest(pattern=PATTERN, queries=list(queries))
+    return sort_hits(search(assembly, request,
+                            chunk_size=chunk_size).hits)
+
+
+@pytest.fixture(scope="module")
+def index(small_assembly) -> GenomeSiteIndex:
+    return GenomeSiteIndex.build(small_assembly, PATTERN,
+                                 chunk_size=CHUNK)
+
+
+@pytest.fixture(scope="module")
+def served(index):
+    server = OffTargetServer(index, max_batch=8, max_wait_ms=2.0)
+    handle = server.start_background()
+    yield handle
+    handle.stop()
+
+
+class TestGenomeSiteIndex:
+    def test_query_batch_matches_offline_search(self, index,
+                                                small_assembly):
+        per_query = index.query_batch(QUERIES)
+        assert len(per_query) == len(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_index_counts(self, index):
+        assert index.chunk_count > 1, "workload must span chunks"
+        assert index.site_count > 0
+
+    def test_empty_query_list(self, index):
+        assert index.query_batch([]) == []
+
+    def test_wrong_length_query_rejected(self, index):
+        with pytest.raises(ValueError, match="length"):
+            index.query_batch([Query("GACGTCNNA", 3)])
+
+    def test_chunk_size_independence(self, small_assembly):
+        """Candidate chunking must not leak into the hit set."""
+        coarse = GenomeSiteIndex.build(small_assembly, PATTERN,
+                                       chunk_size=1 << 14)
+        per_query = coarse.query_batch(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_opencl_backend_agrees(self, small_assembly):
+        ocl = GenomeSiteIndex.build(small_assembly, PATTERN,
+                                    chunk_size=CHUNK, api="opencl")
+        per_query = ocl.query_batch(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_save_load_roundtrip(self, index, small_assembly,
+                                 tmp_path):
+        index.save(str(tmp_path))
+        loaded = GenomeSiteIndex.load(str(tmp_path), small_assembly)
+        assert loaded.chunk_count == index.chunk_count
+        assert loaded.site_count == index.site_count
+        per_query = loaded.query_batch(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_load_rejects_other_genome(self, index, tiny_assembly,
+                                       tmp_path):
+        index.save(str(tmp_path))
+        with pytest.raises(SiteIndexMismatchError, match="different"):
+            GenomeSiteIndex.load(str(tmp_path), tiny_assembly)
+
+    def test_load_rejects_corrupt_sites(self, index, small_assembly,
+                                        tmp_path):
+        index.save(str(tmp_path))
+        sites = tmp_path / "sites.npz"
+        blob = bytearray(sites.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        sites.write_bytes(bytes(blob))
+        with pytest.raises(SiteIndexError, match="SHA-256"):
+            GenomeSiteIndex.load(str(tmp_path), small_assembly)
+
+    def test_load_rejects_bad_version(self, index, small_assembly,
+                                      tmp_path):
+        index.save(str(tmp_path))
+        manifest = tmp_path / "index.json"
+        header = json.loads(manifest.read_text())
+        header["version"] = 99
+        manifest.write_text(json.dumps(header))
+        with pytest.raises(SiteIndexError, match="version"):
+            GenomeSiteIndex.load(str(tmp_path), small_assembly)
+
+    def test_bad_chunk_size_rejected(self, small_assembly):
+        with pytest.raises(ValueError, match="chunk size"):
+            GenomeSiteIndex(small_assembly, PATTERN, chunk_size=0)
+
+
+@pytest.mark.fault
+class TestFaultInjectedBuild:
+    def test_build_equivalent_under_faults(self, small_assembly):
+        """Transient finder faults retried during the build must not
+        change the served hits."""
+        faulted = GenomeSiteIndex.build(
+            small_assembly, PATTERN, chunk_size=CHUNK,
+            fault_plan="raise@0,raise@2x2", max_retries=2)
+        per_query = faulted.query_batch(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_build_fails_when_retries_exhausted(self, small_assembly):
+        with pytest.raises(SiteIndexError, match="chunk 1"):
+            GenomeSiteIndex.build(small_assembly, PATTERN,
+                                  chunk_size=CHUNK,
+                                  fault_plan="raise@1x5",
+                                  max_retries=1)
+
+    def test_retries_are_traced(self, small_assembly):
+        with tracing.recording() as recorder:
+            GenomeSiteIndex.build(small_assembly, PATTERN,
+                                  chunk_size=CHUNK,
+                                  fault_plan="raise@0", max_retries=1)
+        names = [s.name for s in recorder.spans()]
+        assert "index_chunk_retry" in names
+        assert "index_built" in names
+
+
+class TestBatchScheduler:
+    def test_coalesces_queued_requests(self, index, small_assembly):
+        """Requests queued before the worker starts ride one batch."""
+        scheduler = BatchScheduler(index, max_batch=8, max_wait_ms=50.0,
+                                   start=False)
+        futures = [scheduler.submit([q]) for q in QUERIES]
+        scheduler.start()
+        got = [f.result(timeout=30) for f in futures]
+        scheduler.close()
+        merged = sort_hits([h for per in got for hits in per
+                            for h in hits])
+        assert merged == offline_hits(small_assembly)
+        stats = scheduler.stats()
+        assert stats["batches"] == 1
+        assert stats["batch_size_histogram"] == {2: 1}
+        assert stats["completed"] == 2
+
+    def test_overload_rejects_typed(self, index):
+        scheduler = BatchScheduler(index, max_queue=2, start=False)
+        scheduler.submit([QUERIES[0]])
+        scheduler.submit([QUERIES[0]])
+        with pytest.raises(ServiceOverloaded, match="full"):
+            scheduler.submit([QUERIES[0]])
+        assert scheduler.stats()["rejected"] == 1
+        assert scheduler.stats()["queue_depth"] == 2
+        scheduler.close()
+
+    def test_deadline_expires_queued_request(self, index):
+        scheduler = BatchScheduler(index, start=False)
+        future = scheduler.submit([QUERIES[0]], deadline_s=0.01)
+        time.sleep(0.05)
+        scheduler.start()
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=30)
+        assert scheduler.stats()["expired"] == 1
+        scheduler.close()
+
+    def test_closed_scheduler_rejects(self, index):
+        scheduler = BatchScheduler(index)
+        scheduler.close()
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit([QUERIES[0]])
+
+    def test_close_fails_queued_requests(self, index):
+        scheduler = BatchScheduler(index, start=False)
+        future = scheduler.submit([QUERIES[0]])
+        scheduler.close()
+        with pytest.raises(SchedulerClosed):
+            future.result(timeout=30)
+
+    def test_bad_requests_rejected(self, index):
+        scheduler = BatchScheduler(index, start=False)
+        with pytest.raises(ValueError, match="at least one"):
+            scheduler.submit([])
+        with pytest.raises(ValueError, match="length"):
+            scheduler.submit([Query("GACGTCNNA", 3)])
+        with pytest.raises(ValueError, match="deadline"):
+            scheduler.submit([QUERIES[0]], deadline_s=0)
+        scheduler.close()
+
+    def test_latency_percentiles_populated(self, index):
+        with BatchScheduler(index, max_wait_ms=1.0) as scheduler:
+            for _ in range(5):
+                scheduler.submit([QUERIES[0]]).result(timeout=30)
+            latency = scheduler.stats()["latency_ms"]
+        assert latency["count"] == 5
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert latency["max"] >= latency["p99"]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"max_wait_ms": -1.0}, {"max_queue": 0},
+    ])
+    def test_ctor_validation(self, index, kwargs):
+        with pytest.raises(ValueError):
+            BatchScheduler(index, start=False, **kwargs)
+
+    def test_request_spans_shipped(self, index):
+        with tracing.recording() as recorder:
+            with BatchScheduler(index, max_wait_ms=1.0) as scheduler:
+                scheduler.submit([QUERIES[0]]).result(timeout=30)
+        names = [s.name for s in recorder.spans()]
+        assert "service_batch" in names
+        assert "service_request" in names
+
+
+class TestServer:
+    def test_health(self, served, index):
+        with ServiceClient(served.host, served.port) as client:
+            health = client.health()
+        assert health["status"] == "serving"
+        assert health["pattern"] == PATTERN
+        assert health["sites"] == index.site_count
+
+    def test_query_matches_offline(self, served, small_assembly):
+        with ServiceClient(served.host, served.port) as client:
+            per_query = client.query(QUERIES)
+        got = sort_hits([h for per in per_query for h in per])
+        assert got == offline_hits(small_assembly)
+
+    def test_stats_shape(self, served):
+        with ServiceClient(served.host, served.port) as client:
+            client.query(QUERIES)
+            stats = client.stats()
+        assert "queue_depth" in stats
+        assert "batch_size_histogram" in stats
+        for key in ("p50", "p95", "p99", "mean", "max", "count"):
+            assert key in stats["latency_ms"]
+
+    def test_concurrent_clients_agree(self, served, small_assembly):
+        expected = offline_hits(small_assembly)
+        results = []
+        lock = threading.Lock()
+
+        def _one():
+            with ServiceClient(served.host, served.port) as client:
+                per_query = client.query(QUERIES)
+            with lock:
+                results.append(
+                    sort_hits([h for per in per_query for h in per]))
+
+        threads = [threading.Thread(target=_one) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 6
+        assert all(got == expected for got in results)
+
+    def _raw_call(self, served, payload: bytes) -> dict:
+        with socket.create_connection((served.host, served.port),
+                                      timeout=10) as sock:
+            sock.sendall(payload)
+            handle = sock.makefile("rb")
+            return json.loads(handle.readline())
+
+    def test_bad_json_reported(self, served):
+        response = self._raw_call(served, b"{not json\n")
+        assert response == {"ok": False, "error": "bad-json",
+                            "message": response["message"]}
+
+    def test_unknown_op_reported(self, served):
+        response = self._raw_call(
+            served, b'{"op": "shutdown", "id": 7}\n')
+        assert response["ok"] is False
+        assert response["error"] == "unknown-op"
+        assert response["id"] == 7
+
+    def test_bad_query_payloads(self, served):
+        for payload in (b'{"op": "query"}\n',
+                        b'{"op": "query", "queries": []}\n',
+                        b'{"op": "query", "queries": [["AC"]]}\n',
+                        b'{"op": "query", "queries": [["GACGTCNN", '
+                        b'-1]]}\n'):
+            response = self._raw_call(served, payload)
+            assert response["ok"] is False
+            assert response["error"] == "bad-request"
+
+    def test_client_raises_typed_errors(self, served):
+        with ServiceClient(served.host, served.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.query([Query("GACGTCNNA", 3)])
+        assert excinfo.value.code == "bad-request"
+
+
+class TestLoadGenerator:
+    def test_quick_load(self, served):
+        report = run_load(served.host, served.port, QUERIES,
+                          clients=2, duration_s=0.5)
+        assert report["requests"] > 0
+        assert report["throughput_rps"] > 0
+        assert report["errors"] == 0
+        assert report["server_stats"]["completed"] >= \
+            report["requests"]
+
+    @pytest.mark.slow
+    def test_sustained_load_eight_clients(self, served):
+        report = run_load(served.host, served.port, QUERIES,
+                          clients=8, duration_s=5.0)
+        assert report["requests"] > 0
+        assert report["latency_ms"]["p99"] >= \
+            report["latency_ms"]["p50"] > 0
+        histogram = report["server_stats"]["batch_size_histogram"]
+        assert any(int(size) > len(QUERIES) for size in histogram), \
+            "concurrent requests should coalesce into larger batches"
+
+    def test_smoke_entry_point(self, capsys):
+        from repro.service.client import main as client_main
+        assert client_main(["--smoke", "--clients", "2",
+                            "--duration", "0.5"]) == 0
+        assert "smoke OK" in capsys.readouterr().out
