@@ -10,11 +10,15 @@ test:
 fault:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m fault
 
-# Query-service tests plus a 5-second load-generator smoke run.
+# Query-service tests plus load-generator smokes: single-process, then
+# a 2-shard worker-process run, then a sweep for leaked shm segments.
 service:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service.py
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
 		--clients 4 --duration 5
+	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
+		--clients 4 --duration 5 --shards 2
+	PYTHONPATH=src $(PYTHON) -m repro.service.shards --cleanup
 
 # Tier-1 suite plus explicit fault and service passes, one command.
 verify:

@@ -14,8 +14,14 @@ search, as a one-process-per-query deployment would.
 * ``service``: the same genome behind a :class:`GenomeSiteIndex` and
   :class:`OffTargetServer`; the load generator drives it at several
   concurrency levels through real sockets.
+* ``service_sharded``: the same server over a
+  :class:`ShardedSiteIndex` (``--shards`` worker processes mapping the
+  candidate arrays from shared memory), measuring what scatter/gather
+  fan-out buys over the single-process service.  On a single-core host
+  expect parity at best — the report records ``host.cpus`` so the
+  number can be read honestly.
 
-Both sides serve identical single-guide requests drawn round-robin
+All sides serve identical single-guide requests drawn round-robin
 from the same pool.  The report lands in ``BENCH_SERVICE.json`` with
 throughput, latency percentiles and the server's own stats snapshot
 (queue depth, batch-size histogram).  Run from the repo root::
@@ -37,7 +43,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.core.config import Query, SearchRequest
 from repro.core.pipeline import search
 from repro.genome.synthetic import synthetic_assembly
-from repro.service import GenomeSiteIndex, OffTargetServer
+from repro.service import (GenomeSiteIndex, OffTargetServer,
+                           ShardedSiteIndex)
 from repro.service.client import ServiceClient, _percentile
 
 #: The paper's evaluation shape: SpCas9 NRG PAM, 20-nt guides, up to 4
@@ -108,7 +115,7 @@ def bench_baseline(assembly, clients: int, duration_s: float,
 
 def run_bench(scale: float, chunk_size: int, duration_s: float,
               concurrency: list, device: str, max_batch: int,
-              max_wait_ms: float) -> dict:
+              max_wait_ms: float, shards: int) -> dict:
     assembly = synthetic_assembly("hg19", scale=scale, seed=42)
     build_began = time.perf_counter()
     index = GenomeSiteIndex.build(assembly, PATTERN,
@@ -137,13 +144,39 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
     finally:
         handle.stop()
 
+    service_sharded = {}
+    sharded_index = ShardedSiteIndex(index, shards=shards)
+    sharded_server = OffTargetServer(
+        sharded_index, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max(64, 4 * max(concurrency)))
+    sharded_handle = sharded_server.start_background()
+    try:
+        for clients in concurrency:
+            print(f"sharded  @ {clients} clients "
+                  f"({shards} shards) ...", flush=True)
+            queries_by_client = [
+                [QUERY_POOL[i % len(QUERY_POOL)]]
+                for i in range(clients)]
+            service_sharded[str(clients)] = _service_load(
+                sharded_handle, queries_by_client, duration_s)
+    finally:
+        sharded_handle.stop()
+        sharded_index.close()
+
     speedup = {
         clients: (service[clients]["throughput_rps"]
                   / baseline[clients]["throughput_rps"]
                   if baseline[clients]["throughput_rps"] > 0 else None)
         for clients in baseline
     }
+    speedup_sharded = {
+        clients: (service_sharded[clients]["throughput_rps"]
+                  / service[clients]["throughput_rps"]
+                  if service[clients]["throughput_rps"] > 0 else None)
+        for clients in service
+    }
     return {
+        "host": {"cpus": os.cpu_count()},
         "workload": {
             "profile": "hg19", "scale": scale, "seed": 42,
             "pattern": PATTERN, "chunk_size": chunk_size,
@@ -153,11 +186,13 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
         "config": {
             "duration_s": duration_s, "concurrency": concurrency,
             "max_batch": max_batch, "max_wait_ms": max_wait_ms,
-            "index_build_s": build_s,
+            "index_build_s": build_s, "shards": shards,
         },
         "baseline": baseline,
         "service": service,
+        "service_sharded": service_sharded,
         "speedup_throughput": speedup,
+        "speedup_sharded": speedup_sharded,
     }
 
 
@@ -230,6 +265,8 @@ def main(argv=None) -> int:
                         help="client counts to measure")
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes for the sharded run")
     parser.add_argument("--device", default="MI100")
     parser.add_argument("-o", "--output",
                         default=os.path.join(os.path.dirname(__file__),
@@ -239,7 +276,8 @@ def main(argv=None) -> int:
                        duration_s=args.duration,
                        concurrency=args.concurrency,
                        device=args.device, max_batch=args.max_batch,
-                       max_wait_ms=args.max_wait_ms)
+                       max_wait_ms=args.max_wait_ms,
+                       shards=args.shards)
     path = os.path.abspath(args.output)
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -247,13 +285,17 @@ def main(argv=None) -> int:
     for clients in report["baseline"]:
         base = report["baseline"][clients]
         serv = report["service"][clients]
+        shard = report["service_sharded"][clients]
         ratio = report["speedup_throughput"][clients]
+        shard_ratio = report["speedup_sharded"][clients]
         print(f"{clients:>3} clients: baseline "
               f"{base['throughput_rps']:7.2f} req/s "
               f"(p95 {base['latency_ms']['p95']:7.1f} ms) | service "
               f"{serv['throughput_rps']:7.2f} req/s "
               f"(p95 {serv['latency_ms']['p95']:7.1f} ms) | "
-              f"{ratio:.2f}x")
+              f"{ratio:.2f}x | sharded "
+              f"{shard['throughput_rps']:7.2f} req/s "
+              f"({shard_ratio:.2f}x vs service)")
     print(f"wrote {path}")
     return 0
 

@@ -8,7 +8,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+# Whatever happens above, never leave orphaned repro-shm-* segments in
+# /dev/shm (a killed shard worker or interrupted smoke can strand them).
+trap 'python -m repro.service.shards --cleanup' EXIT
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
 python -m pytest -x -q tests/test_service.py "$@"
 python -m repro.service.client --smoke --clients 4 --duration 5
+python -m repro.service.client --smoke --clients 4 --duration 5 --shards 2

@@ -422,6 +422,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-queue", type=_positive_int, default=64,
                         help="admission-control queue bound; beyond it "
                              "requests are rejected as overloaded")
+    parser.add_argument("--shards", type=_positive_int, default=1,
+                        help="comparer worker processes; >1 partitions "
+                             "the index into shared-memory shards with "
+                             "one process each (responses stay "
+                             "byte-identical)")
     parser.add_argument("--max-retries", type=_nonnegative_int,
                         default=2,
                         help="per-chunk retries during the index build")
@@ -444,6 +449,13 @@ def _run_serve(argv: List[str]) -> int:
     from .service.index import INDEX_MANIFEST_NAME
 
     args = build_serve_parser().parse_args(argv)
+    if args.ready_file and os.path.exists(args.ready_file):
+        # A leftover ready file means a supervisor could read a dead
+        # server's port announcement and race us; refuse instead.
+        raise SystemExit(
+            f"error: ready file {args.ready_file!r} already exists "
+            f"(a previous server may still be running, or it exited "
+            f"uncleanly); remove it to proceed")
     index = None
     manifest_path = (os.path.join(args.index_dir, INDEX_MANIFEST_NAME)
                      if args.index_dir else None)
@@ -479,14 +491,33 @@ def _run_serve(argv: List[str]) -> int:
             index.save(args.index_dir)
             print(f"# index saved to {args.index_dir}",
                   file=sys.stderr)
-    server = OffTargetServer(index, host=args.host, port=args.port,
+    serving = index
+    if args.shards > 1:
+        from .service.shards import ShardedSiteIndex
+        serving = ShardedSiteIndex(index, shards=args.shards)
+        print(f"# sharded serving: {args.shards} worker processes",
+              file=sys.stderr)
+    import signal
+    import threading
+    if threading.current_thread() is threading.main_thread():
+        # A supervisor's SIGTERM must still remove the ready file and
+        # unlink shared-memory shards; Python's default handler would
+        # kill the process without running any finally block.
+        signal.signal(signal.SIGTERM,
+                      lambda signum, frame: sys.exit(0))
+    server = OffTargetServer(serving, host=args.host, port=args.port,
                              max_batch=args.max_batch,
                              max_wait_ms=args.max_wait_ms,
                              max_queue=args.max_queue)
     print(f"# serving {index.assembly.name} pattern={index.pattern} "
           f"on {args.host} (max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", file=sys.stderr)
-    server.run(duration_s=args.duration_s, ready_file=args.ready_file)
+    try:
+        server.run(duration_s=args.duration_s,
+                   ready_file=args.ready_file)
+    finally:
+        if serving is not index:
+            serving.close()
     return 0
 
 

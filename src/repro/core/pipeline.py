@@ -260,6 +260,25 @@ class SearchAccumulator:
         return out
 
 
+@dataclass
+class ResidentChunk:
+    """One chunk's resident candidate data, ready for the comparer.
+
+    The arrays may be views over ``multiprocessing.shared_memory``
+    segments (the sharded serving tier maps them zero-copy); the
+    comparer entry points only read them, and
+    :meth:`_BasePipeline.compare_candidates` re-stages contiguous
+    arrays without copying.
+    """
+
+    chrom: str
+    start: int
+    scan_length: int
+    data: np.ndarray   # uint8 chunk bases (scan region + overlap)
+    loci: np.ndarray   # uint32 candidate offsets within the chunk
+    flags: np.ndarray  # uint8 strand flags, as the finder emitted them
+
+
 class _BasePipeline:
     """Shared chunk loop, workload accounting and hit construction."""
 
@@ -309,6 +328,43 @@ class _BasePipeline:
         to a full :meth:`search` over the same chunk.
         """
         raise NotImplementedError
+
+    def compare_resident(self, entries, queries: Sequence[Query],
+                         compiled_queries: Sequence[CompiledPattern],
+                         batched: bool = True
+                         ) -> List[List[List[OffTargetHit]]]:
+        """Run the comparer over resident chunks, building final hits.
+
+        ``entries`` is an iterable of :class:`ResidentChunk` (consumed
+        lazily, so callers can stream chunk data in one at a time).
+        Returns one ``[per-query hit list]`` per entry, in iteration
+        order; hits are built by the same
+        :meth:`SearchAccumulator._build_hits` the chunk loop uses, so
+        concatenating the per-entry lists in chunk order reproduces a
+        full search byte-for-byte.  This is the unit of work one shard
+        worker executes over its shared-memory slice.
+        """
+        results: List[List[List[OffTargetHit]]] = []
+        queries = list(queries)
+        compiled_queries = list(compiled_queries)
+        for entry in entries:
+            if entry.loci.size == 0:
+                results.append([[] for _ in queries])
+                continue
+            per_query = self.compare_candidates(
+                entry.data, entry.loci, entry.flags, queries,
+                compiled_queries, batched=batched)
+            chunk = Chunk(chrom=entry.chrom, start=entry.start,
+                          data=entry.data,
+                          scan_length=entry.scan_length)
+            entry_hits: List[List[OffTargetHit]] = []
+            for qi, (query, cq) in enumerate(
+                    zip(queries, compiled_queries)):
+                mm_loci, mm_count, direction = per_query[qi]
+                entry_hits.append(SearchAccumulator._build_hits(
+                    chunk, cq, query, mm_loci, mm_count, direction))
+            results.append(entry_hits)
+        return results
 
     @property
     def work_group_size(self) -> Optional[int]:

@@ -53,7 +53,8 @@ class Span:
     pid: int
     tid: str
     args: Dict[str, Any] = field(default_factory=dict)
-    #: Chrome-trace phase: "X" complete event, "i" instant event.
+    #: Chrome-trace phase: "X" complete event, "i" instant event,
+    #: "M" metadata event (process/thread naming).
     phase: str = "X"
 
     @property
@@ -118,6 +119,22 @@ class TraceRecorder:
         self._buffer().append(entry)
         return entry
 
+    def set_process_name(self, label: str) -> Span:
+        """Record a ``process_name`` metadata event for this process.
+
+        Shard workers call this so their spans group under a readable
+        lane (``shard-0``, ``shard-1``, ...) in Chrome-trace viewers
+        instead of a bare pid.  The span is picklable like any other,
+        so workers ship it back with their drained spans.
+        """
+        now = _CLOCK()
+        entry = Span(name="process_name", cat="__metadata",
+                     start_s=now, end_s=now, pid=os.getpid(),
+                     tid=threading.current_thread().name,
+                     args={"name": label}, phase="M")
+        self._buffer().append(entry)
+        return entry
+
     # -- collection -----------------------------------------------------
 
     def merge(self, spans: Sequence[Span]) -> None:
@@ -163,6 +180,11 @@ class TraceRecorder:
                 events.append({
                     "name": "thread_name", "ph": "M", "pid": span.pid,
                     "tid": tids[key], "args": {"name": span.tid}})
+            if span.phase == "M":
+                events.append({
+                    "name": span.name, "ph": "M", "pid": span.pid,
+                    "tid": tids[key], "args": span.args})
+                continue
             event: Dict[str, Any] = {
                 "name": span.name,
                 "cat": span.cat or "default",
@@ -258,6 +280,13 @@ def merge(spans: Sequence[Span]) -> None:
     recorder = _active
     if recorder is not None and spans:
         recorder.merge(spans)
+
+
+def set_process_name(label: str) -> None:
+    """Name this process in trace exports, if a recorder is active."""
+    recorder = _active
+    if recorder is not None:
+        recorder.set_process_name(label)
 
 
 def drain_active() -> List[Span]:

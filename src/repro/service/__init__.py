@@ -16,7 +16,13 @@ many-per-query asymmetry:
 * :mod:`repro.service.server` / :mod:`repro.service.client` — an
   asyncio JSON-lines TCP server (stdlib only) exposing ``query``,
   ``stats`` and ``health`` ops, plus a blocking client and a load
-  generator.
+  generator;
+* :mod:`repro.service.shards` — :class:`~repro.service.shards.
+  ShardedSiteIndex` partitions the resident index by chunk into N
+  shared-memory shards served by one comparer worker process each,
+  with scatter/gather batching, crash-respawn failover and a
+  deterministic merge that keeps responses byte-identical to the
+  single-process path.
 
 The serving layer is backend-agnostic over the OpenCL/SYCL runtimes:
 the index takes the same ``api``/``device`` selectors as
@@ -30,11 +36,29 @@ from .index import (GenomeSiteIndex, SiteIndexError,
 from .scheduler import (BatchScheduler, DeadlineExceeded,
                         SchedulerClosed, ServiceOverloaded)
 from .server import OffTargetServer
-from .client import ServiceClient, ServiceError, run_load
+from .client import (ServiceClient, ServiceDeadlineError, ServiceError,
+                     ServiceOverloadedError, run_load)
+
+#: Re-exported lazily: importing .shards here would make the
+#: ``python -m repro.service.shards --cleanup`` maintenance entry point
+#: warn about the module being imported twice (runpy sees it in
+#: sys.modules before executing it as __main__).
+_SHARD_EXPORTS = ("ShardedSiteIndex", "ShardWorkerError",
+                  "cleanup_leaked_segments")
+
+
+def __getattr__(name):
+    if name in _SHARD_EXPORTS:
+        from . import shards
+        return getattr(shards, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "GenomeSiteIndex", "SiteIndexError", "SiteIndexMismatchError",
     "BatchScheduler", "DeadlineExceeded", "SchedulerClosed",
     "ServiceOverloaded", "OffTargetServer", "ServiceClient",
-    "ServiceError", "run_load",
+    "ServiceError", "ServiceOverloadedError", "ServiceDeadlineError",
+    "run_load", "ShardedSiteIndex", "ShardWorkerError",
+    "cleanup_leaked_segments",
 ]

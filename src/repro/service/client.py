@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import Query
 from ..core.records import OffTargetHit
+from .scheduler import DeadlineExceeded, ServiceOverloaded
 
 
 class ServiceError(RuntimeError):
@@ -35,6 +36,27 @@ class ServiceError(RuntimeError):
     def __init__(self, code: str, message: str):
         super().__init__(f"[{code}] {message}")
         self.code = code
+
+
+class ServiceOverloadedError(ServiceError, ServiceOverloaded):
+    """Typed ``overloaded`` rejection: back off and retry.
+
+    Inherits both :class:`ServiceError` (so generic handlers and
+    ``exc.code`` checks keep working) and the scheduler's
+    :class:`ServiceOverloaded` (so callers can catch the same type on
+    either side of the wire).
+    """
+
+
+class ServiceDeadlineError(ServiceError, DeadlineExceeded):
+    """Typed ``deadline`` rejection, mirroring the scheduler type."""
+
+
+#: Server error codes that decode to a dedicated exception type.
+_ERROR_TYPES = {
+    "overloaded": ServiceOverloadedError,
+    "deadline": ServiceDeadlineError,
+}
 
 
 def _decode_hits(raw: List[List[Any]]) -> List[OffTargetHit]:
@@ -73,8 +95,9 @@ class ServiceClient:
                                "server closed the connection")
         response = json.loads(line)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown"),
-                               response.get("message", ""))
+            code = response.get("error", "unknown")
+            raise _ERROR_TYPES.get(code, ServiceError)(
+                code, response.get("message", ""))
         return response
 
     def query(self, queries: Sequence[Query],
@@ -191,7 +214,7 @@ def run_load(host: str, port: int, queries: Sequence[Query],
 # Smoke entry point: `python -m repro.service.client --smoke`
 # ---------------------------------------------------------------------------
 
-def _smoke(clients: int, duration_s: float) -> int:
+def _smoke(clients: int, duration_s: float, shards: int = 0) -> int:
     from ..genome.synthetic import synthetic_assembly
     from .index import GenomeSiteIndex
     from .server import OffTargetServer
@@ -199,7 +222,11 @@ def _smoke(clients: int, duration_s: float) -> int:
     assembly = synthetic_assembly("hg19", scale=0.00005, seed=7)
     index = GenomeSiteIndex.build(assembly, "NNNNNNRG",
                                   chunk_size=1 << 15)
-    server = OffTargetServer(index, max_batch=8, max_wait_ms=2.0)
+    serving = index
+    if shards:
+        from .shards import ShardedSiteIndex
+        serving = ShardedSiteIndex(index, shards=shards)
+    server = OffTargetServer(serving, max_batch=8, max_wait_ms=2.0)
     handle = server.start_background()
     try:
         report = run_load(handle.host, handle.port,
@@ -207,6 +234,9 @@ def _smoke(clients: int, duration_s: float) -> int:
                           clients=clients, duration_s=duration_s)
     finally:
         handle.stop()
+        if shards:
+            serving.close()
+    report["shards"] = shards
     print(json.dumps(report, indent=2, sort_keys=True))
     if report["requests"] <= 0 or report["throughput_rps"] <= 0:
         print("smoke FAILED: no requests completed")
@@ -229,13 +259,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="with --smoke: serve through a sharded "
+                             "index with N worker processes "
+                             "(0 = single-process)")
     parser.add_argument("--query", action="append", default=[],
                         metavar="SEQ:MM",
                         help="query spec, repeatable (default two "
                              "demo guides)")
     args = parser.parse_args(argv)
     if args.smoke:
-        return _smoke(args.clients, args.duration)
+        return _smoke(args.clients, args.duration, shards=args.shards)
     if not args.port:
         parser.error("--port is required unless --smoke is given")
     if args.query:

@@ -11,8 +11,8 @@ expensive genome scan is amortized across every request that follows.
 
 Results are pinned byte-identical to an offline search: the comparer is
 re-staged from the stored host arrays through the same pipeline entry
-points (:meth:`~repro.core.pipeline._BasePipeline.compare_candidates`),
-and hits are built by the same
+points (:meth:`~repro.core.pipeline._BasePipeline.compare_resident`,
+itself built on ``compare_candidates``), and hits are built by the same
 :meth:`~repro.core.pipeline.SearchAccumulator._build_hits` the chunk
 loop uses.
 
@@ -40,10 +40,10 @@ import numpy as np
 
 from ..core.config import Query
 from ..core.patterns import compile_pattern
-from ..core.pipeline import (DEFAULT_CHUNK_SIZE, SearchAccumulator,
+from ..core.pipeline import (DEFAULT_CHUNK_SIZE, ResidentChunk,
                              make_pipeline)
 from ..core.records import OffTargetHit
-from ..genome.assembly import Assembly, Chunk
+from ..genome.assembly import Assembly
 from ..observability import faults, tracing
 from ..resilience.checkpoint import RunManifest, _atomic_write_json
 
@@ -132,6 +132,15 @@ class GenomeSiteIndex:
     def site_count(self) -> int:
         return sum(entry.loci.size for entry in self._chunks)
 
+    @property
+    def entries(self) -> Sequence[_IndexedChunk]:
+        """Read-only view of the per-chunk resident candidate arrays.
+
+        The sharded serving tier partitions these by chunk and
+        publishes each shard's slice through shared memory.
+        """
+        return tuple(self._chunks)
+
     # -- construction ---------------------------------------------------
 
     @classmethod
@@ -216,21 +225,28 @@ class GenomeSiteIndex:
         queries = list(queries)
         compiled = [compile_pattern(q.sequence) for q in queries]
         hits: List[List[OffTargetHit]] = [[] for _ in queries]
+        for entry_hits in self.pipeline.compare_resident(
+                self._resident_entries(), queries, compiled,
+                batched=True):
+            for qi, query_hits in enumerate(entry_hits):
+                hits[qi].extend(query_hits)
+        return hits
+
+    def _resident_entries(self):
+        """Yield non-empty chunks with their genome data staged in.
+
+        Lazy so :meth:`query_batch` holds at most one chunk's bases in
+        memory at a time, matching the pre-resident chunk loop.
+        """
         for entry in self._chunks:
             if entry.loci.size == 0:
                 continue
             data = self.assembly.fetch(entry.chrom, entry.start,
                                        entry.start + entry.length)
-            per_query = self.pipeline.compare_candidates(
-                data, entry.loci, entry.flags, queries, compiled,
-                batched=True)
-            chunk = Chunk(chrom=entry.chrom, start=entry.start,
-                          data=data, scan_length=entry.scan_length)
-            for qi, (query, cq) in enumerate(zip(queries, compiled)):
-                mm_loci, mm_count, direction = per_query[qi]
-                hits[qi].extend(SearchAccumulator._build_hits(
-                    chunk, cq, query, mm_loci, mm_count, direction))
-        return hits
+            yield ResidentChunk(chrom=entry.chrom, start=entry.start,
+                                scan_length=entry.scan_length,
+                                data=data, loci=entry.loci,
+                                flags=entry.flags)
 
     # -- persistence ----------------------------------------------------
 

@@ -25,6 +25,7 @@ op.
 
 from __future__ import annotations
 
+import math
 import os
 import queue
 import threading
@@ -65,10 +66,17 @@ class _PendingRequest:
     args: Dict[str, object] = field(default_factory=dict)
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over an ascending sequence."""
+def _percentile(sorted_values: Sequence[float],
+                q: float) -> Optional[float]:
+    """Nearest-rank percentile over an ascending sequence.
+
+    Returns ``None`` when no samples exist: a freshly started scheduler
+    has no latency history, and reporting a fabricated ``0.0`` (which
+    dashboards read as "instant responses") is misreporting, not a
+    percentile.
+    """
     if not sorted_values:
-        return 0.0
+        return None
     rank = max(0, min(len(sorted_values) - 1,
                       int(round(q * (len(sorted_values) - 1)))))
     return sorted_values[rank]
@@ -157,9 +165,11 @@ class BatchScheduler:
         """Admit one request; returns a future of per-query hit lists.
 
         Raises :class:`ServiceOverloaded` when the queue is full,
-        :class:`SchedulerClosed` after :meth:`close`, and ``ValueError``
-        for empty or malformed query lists (checked here so bad input
-        never reaches the batch worker).
+        :class:`SchedulerClosed` after :meth:`close`,
+        :class:`DeadlineExceeded` when ``deadline_s`` has already
+        expired at submit time, and ``ValueError`` for empty or
+        malformed query lists (checked here so bad input never reaches
+        the batch worker).
         """
         if self._stop.is_set():
             raise SchedulerClosed("scheduler is closed")
@@ -173,9 +183,19 @@ class BatchScheduler:
                     f"query {q.sequence!r} has length "
                     f"{len(q.sequence)}; the served pattern "
                     f"{self.index.pattern!r} requires {plen}")
-        if deadline_s is not None and not deadline_s > 0:
+        if deadline_s is not None and not math.isfinite(deadline_s):
             raise ValueError(
-                f"deadline_s must be positive, got {deadline_s}")
+                f"deadline_s must be finite, got {deadline_s}")
+        if deadline_s is not None and deadline_s <= 0:
+            # Already expired: fail fast instead of occupying a queue
+            # slot only to be discarded at batch assembly.
+            with self._stats_lock:
+                self._expired += 1
+            tracing.instant("service_deadline", cat="service",
+                            at="submit", deadline_s=deadline_s)
+            raise DeadlineExceeded(
+                f"deadline_s={deadline_s} had already expired at "
+                f"submit time")
         now = time.perf_counter()
         pending = _PendingRequest(
             queries=queries, future=Future(), enqueued_perf=now,
@@ -232,7 +252,7 @@ class BatchScheduler:
         for pending in batch:
             if not pending.future.set_running_or_notify_cancel():
                 continue  # client cancelled while queued
-            if pending.deadline is not None and now > pending.deadline:
+            if pending.deadline is not None and now >= pending.deadline:
                 with self._stats_lock:
                     self._expired += 1
                 tracing.instant("service_deadline", cat="service",
@@ -302,10 +322,10 @@ class BatchScheduler:
             "latency_ms": {
                 "count": len(latencies),
                 "mean": (sum(latencies) / len(latencies)
-                         if latencies else 0.0),
+                         if latencies else None),
                 "p50": _percentile(latencies, 0.50),
                 "p95": _percentile(latencies, 0.95),
                 "p99": _percentile(latencies, 0.99),
-                "max": latencies[-1] if latencies else 0.0,
+                "max": latencies[-1] if latencies else None,
             },
         }

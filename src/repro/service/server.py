@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -108,11 +109,15 @@ class OffTargetServer:
                               ) -> Dict[str, Any]:
         op = request.get("op")
         if op == "health":
-            return {"ok": True, "status": "serving",
-                    "genome": self.index.assembly.name,
-                    "pattern": self.index.pattern,
-                    "chunks": self.index.chunk_count,
-                    "sites": self.index.site_count}
+            response = {"ok": True, "status": "serving",
+                        "genome": self.index.assembly.name,
+                        "pattern": self.index.pattern,
+                        "chunks": self.index.chunk_count,
+                        "sites": self.index.site_count}
+            shard_health = getattr(self.index, "shard_health", None)
+            if shard_health is not None:
+                response["shards"] = shard_health()
+            return response
         if op == "stats":
             return {"ok": True, "stats": self.scheduler.stats()}
         if op == "query":
@@ -132,6 +137,11 @@ class OffTargetServer:
                         "message": str(exc)}
             except ServiceOverloaded as exc:
                 return {"ok": False, "error": "overloaded",
+                        "message": str(exc)}
+            except DeadlineExceeded as exc:
+                # Already expired at submit: fail fast, same error
+                # code clients see for an in-queue expiry.
+                return {"ok": False, "error": "deadline",
                         "message": str(exc)}
             except SchedulerClosed as exc:
                 return {"ok": False, "error": "closed",
@@ -240,8 +250,11 @@ class OffTargetServer:
 
         ``ready_file`` (if given) is written with ``"host port"`` once
         the socket is listening — so a supervisor (or smoke test) can
-        find an ephemeral port.  ``duration_s`` bounds the run, which
-        lets ``repro serve --duration-s 5`` act as its own smoke test.
+        find an ephemeral port — and removed again on shutdown
+        (including error paths), so a dead server never keeps
+        announcing a port it no longer holds.  ``duration_s`` bounds
+        the run, which lets ``repro serve --duration-s 5`` act as its
+        own smoke test.
         """
         try:
             asyncio.run(self._serve(duration_s=duration_s,
@@ -250,6 +263,11 @@ class OffTargetServer:
             pass
         finally:
             self.close()
+            if ready_file:
+                try:
+                    os.unlink(ready_file)
+                except OSError:
+                    pass
 
     def start_background(self) -> ServerHandle:
         """Serve on a daemon thread; returns a handle with the port."""

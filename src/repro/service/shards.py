@@ -1,0 +1,657 @@
+"""Sharded multi-process serving tier over shared-memory site shards.
+
+The single-process service executes every micro-batch on one thread, so
+aggregate throughput caps out at one core no matter how many clients
+connect.  This module scales the comparer out the way production
+inference servers shard a resident model: the
+:class:`~repro.service.index.GenomeSiteIndex` candidate arrays are
+partitioned by chunk into N shards, each shard's numpy payloads are
+published once through :mod:`multiprocessing.shared_memory` (workers
+map them zero-copy — no candidate array is ever pickled per batch), and
+one comparer worker process serves each shard.  A flushed scheduler
+batch is *scattered* to every shard in parallel and the per-shard hits
+are *gathered* and merged in global chunk order, so responses stay
+byte-identical to the single-process service — the same invariant the
+streaming engine and checkpoint resume already pin down.
+
+Worker lifecycle follows :mod:`repro.core.multidevice`'s failover
+shape: liveness is checked against the worker process itself, a dead
+worker is respawned and re-attaches its shard straight from the shared
+segments (nothing is recomputed), and the in-flight batch is resent
+under a bumped *epoch* so any half-delivered results from the previous
+incarnation are recognized as stale and dropped.  ``scatter`` /
+``gather`` / per-worker ``shard`` spans thread through the trace
+recorder; workers ship their drained spans back with each result.
+
+Shared-memory hygiene: segments are named
+``repro-shm-<pid>-<token>-...`` so :func:`cleanup_leaked_segments`
+(also ``python -m repro.service.shards --cleanup``) can sweep segments
+whose owning process died without :meth:`ShardedSiteIndex.close` —
+repeated local runs never accumulate ``/dev/shm`` garbage.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue
+import signal
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import Query
+from ..core.patterns import compile_pattern
+from ..core.pipeline import ResidentChunk, make_pipeline
+from ..core.records import OffTargetHit
+from ..observability import tracing
+from .index import GenomeSiteIndex
+
+#: Prefix for every shared-memory segment this module creates.
+SHM_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory shows up for leak sweeping.
+_DEV_SHM = "/dev/shm"
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed in a way respawning could not cover."""
+
+
+def _attach_shared(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the segment with the
+    ``resource_tracker``, which would *unlink* it when this process
+    exits (or is killed) — destroying the index under every other
+    worker.  The parent owns the segments, so registration is
+    suppressed for the duration of the attach (Python < 3.13 has no
+    ``track=False``); unregistering after the fact would instead strip
+    the parent's own registration from the shared tracker.
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _shard_worker_main(shard_id: int, genome_name: str,
+                       genome_layout: List[Tuple[str, int, int]],
+                       sites_name: str, site_count: int,
+                       chunk_meta: List[Tuple[int, str, int, int, int,
+                                              int, int]],
+                       pipeline_params: Dict[str, Any],
+                       task_queue, result_queue) -> None:
+    """One shard's comparer loop: attach, serve tasks, exit on stop.
+
+    ``chunk_meta`` rows are ``(global_index, chrom, start, scan_length,
+    length, lo, hi)`` — everything needed to rebuild
+    :class:`ResidentChunk` views over the two shared segments; only
+    this metadata and the final hits ever cross the process boundary.
+    """
+    genome_shm = _attach_shared(genome_name)
+    sites_shm = _attach_shared(sites_name)
+    genome_total = sum(size for _, _, size in genome_layout)
+    genome_arr = np.ndarray((genome_total,), dtype=np.uint8,
+                            buffer=genome_shm.buf)
+    chrom_views = {name: genome_arr[offset:offset + size]
+                   for name, offset, size in genome_layout}
+    loci_all = np.ndarray((site_count,), dtype=np.uint32,
+                          buffer=sites_shm.buf)
+    flags_all = np.ndarray((site_count,), dtype=np.uint8,
+                           buffer=sites_shm.buf, offset=site_count * 4)
+    pipeline = make_pipeline(**pipeline_params)
+    try:
+        while True:
+            task = task_queue.get()
+            kind = task[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                result_queue.put(("pong", shard_id, task[1],
+                                  os.getpid()))
+                continue
+            if kind == "crash":
+                # Fault injection: die like a segfaulted worker would,
+                # with no cleanup and no reply.
+                os._exit(23)
+            if kind != "query":
+                continue
+            _, epoch, batch_id, specs, trace = task
+            spans: List[tracing.Span] = []
+            try:
+                queries = [Query(sequence=seq, max_mismatches=mm)
+                           for seq, mm in specs]
+                compiled = [compile_pattern(q.sequence)
+                            for q in queries]
+                recorder = tracing.TraceRecorder() if trace else None
+                if recorder is not None:
+                    tracing.activate(recorder)
+                    tracing.set_process_name(f"shard-{shard_id}")
+                try:
+                    with tracing.span("shard", cat="shard",
+                                      shard=shard_id, batch=batch_id,
+                                      chunks=len(chunk_meta),
+                                      queries=len(queries)):
+                        entries = (
+                            ResidentChunk(
+                                chrom=chrom, start=start,
+                                scan_length=scan_length,
+                                data=chrom_views[chrom][
+                                    start:start + length],
+                                loci=loci_all[lo:hi],
+                                flags=flags_all[lo:hi])
+                            for _, chrom, start, scan_length, length,
+                            lo, hi in chunk_meta)
+                        per_entry = pipeline.compare_resident(
+                            entries, queries, compiled, batched=True)
+                finally:
+                    if recorder is not None:
+                        spans = recorder.drain()
+                        tracing.activate(None)
+                payload = [(meta[0], entry_hits) for meta, entry_hits
+                           in zip(chunk_meta, per_entry)]
+                result_queue.put(("result", shard_id, epoch, batch_id,
+                                  payload, spans))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - shipped back
+                result_queue.put(("error", shard_id, epoch, batch_id,
+                                  f"{type(exc).__name__}: {exc}",
+                                  spans))
+    finally:
+        release = getattr(pipeline, "release", None)
+        if release is not None:
+            release()
+        del chrom_views, genome_arr, loci_all, flags_all
+        for shm in (genome_shm, sites_shm):
+            try:
+                shm.close()
+            except BufferError:
+                pass  # a stray view survives; process exit reclaims it
+
+
+# ---------------------------------------------------------------------------
+# Parent-side shard management
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ShardWorker:
+    """Parent-side record of one shard worker."""
+
+    shard_id: int
+    sites_name: str
+    site_count: int
+    chunk_meta: List[Tuple[int, str, int, int, int, int, int]]
+    task_queue: Any
+    process: Any = None
+    #: Bumped on every respawn; results carrying an older epoch are
+    #: stale leftovers from a dead incarnation and are dropped.
+    epoch: int = 0
+    respawns: int = 0
+
+
+class ShardedSiteIndex:
+    """N-process scatter/gather façade over one :class:`GenomeSiteIndex`.
+
+    Duck-types the slice of the index surface the scheduler and server
+    consume (``pattern`` / ``compiled_pattern`` / ``query_batch`` /
+    counters), so it drops into :class:`BatchScheduler` unchanged.  The
+    inner index's candidate arrays are published to shared memory once
+    at construction; the inner index itself is never queried again.
+
+    Chunks are assigned round-robin (chunk ``i`` → shard ``i % N``) and
+    every worker's per-chunk hits come back tagged with the global
+    chunk index, so the gather merge — sort by global index, then
+    extend per query — reproduces the single-process chunk-major hit
+    order byte-for-byte.
+    """
+
+    def __init__(self, index: GenomeSiteIndex, shards: int = 2,
+                 task_timeout_s: float = 60.0,
+                 max_respawns_per_batch: int = 3, start: bool = True):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.index = index
+        self.shard_count = int(shards)
+        self.task_timeout_s = float(task_timeout_s)
+        self.max_respawns_per_batch = int(max_respawns_per_batch)
+        self._ctx = get_context("spawn")
+        self._lock = threading.RLock()
+        self._closed = False
+        self._next_batch = 0
+        self._genome_shm: Optional[shared_memory.SharedMemory] = None
+        self._shard_shms: List[shared_memory.SharedMemory] = []
+        self._genome_layout: List[Tuple[str, int, int]] = []
+        self._workers: List[_ShardWorker] = []
+        self._results = self._ctx.Queue()
+        self._pipeline_params = dict(
+            api=index.api, device=index.device,
+            variant=index.pipeline.variant, mode=index.pipeline.mode,
+            chunk_size=index.chunk_size,
+            work_group_size=getattr(index.pipeline, "_wg", 256))
+        try:
+            self._publish(index)
+        except BaseException:
+            self._release_segments()
+            raise
+        atexit.register(self.close)
+        if start:
+            self.start()
+
+    # -- duck-typed index surface ---------------------------------------
+
+    @property
+    def assembly(self):
+        return self.index.assembly
+
+    @property
+    def pattern(self) -> str:
+        return self.index.pattern
+
+    @property
+    def compiled_pattern(self):
+        return self.index.compiled_pattern
+
+    @property
+    def chunk_size(self) -> int:
+        return self.index.chunk_size
+
+    @property
+    def api(self) -> str:
+        return self.index.api
+
+    @property
+    def device(self) -> str:
+        return self.index.device
+
+    @property
+    def chunk_count(self) -> int:
+        return self.index.chunk_count
+
+    @property
+    def site_count(self) -> int:
+        return self.index.site_count
+
+    def manifest(self):
+        return self.index.manifest()
+
+    # -- shared-memory publication --------------------------------------
+
+    def _publish(self, index: GenomeSiteIndex) -> None:
+        token = uuid.uuid4().hex[:8]
+        base = f"{SHM_PREFIX}{os.getpid()}-{token}"
+        offset = 0
+        for chrom in index.assembly.chromosomes:
+            self._genome_layout.append((chrom.name, offset, len(chrom)))
+            offset += len(chrom)
+        self._genome_shm = shared_memory.SharedMemory(
+            name=f"{base}-genome", create=True, size=max(1, offset))
+        genome_arr = np.ndarray((offset,), dtype=np.uint8,
+                                buffer=self._genome_shm.buf)
+        for chrom, (_, off, size) in zip(index.assembly.chromosomes,
+                                         self._genome_layout):
+            genome_arr[off:off + size] = chrom.sequence
+        del genome_arr  # keep no live view: close() would BufferError
+        assignments: List[List[Tuple[int, Any]]] = [
+            [] for _ in range(self.shard_count)]
+        for gi, entry in enumerate(index.entries):
+            assignments[gi % self.shard_count].append((gi, entry))
+        for shard_id, assigned in enumerate(assignments):
+            site_count = sum(e.loci.size for _, e in assigned)
+            shm = shared_memory.SharedMemory(
+                name=f"{base}-s{shard_id}", create=True,
+                size=max(1, site_count * 5))
+            self._shard_shms.append(shm)
+            loci_arr = np.ndarray((site_count,), dtype=np.uint32,
+                                  buffer=shm.buf)
+            flags_arr = np.ndarray((site_count,), dtype=np.uint8,
+                                   buffer=shm.buf,
+                                   offset=site_count * 4)
+            lo = 0
+            chunk_meta = []
+            for gi, entry in assigned:
+                hi = lo + entry.loci.size
+                loci_arr[lo:hi] = entry.loci
+                flags_arr[lo:hi] = entry.flags
+                chunk_meta.append((gi, entry.chrom, int(entry.start),
+                                   int(entry.scan_length),
+                                   int(entry.length), lo, hi))
+                lo = hi
+            del loci_arr, flags_arr
+            self._workers.append(_ShardWorker(
+                shard_id=shard_id, sites_name=shm.name,
+                site_count=site_count, chunk_meta=chunk_meta,
+                task_queue=self._ctx.Queue()))
+        tracing.instant("shards_published", cat="shard",
+                        shards=self.shard_count,
+                        genome_bytes=offset,
+                        sites=index.site_count)
+
+    # -- worker lifecycle -----------------------------------------------
+
+    def _spawn(self, worker: _ShardWorker) -> None:
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(worker.shard_id, self._genome_shm.name,
+                  self._genome_layout, worker.sites_name,
+                  worker.site_count, worker.chunk_meta,
+                  self._pipeline_params, worker.task_queue,
+                  self._results),
+            name=f"shard-{worker.shard_id}", daemon=True)
+        process.start()
+        worker.process = process
+
+    def start(self) -> None:
+        """Spawn any worker not currently running (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ShardWorkerError("sharded index is closed")
+            for worker in self._workers:
+                if worker.process is None or \
+                        not worker.process.is_alive():
+                    self._spawn(worker)
+
+    def _respawn(self, worker: _ShardWorker) -> None:
+        """Replace a dead worker; its shard re-attaches from shm.
+
+        The fresh incarnation gets a *new* task queue: the old one may
+        hold tasks meant for the dead worker, and a worker SIGKILLed
+        mid-``get()`` dies holding the queue's reader lock, which would
+        deadlock any successor handed the same queue.  The epoch bump
+        makes any result the old process managed to enqueue
+        recognizably stale.
+        """
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.terminate()
+        if process is not None:
+            process.join(timeout=5.0)
+        old_queue = worker.task_queue
+        worker.task_queue = self._ctx.Queue()
+        old_queue.cancel_join_thread()
+        old_queue.close()
+        worker.epoch += 1
+        worker.respawns += 1
+        self._spawn(worker)
+        tracing.instant("shard_worker_respawn", cat="shard",
+                        shard=worker.shard_id, epoch=worker.epoch)
+
+    def _worker(self, shard_id: int) -> _ShardWorker:
+        for worker in self._workers:
+            if worker.shard_id == shard_id:
+                return worker
+        raise KeyError(f"no shard {shard_id}")
+
+    # -- health / fault hooks -------------------------------------------
+
+    def shard_health(self) -> List[Dict[str, Any]]:
+        """Non-blocking per-shard liveness snapshot (health op)."""
+        with self._lock:
+            return [{
+                "shard": worker.shard_id,
+                "alive": (worker.process is not None
+                          and worker.process.is_alive()),
+                "pid": (worker.process.pid
+                        if worker.process is not None else None),
+                "epoch": worker.epoch,
+                "respawns": worker.respawns,
+                "chunks": len(worker.chunk_meta),
+                "sites": worker.site_count,
+            } for worker in self._workers]
+
+    def ping(self, timeout_s: float = 5.0) -> Dict[int, bool]:
+        """Round-trip a health ping through every live worker."""
+        with self._lock:
+            token = uuid.uuid4().hex
+            ok = {worker.shard_id: False for worker in self._workers}
+            want = 0
+            for worker in self._workers:
+                if worker.process is not None and \
+                        worker.process.is_alive():
+                    worker.task_queue.put(("ping", token))
+                    want += 1
+            got = 0
+            deadline = time.monotonic() + timeout_s
+            while got < want and time.monotonic() < deadline:
+                try:
+                    message = self._results.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if message[0] == "pong" and message[2] == token:
+                    ok[message[1]] = True
+                    got += 1
+            return ok
+
+    def inject_worker_crash(self, shard_id: int) -> None:
+        """Queue a fault-injection task: the worker dies uncleanly."""
+        self._worker(shard_id).task_queue.put(("crash",))
+
+    def kill_worker(self, shard_id: int) -> None:
+        """SIGKILL a worker immediately (fault injection)."""
+        worker = self._worker(shard_id)
+        if worker.process is not None and worker.process.is_alive():
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=5.0)
+
+    # -- queries ---------------------------------------------------------
+
+    def query_batch(self, queries: Sequence[Query]
+                    ) -> List[List[OffTargetHit]]:
+        """Scatter one batch to every shard, gather, merge in order."""
+        if not queries:
+            return []
+        plen = self.compiled_pattern.plen
+        for query in queries:
+            if len(query.sequence) != plen:
+                raise ValueError(
+                    f"query {query.sequence!r} has length "
+                    f"{len(query.sequence)}, index pattern "
+                    f"{self.pattern!r} has length {plen}")
+        queries = list(queries)
+        specs = [(q.sequence, q.max_mismatches) for q in queries]
+        with self._lock:
+            if self._closed:
+                raise ShardWorkerError("sharded index is closed")
+            batch_id = self._next_batch
+            self._next_batch += 1
+            trace = tracing.active() is not None
+            with tracing.span("scatter", cat="shard", batch=batch_id,
+                              shards=len(self._workers),
+                              queries=len(queries)):
+                for worker in self._workers:
+                    if worker.process is None or \
+                            not worker.process.is_alive():
+                        self._respawn(worker)
+                    worker.task_queue.put(
+                        ("query", worker.epoch, batch_id, specs,
+                         trace))
+            collected = self._gather(batch_id, specs, trace)
+        merged: List[Tuple[int, List[List[OffTargetHit]]]] = []
+        for payload in collected.values():
+            merged.extend(payload)
+        merged.sort(key=lambda item: item[0])
+        hits: List[List[OffTargetHit]] = [[] for _ in queries]
+        for _, entry_hits in merged:
+            for qi, query_hits in enumerate(entry_hits):
+                hits[qi].extend(query_hits)
+        return hits
+
+    def _gather(self, batch_id: int, specs, trace: bool
+                ) -> Dict[int, List]:
+        """Collect one result per shard, respawning crashed workers."""
+        pending = {worker.shard_id for worker in self._workers}
+        collected: Dict[int, List] = {}
+        respawns = 0
+        deadline = time.monotonic() + self.task_timeout_s
+        with tracing.span("gather", cat="shard", batch=batch_id,
+                          shards=len(pending)) as gather_span:
+            while pending:
+                try:
+                    message = self._results.get(timeout=0.05)
+                except queue.Empty:
+                    for worker in self._workers:
+                        if worker.shard_id in pending and \
+                                not worker.process.is_alive():
+                            respawns += 1
+                            if respawns > self.max_respawns_per_batch:
+                                raise ShardWorkerError(
+                                    f"shard {worker.shard_id} died "
+                                    f"{respawns} times during batch "
+                                    f"{batch_id}; giving up")
+                            self._respawn(worker)
+                            worker.task_queue.put(
+                                ("query", worker.epoch, batch_id,
+                                 specs, trace))
+                    if time.monotonic() > deadline:
+                        raise ShardWorkerError(
+                            f"batch {batch_id} timed out after "
+                            f"{self.task_timeout_s} s waiting on "
+                            f"shard(s) {sorted(pending)}")
+                    continue
+                kind = message[0]
+                if kind == "pong":
+                    continue  # stale ping reply
+                _, shard_id, epoch, bid, body, spans = message
+                worker = self._worker(shard_id)
+                if bid != batch_id or epoch != worker.epoch or \
+                        shard_id not in pending:
+                    continue  # stale result from a dead incarnation
+                tracing.merge(spans)
+                if kind == "error":
+                    raise ShardWorkerError(
+                        f"shard {shard_id} failed batch {batch_id}: "
+                        f"{body}")
+                collected[shard_id] = body
+                pending.discard(shard_id)
+            gather_span.args["respawns"] = respawns
+        return collected
+
+    # -- shutdown --------------------------------------------------------
+
+    def _release_segments(self) -> None:
+        segments = list(self._shard_shms)
+        if self._genome_shm is not None:
+            segments.append(self._genome_shm)
+        self._shard_shms = []
+        self._genome_shm = None
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def close(self) -> None:
+        """Graceful drain: stop workers, then unlink every segment.
+
+        Idempotent, and registered with :mod:`atexit` so a test or
+        script that forgets to close still leaves ``/dev/shm`` clean.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                if worker.process is not None and \
+                        worker.process.is_alive():
+                    worker.task_queue.put(("stop",))
+            for worker in self._workers:
+                if worker.process is not None:
+                    worker.process.join(timeout=5.0)
+                    if worker.process.is_alive():
+                        worker.process.terminate()
+                        worker.process.join(timeout=5.0)
+            self._release_segments()
+
+    def __enter__(self) -> "ShardedSiteIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Leaked-segment sweeping
+# ---------------------------------------------------------------------------
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def cleanup_leaked_segments(force: bool = False) -> List[str]:
+    """Unlink ``repro-shm-*`` segments whose owning process is gone.
+
+    Segment names embed the creating pid; a segment whose pid no
+    longer exists was leaked by a crashed or killed run.  ``force``
+    removes every matching segment regardless of owner liveness (for
+    CI teardown, where nothing else can legitimately be running).
+    Returns the names removed.
+    """
+    removed: List[str] = []
+    if not os.path.isdir(_DEV_SHM):
+        return removed
+    for name in os.listdir(_DEV_SHM):
+        if not name.startswith(SHM_PREFIX):
+            continue
+        rest = name[len(SHM_PREFIX):]
+        pid_text = rest.split("-", 1)[0]
+        stale = force or not pid_text.isdigit() or \
+            not _pid_alive(int(pid_text))
+        if not stale:
+            continue
+        try:
+            os.unlink(os.path.join(_DEV_SHM, name))
+        except OSError:
+            continue
+        removed.append(name)
+    return removed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.shards",
+        description="Maintenance entry point for the sharded serving "
+                    "tier's shared-memory segments.")
+    parser.add_argument("--cleanup", action="store_true",
+                        help="unlink repro-shm-* segments whose owning "
+                             "process is dead")
+    parser.add_argument("--force", action="store_true",
+                        help="with --cleanup: remove every repro-shm-* "
+                             "segment, even ones with a live owner")
+    args = parser.parse_args(argv)
+    if not args.cleanup:
+        parser.error("nothing to do; pass --cleanup")
+    removed = cleanup_leaked_segments(force=args.force)
+    for name in removed:
+        print(f"removed {name}")
+    print(f"cleanup: {len(removed)} leaked segment(s) removed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,11 @@ protocol are all supposed to be invisible in the output.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
+from concurrent.futures import Future
 
 import pytest
 
@@ -22,8 +24,10 @@ from repro.observability import tracing
 from repro.service import (BatchScheduler, DeadlineExceeded,
                            GenomeSiteIndex, OffTargetServer,
                            SchedulerClosed, ServiceClient, ServiceError,
-                           ServiceOverloaded, SiteIndexError,
-                           SiteIndexMismatchError, run_load)
+                           ServiceOverloaded, ServiceOverloadedError,
+                           ShardedSiteIndex, ShardWorkerError,
+                           SiteIndexError, SiteIndexMismatchError,
+                           cleanup_leaked_segments, run_load)
 
 PATTERN = "NNNNNNRG"
 QUERIES = [Query("GACGTCNN", 3), Query("TTACGANN", 2)]
@@ -210,8 +214,50 @@ class TestBatchScheduler:
             scheduler.submit([])
         with pytest.raises(ValueError, match="length"):
             scheduler.submit([Query("GACGTCNNA", 3)])
-        with pytest.raises(ValueError, match="deadline"):
-            scheduler.submit([QUERIES[0]], deadline_s=0)
+        with pytest.raises(ValueError, match="finite"):
+            scheduler.submit([QUERIES[0]], deadline_s=float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            scheduler.submit([QUERIES[0]], deadline_s=float("inf"))
+        scheduler.close()
+
+    def test_stats_on_fresh_scheduler(self, index):
+        """Zero completed requests must report null latencies, not a
+        fabricated 0.0 (regression: _percentile on an empty list)."""
+        scheduler = BatchScheduler(index, start=False)
+        stats = scheduler.stats()
+        scheduler.close()
+        assert stats["completed"] == 0
+        latency = stats["latency_ms"]
+        assert latency["count"] == 0
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert latency[key] is None, key
+
+    def test_expired_deadline_fails_fast_at_submit(self, index):
+        """An already-expired deadline must not occupy a queue slot."""
+        scheduler = BatchScheduler(index, start=False)
+        for deadline in (0, -1.0):
+            with pytest.raises(DeadlineExceeded, match="expired"):
+                scheduler.submit([QUERIES[0]], deadline_s=deadline)
+        stats = scheduler.stats()
+        scheduler.close()
+        assert stats["queue_depth"] == 0
+        assert stats["expired"] == 2
+
+    def test_exact_deadline_boundary_expires(self, index, monkeypatch):
+        """now == deadline counts as expired (was: slipped into the
+        batch it was promised to miss)."""
+        from repro.service import scheduler as scheduler_module
+        scheduler = BatchScheduler(index, start=False)
+        now = time.perf_counter()
+        pending = scheduler_module._PendingRequest(
+            queries=[QUERIES[0]], future=Future(), enqueued_perf=now,
+            enqueued_wall=time.time(), deadline=now + 5.0)
+        monkeypatch.setattr(scheduler_module.time, "perf_counter",
+                            lambda: now + 5.0)
+        scheduler._execute([pending])
+        with pytest.raises(DeadlineExceeded):
+            pending.future.result(timeout=5)
+        assert scheduler.stats()["expired"] == 1
         scheduler.close()
 
     def test_latency_percentiles_populated(self, index):
@@ -317,6 +363,64 @@ class TestServer:
                 client.query([Query("GACGTCNNA", 3)])
         assert excinfo.value.code == "bad-request"
 
+    def test_overload_surfaces_as_typed_client_error(self, index):
+        """A full queue must reach the blocking client as the *same*
+        ServiceOverloaded type the scheduler raises server-side, not a
+        bare ServiceError the caller has to string-match."""
+        stalling = _StallingIndex(index)
+        server = OffTargetServer(stalling, max_batch=1,
+                                 max_wait_ms=0.0, max_queue=1)
+        handle = server.start_background()
+        results = []
+
+        def _query():
+            with ServiceClient(handle.host, handle.port) as client:
+                results.append(client.query([QUERIES[0]]))
+
+        threads = [threading.Thread(target=_query) for _ in range(2)]
+        try:
+            # First request occupies the (stalled) batch worker, the
+            # second fills the one queue slot, the third must bounce.
+            threads[0].start()
+            assert stalling.entered.wait(timeout=10)
+            threads[1].start()
+            with ServiceClient(handle.host, handle.port) as client:
+                deadline = time.monotonic() + 10
+                while client.stats()["queue_depth"] < 1:
+                    assert time.monotonic() < deadline, \
+                        "second request never reached the queue"
+                    time.sleep(0.01)
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    client.query([QUERIES[0]])
+            assert isinstance(excinfo.value, ServiceOverloadedError)
+            assert isinstance(excinfo.value, ServiceError)
+            assert excinfo.value.code == "overloaded"
+        finally:
+            stalling.gate.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            handle.stop()
+        assert len(results) == 2
+
+
+class _StallingIndex:
+    """Index proxy whose query_batch blocks until ``gate`` is set, so
+    tests can hold the batch worker busy deterministically."""
+
+    def __init__(self, index):
+        self._index = index
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+    def query_batch(self, queries):
+        self.entered.set()
+        if not self.gate.wait(timeout=30):
+            raise RuntimeError("stall gate never released")
+        return self._index.query_batch(queries)
+
 
 class TestLoadGenerator:
     def test_quick_load(self, served):
@@ -344,3 +448,160 @@ class TestLoadGenerator:
         assert client_main(["--smoke", "--clients", "2",
                             "--duration", "0.5"]) == 0
         assert "smoke OK" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def sharded(index):
+    with ShardedSiteIndex(index, shards=2) as shards:
+        yield shards
+
+
+class TestShardedSiteIndex:
+    def test_matches_single_process_exactly(self, sharded, index):
+        """The load-bearing invariant: scatter/gather over worker
+        processes must be invisible in the output."""
+        got = sharded.query_batch(QUERIES)
+        want = index.query_batch(QUERIES)
+        assert got == want
+        assert sum(len(per) for per in want) > 0
+
+    def test_duck_typed_index_surface(self, sharded, index):
+        assert sharded.pattern == index.pattern
+        assert sharded.compiled_pattern.plen == \
+            index.compiled_pattern.plen
+        assert sharded.assembly.name == index.assembly.name
+        assert sharded.chunk_count == index.chunk_count
+        assert sharded.site_count == index.site_count
+        assert sharded.chunk_size == index.chunk_size
+
+    def test_shards_partition_the_index(self, sharded, index):
+        health = sharded.shard_health()
+        assert len(health) == 2
+        assert all(entry["alive"] for entry in health)
+        assert sum(entry["chunks"] for entry in health) == \
+            index.chunk_count
+        assert sum(entry["sites"] for entry in health) == \
+            index.site_count
+
+    def test_ping_round_trips(self, sharded):
+        assert sharded.ping() == {0: True, 1: True}
+
+    def test_empty_and_bad_queries(self, sharded):
+        assert sharded.query_batch([]) == []
+        with pytest.raises(ValueError, match="length"):
+            sharded.query_batch([Query("GACGTCNNA", 3)])
+
+    def test_scatter_gather_spans_recorded(self, sharded):
+        with tracing.recording() as recorder:
+            sharded.query_batch(QUERIES)
+        spans = recorder.spans()
+        names = [s.name for s in spans]
+        assert "scatter" in names
+        assert "gather" in names
+        assert names.count("shard") == 2, \
+            "each worker ships back its own shard span"
+        process_names = {s.args.get("name") for s in spans
+                         if s.name == "process_name"}
+        assert {"shard-0", "shard-1"} <= process_names
+
+    def test_served_responses_byte_identical(self, sharded, index):
+        """Same wire request, single-process vs sharded server: the
+        JSON response lines must match byte-for-byte."""
+        payload = (b'{"op": "query", "queries": '
+                   b'[["GACGTCNN", 3], ["TTACGANN", 2]], "id": 1}\n')
+
+        def _serve_one(serving) -> bytes:
+            handle = OffTargetServer(serving, max_batch=8,
+                                     max_wait_ms=2.0).start_background()
+            try:
+                with socket.create_connection(
+                        (handle.host, handle.port), timeout=30) as sock:
+                    sock.sendall(payload)
+                    return sock.makefile("rb").readline()
+            finally:
+                handle.stop()
+
+        assert _serve_one(sharded) == _serve_one(index)
+
+    def test_rejects_bad_shard_count(self, index):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedSiteIndex(index, shards=0, start=False)
+
+
+@pytest.mark.fault
+class TestShardedFaults:
+    def test_crash_respawn_keeps_responses_identical(self, sharded,
+                                                     index):
+        """A worker dying mid-batch must be respawned from shm and the
+        batch resent, with output still byte-identical."""
+        want = index.query_batch(QUERIES)
+        before = {e["shard"]: e["respawns"]
+                  for e in sharded.shard_health()}
+        sharded.inject_worker_crash(0)
+        with tracing.recording() as recorder:
+            got = sharded.query_batch(QUERIES)
+        assert got == want
+        after = {e["shard"]: e["respawns"]
+                 for e in sharded.shard_health()}
+        assert after[0] == before[0] + 1
+        assert after[1] == before[1]
+        names = [s.name for s in recorder.spans()]
+        assert "shard_worker_respawn" in names
+
+    def test_sigkill_failover(self, sharded, index):
+        """SIGKILL (no chance to clean up) is indistinguishable from a
+        crash: next batch respawns and answers correctly."""
+        sharded.kill_worker(1)
+        health = {e["shard"]: e for e in sharded.shard_health()}
+        assert health[1]["alive"] is False
+        assert sharded.query_batch(QUERIES) == \
+            index.query_batch(QUERIES)
+        health = {e["shard"]: e for e in sharded.shard_health()}
+        assert health[1]["alive"] is True
+
+
+class TestLeakCleanup:
+    def test_sweeps_dead_owner_segments_only(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        # A segment named for a pid that cannot exist (non-numeric) is
+        # stale; one named for *this* live process is not.
+        stale = "repro-shm-notapid-feed-s0"
+        live = f"repro-shm-{os.getpid()}-feed-s0"
+        for name in (stale, live):
+            with open(os.path.join("/dev/shm", name), "wb") as handle:
+                handle.write(b"\x00")
+        try:
+            removed = cleanup_leaked_segments()
+            assert stale in removed
+            assert live not in removed
+            assert os.path.exists(os.path.join("/dev/shm", live))
+            assert not os.path.exists(os.path.join("/dev/shm", stale))
+        finally:
+            for name in (stale, live):
+                try:
+                    os.unlink(os.path.join("/dev/shm", name))
+                except FileNotFoundError:
+                    pass
+
+    def test_cleanup_entry_point(self, capsys):
+        from repro.service.shards import main as shards_main
+        assert shards_main(["--cleanup"]) == 0
+        assert "leaked segment(s) removed" in capsys.readouterr().out
+
+    def test_close_unlinks_segments(self, index):
+        from repro.service.shards import SHM_PREFIX, _DEV_SHM
+        if not os.path.isdir(_DEV_SHM):
+            pytest.skip("no /dev/shm on this platform")
+        small = ShardedSiteIndex(index, shards=2)
+        names = [small._genome_shm.name] + \
+            [shm.name for shm in small._shard_shms]
+        assert all(name.startswith(SHM_PREFIX) for name in names)
+        assert all(os.path.exists(os.path.join(_DEV_SHM, name))
+                   for name in names)
+        small.query_batch([QUERIES[0]])
+        small.close()
+        assert not any(os.path.exists(os.path.join(_DEV_SHM, name))
+                       for name in names)
+        with pytest.raises(ShardWorkerError, match="closed"):
+            small.query_batch([QUERIES[0]])
