@@ -10,14 +10,18 @@ test:
 fault:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m fault
 
-# Query-service tests plus load-generator smokes: single-process, then
-# a 2-shard worker-process run, then a sweep for leaked shm segments.
+# Query-service tests plus load-generator smokes: packed and byte
+# comparer modes, a 2-shard packed worker-process run, then a sweep for
+# leaked shm segments.
 service:
-	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service.py
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service.py \
+		tests/test_packed_service.py
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
-		--clients 4 --duration 5
+		--clients 4 --duration 5 --packed
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
-		--clients 4 --duration 5 --shards 2
+		--clients 4 --duration 5 --no-packed
+	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
+		--clients 4 --duration 5 --packed --shards 2
 	PYTHONPATH=src $(PYTHON) -m repro.service.shards --cleanup
 
 # Tier-1 suite plus explicit fault and service passes, one command.

@@ -20,6 +20,12 @@ search, as a one-process-per-query deployment would.
   fan-out buys over the single-process service.  On a single-core host
   expect parity at best — the report records ``host.cpus`` so the
   number can be read honestly.
+* ``service_packed``: the single-process service again, but with the
+  index in its packed 2-bit resident form, so every micro-batch runs
+  the bit-parallel comparer (XOR + odd-bit fold + popcount over
+  resident uint64 planes) instead of byte compares.
+  ``shm_segment_bytes`` records the sharded tier's shared-memory
+  footprint in both layouts and the reduction factor.
 
 All sides serve identical single-guide requests drawn round-robin
 from the same pool.  The report lands in ``BENCH_SERVICE.json`` with
@@ -119,8 +125,14 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
     assembly = synthetic_assembly("hg19", scale=scale, seed=42)
     build_began = time.perf_counter()
     index = GenomeSiteIndex.build(assembly, PATTERN,
-                                  chunk_size=chunk_size, device=device)
+                                  chunk_size=chunk_size, device=device,
+                                  packed=False)
     build_s = time.perf_counter() - build_began
+    packed_began = time.perf_counter()
+    packed_index = GenomeSiteIndex.build(assembly, PATTERN,
+                                         chunk_size=chunk_size,
+                                         device=device, packed=True)
+    packed_build_s = time.perf_counter() - packed_began
 
     baseline = {}
     service = {}
@@ -163,6 +175,43 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
         sharded_handle.stop()
         sharded_index.close()
 
+    service_packed = {}
+    packed_server = OffTargetServer(
+        packed_index, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max(64, 4 * max(concurrency)))
+    packed_handle = packed_server.start_background()
+    try:
+        for clients in concurrency:
+            print(f"packed   @ {clients} clients ...", flush=True)
+            queries_by_client = [
+                [QUERY_POOL[i % len(QUERY_POOL)]]
+                for i in range(clients)]
+            service_packed[str(clients)] = _service_load(
+                packed_handle, queries_by_client, duration_s)
+    finally:
+        packed_handle.stop()
+
+    # Shared-memory footprint of the sharded tier in both layouts
+    # (publication only — no worker processes are spawned).
+    byte_pub = ShardedSiteIndex(index, shards=shards, start=False)
+    try:
+        byte_segments = byte_pub.segment_bytes()
+    finally:
+        byte_pub.close()
+    packed_pub = ShardedSiteIndex(packed_index, shards=shards,
+                                  start=False)
+    try:
+        packed_segments = packed_pub.segment_bytes()
+    finally:
+        packed_pub.close()
+    shm_segment_bytes = {
+        "byte": byte_segments,
+        "packed": packed_segments,
+        "reduction": (byte_segments["total"]
+                      / packed_segments["total"]
+                      if packed_segments["total"] > 0 else None),
+    }
+
     speedup = {
         clients: (service[clients]["throughput_rps"]
                   / baseline[clients]["throughput_rps"]
@@ -171,6 +220,12 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
     }
     speedup_sharded = {
         clients: (service_sharded[clients]["throughput_rps"]
+                  / service[clients]["throughput_rps"]
+                  if service[clients]["throughput_rps"] > 0 else None)
+        for clients in service
+    }
+    speedup_packed = {
+        clients: (service_packed[clients]["throughput_rps"]
                   / service[clients]["throughput_rps"]
                   if service[clients]["throughput_rps"] > 0 else None)
         for clients in service
@@ -186,13 +241,17 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
         "config": {
             "duration_s": duration_s, "concurrency": concurrency,
             "max_batch": max_batch, "max_wait_ms": max_wait_ms,
-            "index_build_s": build_s, "shards": shards,
+            "index_build_s": build_s,
+            "packed_index_build_s": packed_build_s, "shards": shards,
         },
         "baseline": baseline,
         "service": service,
         "service_sharded": service_sharded,
+        "service_packed": service_packed,
         "speedup_throughput": speedup,
         "speedup_sharded": speedup_sharded,
+        "speedup_packed": speedup_packed,
+        "shm_segment_bytes": shm_segment_bytes,
     }
 
 
@@ -286,8 +345,10 @@ def main(argv=None) -> int:
         base = report["baseline"][clients]
         serv = report["service"][clients]
         shard = report["service_sharded"][clients]
+        packed = report["service_packed"][clients]
         ratio = report["speedup_throughput"][clients]
         shard_ratio = report["speedup_sharded"][clients]
+        packed_ratio = report["speedup_packed"][clients]
         print(f"{clients:>3} clients: baseline "
               f"{base['throughput_rps']:7.2f} req/s "
               f"(p95 {base['latency_ms']['p95']:7.1f} ms) | service "
@@ -295,7 +356,13 @@ def main(argv=None) -> int:
               f"(p95 {serv['latency_ms']['p95']:7.1f} ms) | "
               f"{ratio:.2f}x | sharded "
               f"{shard['throughput_rps']:7.2f} req/s "
-              f"({shard_ratio:.2f}x vs service)")
+              f"({shard_ratio:.2f}x vs service) | packed "
+              f"{packed['throughput_rps']:7.2f} req/s "
+              f"({packed_ratio:.2f}x vs service)")
+    segments = report["shm_segment_bytes"]
+    print(f"shm segments: byte {segments['byte']['total']:,} B -> "
+          f"packed {segments['packed']['total']:,} B "
+          f"({segments['reduction']:.2f}x smaller)")
     print(f"wrote {path}")
     return 0
 

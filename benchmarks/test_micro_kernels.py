@@ -63,6 +63,29 @@ def test_twobit_decode(benchmark, bench_assembly):
     assert decoded.size == sequence.size
 
 
+def _popcount_words(n: int = 1 << 20) -> np.ndarray:
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
+
+
+@pytest.mark.skipif(not hasattr(np, "bitwise_count"),
+                    reason="numpy lacks bitwise_count")
+def test_popcount_native(benchmark):
+    """``np.bitwise_count`` path of the packed comparer's popcount."""
+    from repro.core.bitparallel import _popcount64_native
+    words = _popcount_words()
+    counts = benchmark(_popcount64_native, words)
+    assert counts.max() <= 64
+
+
+def test_popcount_lut(benchmark):
+    """Byte-LUT fallback popcount (pre-``bitwise_count`` numpy)."""
+    from repro.core.bitparallel import _popcount64_lut
+    words = _popcount_words()
+    counts = benchmark(_popcount64_lut, words)
+    assert counts.max() <= 64
+
+
 @pytest.mark.parametrize("chunk_size", [1 << 16, 1 << 18, 1 << 20])
 def test_chunk_size_ablation(benchmark, bench_assembly, chunk_size):
     """DESIGN.md ablation: chunk size trades launch count against

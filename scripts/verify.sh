@@ -13,6 +13,7 @@ export PYTHONPATH=src
 trap 'python -m repro.service.shards --cleanup' EXIT
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
-python -m pytest -x -q tests/test_service.py "$@"
-python -m repro.service.client --smoke --clients 4 --duration 5
-python -m repro.service.client --smoke --clients 4 --duration 5 --shards 2
+python -m pytest -x -q tests/test_service.py tests/test_packed_service.py "$@"
+python -m repro.service.client --smoke --clients 4 --duration 5 --packed
+python -m repro.service.client --smoke --clients 4 --duration 5 --no-packed
+python -m repro.service.client --smoke --clients 4 --duration 5 --packed --shards 2

@@ -427,6 +427,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "the index into shared-memory shards with "
                              "one process each (responses stay "
                              "byte-identical)")
+    parser.add_argument("--packed", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="keep candidate windows in the resident "
+                             "2-bit packed form and run the "
+                             "bit-parallel comparer (--no-packed "
+                             "forces the byte comparer; responses are "
+                             "byte-identical either way)")
     parser.add_argument("--max-retries", type=_nonnegative_int,
                         default=2,
                         help="per-chunk retries during the index build")
@@ -445,7 +452,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 def _run_serve(argv: List[str]) -> int:
     from .service import (GenomeSiteIndex, OffTargetServer,
-                          SiteIndexError)
+                          SiteIndexError, SiteIndexVersionError)
     from .service.index import INDEX_MANIFEST_NAME
 
     args = build_serve_parser().parse_args(argv)
@@ -464,12 +471,19 @@ def _run_serve(argv: List[str]) -> int:
         try:
             index = GenomeSiteIndex.load(args.index_dir, assembly,
                                          api=args.api,
-                                         device=args.device)
+                                         device=args.device,
+                                         packed=args.packed)
+        except SiteIndexVersionError as exc:
+            # The genome is right, only the on-disk layout is old:
+            # rebuild (and overwrite) instead of refusing to start.
+            print(f"# stale index format: {exc}; rebuilding",
+                  file=sys.stderr)
         except SiteIndexError as exc:
             raise SystemExit(f"error: {exc}") from None
-        print(f"# loaded index from {args.index_dir}: "
-              f"{index.chunk_count} chunks, {index.site_count} sites",
-              file=sys.stderr)
+        else:
+            print(f"# loaded index from {args.index_dir}: "
+                  f"{index.chunk_count} chunks, "
+                  f"{index.site_count} sites", file=sys.stderr)
     if index is None:
         if not args.pattern:
             raise SystemExit(
@@ -481,7 +495,7 @@ def _run_serve(argv: List[str]) -> int:
                 assembly, args.pattern, chunk_size=args.chunk_size,
                 api=args.api, device=args.device,
                 fault_plan=args.fault_inject,
-                max_retries=args.max_retries)
+                max_retries=args.max_retries, packed=args.packed)
         except (SiteIndexError, ValueError) as exc:
             raise SystemExit(f"error: {exc}") from None
         print(f"# built index: {index.chunk_count} chunks, "
@@ -491,6 +505,11 @@ def _run_serve(argv: List[str]) -> int:
             index.save(args.index_dir)
             print(f"# index saved to {args.index_dir}",
                   file=sys.stderr)
+    mode = "packed" if getattr(index, "packed", False) else "byte"
+    reason = getattr(index, "packed_disabled_reason", None)
+    print(f"# comparer mode: {mode}"
+          + (f" (degraded: {reason})" if reason else ""),
+          file=sys.stderr)
     serving = index
     if args.shards > 1:
         from .service.shards import ShardedSiteIndex

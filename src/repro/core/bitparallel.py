@@ -5,7 +5,8 @@ Cas-OFFinder authors' own optimization round ("a 2-bit sequence format,
 shared local memory and atomic operations ... improving the performance
 by a factor of 30 approximately") and FlashFry, a CPU tool "two to three
 orders of magnitude faster" built on packed-integer comparisons.  This
-module implements that algorithmic baseline:
+module implements that algorithm, both as an offline baseline engine and
+as the serving tier's resident hot path:
 
 * each candidate window is packed into a 64-bit word, two bits per base
   (A=0, C=1, G=2, T=3), via a vectorized gather + dot product;
@@ -17,25 +18,38 @@ module implements that algorithmic baseline:
   mismatch through a separate invalid-position mask, matching the
   comparer kernel's behaviour for concrete query bases.
 
+Two packings coexist.  :func:`pack_query_strand` packs only a query's
+*checked* positions (compact, per-site gather at compare time) and backs
+the offline :class:`BitParallelCasOffinder`.  :func:`pack_site_windows` /
+:func:`pack_query_window` pack *full windows* at fixed 2-bit offsets —
+the site words are query-independent, so a resident index computes them
+once at build time and :func:`compare_packed_batched` then serves any
+number of queries with pure XOR/popcount over the stored planes, no
+genome gather at all.  Emission order replicates the batched vectorized
+kernel block-for-block, so demultiplexed results are byte-identical.
+
 The restriction, shared with FlashFry: query *checked* positions must be
 concrete A/C/G/T (ambiguity codes other than the skipped ``N`` cannot be
 expressed in two bits).  The PAM pattern is unrestricted — candidate
-selection still uses the mask-based finder.  For such queries the
-results are bit-identical to the standard pipeline (tested), making this
-a drop-in faster comparer and an honest baseline for the micro-benches.
+selection still uses the mask-based finder.  Queries that do carry
+ambiguity codes fall back to the byte comparer (see
+:meth:`repro.core.pipeline._BasePipeline.compare_resident`), keeping
+responses byte-identical in all cases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..genome.assembly import Assembly
 from .config import Query, SearchRequest
 from .patterns import CompiledPattern, PatternError, compile_pattern
-from .pipeline import DEFAULT_CHUNK_SIZE, PipelineResult, SyclCasOffinder
+from .pipeline import (DEFAULT_CHUNK_SIZE, PackedSites, PipelineResult,
+                       SyclCasOffinder)
 from .records import OffTargetHit
 
 # 2-bit base codes; non-ACGT bytes map to 0 and are tracked separately.
@@ -66,6 +80,7 @@ class PackedQuery:
     word: np.uint64
     checked: np.ndarray        # int64 offsets into the site window
     weights: np.ndarray        # uint64 shift multipliers per position
+    codes: np.ndarray          # uint64 2-bit code per checked position
 
 
 def pack_query_strand(cq: CompiledPattern, offset: int) -> PackedQuery:
@@ -85,14 +100,31 @@ def pack_query_strand(cq: CompiledPattern, offset: int) -> PackedQuery:
             f"query positions; found {bad}")
     weights = (np.uint64(1) << (2 * np.arange(checked.size,
                                               dtype=np.uint64)))
-    word = np.uint64((_CODE[chars] * weights).sum())
-    return PackedQuery(word=word, checked=checked, weights=weights)
+    codes = _CODE[chars]
+    word = np.uint64((codes * weights).sum())
+    return PackedQuery(word=word, checked=checked, weights=weights,
+                       codes=codes)
 
 
-def popcount64(values: np.ndarray) -> np.ndarray:
-    """Vectorized population count of a uint64 array."""
-    as_bytes = values.view(np.uint8).reshape(values.size, 8)
-    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.int64)
+def _popcount64_lut(values: np.ndarray) -> np.ndarray:
+    """Byte-LUT population count; works for any numpy without
+    ``bitwise_count`` and any array shape."""
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    as_bytes = values.view(np.uint8).reshape(values.shape + (8,))
+    return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _popcount64_native(values: np.ndarray) -> np.ndarray:
+    """Hardware-popcount path via ``np.bitwise_count`` (numpy >= 2)."""
+    return np.bitwise_count(values).astype(np.int64)
+
+
+#: Vectorized population count of a uint64 array (any shape).  Bound to
+#: the native ``np.bitwise_count`` ufunc when this numpy has it, with
+#: the byte-LUT kept as the fallback (micro-benched side by side in
+#: ``benchmarks/test_micro_kernels.py``).
+popcount64 = (_popcount64_native if hasattr(np, "bitwise_count")
+              else _popcount64_lut)
 
 
 def count_mismatches_packed(chunk: np.ndarray, loci: np.ndarray,
@@ -116,12 +148,186 @@ def count_mismatches_packed(chunk: np.ndarray, loci: np.ndarray,
         # A position was counted already iff its 2-bit group differs;
         # recover per-position equality to add the colliding cases
         # (invalid byte packed as code 0 matching a query 'A').
-        site_groups = codes.astype(np.uint64)
-        query_groups = ((packed.word
-                         // packed.weights) % np.uint64(4))[None, :]
-        equal = site_groups == query_groups
+        equal = codes == packed.codes[None, :]
         counts = counts + (invalid & equal).sum(axis=1, dtype=np.int64)
     return counts
+
+
+# ---------------------------------------------------------------------------
+# Full-window packing: the resident form of the serving index
+# ---------------------------------------------------------------------------
+#
+# The compact per-checked-position packing above needs a genome gather
+# per (site, query-strand) at compare time.  The serving tier instead
+# packs every candidate window once, at a fixed two bits per window
+# position, so the per-batch work is XOR + mask + popcount over arrays
+# that already live in memory.  The invalid plane marks non-ACGT window
+# positions on the same odd-bit lattice the mismatch indicator lands on,
+# so OR-ing it in forces those positions to count as mismatches exactly
+# as ``MISMATCH_LUT`` does for concrete query bases.
+
+def acgtn_only(data: np.ndarray) -> bool:
+    """True when every byte is uppercase A/C/G/T/N.
+
+    The packed resident form requires this: 2-bit decode then maps every
+    flagged position back to ``N`` losslessly, which keeps hit site
+    strings (and the byte-comparer fallback) identical to the raw bytes.
+    """
+    return bool(_ACGTN[data].all())
+
+
+_ACGTN = np.zeros(256, dtype=bool)
+for _b in b"ACGTN":
+    _ACGTN[_b] = True
+
+
+def pack_site_windows(chunk_data: np.ndarray, loci: np.ndarray,
+                      plen: int) -> PackedSites:
+    """Pack all candidate windows of one chunk into resident planes.
+
+    Returns :class:`~repro.core.pipeline.PackedSites` with ``words[i] =
+    sum(code(window[p]) << 2p)`` and ``invalid[i]`` carrying bit ``2p``
+    for every non-ACGT window position ``p``.  Query-independent, so the
+    index computes this once per chunk at build time.
+    """
+    if plen > MAX_CHECKED_POSITIONS:
+        raise PatternError(
+            f"packed windows hold at most {MAX_CHECKED_POSITIONS} "
+            f"positions, pattern has {plen}")
+    if loci.size == 0:
+        return PackedSites(words=np.zeros(0, np.uint64),
+                           invalid=np.zeros(0, np.uint64))
+    windows = chunk_data[loci.astype(np.int64)[:, None]
+                         + np.arange(plen, dtype=np.int64)[None, :]]
+    weights = (np.uint64(1)
+               << (2 * np.arange(plen, dtype=np.uint64)))[None, :]
+    words = (_CODE[windows] * weights).sum(axis=1, dtype=np.uint64)
+    invalid = ((~_VALID[windows]).astype(np.uint64)
+               * weights).sum(axis=1, dtype=np.uint64)
+    return PackedSites(words=words, invalid=invalid)
+
+
+@dataclass(frozen=True)
+class PackedWindowQuery:
+    """One query strand packed against full windows: code word + care
+    mask (bit ``2p`` set for every checked window position ``p``)."""
+
+    word: np.uint64
+    care: np.uint64
+
+
+def pack_query_window(cq: CompiledPattern, offset: int
+                      ) -> PackedWindowQuery:
+    """Pack one strand at full-window offsets (0 = forward, plen =
+    reverse).  Raises :class:`PatternError` for patterns longer than 32
+    or ambiguity codes at checked positions."""
+    if cq.plen > MAX_CHECKED_POSITIONS:
+        raise PatternError(
+            f"packed windows hold at most {MAX_CHECKED_POSITIONS} "
+            f"positions, pattern has {cq.plen}")
+    indices = cq.comp_index[offset:offset + cq.plen]
+    checked = indices[indices >= 0].astype(np.int64)
+    chars = cq.comp[checked + offset]
+    if not _VALID[chars].all():
+        bad = sorted({chr(c) for c in chars[~_VALID[chars]]})
+        raise PatternError(
+            f"bit-parallel comparer requires concrete A/C/G/T at checked "
+            f"query positions; found {bad}")
+    shifts = (2 * checked).astype(np.uint64)
+    word = np.uint64(np.sum(_CODE[chars] << shifts, dtype=np.uint64))
+    care = np.uint64(np.sum(np.uint64(1) << shifts, dtype=np.uint64))
+    return PackedWindowQuery(word=word, care=care)
+
+
+@lru_cache(maxsize=512)
+def _window_query_cached(sequence: str, offset: int) -> PackedWindowQuery:
+    return pack_query_window(compile_pattern(sequence), offset)
+
+
+def window_packable(cq: CompiledPattern) -> bool:
+    """True when both strands of a compiled query fit the packed form."""
+    try:
+        _window_query_cached(cq.decode(), 0)
+        _window_query_cached(cq.decode(), cq.plen)
+    except PatternError:
+        return False
+    return True
+
+
+#: Mirrors :meth:`repro.runtime.executor.NDRangeExecutor.run_vectorized`:
+#: vectorized kernels are fused into blocks of this many work-items, and
+#: each block emits forward-strand hits then reverse-strand hits.  The
+#: packed comparer replays the same block structure so its per-query
+#: triples are element-identical to the kernel path.
+_VECTORIZED_BLOCK_ITEMS = 1 << 20
+
+
+def compare_packed_batched(packed: PackedSites, loci: np.ndarray,
+                           flags: np.ndarray,
+                           queries: Sequence[Query],
+                           compiled_queries: Sequence[CompiledPattern],
+                           ) -> List[Tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]]:
+    """All-queries comparer over resident packed planes, one chunk.
+
+    Returns per-query ``(mm_loci, mm_count, direction)`` triples in the
+    exact emission order of the batched vectorized kernel (per
+    work-item block: ascending forward-strand candidates, then reverse),
+    filtered to each query's mismatch budget.  Every query must satisfy
+    :func:`window_packable`; the caller routes others to the byte
+    comparer.
+    """
+    nq = len(queries)
+    count = int(loci.size)
+    out: List[List[np.ndarray]] = [[] for _ in range(nq)]
+    qwords = np.array([_window_query_cached(cq.decode(), 0).word
+                       for cq in compiled_queries], dtype=np.uint64)
+    qcares = np.array([_window_query_cached(cq.decode(), 0).care
+                       for cq in compiled_queries], dtype=np.uint64)
+    rwords = np.array(
+        [_window_query_cached(cq.decode(), cq.plen).word
+         for cq in compiled_queries], dtype=np.uint64)
+    rcares = np.array(
+        [_window_query_cached(cq.decode(), cq.plen).care
+         for cq in compiled_queries], dtype=np.uint64)
+    thresholds = [int(q.max_mismatches) for q in queries]
+    one = np.uint64(1)
+    for start in range(0, count, _VECTORIZED_BLOCK_ITEMS):
+        end = min(start + _VECTORIZED_BLOCK_ITEMS, count)
+        f = flags[start:end]
+        blk_loci = loci[start:end]
+        blk_words = packed.words[start:end]
+        blk_invalid = packed.invalid[start:end]
+        for words_q, cares_q, direction_char, strand_sel in (
+                (qwords, qcares, ord("+"), (f == 0) | (f == 1)),
+                (rwords, rcares, ord("-"), (f == 0) | (f == 2))):
+            sub = blk_loci[strand_sel]
+            if sub.size == 0:
+                continue
+            x = blk_words[strand_sel][None, :] ^ words_q[:, None]
+            m = ((x | (x >> one)) & _ODD_BITS) \
+                | blk_invalid[strand_sel][None, :]
+            m &= cares_q[:, None]
+            counts = popcount64(m)
+            for q in range(nq):
+                keep = counts[q] <= thresholds[q]
+                kept = int(keep.sum())
+                if not kept:
+                    continue
+                out[q].append((
+                    sub[keep].astype(np.uint32),
+                    counts[q][keep].astype(np.uint16),
+                    np.full(kept, direction_char, dtype=np.uint8)))
+    results = []
+    for q in range(nq):
+        if out[q]:
+            results.append(tuple(np.concatenate(parts)
+                                 for parts in zip(*out[q])))
+        else:
+            results.append((np.zeros(0, np.uint32),
+                            np.zeros(0, np.uint16),
+                            np.zeros(0, np.uint8)))
+    return results
 
 
 class BitParallelComparer:

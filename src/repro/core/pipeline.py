@@ -261,6 +261,27 @@ class SearchAccumulator:
 
 
 @dataclass
+class PackedSites:
+    """Resident 2-bit planes for one chunk's candidate windows.
+
+    ``words[i]`` packs candidate ``i``'s full window at two bits per
+    position (A=0, C=1, G=2, T=3, codes ascending from bit 0);
+    ``invalid[i]`` sets bit ``2p`` for every window position ``p`` whose
+    byte was not concrete A/C/G/T.  Both are query-independent, so
+    :class:`repro.service.index.GenomeSiteIndex` computes them once at
+    build time and every batch reuses them
+    (:func:`repro.core.bitparallel.compare_packed_batched`).
+    """
+
+    words: np.ndarray    # uint64, one packed window per candidate
+    invalid: np.ndarray  # uint64 odd-bit mask of non-ACGT positions
+
+    @property
+    def nbytes(self) -> int:
+        return self.words.nbytes + self.invalid.nbytes
+
+
+@dataclass
 class ResidentChunk:
     """One chunk's resident candidate data, ready for the comparer.
 
@@ -268,7 +289,9 @@ class ResidentChunk:
     segments (the sharded serving tier maps them zero-copy); the
     comparer entry points only read them, and
     :meth:`_BasePipeline.compare_candidates` re-stages contiguous
-    arrays without copying.
+    arrays without copying.  When ``packed`` planes are present the
+    batched comparer runs bit-parallel over them; ``data`` stays
+    available for hit construction and the ambiguity-code fallback.
     """
 
     chrom: str
@@ -277,6 +300,7 @@ class ResidentChunk:
     data: np.ndarray   # uint8 chunk bases (scan region + overlap)
     loci: np.ndarray   # uint32 candidate offsets within the chunk
     flags: np.ndarray  # uint8 strand flags, as the finder emitted them
+    packed: Optional[PackedSites] = None
 
 
 class _BasePipeline:
@@ -343,6 +367,14 @@ class _BasePipeline:
         concatenating the per-entry lists in chunk order reproduces a
         full search byte-for-byte.  This is the unit of work one shard
         worker executes over its shared-memory slice.
+
+        Entries carrying :class:`PackedSites` planes run the
+        bit-parallel comparer over the resident 2-bit words instead of
+        re-staging chunk bytes; queries whose checked positions carry
+        ambiguity codes (inexpressible in two bits) are routed through
+        the byte comparer for that entry, and the per-query triples are
+        merged back in input order — both paths emit element-identical
+        results, so the split is invisible on the wire.
         """
         results: List[List[List[OffTargetHit]]] = []
         queries = list(queries)
@@ -351,9 +383,13 @@ class _BasePipeline:
             if entry.loci.size == 0:
                 results.append([[] for _ in queries])
                 continue
-            per_query = self.compare_candidates(
-                entry.data, entry.loci, entry.flags, queries,
-                compiled_queries, batched=batched)
+            if getattr(entry, "packed", None) is not None:
+                per_query = self._compare_resident_mixed(
+                    entry, queries, compiled_queries, batched)
+            else:
+                per_query = self.compare_candidates(
+                    entry.data, entry.loci, entry.flags, queries,
+                    compiled_queries, batched=batched)
             chunk = Chunk(chrom=entry.chrom, start=entry.start,
                           data=entry.data,
                           scan_length=entry.scan_length)
@@ -365,6 +401,41 @@ class _BasePipeline:
                     chunk, cq, query, mm_loci, mm_count, direction))
             results.append(entry_hits)
         return results
+
+    def _compare_resident_mixed(self, entry: "ResidentChunk",
+                                queries: Sequence[Query],
+                                compiled_queries:
+                                Sequence[CompiledPattern],
+                                batched: bool
+                                ) -> List[Tuple[np.ndarray, np.ndarray,
+                                                np.ndarray]]:
+        """Packed comparer for packable queries, byte fallback for the
+        rest; triples merged back in input order."""
+        # Deferred: bitparallel imports this module at its top level.
+        from .bitparallel import (compare_packed_batched,
+                                  window_packable)
+        packable = [window_packable(cq) for cq in compiled_queries]
+        per_query: List[Optional[Tuple[np.ndarray, np.ndarray,
+                                       np.ndarray]]] = \
+            [None] * len(queries)
+        packed_idx = [i for i, ok in enumerate(packable) if ok]
+        if packed_idx:
+            packed_out = compare_packed_batched(
+                entry.packed, entry.loci, entry.flags,
+                [queries[i] for i in packed_idx],
+                [compiled_queries[i] for i in packed_idx])
+            for slot, i in enumerate(packed_idx):
+                per_query[i] = packed_out[slot]
+        fallback_idx = [i for i, ok in enumerate(packable) if not ok]
+        if fallback_idx:
+            byte_out = self.compare_candidates(
+                entry.data, entry.loci, entry.flags,
+                [queries[i] for i in fallback_idx],
+                [compiled_queries[i] for i in fallback_idx],
+                batched=batched)
+            for slot, i in enumerate(fallback_idx):
+                per_query[i] = byte_out[slot]
+        return per_query
 
     @property
     def work_group_size(self) -> Optional[int]:

@@ -32,7 +32,7 @@ and queries (pinned by ``tests/test_service.py``).
 """
 
 from .index import (GenomeSiteIndex, SiteIndexError,
-                    SiteIndexMismatchError)
+                    SiteIndexMismatchError, SiteIndexVersionError)
 from .scheduler import (BatchScheduler, DeadlineExceeded,
                         SchedulerClosed, ServiceOverloaded)
 from .server import OffTargetServer
@@ -56,7 +56,7 @@ def __getattr__(name):
 
 __all__ = [
     "GenomeSiteIndex", "SiteIndexError", "SiteIndexMismatchError",
-    "BatchScheduler", "DeadlineExceeded", "SchedulerClosed",
+    "SiteIndexVersionError", "BatchScheduler", "DeadlineExceeded", "SchedulerClosed",
     "ServiceOverloaded", "OffTargetServer", "ServiceClient",
     "ServiceError", "ServiceOverloadedError", "ServiceDeadlineError",
     "run_load", "ShardedSiteIndex", "ShardWorkerError",

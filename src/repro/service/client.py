@@ -214,14 +214,15 @@ def run_load(host: str, port: int, queries: Sequence[Query],
 # Smoke entry point: `python -m repro.service.client --smoke`
 # ---------------------------------------------------------------------------
 
-def _smoke(clients: int, duration_s: float, shards: int = 0) -> int:
+def _smoke(clients: int, duration_s: float, shards: int = 0,
+           packed: bool = True) -> int:
     from ..genome.synthetic import synthetic_assembly
     from .index import GenomeSiteIndex
     from .server import OffTargetServer
 
     assembly = synthetic_assembly("hg19", scale=0.00005, seed=7)
     index = GenomeSiteIndex.build(assembly, "NNNNNNRG",
-                                  chunk_size=1 << 15)
+                                  chunk_size=1 << 15, packed=packed)
     serving = index
     if shards:
         from .shards import ShardedSiteIndex
@@ -237,6 +238,7 @@ def _smoke(clients: int, duration_s: float, shards: int = 0) -> int:
         if shards:
             serving.close()
     report["shards"] = shards
+    report["comparer_mode"] = "packed" if index.packed else "byte"
     print(json.dumps(report, indent=2, sort_keys=True))
     if report["requests"] <= 0 or report["throughput_rps"] <= 0:
         print("smoke FAILED: no requests completed")
@@ -263,13 +265,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="with --smoke: serve through a sharded "
                              "index with N worker processes "
                              "(0 = single-process)")
+    parser.add_argument("--packed", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="with --smoke: resident comparer mode "
+                             "(packed 2-bit by default; --no-packed "
+                             "forces the byte comparer)")
     parser.add_argument("--query", action="append", default=[],
                         metavar="SEQ:MM",
                         help="query spec, repeatable (default two "
                              "demo guides)")
     args = parser.parse_args(argv)
     if args.smoke:
-        return _smoke(args.clients, args.duration, shards=args.shards)
+        return _smoke(args.clients, args.duration, shards=args.shards,
+                      packed=args.packed)
     if not args.port:
         parser.error("--port is required unless --smoke is given")
     if args.query:

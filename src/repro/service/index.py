@@ -16,14 +16,27 @@ itself built on ``compare_candidates``), and hits are built by the same
 :meth:`~repro.core.pipeline.SearchAccumulator._build_hits` the chunk
 loop uses.
 
+By default the index keeps its candidate windows in the *packed* 2-bit
+resident form (:class:`~repro.core.pipeline.PackedSites` planes packed
+once at build time), so serving runs the bit-parallel comparer — XOR +
+odd-bit mask + popcount over resident uint64 words — instead of
+re-gathering genome bytes per batch.  Packing requires the pattern to
+fit one 64-bit word (``plen <= 32``) and every chunk byte to be
+uppercase A/C/G/T/N; anything else auto-degrades the whole index to the
+byte comparer (``packed_disabled_reason`` records why).  Queries with
+ambiguity codes at checked positions always fall back to the byte
+comparer per query, so responses stay byte-identical either way.
+
 Persistence reuses the :mod:`repro.resilience.checkpoint` fingerprint
 machinery: ``save`` writes a versioned ``index.json`` header carrying a
 SHA-256 manifest fingerprint over (genome identity, pattern, chunk
 size) plus a SHA-256 digest of the packed site arrays; ``load`` refuses
 an index built for a different genome/pattern/chunk size
-(:class:`SiteIndexMismatchError`) and detects corrupted site payloads
-(:class:`SiteIndexError`) — a warm-starting server never trusts a stale
-or torn index silently.
+(:class:`SiteIndexMismatchError`), detects corrupted site payloads
+(:class:`SiteIndexError`), and rejects other on-disk format versions
+with :class:`SiteIndexVersionError` so callers (the ``serve`` CLI)
+rebuild instead of misreading — a warm-starting server never trusts a
+stale or torn index silently.
 """
 
 from __future__ import annotations
@@ -32,16 +45,19 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.bitparallel import (acgtn_only, pack_site_windows,
+                                window_packable)
 from ..core.config import Query
 from ..core.patterns import compile_pattern
-from ..core.pipeline import (DEFAULT_CHUNK_SIZE, ResidentChunk,
-                             make_pipeline)
+from ..core.pipeline import (DEFAULT_CHUNK_SIZE, PackedSites,
+                             ResidentChunk, make_pipeline)
 from ..core.records import OffTargetHit
 from ..genome.assembly import Assembly
 from ..observability import faults, tracing
@@ -53,8 +69,12 @@ INDEX_MANIFEST_NAME = "index.json"
 #: Packed candidate-site arrays inside an index directory.
 SITES_NAME = "sites.npz"
 
-#: Bumped on any change to the on-disk layout.
-INDEX_VERSION = 1
+#: Bumped on any change to the on-disk layout.  Version 2 added the
+#: ``packed`` header flag and the optional 2-bit window planes.
+INDEX_VERSION = 2
+
+#: A pattern longer than this cannot pack one window per uint64.
+MAX_PACKED_PATTERN = 32
 
 
 class SiteIndexError(RuntimeError):
@@ -65,9 +85,24 @@ class SiteIndexMismatchError(SiteIndexError):
     """A stored index was built for a different genome/pattern/layout."""
 
 
+class SiteIndexVersionError(SiteIndexError):
+    """A stored index uses a different on-disk format version.
+
+    Distinct from generic corruption so a server can respond by
+    rebuilding (the genome is right, only the layout is old) instead of
+    refusing to start.
+    """
+
+
 @dataclass
 class _IndexedChunk:
-    """One chunk's resident finder output."""
+    """One chunk's resident finder output.
+
+    ``data`` is a zero-copy view over the assembly's chromosome array,
+    cached at build/load time so serving never re-fetches bases per
+    batch; ``packed`` holds the resident 2-bit window planes when the
+    index is in packed mode.
+    """
 
     chrom: str
     start: int
@@ -75,6 +110,8 @@ class _IndexedChunk:
     length: int  # chunk data length in bases (scan region + overlap)
     loci: np.ndarray   # uint32 candidate offsets within the chunk
     flags: np.ndarray  # uint8 strand flags, as the finder emitted them
+    data: Optional[np.ndarray] = None
+    packed: Optional[PackedSites] = None
 
 
 class GenomeSiteIndex:
@@ -90,7 +127,7 @@ class GenomeSiteIndex:
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  api: str = "sycl", device: str = "MI100",
                  variant: str = "base", mode: str = "vectorized",
-                 work_group_size: int = 256):
+                 work_group_size: int = 256, packed: bool = True):
         if chunk_size < 1:
             raise ValueError(
                 f"chunk size must be >= 1, got {chunk_size}")
@@ -106,6 +143,26 @@ class GenomeSiteIndex:
                                       work_group_size=work_group_size)
         self.build_wall_s = 0.0
         self._chunks: List[_IndexedChunk] = []
+        #: Effective comparer mode; may be degraded from the request.
+        self.packed = bool(packed)
+        self.packed_disabled_reason: Optional[str] = None
+        if self.packed and self.compiled_pattern.plen \
+                > MAX_PACKED_PATTERN:
+            self._disable_packed(
+                f"pattern length {self.compiled_pattern.plen} exceeds "
+                f"the {MAX_PACKED_PATTERN}-base packed window")
+        self._stats_lock = threading.Lock()
+        self._queries_packed = 0
+        self._queries_fallback = 0
+
+    def _disable_packed(self, reason: str) -> None:
+        """Degrade the whole index to the byte comparer, keeping note."""
+        self.packed = False
+        self.packed_disabled_reason = reason
+        for entry in self._chunks:
+            entry.packed = None
+        tracing.instant("index_packed_disabled", cat="index",
+                        reason=reason)
 
     # -- identity -------------------------------------------------------
 
@@ -150,7 +207,8 @@ class GenomeSiteIndex:
               variant: str = "base", mode: str = "vectorized",
               work_group_size: int = 256,
               fault_plan: Optional[str] = None,
-              max_retries: int = 2) -> "GenomeSiteIndex":
+              max_retries: int = 2,
+              packed: bool = True) -> "GenomeSiteIndex":
         """Scan the whole assembly through the finder kernel once.
 
         ``fault_plan`` accepts the same deterministic spec the streaming
@@ -158,10 +216,16 @@ class GenomeSiteIndex:
         failure on a chunk is retried up to ``max_retries`` times, so a
         transient fault during the build never changes the index
         contents — the serving-equivalence tests pin this down.
+
+        ``packed=True`` (default) additionally packs every chunk's
+        candidate windows into resident 2-bit planes right after the
+        finder pass; a chunk byte outside uppercase A/C/G/T/N (or a
+        pattern longer than 32) degrades the whole index to the byte
+        comparer instead of serving wrong or lossy site strings.
         """
         index = cls(assembly, pattern, chunk_size=chunk_size, api=api,
                     device=device, variant=variant, mode=mode,
-                    work_group_size=work_group_size)
+                    work_group_size=work_group_size, packed=packed)
         injector = faults.resolve_injector(fault_plan, device=device)
         started = time.perf_counter()
         plen = index.compiled_pattern.plen
@@ -189,16 +253,27 @@ class GenomeSiteIndex:
                             f"index build failed on chunk {number} "
                             f"after {attempts} attempt(s): "
                             f"{exc!r}") from exc
-            index._chunks.append(_IndexedChunk(
+            entry = _IndexedChunk(
                 chrom=chunk.chrom, start=int(chunk.start),
                 scan_length=int(chunk.scan_length),
                 length=int(chunk.data.size),
                 loci=np.ascontiguousarray(loci, dtype=np.uint32),
-                flags=np.ascontiguousarray(flags, dtype=np.uint8)))
+                flags=np.ascontiguousarray(flags, dtype=np.uint8),
+                data=chunk.data)
+            if index.packed:
+                if acgtn_only(chunk.data):
+                    entry.packed = pack_site_windows(
+                        chunk.data, entry.loci, plen)
+                else:
+                    index._disable_packed(
+                        f"chunk {number} ({chunk.chrom}:{chunk.start}) "
+                        f"holds bytes outside uppercase A/C/G/T/N")
+            index._chunks.append(entry)
         index.build_wall_s = time.perf_counter() - started
         tracing.instant("index_built", cat="index",
                         chunks=index.chunk_count,
-                        sites=index.site_count)
+                        sites=index.site_count,
+                        packed=index.packed)
         return index
 
     # -- queries --------------------------------------------------------
@@ -224,6 +299,11 @@ class GenomeSiteIndex:
                     f"{self.pattern!r} has length {plen}")
         queries = list(queries)
         compiled = [compile_pattern(q.sequence) for q in queries]
+        if self.packed:
+            packed_n = sum(1 for cq in compiled if window_packable(cq))
+            with self._stats_lock:
+                self._queries_packed += packed_n
+                self._queries_fallback += len(compiled) - packed_n
         hits: List[List[OffTargetHit]] = [[] for _ in queries]
         for entry_hits in self.pipeline.compare_resident(
                 self._resident_entries(), queries, compiled,
@@ -233,20 +313,38 @@ class GenomeSiteIndex:
         return hits
 
     def _resident_entries(self):
-        """Yield non-empty chunks with their genome data staged in.
+        """Yield non-empty chunks as comparer-ready resident entries.
 
-        Lazy so :meth:`query_batch` holds at most one chunk's bases in
-        memory at a time, matching the pre-resident chunk loop.
+        Chunk bases were cached (as zero-copy views over the assembly)
+        at build/load time, so no per-batch ``assembly.fetch`` happens
+        on the serving hot path; in packed mode the resident 2-bit
+        planes ride along for the bit-parallel comparer.
         """
         for entry in self._chunks:
             if entry.loci.size == 0:
                 continue
-            data = self.assembly.fetch(entry.chrom, entry.start,
-                                       entry.start + entry.length)
+            data = entry.data
+            if data is None:  # pre-cache index state (defensive)
+                data = self.assembly.fetch(entry.chrom, entry.start,
+                                           entry.start + entry.length)
+                entry.data = data
             yield ResidentChunk(chrom=entry.chrom, start=entry.start,
                                 scan_length=entry.scan_length,
                                 data=data, loci=entry.loci,
-                                flags=entry.flags)
+                                flags=entry.flags,
+                                packed=entry.packed)
+
+    def comparer_stats(self) -> Dict[str, object]:
+        """Comparer-mode introspection for the ``stats`` server op."""
+        with self._stats_lock:
+            queries_packed = self._queries_packed
+            queries_fallback = self._queries_fallback
+        return {
+            "mode": "packed" if self.packed else "byte",
+            "packed_disabled_reason": self.packed_disabled_reason,
+            "queries_packed": queries_packed,
+            "queries_fallback": queries_fallback,
+        }
 
     # -- persistence ----------------------------------------------------
 
@@ -256,7 +354,9 @@ class GenomeSiteIndex:
         The site arrays go to ``sites.npz`` (written via temp file +
         atomic rename); ``index.json`` records the format version, the
         manifest fingerprint and the payload's SHA-256, so :meth:`load`
-        can refuse mismatched or corrupted state up front.
+        can refuse mismatched or corrupted state up front.  A packed
+        index persists its 2-bit window planes alongside the site
+        arrays, so a warm-started server skips the packing pass too.
         """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
@@ -281,6 +381,14 @@ class GenomeSiteIndex:
             "flags": (np.concatenate([e.flags for e in self._chunks])
                       if self._chunks else np.zeros(0, np.uint8)),
         }
+        if self.packed:
+            arrays["packed_words"] = (
+                np.concatenate([e.packed.words for e in self._chunks])
+                if self._chunks else np.zeros(0, np.uint64))
+            arrays["packed_invalid"] = (
+                np.concatenate([e.packed.invalid
+                                for e in self._chunks])
+                if self._chunks else np.zeros(0, np.uint64))
         sites_path = os.path.join(directory, SITES_NAME)
         fd, tmp = tempfile.mkstemp(dir=directory, prefix=".sites-",
                                    suffix=".part")
@@ -309,6 +417,7 @@ class GenomeSiteIndex:
                 "sites": self.site_count,
                 "chrom_names": chrom_names,
                 "sites_sha256": sites_sha,
+                "packed": self.packed,
             })
         tracing.instant("index_saved", cat="index", directory=directory)
 
@@ -316,13 +425,18 @@ class GenomeSiteIndex:
     def load(cls, directory: str, assembly: Assembly,
              api: str = "sycl", device: str = "MI100",
              variant: str = "base", mode: str = "vectorized",
-             work_group_size: int = 256) -> "GenomeSiteIndex":
+             work_group_size: int = 256,
+             packed: bool = True) -> "GenomeSiteIndex":
         """Warm-start from a saved directory, validating everything.
 
         The stored fingerprint must match one recomputed from the live
         ``assembly`` plus the stored pattern/chunk size — so loading an
         index against a different genome (or after the genome changed)
-        refuses instead of silently serving wrong sites.
+        refuses instead of silently serving wrong sites.  A different
+        on-disk format version raises :class:`SiteIndexVersionError`
+        (rebuild, don't misread).  ``packed`` selects the resident
+        comparer mode: stored planes are reused when present, packed
+        fresh from the assembly otherwise.
         """
         directory = os.fspath(directory)
         manifest_path = os.path.join(directory, INDEX_MANIFEST_NAME)
@@ -334,14 +448,14 @@ class GenomeSiteIndex:
                 f"unreadable index header {manifest_path!r}: "
                 f"{exc}") from exc
         if header.get("version") != INDEX_VERSION:
-            raise SiteIndexError(
+            raise SiteIndexVersionError(
                 f"unsupported index version {header.get('version')!r} "
                 f"in {manifest_path!r} (this build reads "
-                f"{INDEX_VERSION})")
+                f"{INDEX_VERSION}); rebuild the index")
         index = cls(assembly, header["pattern"],
                     chunk_size=int(header["chunk_size"]), api=api,
                     device=device, variant=variant, mode=mode,
-                    work_group_size=work_group_size)
+                    work_group_size=work_group_size, packed=packed)
         fingerprint = index.manifest().fingerprint()
         if header.get("fingerprint") != fingerprint:
             raise SiteIndexMismatchError(
@@ -365,21 +479,42 @@ class GenomeSiteIndex:
                 f"(stored {header.get('sites_sha256')!r}, actual "
                 f"{digest!r}); the file is corrupt — rebuild the index")
         import io
+        plen = index.compiled_pattern.plen
         with np.load(io.BytesIO(blob)) as arrays:
             chrom_names = list(header["chrom_names"])
             offsets = arrays["site_offsets"]
             loci_all = arrays["loci"]
             flags_all = arrays["flags"]
+            stored_words = (arrays["packed_words"]
+                            if "packed_words" in arrays else None)
+            stored_invalid = (arrays["packed_invalid"]
+                              if "packed_invalid" in arrays else None)
             for i in range(arrays["chunk_start"].size):
                 lo, hi = int(offsets[i]), int(offsets[i + 1])
-                index._chunks.append(_IndexedChunk(
-                    chrom=chrom_names[int(arrays["chunk_chrom"][i])],
-                    start=int(arrays["chunk_start"][i]),
+                start = int(arrays["chunk_start"][i])
+                length = int(arrays["chunk_length"][i])
+                chrom = chrom_names[int(arrays["chunk_chrom"][i])]
+                entry = _IndexedChunk(
+                    chrom=chrom, start=start,
                     scan_length=int(arrays["chunk_scan"][i]),
-                    length=int(arrays["chunk_length"][i]),
+                    length=length,
                     loci=loci_all[lo:hi].copy(),
-                    flags=flags_all[lo:hi].copy()))
+                    flags=flags_all[lo:hi].copy(),
+                    data=assembly.fetch(chrom, start, start + length))
+                if index.packed:
+                    if stored_words is not None:
+                        entry.packed = PackedSites(
+                            words=stored_words[lo:hi].copy(),
+                            invalid=stored_invalid[lo:hi].copy())
+                    elif acgtn_only(entry.data):
+                        entry.packed = pack_site_windows(
+                            entry.data, entry.loci, plen)
+                    else:
+                        index._disable_packed(
+                            f"chunk {i} ({chrom}:{start}) holds bytes "
+                            f"outside uppercase A/C/G/T/N")
+                index._chunks.append(entry)
         tracing.instant("index_loaded", cat="index", directory=directory,
                         chunks=index.chunk_count,
-                        sites=index.site_count)
+                        sites=index.site_count, packed=index.packed)
         return index

@@ -303,13 +303,22 @@ class BatchScheduler:
     # -- introspection --------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Queue depth, counters, batch-size histogram, latency tails."""
+        """Queue depth, counters, batch-size histogram, latency tails.
+
+        When the index exposes ``comparer_stats`` (packed/byte mode,
+        fallback counters, shm footprint for the sharded tier), it is
+        included under ``"comparer"``.
+        """
         with self._stats_lock:
             latencies = sorted(self._latencies_ms)
             histogram = dict(sorted(self._batch_sizes.items()))
             completed, rejected = self._completed, self._rejected
             expired, batches = self._expired, self._batches
+        comparer_stats = getattr(self.index, "comparer_stats", None)
+        comparer = (comparer_stats() if callable(comparer_stats)
+                    else None)
         return {
+            "comparer": comparer,
             "queue_depth": self._queue.qsize(),
             "max_queue": self.max_queue,
             "max_batch": self.max_batch,

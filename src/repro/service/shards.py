@@ -14,6 +14,18 @@ are *gathered* and merged in global chunk order, so responses stay
 byte-identical to the single-process service — the same invariant the
 streaming engine and checkpoint resume already pin down.
 
+When the inner index is in packed mode the segments carry the compact
+forms instead of raw arrays: per chunk, the 2-bit
+:mod:`~repro.genome.twobit` bases plus N mask (~0.28 B/base), a
+candidate bitmask over the scan region (1 bit per scanned position —
+loci are strictly ascending and unique, so the mask is lossless), and
+2-bit strand flags (4 per byte).  No genome segment is published at
+all.  Each worker decodes its slice privately at attach time and
+repacks the resident :class:`~repro.core.pipeline.PackedSites` planes
+once, so the per-batch hot path runs the bit-parallel comparer with
+zero shared-memory gathers.  Byte mode keeps the original layout
+(genome segment + per-shard ``loci``/``flags``).
+
 Worker lifecycle follows :mod:`repro.core.multidevice`'s failover
 shape: liveness is checked against the worker process itself, a dead
 worker is respawned and re-attaches its shard straight from the shared
@@ -47,10 +59,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.bitparallel import pack_site_windows, window_packable
 from ..core.config import Query
 from ..core.patterns import compile_pattern
 from ..core.pipeline import ResidentChunk, make_pipeline
 from ..core.records import OffTargetHit
+from ..genome import twobit
 from ..observability import tracing
 from .index import GenomeSiteIndex
 
@@ -89,31 +103,87 @@ def _attach_shared(name: str) -> shared_memory.SharedMemory:
 # Worker process
 # ---------------------------------------------------------------------------
 
-def _shard_worker_main(shard_id: int, genome_name: str,
+def _packed_region_size(length: int, scan_length: int,
+                        n_sites: int) -> int:
+    """Bytes one chunk occupies in a packed-layout shard segment."""
+    return ((length + 3) // 4 + (length + 7) // 8
+            + (scan_length + 7) // 8 + (n_sites + 3) // 4)
+
+
+def _shard_worker_main(shard_id: int, genome_name: Optional[str],
                        genome_layout: List[Tuple[str, int, int]],
                        sites_name: str, site_count: int,
+                       seg_bytes: int,
                        chunk_meta: List[Tuple[int, str, int, int, int,
                                               int, int]],
                        pipeline_params: Dict[str, Any],
+                       packed: bool, plen: int,
                        task_queue, result_queue) -> None:
     """One shard's comparer loop: attach, serve tasks, exit on stop.
 
-    ``chunk_meta`` rows are ``(global_index, chrom, start, scan_length,
-    length, lo, hi)`` — everything needed to rebuild
-    :class:`ResidentChunk` views over the two shared segments; only
-    this metadata and the final hits ever cross the process boundary.
+    Byte layout: ``chunk_meta`` rows are ``(global_index, chrom, start,
+    scan_length, length, lo, hi)`` and entries are zero-copy views over
+    the genome and sites segments.  Packed layout: rows are
+    ``(global_index, chrom, start, scan_length, length, n_sites,
+    offset)``; the worker decodes its 2-bit bases, candidate bitmask
+    and flag pairs into private arrays once at attach time and repacks
+    the resident :class:`PackedSites` planes, so no shared view is held
+    on the hot path.  Only this metadata and the final hits ever cross
+    the process boundary.
     """
-    genome_shm = _attach_shared(genome_name)
+    genome_shm = None
     sites_shm = _attach_shared(sites_name)
-    genome_total = sum(size for _, _, size in genome_layout)
-    genome_arr = np.ndarray((genome_total,), dtype=np.uint8,
-                            buffer=genome_shm.buf)
-    chrom_views = {name: genome_arr[offset:offset + size]
-                   for name, offset, size in genome_layout}
-    loci_all = np.ndarray((site_count,), dtype=np.uint32,
-                          buffer=sites_shm.buf)
-    flags_all = np.ndarray((site_count,), dtype=np.uint8,
-                           buffer=sites_shm.buf, offset=site_count * 4)
+    entries: List[ResidentChunk] = []
+    if packed:
+        seg = np.ndarray((seg_bytes,), dtype=np.uint8,
+                         buffer=sites_shm.buf)
+        shifts = np.arange(4, dtype=np.uint8) * np.uint8(2)
+        for _, chrom, start, scan_length, length, n_sites, off \
+                in chunk_meta:
+            base_len = (length + 3) // 4
+            nmask_len = (length + 7) // 8
+            cand_len = (scan_length + 7) // 8
+            flags_len = (n_sites + 3) // 4
+            p = off
+            data = twobit.decode(twobit.TwoBitSequence(
+                packed=seg[p:p + base_len].copy(),
+                n_mask=seg[p + base_len:p + base_len + nmask_len]
+                .copy(),
+                length=length))
+            p += base_len + nmask_len
+            loci = np.flatnonzero(np.unpackbits(
+                seg[p:p + cand_len], bitorder="little",
+                count=scan_length)).astype(np.uint32)
+            p += cand_len
+            quads = seg[p:p + flags_len]
+            flags = np.ascontiguousarray(
+                ((quads[:, None] >> shifts) & np.uint8(3))
+                .reshape(-1)[:n_sites])
+            entries.append(ResidentChunk(
+                chrom=chrom, start=start, scan_length=scan_length,
+                data=data, loci=loci, flags=flags,
+                packed=pack_site_windows(data, loci, plen)))
+        del seg
+    else:
+        genome_shm = _attach_shared(genome_name)
+        genome_total = sum(size for _, _, size in genome_layout)
+        genome_arr = np.ndarray((genome_total,), dtype=np.uint8,
+                                buffer=genome_shm.buf)
+        chrom_views = {name: genome_arr[offset:offset + size]
+                       for name, offset, size in genome_layout}
+        loci_all = np.ndarray((site_count,), dtype=np.uint32,
+                              buffer=sites_shm.buf)
+        flags_all = np.ndarray((site_count,), dtype=np.uint8,
+                               buffer=sites_shm.buf,
+                               offset=site_count * 4)
+        entries = [
+            ResidentChunk(chrom=chrom, start=start,
+                          scan_length=scan_length,
+                          data=chrom_views[chrom][start:start + length],
+                          loci=loci_all[lo:hi], flags=flags_all[lo:hi])
+            for _, chrom, start, scan_length, length, lo, hi
+            in chunk_meta]
+        del genome_arr, chrom_views, loci_all, flags_all
     pipeline = make_pipeline(**pipeline_params)
     try:
         while True:
@@ -146,17 +216,8 @@ def _shard_worker_main(shard_id: int, genome_name: str,
                     with tracing.span("shard", cat="shard",
                                       shard=shard_id, batch=batch_id,
                                       chunks=len(chunk_meta),
+                                      packed=packed,
                                       queries=len(queries)):
-                        entries = (
-                            ResidentChunk(
-                                chrom=chrom, start=start,
-                                scan_length=scan_length,
-                                data=chrom_views[chrom][
-                                    start:start + length],
-                                loci=loci_all[lo:hi],
-                                flags=flags_all[lo:hi])
-                            for _, chrom, start, scan_length, length,
-                            lo, hi in chunk_meta)
                         per_entry = pipeline.compare_resident(
                             entries, queries, compiled, batched=True)
                 finally:
@@ -177,8 +238,10 @@ def _shard_worker_main(shard_id: int, genome_name: str,
         release = getattr(pipeline, "release", None)
         if release is not None:
             release()
-        del chrom_views, genome_arr, loci_all, flags_all
+        del entries  # byte-mode entries hold views over the segments
         for shm in (genome_shm, sites_shm):
+            if shm is None:
+                continue
             try:
                 shm.close()
             except BufferError:
@@ -196,6 +259,7 @@ class _ShardWorker:
     shard_id: int
     sites_name: str
     site_count: int
+    seg_bytes: int
     chunk_meta: List[Tuple[int, str, int, int, int, int, int]]
     task_queue: Any
     process: Any = None
@@ -237,7 +301,14 @@ class ShardedSiteIndex:
         self._genome_shm: Optional[shared_memory.SharedMemory] = None
         self._shard_shms: List[shared_memory.SharedMemory] = []
         self._genome_layout: List[Tuple[str, int, int]] = []
+        self._genome_bytes = 0
         self._workers: List[_ShardWorker] = []
+        #: Effective sharded-tier comparer mode (may degrade to byte).
+        self.packed = False
+        self.packed_disabled_reason: Optional[str] = \
+            getattr(index, "packed_disabled_reason", None)
+        self._queries_packed = 0
+        self._queries_fallback = 0
         self._results = self._ctx.Queue()
         self._pipeline_params = dict(
             api=index.api, device=index.device,
@@ -290,68 +361,174 @@ class ShardedSiteIndex:
     def manifest(self):
         return self.index.manifest()
 
+    def segment_bytes(self) -> Dict[str, Any]:
+        """Shared-memory footprint of the published index."""
+        shard_bytes = sum(w.seg_bytes for w in self._workers)
+        return {
+            "mode": "packed" if self.packed else "byte",
+            "genome": self._genome_bytes,
+            "shards": shard_bytes,
+            "total": self._genome_bytes + shard_bytes,
+        }
+
+    def comparer_stats(self) -> Dict[str, Any]:
+        """Comparer-mode introspection (stats op), incl. shm bytes."""
+        with self._lock:
+            queries_packed = self._queries_packed
+            queries_fallback = self._queries_fallback
+        return {
+            "mode": "packed" if self.packed else "byte",
+            "packed_disabled_reason": self.packed_disabled_reason,
+            "queries_packed": queries_packed,
+            "queries_fallback": queries_fallback,
+            "segment_bytes": self.segment_bytes(),
+        }
+
     # -- shared-memory publication --------------------------------------
 
     def _publish(self, index: GenomeSiteIndex) -> None:
         token = uuid.uuid4().hex[:8]
         base = f"{SHM_PREFIX}{os.getpid()}-{token}"
-        offset = 0
-        for chrom in index.assembly.chromosomes:
-            self._genome_layout.append((chrom.name, offset, len(chrom)))
-            offset += len(chrom)
-        self._genome_shm = shared_memory.SharedMemory(
-            name=f"{base}-genome", create=True, size=max(1, offset))
-        genome_arr = np.ndarray((offset,), dtype=np.uint8,
-                                buffer=self._genome_shm.buf)
-        for chrom, (_, off, size) in zip(index.assembly.chromosomes,
-                                         self._genome_layout):
-            genome_arr[off:off + size] = chrom.sequence
-        del genome_arr  # keep no live view: close() would BufferError
+        self.packed = bool(getattr(index, "packed", False))
+        entries = list(index.entries)
+        if self.packed:
+            for gi, entry in enumerate(entries):
+                if entry.loci.size > 1 and not np.all(
+                        np.diff(entry.loci.astype(np.int64)) > 0):
+                    # The candidate bitmask can only represent strictly
+                    # ascending unique loci; fall back rather than
+                    # publish a lossy layout.
+                    self.packed = False
+                    self.packed_disabled_reason = (
+                        f"chunk {gi} loci are not strictly ascending; "
+                        f"cannot publish packed candidate bitmask")
+                    break
+        if not self.packed:
+            offset = 0
+            for chrom in index.assembly.chromosomes:
+                self._genome_layout.append(
+                    (chrom.name, offset, len(chrom)))
+                offset += len(chrom)
+            self._genome_shm = shared_memory.SharedMemory(
+                name=f"{base}-genome", create=True, size=max(1, offset))
+            genome_arr = np.ndarray((offset,), dtype=np.uint8,
+                                    buffer=self._genome_shm.buf)
+            for chrom, (_, off, size) in zip(
+                    index.assembly.chromosomes, self._genome_layout):
+                genome_arr[off:off + size] = chrom.sequence
+            del genome_arr  # no live view: close() would BufferError
+            self._genome_bytes = offset
         assignments: List[List[Tuple[int, Any]]] = [
             [] for _ in range(self.shard_count)]
-        for gi, entry in enumerate(index.entries):
+        for gi, entry in enumerate(entries):
             assignments[gi % self.shard_count].append((gi, entry))
         for shard_id, assigned in enumerate(assignments):
             site_count = sum(e.loci.size for _, e in assigned)
-            shm = shared_memory.SharedMemory(
-                name=f"{base}-s{shard_id}", create=True,
-                size=max(1, site_count * 5))
-            self._shard_shms.append(shm)
-            loci_arr = np.ndarray((site_count,), dtype=np.uint32,
-                                  buffer=shm.buf)
-            flags_arr = np.ndarray((site_count,), dtype=np.uint8,
-                                   buffer=shm.buf,
-                                   offset=site_count * 4)
-            lo = 0
-            chunk_meta = []
-            for gi, entry in assigned:
-                hi = lo + entry.loci.size
-                loci_arr[lo:hi] = entry.loci
-                flags_arr[lo:hi] = entry.flags
-                chunk_meta.append((gi, entry.chrom, int(entry.start),
-                                   int(entry.scan_length),
-                                   int(entry.length), lo, hi))
-                lo = hi
-            del loci_arr, flags_arr
+            if self.packed:
+                seg_bytes, chunk_meta = self._publish_packed_shard(
+                    index, base, shard_id, assigned)
+            else:
+                seg_bytes, chunk_meta = self._publish_byte_shard(
+                    base, shard_id, assigned, site_count)
             self._workers.append(_ShardWorker(
-                shard_id=shard_id, sites_name=shm.name,
-                site_count=site_count, chunk_meta=chunk_meta,
-                task_queue=self._ctx.Queue()))
+                shard_id=shard_id, sites_name=self._shard_shms[-1].name,
+                site_count=site_count, seg_bytes=seg_bytes,
+                chunk_meta=chunk_meta, task_queue=self._ctx.Queue()))
         tracing.instant("shards_published", cat="shard",
                         shards=self.shard_count,
-                        genome_bytes=offset,
+                        packed=self.packed,
+                        genome_bytes=self._genome_bytes,
+                        shard_bytes=sum(w.seg_bytes
+                                        for w in self._workers),
                         sites=index.site_count)
+
+    def _publish_byte_shard(self, base: str, shard_id: int, assigned,
+                            site_count: int):
+        """Original layout: loci (u32) then strand flags (u8)."""
+        seg_bytes = site_count * 5
+        shm = shared_memory.SharedMemory(
+            name=f"{base}-s{shard_id}", create=True,
+            size=max(1, seg_bytes))
+        self._shard_shms.append(shm)
+        loci_arr = np.ndarray((site_count,), dtype=np.uint32,
+                              buffer=shm.buf)
+        flags_arr = np.ndarray((site_count,), dtype=np.uint8,
+                               buffer=shm.buf, offset=site_count * 4)
+        lo = 0
+        chunk_meta = []
+        for gi, entry in assigned:
+            hi = lo + entry.loci.size
+            loci_arr[lo:hi] = entry.loci
+            flags_arr[lo:hi] = entry.flags
+            chunk_meta.append((gi, entry.chrom, int(entry.start),
+                               int(entry.scan_length),
+                               int(entry.length), lo, hi))
+            lo = hi
+        del loci_arr, flags_arr
+        return seg_bytes, chunk_meta
+
+    def _publish_packed_shard(self, index: GenomeSiteIndex, base: str,
+                              shard_id: int, assigned):
+        """Packed layout: per chunk, 2-bit bases + N mask, candidate
+        bitmask over the scan region, and 2-bit strand flags."""
+        regions = []
+        total = 0
+        for gi, entry in assigned:
+            regions.append((gi, entry, total))
+            total += _packed_region_size(int(entry.length),
+                                         int(entry.scan_length),
+                                         int(entry.loci.size))
+        shm = shared_memory.SharedMemory(
+            name=f"{base}-s{shard_id}", create=True,
+            size=max(1, total))
+        self._shard_shms.append(shm)
+        seg = np.ndarray((total,), dtype=np.uint8, buffer=shm.buf)
+        weights = np.array([1, 4, 16, 64], dtype=np.uint16)
+        chunk_meta = []
+        for gi, entry, off in regions:
+            data = entry.data
+            if data is None:
+                data = index.assembly.fetch(
+                    entry.chrom, entry.start,
+                    entry.start + entry.length)
+            encoded = twobit.encode(data)
+            p = off
+            seg[p:p + encoded.packed.size] = encoded.packed
+            p += encoded.packed.size
+            seg[p:p + encoded.n_mask.size] = encoded.n_mask
+            p += encoded.n_mask.size
+            cand_bits = np.zeros(int(entry.scan_length),
+                                 dtype=np.uint8)
+            cand_bits[entry.loci] = 1
+            cand = np.packbits(cand_bits, bitorder="little")
+            seg[p:p + cand.size] = cand
+            p += cand.size
+            n_sites = int(entry.loci.size)
+            pad = (-n_sites) % 4
+            flags = entry.flags if pad == 0 else np.concatenate(
+                [entry.flags, np.zeros(pad, dtype=np.uint8)])
+            quads = (flags.reshape(-1, 4).astype(np.uint16)
+                     * weights).sum(axis=1).astype(np.uint8)
+            seg[p:p + quads.size] = quads
+            chunk_meta.append((gi, entry.chrom, int(entry.start),
+                               int(entry.scan_length),
+                               int(entry.length), n_sites, off))
+        del seg
+        return total, chunk_meta
 
     # -- worker lifecycle -----------------------------------------------
 
     def _spawn(self, worker: _ShardWorker) -> None:
+        genome_name = (self._genome_shm.name
+                       if self._genome_shm is not None else None)
         process = self._ctx.Process(
             target=_shard_worker_main,
-            args=(worker.shard_id, self._genome_shm.name,
+            args=(worker.shard_id, genome_name,
                   self._genome_layout, worker.sites_name,
-                  worker.site_count, worker.chunk_meta,
-                  self._pipeline_params, worker.task_queue,
-                  self._results),
+                  worker.site_count, worker.seg_bytes,
+                  worker.chunk_meta, self._pipeline_params,
+                  self.packed, self.index.compiled_pattern.plen,
+                  worker.task_queue, self._results),
             name=f"shard-{worker.shard_id}", daemon=True)
         process.start()
         worker.process = process
@@ -467,6 +644,12 @@ class ShardedSiteIndex:
         with self._lock:
             if self._closed:
                 raise ShardWorkerError("sharded index is closed")
+            if self.packed:
+                packed_n = sum(
+                    1 for q in queries
+                    if window_packable(compile_pattern(q.sequence)))
+                self._queries_packed += packed_n
+                self._queries_fallback += len(queries) - packed_n
             batch_id = self._next_batch
             self._next_batch += 1
             trace = tracing.active() is not None
