@@ -11,17 +11,21 @@ fault:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m fault
 
 # Query-service tests plus load-generator smokes: packed and byte
-# comparer modes, a 2-shard packed worker-process run, then a sweep for
-# leaked shm segments.
+# comparer modes, 2-shard worker-process runs over the result rings
+# (normal and forced-overflow), then a hard failure on any leaked shm
+# segment before the cleanup sweep.
 service:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service.py \
-		tests/test_packed_service.py
+		tests/test_packed_service.py tests/test_shard_rings.py
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
 		--clients 4 --duration 5 --packed
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
 		--clients 4 --duration 5 --no-packed
 	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
-		--clients 4 --duration 5 --packed --shards 2
+		--clients 4 --duration 5 --packed --shards 2 --adaptive
+	PYTHONPATH=src $(PYTHON) -m repro.service.client --smoke \
+		--clients 4 --duration 5 --packed --shards 2 --ring-records 4
+	PYTHONPATH=src $(PYTHON) -m repro.service.shards --guard
 	PYTHONPATH=src $(PYTHON) -m repro.service.shards --cleanup
 
 # Tier-1 suite plus explicit fault and service passes, one command.

@@ -26,6 +26,17 @@ search, as a one-process-per-query deployment would.
   resident uint64 planes) instead of byte compares.
   ``shm_segment_bytes`` records the sharded tier's shared-memory
   footprint in both layouts and the reduction factor.
+* ``service_sharded_rings``: the packed index behind the sharded tier
+  with its shared-memory result rings — workers ship fixed-width hit
+  records instead of pickled hit lists.  The final ``comparer`` stats
+  snapshot records ``result_path`` (ring vs pickle batches),
+  ``ring_high_water`` and ``shards_skipped``.
+* ``service_degraded``: the same sharded construction with
+  ``auto_degrade=True``.  On a single-CPU host the tier routes itself
+  out of the picture at construction and every batch runs in-process,
+  so the honest expectation is parity with ``service_packed`` — the
+  scatter/gather hop is never paid (``speedup_degraded`` records the
+  ratio).
 
 All sides serve identical single-guide requests drawn round-robin
 from the same pool.  The report lands in ``BENCH_SERVICE.json`` with
@@ -191,6 +202,49 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
     finally:
         packed_handle.stop()
 
+    service_sharded_rings = {}
+    rings_index = ShardedSiteIndex(packed_index, shards=shards)
+    rings_server = OffTargetServer(
+        rings_index, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max(64, 4 * max(concurrency)))
+    rings_handle = rings_server.start_background()
+    try:
+        for clients in concurrency:
+            print(f"rings    @ {clients} clients "
+                  f"({shards} shards, packed) ...", flush=True)
+            queries_by_client = [
+                [QUERY_POOL[i % len(QUERY_POOL)]]
+                for i in range(clients)]
+            service_sharded_rings[str(clients)] = _service_load(
+                rings_handle, queries_by_client, duration_s)
+        rings_stats = rings_index.comparer_stats()
+    finally:
+        rings_handle.stop()
+        rings_index.close()
+
+    service_degraded = {}
+    degraded_index = ShardedSiteIndex(packed_index, shards=shards,
+                                      auto_degrade=True)
+    degraded_server = OffTargetServer(
+        degraded_index, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max(64, 4 * max(concurrency)))
+    degraded_handle = degraded_server.start_background()
+    try:
+        for clients in concurrency:
+            print(f"degrade  @ {clients} clients (auto_degrade"
+                  f"{', degraded' if degraded_index.degraded else ''}"
+                  f") ...", flush=True)
+            queries_by_client = [
+                [QUERY_POOL[i % len(QUERY_POOL)]]
+                for i in range(clients)]
+            service_degraded[str(clients)] = _service_load(
+                degraded_handle, queries_by_client, duration_s)
+        degraded = {"degraded": degraded_index.degraded,
+                    "reason": degraded_index.degrade_reason}
+    finally:
+        degraded_handle.stop()
+        degraded_index.close()
+
     # Shared-memory footprint of the sharded tier in both layouts
     # (publication only — no worker processes are spawned).
     byte_pub = ShardedSiteIndex(index, shards=shards, start=False)
@@ -230,6 +284,20 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
                   if service[clients]["throughput_rps"] > 0 else None)
         for clients in service
     }
+    speedup_rings = {
+        clients: (service_sharded_rings[clients]["throughput_rps"]
+                  / service_packed[clients]["throughput_rps"]
+                  if service_packed[clients]["throughput_rps"] > 0
+                  else None)
+        for clients in service_packed
+    }
+    speedup_degraded = {
+        clients: (service_degraded[clients]["throughput_rps"]
+                  / service_packed[clients]["throughput_rps"]
+                  if service_packed[clients]["throughput_rps"] > 0
+                  else None)
+        for clients in service_packed
+    }
     return {
         "host": {"cpus": os.cpu_count()},
         "workload": {
@@ -248,9 +316,15 @@ def run_bench(scale: float, chunk_size: int, duration_s: float,
         "service": service,
         "service_sharded": service_sharded,
         "service_packed": service_packed,
+        "service_sharded_rings": service_sharded_rings,
+        "service_degraded": service_degraded,
+        "sharded_rings_comparer": rings_stats,
+        "degraded": degraded,
         "speedup_throughput": speedup,
         "speedup_sharded": speedup_sharded,
         "speedup_packed": speedup_packed,
+        "speedup_rings": speedup_rings,
+        "speedup_degraded": speedup_degraded,
         "shm_segment_bytes": shm_segment_bytes,
     }
 
@@ -359,6 +433,21 @@ def main(argv=None) -> int:
               f"({shard_ratio:.2f}x vs service) | packed "
               f"{packed['throughput_rps']:7.2f} req/s "
               f"({packed_ratio:.2f}x vs service)")
+    for clients in report["service_packed"]:
+        rings = report["service_sharded_rings"][clients]
+        degraded = report["service_degraded"][clients]
+        print(f"{clients:>3} clients: sharded+rings "
+              f"{rings['throughput_rps']:7.2f} req/s "
+              f"({report['speedup_rings'][clients]:.2f}x vs packed) | "
+              f"auto-degrade {degraded['throughput_rps']:7.2f} req/s "
+              f"({report['speedup_degraded'][clients]:.2f}x vs packed)")
+    comparer = report["sharded_rings_comparer"]
+    print(f"ring path: {comparer['result_path']} | high water "
+          f"{comparer['ring_high_water']} / {comparer['ring_records']} "
+          f"records | shards skipped {comparer['shards_skipped']}")
+    degraded = report["degraded"]
+    if degraded["degraded"]:
+        print(f"auto-degrade engaged: {degraded['reason']}")
     segments = report["shm_segment_bytes"]
     print(f"shm segments: byte {segments['byte']['total']:,} B -> "
           f"packed {segments['packed']['total']:,} B "

@@ -13,7 +13,16 @@ export PYTHONPATH=src
 trap 'python -m repro.service.shards --cleanup' EXIT
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
-python -m pytest -x -q tests/test_service.py tests/test_packed_service.py "$@"
+python -m pytest -x -q tests/test_service.py tests/test_packed_service.py \
+    tests/test_shard_rings.py "$@"
 python -m repro.service.client --smoke --clients 4 --duration 5 --packed
 python -m repro.service.client --smoke --clients 4 --duration 5 --no-packed
-python -m repro.service.client --smoke --clients 4 --duration 5 --packed --shards 2
+# Sharded smokes: the result-ring hot path, then a 4-record ring that
+# forces the overflow (pickle) fallback on every batch.
+python -m repro.service.client --smoke --clients 4 --duration 5 --packed \
+    --shards 2 --adaptive
+python -m repro.service.client --smoke --clients 4 --duration 5 --packed \
+    --shards 2 --ring-records 4
+# Every smoke above closed its tier; any surviving segment is a leak
+# and fails verification before the trap's cleanup can mask it.
+python -m repro.service.shards --guard

@@ -427,6 +427,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "the index into shared-memory shards with "
                              "one process each (responses stay "
                              "byte-identical)")
+    parser.add_argument("--ring-records", type=_nonnegative_int,
+                        default=None,
+                        help="per-shard result-ring capacity in "
+                             "records (default 65536; 0 disables the "
+                             "rings and every batch takes the pickled "
+                             "fallback path)")
+    parser.add_argument("--auto-degrade", action="store_true",
+                        help="with --shards >1: serve in-process when "
+                             "the host cannot win the scatter/gather "
+                             "hop (single cpu)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="let the scheduler retune max_batch from "
+                             "queue depth and latency tails, and "
+                             "route sub-scatter batches to the "
+                             "in-process comparer")
     parser.add_argument("--packed", default=True,
                         action=argparse.BooleanOptionalAction,
                         help="keep candidate windows in the resident "
@@ -512,10 +527,21 @@ def _run_serve(argv: List[str]) -> int:
           file=sys.stderr)
     serving = index
     if args.shards > 1:
-        from .service.shards import ShardedSiteIndex
-        serving = ShardedSiteIndex(index, shards=args.shards)
-        print(f"# sharded serving: {args.shards} worker processes",
-              file=sys.stderr)
+        from .service.shards import (DEFAULT_RING_RECORDS,
+                                     ShardedSiteIndex)
+        serving = ShardedSiteIndex(
+            index, shards=args.shards,
+            ring_records=(DEFAULT_RING_RECORDS
+                          if args.ring_records is None
+                          else args.ring_records),
+            auto_degrade=args.auto_degrade)
+        if serving.degraded:
+            print(f"# sharded serving degraded: "
+                  f"{serving.degrade_reason}", file=sys.stderr)
+        else:
+            print(f"# sharded serving: {args.shards} worker "
+                  f"processes, {serving.ring_records} ring records "
+                  f"per shard", file=sys.stderr)
     import signal
     import threading
     if threading.current_thread() is threading.main_thread():
@@ -527,7 +553,9 @@ def _run_serve(argv: List[str]) -> int:
     server = OffTargetServer(serving, host=args.host, port=args.port,
                              max_batch=args.max_batch,
                              max_wait_ms=args.max_wait_ms,
-                             max_queue=args.max_queue)
+                             max_queue=args.max_queue,
+                             adaptive=args.adaptive,
+                             direct_below=2 if args.adaptive else 0)
     print(f"# serving {index.assembly.name} pattern={index.pattern} "
           f"on {args.host} (max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", file=sys.stderr)

@@ -303,6 +303,28 @@ class ResidentChunk:
     packed: Optional[PackedSites] = None
 
 
+def build_entry_hits(entry: ResidentChunk, queries: Sequence[Query],
+                     compiled_queries: Sequence[CompiledPattern],
+                     per_query: Sequence[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]]
+                     ) -> List[List[OffTargetHit]]:
+    """Render final hits for one resident chunk from comparer triples.
+
+    This is the single hit-construction path for resident serving:
+    :meth:`_BasePipeline.compare_resident` uses it after running the
+    comparer locally, and the sharded tier's parent uses it (one record
+    at a time) after reading triples back from a result ring — so a
+    hit is rendered identically no matter which process computed the
+    mismatch counts.
+    """
+    chunk = Chunk(chrom=entry.chrom, start=entry.start,
+                  data=entry.data, scan_length=entry.scan_length)
+    return [SearchAccumulator._build_hits(chunk, cq, query,
+                                          *per_query[qi])
+            for qi, (query, cq)
+            in enumerate(zip(queries, compiled_queries))]
+
+
 class _BasePipeline:
     """Shared chunk loop, workload accounting and hit construction."""
 
@@ -380,26 +402,13 @@ class _BasePipeline:
         queries = list(queries)
         compiled_queries = list(compiled_queries)
         for entry in entries:
-            if entry.loci.size == 0:
+            per_query = self.compare_resident_triples(
+                entry, queries, compiled_queries, batched)
+            if per_query is None:
                 results.append([[] for _ in queries])
                 continue
-            if getattr(entry, "packed", None) is not None:
-                per_query = self._compare_resident_mixed(
-                    entry, queries, compiled_queries, batched)
-            else:
-                per_query = self.compare_candidates(
-                    entry.data, entry.loci, entry.flags, queries,
-                    compiled_queries, batched=batched)
-            chunk = Chunk(chrom=entry.chrom, start=entry.start,
-                          data=entry.data,
-                          scan_length=entry.scan_length)
-            entry_hits: List[List[OffTargetHit]] = []
-            for qi, (query, cq) in enumerate(
-                    zip(queries, compiled_queries)):
-                mm_loci, mm_count, direction = per_query[qi]
-                entry_hits.append(SearchAccumulator._build_hits(
-                    chunk, cq, query, mm_loci, mm_count, direction))
-            results.append(entry_hits)
+            results.append(build_entry_hits(
+                entry, queries, compiled_queries, per_query))
         return results
 
     def _compare_resident_mixed(self, entry: "ResidentChunk",
@@ -436,6 +445,33 @@ class _BasePipeline:
             for slot, i in enumerate(fallback_idx):
                 per_query[i] = byte_out[slot]
         return per_query
+
+    def compare_resident_triples(
+            self, entry: "ResidentChunk", queries: Sequence[Query],
+            compiled_queries: Sequence[CompiledPattern],
+            batched: bool = True
+            ) -> Optional[List[Tuple[np.ndarray, np.ndarray,
+                                     np.ndarray]]]:
+        """Raw comparer triples for one resident chunk.
+
+        Same routing as :meth:`compare_resident` (packed planes when
+        present, byte comparer otherwise) but stops before hit
+        construction: returns ``None`` for an entry with no candidate
+        sites, else one ``(mm_loci, mm_count, direction)`` triple per
+        query.  The sharded tier's result rings ship these fixed-width
+        arrays across the process boundary; the parent renders
+        :class:`OffTargetHit` objects from the same triples with
+        :func:`build_entry_hits`, so both sides stay
+        element-identical.
+        """
+        if entry.loci.size == 0:
+            return None
+        if getattr(entry, "packed", None) is not None:
+            return self._compare_resident_mixed(
+                entry, queries, compiled_queries, batched)
+        return self.compare_candidates(
+            entry.data, entry.loci, entry.flags, queries,
+            compiled_queries, batched=batched)
 
     @property
     def work_group_size(self) -> Optional[int]:

@@ -119,6 +119,22 @@ class TraceRecorder:
         self._buffer().append(entry)
         return entry
 
+    def counter(self, name: str, cat: str = "", **values) -> Span:
+        """Record a counter sample (Chrome-trace ``ph: "C"`` event).
+
+        Counter events render as a stacked value track in trace
+        viewers; the sharded tier samples ring occupancy through this
+        so ring sizing can be read off a trace instead of guessed.
+        ``values`` must be numeric — they become the counter series.
+        """
+        now = _CLOCK()
+        entry = Span(name=name, cat=cat, start_s=now, end_s=now,
+                     pid=os.getpid(),
+                     tid=threading.current_thread().name,
+                     args=dict(values), phase="C")
+        self._buffer().append(entry)
+        return entry
+
     def set_process_name(self, label: str) -> Span:
         """Record a ``process_name`` metadata event for this process.
 
@@ -198,6 +214,7 @@ class TraceRecorder:
                 event["dur"] = span.duration_s * 1e6
             elif span.phase == "i":
                 event["s"] = "t"
+            # Counter events ("C") carry their values directly in args.
             events.append(event)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
@@ -273,6 +290,13 @@ def instant(name: str, cat: str = "", **args) -> None:
     recorder = _active
     if recorder is not None:
         recorder.instant(name, cat, **args)
+
+
+def counter(name: str, cat: str = "", **values) -> None:
+    """Record a counter sample on the active recorder, if any."""
+    recorder = _active
+    if recorder is not None:
+        recorder.counter(name, cat, **values)
 
 
 def merge(spans: Sequence[Span]) -> None:

@@ -215,7 +215,8 @@ def run_load(host: str, port: int, queries: Sequence[Query],
 # ---------------------------------------------------------------------------
 
 def _smoke(clients: int, duration_s: float, shards: int = 0,
-           packed: bool = True) -> int:
+           packed: bool = True, ring_records: Optional[int] = None,
+           auto_degrade: bool = False, adaptive: bool = False) -> int:
     from ..genome.synthetic import synthetic_assembly
     from .index import GenomeSiteIndex
     from .server import OffTargetServer
@@ -225,9 +226,15 @@ def _smoke(clients: int, duration_s: float, shards: int = 0,
                                   chunk_size=1 << 15, packed=packed)
     serving = index
     if shards:
-        from .shards import ShardedSiteIndex
-        serving = ShardedSiteIndex(index, shards=shards)
-    server = OffTargetServer(serving, max_batch=8, max_wait_ms=2.0)
+        from .shards import DEFAULT_RING_RECORDS, ShardedSiteIndex
+        serving = ShardedSiteIndex(
+            index, shards=shards,
+            ring_records=(DEFAULT_RING_RECORDS if ring_records is None
+                          else ring_records),
+            auto_degrade=auto_degrade)
+    server = OffTargetServer(serving, max_batch=8, max_wait_ms=2.0,
+                             adaptive=adaptive,
+                             direct_below=2 if adaptive else 0)
     handle = server.start_background()
     try:
         report = run_load(handle.host, handle.port,
@@ -239,6 +246,9 @@ def _smoke(clients: int, duration_s: float, shards: int = 0,
             serving.close()
     report["shards"] = shards
     report["comparer_mode"] = "packed" if index.packed else "byte"
+    if shards:
+        report["degraded"] = serving.degraded
+        report["ring_records"] = serving.ring_records
     print(json.dumps(report, indent=2, sort_keys=True))
     if report["requests"] <= 0 or report["throughput_rps"] <= 0:
         print("smoke FAILED: no requests completed")
@@ -270,6 +280,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="with --smoke: resident comparer mode "
                              "(packed 2-bit by default; --no-packed "
                              "forces the byte comparer)")
+    parser.add_argument("--ring-records", type=int, default=None,
+                        help="with --smoke --shards N: per-shard "
+                             "result-ring capacity in records "
+                             "(0 disables rings — every batch takes "
+                             "the pickle path; tiny values exercise "
+                             "the overflow fallback)")
+    parser.add_argument("--auto-degrade", action="store_true",
+                        help="with --smoke --shards N: let the tier "
+                             "serve in-process when the host cannot "
+                             "win the scatter/gather hop")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="with --smoke: adaptive scheduler "
+                             "(max_batch retuning + small-batch "
+                             "direct routing)")
     parser.add_argument("--query", action="append", default=[],
                         metavar="SEQ:MM",
                         help="query spec, repeatable (default two "
@@ -277,7 +301,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         return _smoke(args.clients, args.duration, shards=args.shards,
-                      packed=args.packed)
+                      packed=args.packed,
+                      ring_records=args.ring_records,
+                      auto_degrade=args.auto_degrade,
+                      adaptive=args.adaptive)
     if not args.port:
         parser.error("--port is required unless --smoke is given")
     if args.query:

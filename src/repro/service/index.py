@@ -48,14 +48,14 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.bitparallel import (acgtn_only, pack_site_windows,
                                 window_packable)
 from ..core.config import Query
-from ..core.patterns import compile_pattern
+from ..core.patterns import MISMATCH_LUT, compile_pattern
 from ..core.pipeline import (DEFAULT_CHUNK_SIZE, PackedSites,
                              ResidentChunk, make_pipeline)
 from ..core.records import OffTargetHit
@@ -75,6 +75,88 @@ INDEX_VERSION = 2
 
 #: A pattern longer than this cannot pack one window per uint64.
 MAX_PACKED_PATTERN = 32
+
+
+# ---------------------------------------------------------------------------
+# Candidate summaries: cheap per-shard feasibility bounds
+# ---------------------------------------------------------------------------
+#
+# A shard's candidate windows can be summarized by one byte per window
+# position: the OR of a small class mask (A/C/G/T/N, plus "other" for
+# anything else) over every site in the shard.  For a query, a position
+# contributes one *guaranteed* mismatch for every site in the shard iff
+# no base class present in that column is allowed by the query there —
+# so counting such columns gives a lower bound on the mismatch count of
+# ANY site in the shard, per strand.  When that bound exceeds a query's
+# threshold on both strands the shard cannot produce a hit for it, and
+# the sharded tier skips the scatter entirely.  "Other" bytes are
+# treated as always able to match, which keeps the bound conservative
+# (never skips a shard that could have matched).
+
+#: Class bit for genome bytes outside uppercase A/C/G/T/N.
+SUMMARY_OTHER = np.uint8(32)
+
+_SUMMARY_BASES = b"ACGTN"
+
+#: 256-entry lookup: genome byte -> candidate-summary class bit.
+SUMMARY_CLASS_TABLE = np.full(256, SUMMARY_OTHER, dtype=np.uint8)
+for _i, _b in enumerate(_SUMMARY_BASES):
+    SUMMARY_CLASS_TABLE[_b] = np.uint8(1 << _i)
+del _i, _b
+
+
+def window_column_profile(data: np.ndarray, loci: np.ndarray,
+                          plen: int) -> np.ndarray:
+    """Per-position OR of candidate-window class bits for one chunk.
+
+    Returns a ``(plen,)`` uint8 array; position ``p``'s byte has the
+    class bit of every base that appears at offset ``p`` of *some*
+    candidate window.  All-zero means the chunk has no candidates.
+    """
+    if loci.size == 0:
+        return np.zeros(plen, dtype=np.uint8)
+    windows = data[loci.astype(np.int64)[:, None] + np.arange(plen)]
+    return np.bitwise_or.reduce(SUMMARY_CLASS_TABLE[windows], axis=0)
+
+
+def query_allowed_masks(cq) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-strand ``(plen,)`` class masks a compiled query can match.
+
+    Position ``p``'s byte has the class bit of every tracked genome
+    base the comparer would count as a *match* there (``MISMATCH_LUT``
+    semantics: query ``N`` positions match everything, genome ``N``
+    mismatches concrete query bases but not ambiguity codes).  The
+    ``SUMMARY_OTHER`` bit is always set: untracked bytes are assumed
+    matchable so the resulting bound stays a true lower bound.
+    """
+    out = []
+    for codes in (cq.sequence, cq.rc_sequence):
+        allowed = np.full(codes.size, SUMMARY_OTHER, dtype=np.uint8)
+        for i, base in enumerate(_SUMMARY_BASES):
+            allowed |= np.where(MISMATCH_LUT[codes, base] == 0,
+                                np.uint8(1 << i), np.uint8(0))
+        out.append(allowed)
+    return out[0], out[1]
+
+
+def profile_feasible(profile: np.ndarray,
+                     allowed_masks: Tuple[np.ndarray, np.ndarray],
+                     max_mismatches: int) -> bool:
+    """Whether any site summarized by ``profile`` could be a hit.
+
+    ``((profile & allowed) == 0).sum()`` counts columns where every
+    base class present is excluded by the query — a lower bound on the
+    mismatches of every individual site.  The site set is feasible when
+    the bound is within threshold on either strand.  An all-zero
+    profile (no candidates at all) is never feasible.
+    """
+    if not profile.any():
+        return False
+    for allowed in allowed_masks:
+        bound = int(((profile & allowed) == 0).sum())
+        if bound <= max_mismatches:
+            return True
+    return False
 
 
 class SiteIndexError(RuntimeError):

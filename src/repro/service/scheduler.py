@@ -16,11 +16,21 @@ letting latency grow without bound.  Each request may carry a deadline;
 requests that expire while queued are failed with
 :class:`DeadlineExceeded` rather than occupying comparer time.
 
+With ``adaptive=True`` the scheduler retunes itself from the stats it
+already tracks: ``max_batch`` doubles (up to ``max_batch_limit``) when
+the queue is backed up a full batch deep, halves (down to
+``min_batch``) when the queue is empty but the latency tail has blown
+out past 3× the median — batching that large buys no coalescing, only
+tail latency — and batches smaller than ``direct_below`` queries are
+routed through the index's ``query_batch_direct`` (when it has one;
+the sharded tier's runs the batch in-process), because a scatter/gather
+hop cannot amortize over one or two queries.
+
 Observability: every batch runs under a ``service_batch`` tracing span,
 every completed request ships a manually-timed ``service_request`` span
 (queue wait + execution), and :meth:`stats` reports queue depth, a
-batch-size histogram and p50/p95/p99 latency for the ``stats`` server
-op.
+batch-size histogram, p50/p95/p99 latency and the adaptive controller's
+state for the ``stats`` server op.
 """
 
 from __future__ import annotations
@@ -93,7 +103,10 @@ class BatchScheduler:
 
     def __init__(self, index: GenomeSiteIndex, max_batch: int = 8,
                  max_wait_ms: float = 5.0, max_queue: int = 64,
-                 start: bool = True, latency_window: int = 2048):
+                 start: bool = True, latency_window: int = 2048,
+                 adaptive: bool = False, min_batch: int = 1,
+                 max_batch_limit: Optional[int] = None,
+                 direct_below: int = 0):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if not max_wait_ms >= 0:
@@ -101,10 +114,29 @@ class BatchScheduler:
                 f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if min_batch < 1 or min_batch > max_batch:
+            raise ValueError(
+                f"min_batch must be in [1, max_batch], got {min_batch}")
+        if max_batch_limit is not None and max_batch_limit < max_batch:
+            raise ValueError(
+                f"max_batch_limit must be >= max_batch, "
+                f"got {max_batch_limit}")
+        if direct_below < 0:
+            raise ValueError(
+                f"direct_below must be >= 0, got {direct_below}")
         self.index = index
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.max_queue = int(max_queue)
+        self.adaptive = bool(adaptive)
+        self.min_batch = int(min_batch)
+        self.max_batch_limit = int(
+            max_batch_limit if max_batch_limit is not None
+            else max(max_batch, max_queue))
+        self.direct_below = int(direct_below)
+        self._grown = 0
+        self._shrunk = 0
+        self._routed = {"batched": 0, "direct": 0}
         self._queue: "queue.Queue[Optional[_PendingRequest]]" = \
             queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
@@ -269,10 +301,20 @@ class BatchScheduler:
         flat: List[Query] = []
         for pending in live:
             flat.extend(pending.queries)
+        runner = self.index.query_batch
+        route = "batched"
+        if self.direct_below > 0 and len(flat) < self.direct_below:
+            direct = getattr(self.index, "query_batch_direct", None)
+            if callable(direct):
+                # Too small to amortize a scatter/gather hop: run the
+                # batch on the in-process comparer instead.
+                runner = direct
+                route = "direct"
         try:
             with tracing.span("service_batch", cat="service",
-                              requests=len(live), queries=len(flat)):
-                results = self.index.query_batch(flat)
+                              requests=len(live), queries=len(flat),
+                              route=route):
+                results = runner(flat)
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             for pending in live:
                 pending.future.set_exception(exc)
@@ -283,6 +325,7 @@ class BatchScheduler:
         request_spans: List[tracing.Span] = []
         with self._stats_lock:
             self._batches += 1
+            self._routed[route] += 1
             self._batch_sizes[len(flat)] = \
                 self._batch_sizes.get(len(flat), 0) + 1
             for pending in live:
@@ -299,6 +342,46 @@ class BatchScheduler:
                     args={"queries": len(pending.queries),
                           "batch_queries": len(flat)}))
         tracing.merge(request_spans)
+        if self.adaptive:
+            self._adapt()
+
+    def _adapt(self) -> None:
+        """Retune ``max_batch`` from queue depth and latency tails.
+
+        Grow when admission is outrunning the flush size (a full
+        batch is already queued behind the one just served); shrink
+        when the queue is drained but the p95 tail has blown out past
+        3× the median — at that point larger batches are buying no
+        coalescing, only latency.  The latency window resets on
+        shrink so one bad tail does not trigger a collapse to
+        ``min_batch``.
+        """
+        depth = self._queue.qsize()
+        with self._stats_lock:
+            if depth >= self.max_batch and \
+                    self.max_batch < self.max_batch_limit:
+                self.max_batch = min(self.max_batch_limit,
+                                     self.max_batch * 2)
+                self._grown += 1
+                changed = ("grow", depth)
+            elif depth == 0 and self.max_batch > self.min_batch \
+                    and len(self._latencies_ms) >= 16:
+                latencies = sorted(self._latencies_ms)
+                p50 = _percentile(latencies, 0.50)
+                p95 = _percentile(latencies, 0.95)
+                if p50 and p95 and p95 > 3.0 * p50:
+                    self.max_batch = max(self.min_batch,
+                                         self.max_batch // 2)
+                    self._shrunk += 1
+                    self._latencies_ms.clear()
+                    changed = ("shrink", depth)
+                else:
+                    return
+            else:
+                return
+        tracing.instant("scheduler_adapt", cat="service",
+                        direction=changed[0], queue_depth=changed[1],
+                        max_batch=self.max_batch)
 
     # -- introspection --------------------------------------------------
 
@@ -314,6 +397,8 @@ class BatchScheduler:
             histogram = dict(sorted(self._batch_sizes.items()))
             completed, rejected = self._completed, self._rejected
             expired, batches = self._expired, self._batches
+            grown, shrunk = self._grown, self._shrunk
+            routed = dict(self._routed)
         comparer_stats = getattr(self.index, "comparer_stats", None)
         comparer = (comparer_stats() if callable(comparer_stats)
                     else None)
@@ -328,6 +413,15 @@ class BatchScheduler:
             "expired": expired,
             "batches": batches,
             "batch_size_histogram": histogram,
+            "adaptive": {
+                "enabled": self.adaptive,
+                "min_batch": self.min_batch,
+                "max_batch_limit": self.max_batch_limit,
+                "direct_below": self.direct_below,
+                "grown": grown,
+                "shrunk": shrunk,
+                "routed": routed,
+            },
             "latency_ms": {
                 "count": len(latencies),
                 "mean": (sum(latencies) / len(latencies)

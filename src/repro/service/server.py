@@ -93,13 +93,16 @@ class OffTargetServer:
 
     def __init__(self, index: GenomeSiteIndex, host: str = "127.0.0.1",
                  port: int = 0, max_batch: int = 8,
-                 max_wait_ms: float = 5.0, max_queue: int = 64):
+                 max_wait_ms: float = 5.0, max_queue: int = 64,
+                 adaptive: bool = False, direct_below: int = 0):
         self.index = index
         self.host = host
         self.port = port  # 0 = ephemeral; bound port set once listening
         self.scheduler = BatchScheduler(index, max_batch=max_batch,
                                         max_wait_ms=max_wait_ms,
-                                        max_queue=max_queue)
+                                        max_queue=max_queue,
+                                        adaptive=adaptive,
+                                        direct_below=direct_below)
         self._stop_event: Optional[asyncio.Event] = None
         self._closed = False
 
@@ -117,6 +120,12 @@ class OffTargetServer:
             shard_health = getattr(self.index, "shard_health", None)
             if shard_health is not None:
                 response["shards"] = shard_health()
+            degraded = getattr(self.index, "degraded", None)
+            if degraded is not None:
+                response["degraded"] = bool(degraded)
+                if degraded:
+                    response["degrade_reason"] = getattr(
+                        self.index, "degrade_reason", None)
             return response
         if op == "stats":
             return {"ok": True, "stats": self.scheduler.stats()}

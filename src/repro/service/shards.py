@@ -26,14 +26,48 @@ once, so the per-batch hot path runs the bit-parallel comparer with
 zero shared-memory gathers.  Byte mode keeps the original layout
 (genome segment + per-shard ``loci``/``flags``).
 
+Results come back through preallocated per-shard **shared-memory
+result rings**, not pickled hit lists: a worker writes fixed-width
+records — ``(query index, global chunk index, locus, strand,
+mismatches)`` at 16 bytes each — into its ring and posts only a tiny
+``(batch_id, epoch, count)`` control message; the parent reads the
+ring zero-copy and rebuilds the :class:`OffTargetHit` objects from its
+own resident chunk data through the same
+:meth:`~repro.core.pipeline.SearchAccumulator._build_hits` rendering
+the worker would have used, so wire responses stay byte-identical.  A
+batch whose hit count overflows the ring falls back to the original
+pickle path for that shard (also byte-identical, just slower), and
+``comparer_stats`` counts both paths plus the ring high-water mark.
+
+Each shard also publishes a **candidate summary**: per window
+position, the OR of base-class bits over every candidate site in the
+shard.  Before scattering, the parent computes a per-strand lower
+bound on the mismatch count any site in the shard could achieve
+against each query (see :func:`repro.service.index.profile_feasible`);
+shards that provably cannot match any query in the batch are skipped
+entirely (``shards_skipped`` counter).
+
+When the host cannot win the hop — ``auto_degrade=True`` and a single
+CPU, or a :meth:`calibrate` probe measuring the sharded path slower
+than the in-process comparer — the tier *degrades*: no workers are
+kept (or spawned), and every batch routes to the inner
+:class:`GenomeSiteIndex` through :meth:`query_batch_direct`.  The
+batch scheduler uses the same entry point for adaptive small-batch
+routing.
+
 Worker lifecycle follows :mod:`repro.core.multidevice`'s failover
 shape: liveness is checked against the worker process itself, a dead
 worker is respawned and re-attaches its shard straight from the shared
 segments (nothing is recomputed), and the in-flight batch is resent
-under a bumped *epoch* so any half-delivered results from the previous
-incarnation are recognized as stale and dropped.  ``scatter`` /
-``gather`` / per-worker ``shard`` spans thread through the trace
-recorder; workers ship their drained spans back with each result.
+under a bumped *epoch* — with the gather deadline reset, so the fresh
+worker gets a full ``task_timeout_s`` rather than the dead one's
+leftovers.  ``scatter`` / ``gather`` / per-worker ``shard`` spans
+thread through the trace recorder; workers ship their drained spans
+back with each result, and ring occupancy is sampled as Chrome-trace
+counter events.  The lock discipline is deliberately narrow: worker
+state is guarded by a short-lived mutex so ``shard_health`` /
+``ping`` / ``comparer_stats`` answer while a batch is in flight, and
+only ``query_batch``/``close`` serialize on the batch lock.
 
 Shared-memory hygiene: segments are named
 ``repro-shm-<pid>-<token>-...`` so :func:`cleanup_leaked_segments`
@@ -52,27 +86,47 @@ import sys
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.bitparallel import pack_site_windows, window_packable
 from ..core.config import Query
 from ..core.patterns import compile_pattern
-from ..core.pipeline import ResidentChunk, make_pipeline
+from ..core.pipeline import (ResidentChunk, build_entry_hits,
+                             make_pipeline)
 from ..core.records import OffTargetHit
 from ..genome import twobit
 from ..observability import tracing
-from .index import GenomeSiteIndex
+from .index import (GenomeSiteIndex, profile_feasible,
+                    query_allowed_masks, window_column_profile)
 
 #: Prefix for every shared-memory segment this module creates.
 SHM_PREFIX = "repro-shm-"
 
 #: Where POSIX shared memory shows up for leak sweeping.
 _DEV_SHM = "/dev/shm"
+
+#: One fixed-width hit record in a shard's result ring.  ``locus`` is
+#: the offset within the chunk (the comparer's native coordinate);
+#: ``chunk`` is the global chunk index, so the parent can find the
+#: resident chunk the locus refers to.  16 bytes keeps records
+#: naturally aligned and a 64 Ki-record ring at 1 MiB per shard.
+RING_RECORD_DTYPE = np.dtype([
+    ("qi", "<u4"),      # query index within the batch
+    ("chunk", "<u4"),   # global chunk index
+    ("locus", "<u4"),   # candidate offset within the chunk
+    ("mm", "<u2"),      # mismatch count
+    ("strand", "u1"),   # ord("+") or ord("-"), as the kernels emit it
+    ("pad", "u1"),
+])
+
+#: Default per-shard ring capacity in records (1 MiB per shard).
+DEFAULT_RING_RECORDS = 1 << 16
 
 
 class ShardWorkerError(RuntimeError):
@@ -118,6 +172,7 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
                                               int, int]],
                        pipeline_params: Dict[str, Any],
                        packed: bool, plen: int,
+                       ring_name: Optional[str], ring_records: int,
                        task_queue, result_queue) -> None:
     """One shard's comparer loop: attach, serve tasks, exit on stop.
 
@@ -128,8 +183,17 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
     offset)``; the worker decodes its 2-bit bases, candidate bitmask
     and flag pairs into private arrays once at attach time and repacks
     the resident :class:`PackedSites` planes, so no shared view is held
-    on the hot path.  Only this metadata and the final hits ever cross
-    the process boundary.
+    on the hot path.
+
+    Results go back through the shard's result ring when they fit:
+    fixed-width :data:`RING_RECORD_DTYPE` records written in (chunk,
+    query, hit) order — the exact order hit construction iterates — and
+    a small ``("ring", ..., count, spans)`` control message.  The ring
+    writes land before ``result_queue.put`` returns (same thread, and
+    the queue's pipe write is a syscall barrier), so the parent never
+    reads a record ahead of its data.  A batch whose hits overflow the
+    ring (or a tier with rings disabled) builds the hits here and
+    ships them pickled, exactly as before.
     """
     genome_shm = None
     sites_shm = _attach_shared(sites_name)
@@ -184,6 +248,12 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
             for _, chrom, start, scan_length, length, lo, hi
             in chunk_meta]
         del genome_arr, chrom_views, loci_all, flags_all
+    ring_shm = None
+    ring = None
+    if ring_name is not None and ring_records > 0:
+        ring_shm = _attach_shared(ring_name)
+        ring = np.ndarray((ring_records,), dtype=RING_RECORD_DTYPE,
+                          buffer=ring_shm.buf)
     pipeline = make_pipeline(**pipeline_params)
     try:
         while True:
@@ -199,6 +269,11 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
                 # Fault injection: die like a segfaulted worker would,
                 # with no cleanup and no reply.
                 os._exit(23)
+            if kind == "delay":
+                # Fault injection: stall the loop so the parent can
+                # observe a batch genuinely in flight.
+                time.sleep(float(task[1]))
+                continue
             if kind != "query":
                 continue
             _, epoch, batch_id, specs, trace = task
@@ -217,17 +292,58 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
                                       shard=shard_id, batch=batch_id,
                                       chunks=len(chunk_meta),
                                       packed=packed,
-                                      queries=len(queries)):
-                        per_entry = pipeline.compare_resident(
-                            entries, queries, compiled, batched=True)
+                                      queries=len(queries)) as sp:
+                        triples = [pipeline.compare_resident_triples(
+                            entry, queries, compiled, batched=True)
+                            for entry in entries]
+                        total = sum(
+                            int(t[0].size)
+                            for per_query in triples
+                            if per_query is not None
+                            for t in per_query)
+                        sp.args["hits"] = total
                 finally:
                     if recorder is not None:
                         spans = recorder.drain()
                         tracing.activate(None)
-                payload = [(meta[0], entry_hits) for meta, entry_hits
-                           in zip(chunk_meta, per_entry)]
-                result_queue.put(("result", shard_id, epoch, batch_id,
-                                  payload, spans))
+                if ring is not None and total <= ring_records:
+                    pos = 0
+                    for meta, per_query in zip(chunk_meta, triples):
+                        if per_query is None:
+                            continue
+                        gi = meta[0]
+                        for qi, (mm_loci, mm_count, direction) \
+                                in enumerate(per_query):
+                            n = int(mm_loci.size)
+                            if n == 0:
+                                continue
+                            block = ring[pos:pos + n]
+                            block["qi"] = np.uint32(qi)
+                            block["chunk"] = np.uint32(gi)
+                            block["locus"] = mm_loci.astype(
+                                np.uint32, copy=False)
+                            block["mm"] = mm_count.astype(
+                                np.uint16, copy=False)
+                            block["strand"] = direction.astype(
+                                np.uint8, copy=False)
+                            pos += n
+                    result_queue.put(("ring", shard_id, epoch,
+                                      batch_id, pos, spans))
+                else:
+                    # Ring overflow (or rings disabled): build the
+                    # hits here and ship them pickled, as the tier
+                    # originally did for every batch.
+                    payload = []
+                    for meta, entry, per_query in zip(
+                            chunk_meta, entries, triples):
+                        if per_query is None:
+                            payload.append(
+                                (meta[0], [[] for _ in queries]))
+                        else:
+                            payload.append((meta[0], build_entry_hits(
+                                entry, queries, compiled, per_query)))
+                    result_queue.put(("result", shard_id, epoch,
+                                      batch_id, payload, spans))
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:  # noqa: BLE001 - shipped back
@@ -239,7 +355,8 @@ def _shard_worker_main(shard_id: int, genome_name: Optional[str],
         if release is not None:
             release()
         del entries  # byte-mode entries hold views over the segments
-        for shm in (genome_shm, sites_shm):
+        del ring    # ring view pins the ring segment's buffer
+        for shm in (genome_shm, sites_shm, ring_shm):
             if shm is None:
                 continue
             try:
@@ -267,6 +384,13 @@ class _ShardWorker:
     #: stale leftovers from a dead incarnation and are dropped.
     epoch: int = 0
     respawns: int = 0
+    #: Name of this shard's result-ring segment (None: rings disabled).
+    ring_name: Optional[str] = None
+    #: Candidate summary: per window position, the OR of base-class
+    #: bits over every candidate site in the shard (see
+    #: :func:`repro.service.index.window_column_profile`).  Drives the
+    #: pre-scatter feasibility skip.
+    profile: Optional[np.ndarray] = None
 
 
 class ShardedSiteIndex:
@@ -287,41 +411,84 @@ class ShardedSiteIndex:
 
     def __init__(self, index: GenomeSiteIndex, shards: int = 2,
                  task_timeout_s: float = 60.0,
-                 max_respawns_per_batch: int = 3, start: bool = True):
+                 max_respawns_per_batch: int = 3, start: bool = True,
+                 ring_records: int = DEFAULT_RING_RECORDS,
+                 auto_degrade: bool = False):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if ring_records < 0:
+            raise ValueError(
+                f"ring_records must be >= 0, got {ring_records}")
         self.index = index
         self.shard_count = int(shards)
         self.task_timeout_s = float(task_timeout_s)
         self.max_respawns_per_batch = int(max_respawns_per_batch)
+        self.ring_records = int(ring_records)
         self._ctx = get_context("spawn")
+        #: Guards worker/segment state and counters.  Deliberately
+        #: narrow: never held across a gather, so ``shard_health`` /
+        #: ``ping`` / ``comparer_stats`` answer mid-batch.
         self._lock = threading.RLock()
+        #: Serializes scatter+gather (and close) — one batch owns the
+        #: rings and the result queue at a time.  Acquired before
+        #: ``_lock``; never the other way around.
+        self._batch_lock = threading.Lock()
+        #: Demux for the single results queue: gather and ping each
+        #: pop under this lock and stash messages meant for the other.
+        self._results_lock = threading.Lock()
+        self._stash_pongs: Deque[Tuple] = deque()
+        self._stash_results: Deque[Tuple] = deque()
         self._closed = False
         self._next_batch = 0
         self._genome_shm: Optional[shared_memory.SharedMemory] = None
         self._shard_shms: List[shared_memory.SharedMemory] = []
+        self._ring_shms: List[shared_memory.SharedMemory] = []
+        self._ring_views: Dict[int, np.ndarray] = {}
         self._genome_layout: List[Tuple[str, int, int]] = []
         self._genome_bytes = 0
         self._workers: List[_ShardWorker] = []
         #: Effective sharded-tier comparer mode (may degrade to byte).
-        self.packed = False
+        self.packed = bool(getattr(index, "packed", False))
         self.packed_disabled_reason: Optional[str] = \
             getattr(index, "packed_disabled_reason", None)
         self._queries_packed = 0
         self._queries_fallback = 0
+        self._shards_skipped = 0
+        self._batches_sharded = 0
+        self._batches_direct = 0
+        self._ring_batches = 0
+        self._pickle_batches = 0
+        self._ring_high_water = 0
+        #: Resident chunks by global index, for parent-side hit
+        #: reconstruction from ring records.
+        self._entries = list(index.entries)
+        #: True once the tier has routed itself out of the picture:
+        #: every batch goes to the inner index in-process.
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+        if auto_degrade:
+            cpus = os.cpu_count() or 1
+            if cpus < 2:
+                self.degraded = True
+                self.degrade_reason = (
+                    f"host has {cpus} cpu(s); the scatter/gather hop "
+                    f"cannot beat the in-process comparer")
+                tracing.instant("shard_tier_degraded", cat="shard",
+                                reason=self.degrade_reason)
         self._results = self._ctx.Queue()
         self._pipeline_params = dict(
             api=index.api, device=index.device,
             variant=index.pipeline.variant, mode=index.pipeline.mode,
             chunk_size=index.chunk_size,
             work_group_size=getattr(index.pipeline, "_wg", 256))
-        try:
-            self._publish(index)
-        except BaseException:
-            self._release_segments()
-            raise
+        if not self.degraded:
+            try:
+                self._publish(index)
+            except BaseException:
+                self._release_segments()
+                raise
         atexit.register(self.close)
-        if start:
+        if start and not self.degraded:
             self.start()
 
     # -- duck-typed index surface ---------------------------------------
@@ -362,12 +529,20 @@ class ShardedSiteIndex:
         return self.index.manifest()
 
     def segment_bytes(self) -> Dict[str, Any]:
-        """Shared-memory footprint of the published index."""
+        """Shared-memory footprint of the published index.
+
+        ``total`` counts the index payload (genome + shard segments)
+        only; the fixed-size result rings are reported separately so
+        index-compression comparisons are not swamped by ring
+        capacity, which is identical in every mode.
+        """
         shard_bytes = sum(w.seg_bytes for w in self._workers)
+        ring_bytes = sum(int(shm.size) for shm in self._ring_shms)
         return {
             "mode": "packed" if self.packed else "byte",
             "genome": self._genome_bytes,
             "shards": shard_bytes,
+            "rings": ring_bytes,
             "total": self._genome_bytes + shard_bytes,
         }
 
@@ -376,11 +551,26 @@ class ShardedSiteIndex:
         with self._lock:
             queries_packed = self._queries_packed
             queries_fallback = self._queries_fallback
+            shards_skipped = self._shards_skipped
+            batches_sharded = self._batches_sharded
+            batches_direct = self._batches_direct
+            ring_batches = self._ring_batches
+            pickle_batches = self._pickle_batches
+            ring_high_water = self._ring_high_water
         return {
             "mode": "packed" if self.packed else "byte",
             "packed_disabled_reason": self.packed_disabled_reason,
             "queries_packed": queries_packed,
             "queries_fallback": queries_fallback,
+            "degraded": self.degraded,
+            "degrade_reason": self.degrade_reason,
+            "shards_skipped": shards_skipped,
+            "batches_sharded": batches_sharded,
+            "batches_direct": batches_direct,
+            "result_path": {"ring": ring_batches,
+                            "pickle": pickle_batches},
+            "ring_records": self.ring_records,
+            "ring_high_water": ring_high_water,
             "segment_bytes": self.segment_bytes(),
         }
 
@@ -422,6 +612,7 @@ class ShardedSiteIndex:
             [] for _ in range(self.shard_count)]
         for gi, entry in enumerate(entries):
             assignments[gi % self.shard_count].append((gi, entry))
+        plen = index.compiled_pattern.plen
         for shard_id, assigned in enumerate(assignments):
             site_count = sum(e.loci.size for _, e in assigned)
             if self.packed:
@@ -430,16 +621,42 @@ class ShardedSiteIndex:
             else:
                 seg_bytes, chunk_meta = self._publish_byte_shard(
                     base, shard_id, assigned, site_count)
+            # Candidate summary: OR of base-class bits per window
+            # position over every site in the shard, for the
+            # pre-scatter feasibility skip.
+            profile = np.zeros(plen, dtype=np.uint8)
+            for _, entry in assigned:
+                data = entry.data
+                if data is None:
+                    data = index.assembly.fetch(
+                        entry.chrom, entry.start,
+                        entry.start + entry.length)
+                profile |= window_column_profile(data, entry.loci,
+                                                 plen)
+            ring_name = None
+            if self.ring_records > 0:
+                ring_shm = shared_memory.SharedMemory(
+                    name=f"{base}-r{shard_id}", create=True,
+                    size=max(1, self.ring_records
+                             * RING_RECORD_DTYPE.itemsize))
+                self._ring_shms.append(ring_shm)
+                self._ring_views[shard_id] = np.ndarray(
+                    (self.ring_records,), dtype=RING_RECORD_DTYPE,
+                    buffer=ring_shm.buf)
+                ring_name = ring_shm.name
             self._workers.append(_ShardWorker(
                 shard_id=shard_id, sites_name=self._shard_shms[-1].name,
                 site_count=site_count, seg_bytes=seg_bytes,
-                chunk_meta=chunk_meta, task_queue=self._ctx.Queue()))
+                chunk_meta=chunk_meta, task_queue=self._ctx.Queue(),
+                ring_name=ring_name, profile=profile))
         tracing.instant("shards_published", cat="shard",
                         shards=self.shard_count,
                         packed=self.packed,
                         genome_bytes=self._genome_bytes,
                         shard_bytes=sum(w.seg_bytes
                                         for w in self._workers),
+                        ring_bytes=sum(int(shm.size)
+                                       for shm in self._ring_shms),
                         sites=index.site_count)
 
     def _publish_byte_shard(self, base: str, shard_id: int, assigned,
@@ -528,6 +745,7 @@ class ShardedSiteIndex:
                   worker.site_count, worker.seg_bytes,
                   worker.chunk_meta, self._pipeline_params,
                   self.packed, self.index.compiled_pattern.plen,
+                  worker.ring_name, self.ring_records,
                   worker.task_queue, self._results),
             name=f"shard-{worker.shard_id}", daemon=True)
         process.start()
@@ -591,9 +809,46 @@ class ShardedSiteIndex:
                 "sites": worker.site_count,
             } for worker in self._workers]
 
+    def _recv(self, want_pong: bool, timeout_s: float
+              ) -> Optional[Tuple]:
+        """Pop the next message of the wanted kind from the results
+        queue, stashing messages of the other kind.
+
+        ``ping()`` and ``_gather()`` share the one results queue and —
+        with the narrow lock discipline — can now run concurrently, so
+        either may pull a message meant for the other off the queue.
+        Mismatches are stashed rather than dropped (the old ``ping``
+        silently discarded result messages, which would have lost
+        batches).  Returns None when nothing of the wanted kind is
+        available within ``timeout_s``.
+        """
+        with self._results_lock:
+            stash = (self._stash_pongs if want_pong
+                     else self._stash_results)
+            if stash:
+                return stash.popleft()
+            try:
+                message = self._results.get(timeout=timeout_s)
+            except queue.Empty:
+                return None
+            if (message[0] == "pong") == want_pong:
+                return message
+            other = (self._stash_results if want_pong
+                     else self._stash_pongs)
+            other.append(message)
+            return None
+
     def ping(self, timeout_s: float = 5.0) -> Dict[int, bool]:
-        """Round-trip a health ping through every live worker."""
+        """Round-trip a health ping through every live worker.
+
+        Holds the state lock only while enqueueing the pings, so a
+        batch in flight does not stall health checks.  A duplicate
+        pong for the same token no longer double-counts toward the
+        reply quorum (each shard flips its ``ok`` entry at most once).
+        """
         with self._lock:
+            if self.degraded:
+                return {}
             token = uuid.uuid4().hex
             ok = {worker.shard_id: False for worker in self._workers}
             want = 0
@@ -602,21 +857,33 @@ class ShardedSiteIndex:
                         worker.process.is_alive():
                     worker.task_queue.put(("ping", token))
                     want += 1
-            got = 0
-            deadline = time.monotonic() + timeout_s
-            while got < want and time.monotonic() < deadline:
-                try:
-                    message = self._results.get(timeout=0.05)
-                except queue.Empty:
-                    continue
-                if message[0] == "pong" and message[2] == token:
-                    ok[message[1]] = True
-                    got += 1
-            return ok
+        with self._results_lock:
+            # Pongs from timed-out earlier pings are dead on arrival.
+            self._stash_pongs.clear()
+        got = 0
+        deadline = time.monotonic() + timeout_s
+        while got < want and time.monotonic() < deadline:
+            message = self._recv(want_pong=True, timeout_s=0.05)
+            if message is None:
+                continue
+            if message[2] == token and not ok.get(message[1], True):
+                ok[message[1]] = True
+                got += 1
+        return ok
 
     def inject_worker_crash(self, shard_id: int) -> None:
         """Queue a fault-injection task: the worker dies uncleanly."""
         self._worker(shard_id).task_queue.put(("crash",))
+
+    def inject_worker_delay(self, shard_id: int,
+                            seconds: float) -> None:
+        """Queue a fault-injection stall before the worker's next task.
+
+        Lets tests observe a batch genuinely in flight (e.g. that
+        ``shard_health``/``ping`` answer mid-batch) without racing the
+        comparer.
+        """
+        self._worker(shard_id).task_queue.put(("delay", seconds))
 
     def kill_worker(self, shard_id: int) -> None:
         """SIGKILL a worker immediately (fault injection)."""
@@ -629,7 +896,13 @@ class ShardedSiteIndex:
 
     def query_batch(self, queries: Sequence[Query]
                     ) -> List[List[OffTargetHit]]:
-        """Scatter one batch to every shard, gather, merge in order."""
+        """Scatter one batch to the feasible shards, gather, merge.
+
+        The state lock is held only for the scatter and epoch
+        bookkeeping; the gather runs outside it (under the batch
+        lock), so ``shard_health``/``ping``/``comparer_stats`` answer
+        while a batch is in flight.
+        """
         if not queries:
             return []
         plen = self.compiled_pattern.plen
@@ -640,30 +913,40 @@ class ShardedSiteIndex:
                     f"{len(query.sequence)}, index pattern "
                     f"{self.pattern!r} has length {plen}")
         queries = list(queries)
+        if self.degraded:
+            return self.query_batch_direct(queries)
         specs = [(q.sequence, q.max_mismatches) for q in queries]
-        with self._lock:
-            if self._closed:
-                raise ShardWorkerError("sharded index is closed")
-            if self.packed:
-                packed_n = sum(
-                    1 for q in queries
-                    if window_packable(compile_pattern(q.sequence)))
-                self._queries_packed += packed_n
-                self._queries_fallback += len(queries) - packed_n
-            batch_id = self._next_batch
-            self._next_batch += 1
-            trace = tracing.active() is not None
-            with tracing.span("scatter", cat="shard", batch=batch_id,
-                              shards=len(self._workers),
-                              queries=len(queries)):
-                for worker in self._workers:
-                    if worker.process is None or \
-                            not worker.process.is_alive():
-                        self._respawn(worker)
-                    worker.task_queue.put(
-                        ("query", worker.epoch, batch_id, specs,
-                         trace))
-            collected = self._gather(batch_id, specs, trace)
+        compiled = [compile_pattern(q.sequence) for q in queries]
+        with self._batch_lock:
+            with self._lock:
+                if self._closed:
+                    raise ShardWorkerError("sharded index is closed")
+                if self.packed:
+                    packed_n = sum(1 for cq in compiled
+                                   if window_packable(cq))
+                    self._queries_packed += packed_n
+                    self._queries_fallback += \
+                        len(queries) - packed_n
+                batch_id = self._next_batch
+                self._next_batch += 1
+                self._batches_sharded += 1
+                trace = tracing.active() is not None
+                targets = self._select_shards(queries, compiled)
+                with tracing.span("scatter", cat="shard",
+                                  batch=batch_id,
+                                  shards=len(targets),
+                                  skipped=(len(self._workers)
+                                           - len(targets)),
+                                  queries=len(queries)):
+                    for worker in targets:
+                        if worker.process is None or \
+                                not worker.process.is_alive():
+                            self._respawn(worker)
+                        worker.task_queue.put(
+                            ("query", worker.epoch, batch_id, specs,
+                             trace))
+            collected = self._gather(batch_id, queries, specs,
+                                     compiled, trace, targets)
         merged: List[Tuple[int, List[List[OffTargetHit]]]] = []
         for payload in collected.values():
             merged.extend(payload)
@@ -674,32 +957,134 @@ class ShardedSiteIndex:
                 hits[qi].extend(query_hits)
         return hits
 
-    def _gather(self, batch_id: int, specs, trace: bool
-                ) -> Dict[int, List]:
-        """Collect one result per shard, respawning crashed workers."""
-        pending = {worker.shard_id for worker in self._workers}
+    def query_batch_direct(self, queries: Sequence[Query]
+                           ) -> List[List[OffTargetHit]]:
+        """Serve one batch on the inner index, bypassing the hop.
+
+        Used when the tier is degraded, and by the adaptive scheduler
+        for batches too small to amortize the scatter/gather cost.
+        """
+        if self._closed:
+            raise ShardWorkerError("sharded index is closed")
+        with self._lock:
+            self._batches_direct += 1
+        return self.index.query_batch(queries)
+
+    def _select_shards(self, queries: Sequence[Query],
+                       compiled) -> List[_ShardWorker]:
+        """The shards whose candidate summary says a hit is possible.
+
+        For each shard, :func:`profile_feasible` lower-bounds the
+        mismatch count any site in the shard could achieve against
+        each query; a shard where every query's bound exceeds its
+        budget cannot contribute a hit and is not scattered to.
+        Callers hold ``_lock``.
+        """
+        allowed = [query_allowed_masks(cq) for cq in compiled]
+        targets: List[_ShardWorker] = []
+        skipped = 0
+        for worker in self._workers:
+            if worker.site_count == 0:
+                skipped += 1
+                continue
+            if worker.profile is not None and not any(
+                    profile_feasible(worker.profile, masks,
+                                     q.max_mismatches)
+                    for q, masks in zip(queries, allowed)):
+                skipped += 1
+                continue
+            targets.append(worker)
+        if skipped:
+            self._shards_skipped += skipped
+            tracing.instant("shards_skipped", cat="shard",
+                            skipped=skipped)
+        return targets
+
+    def _payload_from_ring(self, worker: _ShardWorker, count: int,
+                           queries: List[Query], compiled
+                           ) -> List[Tuple[int,
+                                           List[List[OffTargetHit]]]]:
+        """Rebuild per-chunk hit lists from a shard's ring records.
+
+        Records were written in (chunk, query, hit) order — the exact
+        order :func:`build_entry_hits` iterates — so grouping
+        consecutive records by chunk and rendering them through the
+        same constructor reproduces the worker-built payload
+        byte-for-byte.  Only chunks with hits appear; the merge treats
+        missing chunks as empty, same as a worker's empty lists.
+        """
+        view = self._ring_views[worker.shard_id]
+        records = np.array(view[:count], copy=True)
+        plen = self.compiled_pattern.plen
+        payload: List[Tuple[int, List[List[OffTargetHit]]]] = []
+        pos = 0
+        while pos < count:
+            gi = int(records["chunk"][pos])
+            end = pos
+            while end < count and int(records["chunk"][end]) == gi:
+                end += 1
+            entry = self._entries[gi]
+            data = entry.data
+            if data is None:
+                data = self.index.assembly.fetch(
+                    entry.chrom, entry.start,
+                    entry.start + entry.length)
+                entry.data = data
+            entry_hits: List[List[OffTargetHit]] = \
+                [[] for _ in queries]
+            for rec in records[pos:end]:
+                qi = int(rec["qi"])
+                lo = int(rec["locus"])
+                strand = "+" if int(rec["strand"]) == ord("+") \
+                    else "-"
+                cq = compiled[qi]
+                codes = (cq.sequence if strand == "+"
+                         else cq.rc_sequence)
+                entry_hits[qi].append(OffTargetHit.from_site(
+                    query=queries[qi].sequence, chrom=entry.chrom,
+                    position=entry.start + lo, strand=strand,
+                    mismatches=int(rec["mm"]),
+                    window=data[lo:lo + plen], query_codes=codes))
+            payload.append((gi, entry_hits))
+            pos = end
+        return payload
+
+    def _gather(self, batch_id: int, queries: List[Query], specs,
+                compiled, trace: bool,
+                targets: List[_ShardWorker]) -> Dict[int, List]:
+        """Collect one result per scattered shard, respawning crashed
+        workers (with a fresh deadline for each respawn resend)."""
+        pending = {worker.shard_id for worker in targets}
         collected: Dict[int, List] = {}
         respawns = 0
         deadline = time.monotonic() + self.task_timeout_s
         with tracing.span("gather", cat="shard", batch=batch_id,
                           shards=len(pending)) as gather_span:
             while pending:
-                try:
-                    message = self._results.get(timeout=0.05)
-                except queue.Empty:
-                    for worker in self._workers:
-                        if worker.shard_id in pending and \
-                                not worker.process.is_alive():
-                            respawns += 1
-                            if respawns > self.max_respawns_per_batch:
-                                raise ShardWorkerError(
-                                    f"shard {worker.shard_id} died "
-                                    f"{respawns} times during batch "
-                                    f"{batch_id}; giving up")
-                            self._respawn(worker)
-                            worker.task_queue.put(
-                                ("query", worker.epoch, batch_id,
-                                 specs, trace))
+                message = self._recv(want_pong=False, timeout_s=0.05)
+                if message is None:
+                    with self._lock:
+                        for worker in targets:
+                            if worker.shard_id in pending and (
+                                    worker.process is None or
+                                    not worker.process.is_alive()):
+                                respawns += 1
+                                if respawns > \
+                                        self.max_respawns_per_batch:
+                                    raise ShardWorkerError(
+                                        f"shard {worker.shard_id} "
+                                        f"died {respawns} times "
+                                        f"during batch {batch_id}; "
+                                        f"giving up")
+                                self._respawn(worker)
+                                worker.task_queue.put(
+                                    ("query", worker.epoch, batch_id,
+                                     specs, trace))
+                                # The fresh worker re-runs the whole
+                                # shard; give it a full timeout
+                                # instead of the dead one's leftovers.
+                                deadline = (time.monotonic()
+                                            + self.task_timeout_s)
                     if time.monotonic() > deadline:
                         raise ShardWorkerError(
                             f"batch {batch_id} timed out after "
@@ -707,8 +1092,6 @@ class ShardedSiteIndex:
                             f"shard(s) {sorted(pending)}")
                     continue
                 kind = message[0]
-                if kind == "pong":
-                    continue  # stale ping reply
                 _, shard_id, epoch, bid, body, spans = message
                 worker = self._worker(shard_id)
                 if bid != batch_id or epoch != worker.epoch or \
@@ -719,18 +1102,93 @@ class ShardedSiteIndex:
                     raise ShardWorkerError(
                         f"shard {shard_id} failed batch {batch_id}: "
                         f"{body}")
-                collected[shard_id] = body
+                if kind == "ring":
+                    count = int(body)
+                    with self._lock:
+                        self._ring_batches += 1
+                        self._ring_high_water = max(
+                            self._ring_high_water, count)
+                    tracing.counter(
+                        "ring_occupancy", cat="shard",
+                        **{f"shard{shard_id}": count})
+                    collected[shard_id] = self._payload_from_ring(
+                        worker, count, queries, compiled)
+                else:
+                    with self._lock:
+                        self._pickle_batches += 1
+                    collected[shard_id] = body
                 pending.discard(shard_id)
             gather_span.args["respawns"] = respawns
         return collected
 
+    # -- degrade / calibration -------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        """Route every future batch to the in-process inner index.
+
+        Workers are stopped and the segments released — a degraded
+        tier holds no shared memory — but the facade stays open:
+        ``query_batch`` keeps serving through
+        :meth:`query_batch_direct`.
+        """
+        with self._batch_lock:
+            with self._lock:
+                if self.degraded or self._closed:
+                    return
+                self.degraded = True
+                self.degrade_reason = reason
+                self._stop_workers()
+                self._release_segments()
+        tracing.instant("shard_tier_degraded", cat="shard",
+                        reason=reason)
+
+    def calibrate(self, queries: Sequence[Query],
+                  repeats: int = 2) -> Dict[str, Any]:
+        """Measure the hop against the in-process comparer; degrade
+        if it cannot win.
+
+        Runs ``queries`` through both paths (one warm-up, then the
+        best of ``repeats``) and degrades the tier when the sharded
+        path is measurably slower — the scatter/gather overhead story
+        the benchmarks record, turned into a runtime decision.
+        Returns the measured timings either way.
+        """
+        queries = list(queries)
+        if self.degraded or not queries:
+            return {"degraded": self.degraded,
+                    "reason": self.degrade_reason,
+                    "sharded_s": None, "direct_s": None}
+        self.query_batch(queries)
+        self.index.query_batch(queries)
+        sharded_s = min(self._time_call(self.query_batch, queries)
+                        for _ in range(max(1, repeats)))
+        direct_s = min(self._time_call(self.index.query_batch,
+                                       queries)
+                       for _ in range(max(1, repeats)))
+        if sharded_s > direct_s:
+            self._degrade(
+                f"measured shard speedup "
+                f"{direct_s / sharded_s:.2f}x over {len(queries)} "
+                f"calibration queries; serving in-process")
+        return {"degraded": self.degraded,
+                "reason": self.degrade_reason,
+                "sharded_s": sharded_s, "direct_s": direct_s}
+
+    @staticmethod
+    def _time_call(fn, queries) -> float:
+        started = time.perf_counter()
+        fn(queries)
+        return time.perf_counter() - started
+
     # -- shutdown --------------------------------------------------------
 
     def _release_segments(self) -> None:
-        segments = list(self._shard_shms)
+        self._ring_views.clear()  # live views pin the ring buffers
+        segments = list(self._shard_shms) + list(self._ring_shms)
         if self._genome_shm is not None:
             segments.append(self._genome_shm)
         self._shard_shms = []
+        self._ring_shms = []
         self._genome_shm = None
         for shm in segments:
             try:
@@ -742,27 +1200,35 @@ class ShardedSiteIndex:
             except FileNotFoundError:
                 pass
 
+    def _stop_workers(self) -> None:
+        """Drain and join every worker process (callers hold _lock)."""
+        for worker in self._workers:
+            if worker.process is not None and \
+                    worker.process.is_alive():
+                worker.task_queue.put(("stop",))
+        for worker in self._workers:
+            if worker.process is not None:
+                worker.process.join(timeout=5.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+        self._workers = []
+
     def close(self) -> None:
         """Graceful drain: stop workers, then unlink every segment.
 
-        Idempotent, and registered with :mod:`atexit` so a test or
-        script that forgets to close still leaves ``/dev/shm`` clean.
+        Waits for any batch in flight (the batch lock), so a close
+        never yanks the rings out from under a gather.  Idempotent,
+        and registered with :mod:`atexit` so a test or script that
+        forgets to close still leaves ``/dev/shm`` clean.
         """
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            for worker in self._workers:
-                if worker.process is not None and \
-                        worker.process.is_alive():
-                    worker.task_queue.put(("stop",))
-            for worker in self._workers:
-                if worker.process is not None:
-                    worker.process.join(timeout=5.0)
-                    if worker.process.is_alive():
-                        worker.process.terminate()
-                        worker.process.join(timeout=5.0)
-            self._release_segments()
+        with self._batch_lock:
+            with self._lock:
+                if self._closed:
+                    return
+                self._closed = True
+                self._stop_workers()
+                self._release_segments()
 
     def __enter__(self) -> "ShardedSiteIndex":
         return self
@@ -826,9 +1292,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--force", action="store_true",
                         help="with --cleanup: remove every repro-shm-* "
                              "segment, even ones with a live owner")
+    parser.add_argument("--guard", action="store_true",
+                        help="exit 1 if any repro-shm-* segment exists "
+                             "(CI leak guard; run after the smokes, "
+                             "when nothing should be serving)")
     args = parser.parse_args(argv)
+    if args.guard:
+        present = sorted(
+            name for name in os.listdir(_DEV_SHM)
+            if name.startswith(SHM_PREFIX)
+        ) if os.path.isdir(_DEV_SHM) else []
+        if present:
+            for name in present:
+                print(f"leaked: {name}")
+            print(f"shm guard: {len(present)} leaked segment(s)")
+            return 1
+        print("shm guard: clean")
+        return 0
     if not args.cleanup:
-        parser.error("nothing to do; pass --cleanup")
+        parser.error("nothing to do; pass --cleanup or --guard")
     removed = cleanup_leaked_segments(force=args.force)
     for name in removed:
         print(f"removed {name}")
