@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test fault service verify
+.PHONY: test fault service router verify
 
 # Tier-1 suite (includes the fault-marked tests).
 test:
@@ -27,6 +27,15 @@ service:
 		--clients 4 --duration 5 --packed --shards 2 --ring-records 4
 	PYTHONPATH=src $(PYTHON) -m repro.service.shards --guard
 	PYTHONPATH=src $(PYTHON) -m repro.service.shards --cleanup
+
+# Routing-tier tests plus the fleet smoke: 3 subprocess backends, one
+# induced SIGKILL, one zero-downtime rollover, graceful SIGTERM drain;
+# byte-identity against a single-process server and zero leaked
+# processes/ready files/shm segments are asserted throughout.
+router:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_router.py
+	PYTHONPATH=src $(PYTHON) -m repro.service.router --smoke --duration 6
+	PYTHONPATH=src $(PYTHON) -m repro.service.shards --guard
 
 # Tier-1 suite plus explicit fault and service passes, one command.
 verify:

@@ -37,6 +37,13 @@ search, as a one-process-per-query deployment would.
   so the honest expectation is parity with ``service_packed`` — the
   scatter/gather hop is never paid (``speedup_degraded`` records the
   ratio).
+* ``--router`` (separate pass, merged into the same JSON under
+  ``router``): a 3-backend chromosome-partitioned fleet behind
+  :class:`OffTargetRouter` vs the same genome on one server.  With
+  all backends in-process on one host this measures the routing tier's
+  *overhead* (extra hop, fan-out, merge) plus hedged-read tail
+  behavior — not horizontal scaling; ``router.caveat`` spells that
+  out and ``host.cpus`` is recorded so the numbers read honestly.
 
 All sides serve identical single-guide requests drawn round-robin
 from the same pool.  The report lands in ``BENCH_SERVICE.json`` with
@@ -385,6 +392,99 @@ def _service_load(handle, queries_by_client, duration_s: float) -> dict:
     }
 
 
+def run_router_bench(scale: float, chunk_size: int, duration_s: float,
+                     concurrency: list, device: str, max_batch: int,
+                     max_wait_ms: float, backends: int) -> dict:
+    """Routed fleet vs single server over the same genome."""
+    from repro.service import (OffTargetRouter, partition_chromosomes,
+                               replica_plan)
+
+    assembly = synthetic_assembly("hg19", scale=scale, seed=42)
+    index = GenomeSiteIndex.build(assembly, PATTERN,
+                                  chunk_size=chunk_size, device=device,
+                                  packed=False)
+    max_queue = max(64, 4 * max(concurrency))
+
+    single = {}
+    server = OffTargetServer(index, max_batch=max_batch,
+                             max_wait_ms=max_wait_ms,
+                             max_queue=max_queue)
+    handle = server.start_background()
+    try:
+        for clients in concurrency:
+            print(f"single   @ {clients} clients ...", flush=True)
+            queries_by_client = [[QUERY_POOL[i % len(QUERY_POOL)]]
+                                 for i in range(clients)]
+            single[str(clients)] = _service_load(
+                handle, queries_by_client, duration_s)
+    finally:
+        handle.stop()
+
+    held = replica_plan(partition_chromosomes(assembly, backends),
+                        replication=2)
+    backend_handles = [
+        OffTargetServer(
+            GenomeSiteIndex.build(assembly.subset(chroms), PATTERN,
+                                  chunk_size=chunk_size, device=device,
+                                  packed=False),
+            max_batch=max_batch, max_wait_ms=max_wait_ms,
+            max_queue=max_queue).start_background()
+        for chroms in held]
+    router = OffTargetRouter(
+        [f"{h.host}:{h.port}" for h in backend_handles],
+        chromosome_order=[c.name for c in assembly.chromosomes],
+        probe_interval_s=0.5)
+    router_handle = router.start_background()
+    routed = {}
+    try:
+        for clients in concurrency:
+            print(f"routed   @ {clients} clients "
+                  f"({backends} backends, replication 2) ...",
+                  flush=True)
+            queries_by_client = [[QUERY_POOL[i % len(QUERY_POOL)]]
+                                 for i in range(clients)]
+            routed[str(clients)] = _service_load(
+                router_handle, queries_by_client, duration_s)
+        with ServiceClient(router_handle.host,
+                           router_handle.port) as client:
+            router_stats = client._call({"op": "stats"})["stats"]
+    finally:
+        router_handle.stop()
+        for backend in backend_handles:
+            backend.stop()
+
+    speedup_routed = {
+        clients: (routed[clients]["throughput_rps"]
+                  / single[clients]["throughput_rps"]
+                  if single[clients]["throughput_rps"] > 0 else None)
+        for clients in single
+    }
+    return {
+        "host": {"cpus": os.cpu_count()},
+        "workload": {
+            "profile": "hg19", "scale": scale, "seed": 42,
+            "pattern": PATTERN, "chunk_size": chunk_size,
+            "device": device, "chunks": index.chunk_count,
+            "sites": index.site_count,
+        },
+        "config": {
+            "duration_s": duration_s, "concurrency": concurrency,
+            "max_batch": max_batch, "max_wait_ms": max_wait_ms,
+            "backends": backends, "replication": 2,
+        },
+        "caveat": (
+            f"all {backends} backends, the router and the clients "
+            f"share one {os.cpu_count()}-cpu host and the GIL; "
+            f"speedup_routed measures the routing tier's overhead "
+            f"(extra hop, fan-out, merge), not horizontal scaling"),
+        "service_single": single,
+        "service_routed": routed,
+        "speedup_routed": speedup_routed,
+        # hedges + sub-request latency tail: the hedged p99 story.
+        "router_stats": router_stats,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.0002,
@@ -401,17 +501,65 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=2,
                         help="worker processes for the sharded run")
     parser.add_argument("--device", default="MI100")
+    parser.add_argument("--router", action="store_true",
+                        help="run the routed-fleet vs single-server "
+                             "pass only and merge it into the report "
+                             "under 'router' (other sections are "
+                             "preserved)")
+    parser.add_argument("--backends", type=int, default=3,
+                        help="backend servers for the --router pass")
     parser.add_argument("-o", "--output",
                         default=os.path.join(os.path.dirname(__file__),
                                              "..", "BENCH_SERVICE.json"))
     args = parser.parse_args(argv)
+    path = os.path.abspath(args.output)
+    if args.router:
+        section = run_router_bench(
+            scale=args.scale, chunk_size=args.chunk_size,
+            duration_s=args.duration, concurrency=args.concurrency,
+            device=args.device, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, backends=args.backends)
+        report = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                report = json.load(handle)
+        report["router"] = section
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for clients in section["service_single"]:
+            single = section["service_single"][clients]
+            routed = section["service_routed"][clients]
+            print(f"{clients:>3} clients: single "
+                  f"{single['throughput_rps']:7.2f} req/s "
+                  f"(p99 {single['latency_ms']['p99']:7.1f} ms) | "
+                  f"routed {routed['throughput_rps']:7.2f} req/s "
+                  f"(p99 {routed['latency_ms']['p99']:7.1f} ms) | "
+                  f"{section['speedup_routed'][clients]:.2f}x")
+        hedges = section["router_stats"]["hedges"]
+        sub = section["router_stats"]["subrequest_latency_ms"]
+        print(f"hedges: {hedges['launched']} launched, "
+              f"{hedges['won']} won, {hedges['deduped']} deduped | "
+              f"sub-request p99 {sub['p99']:.1f} ms over "
+              f"{sub['count']} samples")
+        print(section["caveat"])
+        print(f"wrote {path}")
+        return 0
     report = run_bench(scale=args.scale, chunk_size=args.chunk_size,
                        duration_s=args.duration,
                        concurrency=args.concurrency,
                        device=args.device, max_batch=args.max_batch,
                        max_wait_ms=args.max_wait_ms,
                        shards=args.shards)
-    path = os.path.abspath(args.output)
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            try:
+                existing = json.load(handle)
+            except ValueError:
+                existing = {}
+    if "router" in existing:
+        report["router"] = existing["router"]
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -462,7 +462,39 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ready-file", default=None, metavar="PATH",
                         help="write 'host port' to PATH once listening "
                              "(how callers learn an ephemeral port)")
+    parser.add_argument("--chromosomes", default=None, metavar="NAMES",
+                        help="comma-separated chromosome subset to "
+                             "index and serve (a routed backend's "
+                             "partition; hits are identical to the "
+                             "full assembly's for these chromosomes)")
+    parser.add_argument("--drain-s", type=_nonnegative_float,
+                        default=5.0,
+                        help="graceful-shutdown budget: on SIGTERM, "
+                             "finish in-flight requests for up to "
+                             "this long before exiting")
+    parser.add_argument("--request-fault-inject", default=None,
+                        metavar="PLAN",
+                        help="request-level fault plan (indices are "
+                             "query ordinals), e.g. 'stall@3:0.5' or "
+                             "'disconnect@5'; crash@N kills the "
+                             "process — for router fault drills")
     return parser
+
+
+def _serve_assembly(args: argparse.Namespace) -> Assembly:
+    """The assembly to serve: loaded, then optionally subset."""
+    assembly = _load_assembly(args, args.genome)
+    if args.chromosomes:
+        names = [c.strip() for c in args.chromosomes.split(",")
+                 if c.strip()]
+        if not names:
+            raise SystemExit(
+                "error: --chromosomes needs at least one name")
+        try:
+            assembly = assembly.subset(names)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    return assembly
 
 
 def _run_serve(argv: List[str]) -> int:
@@ -482,7 +514,7 @@ def _run_serve(argv: List[str]) -> int:
     manifest_path = (os.path.join(args.index_dir, INDEX_MANIFEST_NAME)
                      if args.index_dir else None)
     if manifest_path and os.path.exists(manifest_path):
-        assembly = _load_assembly(args, args.genome)
+        assembly = _serve_assembly(args)
         try:
             index = GenomeSiteIndex.load(args.index_dir, assembly,
                                          api=args.api,
@@ -504,7 +536,7 @@ def _run_serve(argv: List[str]) -> int:
             raise SystemExit(
                 "error: --pattern is required when no saved index is "
                 "available to load")
-        assembly = _load_assembly(args, args.genome)
+        assembly = _serve_assembly(args)
         try:
             index = GenomeSiteIndex.build(
                 assembly, args.pattern, chunk_size=args.chunk_size,
@@ -547,15 +579,24 @@ def _run_serve(argv: List[str]) -> int:
     if threading.current_thread() is threading.main_thread():
         # A supervisor's SIGTERM must still remove the ready file and
         # unlink shared-memory shards; Python's default handler would
-        # kill the process without running any finally block.
+        # kill the process without running any finally block.  Once
+        # the event loop runs, the server's own SIGTERM handler takes
+        # over and drains gracefully first.
         signal.signal(signal.SIGTERM,
                       lambda signum, frame: sys.exit(0))
-    server = OffTargetServer(serving, host=args.host, port=args.port,
-                             max_batch=args.max_batch,
-                             max_wait_ms=args.max_wait_ms,
-                             max_queue=args.max_queue,
-                             adaptive=args.adaptive,
-                             direct_below=2 if args.adaptive else 0)
+    reloader = _make_reloader(args, assembly, index.pattern,
+                              manifest_path)
+    try:
+        server = OffTargetServer(
+            serving, host=args.host, port=args.port,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue, adaptive=args.adaptive,
+            direct_below=2 if args.adaptive else 0,
+            reloader=reloader,
+            request_fault_plan=args.request_fault_inject,
+            drain_s=args.drain_s)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     print(f"# serving {index.assembly.name} pattern={index.pattern} "
           f"on {args.host} (max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", file=sys.stderr)
@@ -565,6 +606,117 @@ def _run_serve(argv: List[str]) -> int:
     finally:
         if serving is not index:
             serving.close()
+    return 0
+
+
+def _make_reloader(args: argparse.Namespace, assembly: Assembly,
+                   pattern: str, manifest_path: Optional[str]):
+    """The ``reload`` op's index factory for this serve invocation.
+
+    Prefers re-loading from ``--index-dir`` (so an external builder can
+    drop a fresh fingerprinted index there and the rollover picks it
+    up); falls back to rebuilding from the serve arguments.  Build
+    fault plans deliberately do not re-fire on reload.
+    """
+    def reloader():
+        from .service import GenomeSiteIndex, SiteIndexError
+        index = None
+        if manifest_path and os.path.exists(manifest_path):
+            try:
+                index = GenomeSiteIndex.load(
+                    args.index_dir, assembly, api=args.api,
+                    device=args.device, packed=args.packed)
+            except SiteIndexError:
+                index = None  # stale/corrupt on disk: rebuild
+        if index is None:
+            index = GenomeSiteIndex.build(
+                assembly, pattern, chunk_size=args.chunk_size,
+                api=args.api, device=args.device,
+                max_retries=args.max_retries, packed=args.packed)
+        if args.shards > 1:
+            from .service.shards import (DEFAULT_RING_RECORDS,
+                                         ShardedSiteIndex)
+            index = ShardedSiteIndex(
+                index, shards=args.shards,
+                ring_records=(DEFAULT_RING_RECORDS
+                              if args.ring_records is None
+                              else args.ring_records),
+                auto_degrade=args.auto_degrade)
+        return index
+
+    return reloader
+
+
+def build_route_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py route",
+        description="Route off-target queries across a fleet of "
+                    "backend index servers partitioned by chromosome; "
+                    "responses are byte-identical to a single server "
+                    "over the whole genome.")
+    parser.add_argument("--backend", action="append", required=True,
+                        dest="backends", metavar="HOST:PORT",
+                        help="a backend index server (repeatable)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_nonnegative_int, default=0,
+                        help="TCP port (0 picks an ephemeral port; see "
+                             "--ready-file)")
+    parser.add_argument("--chromosome-order", default=None,
+                        metavar="NAMES",
+                        help="comma-separated global merge order; "
+                             "defaults to discovery order, which is "
+                             "only safe without replication")
+    parser.add_argument("--probe-interval", type=_positive_float,
+                        default=0.5,
+                        help="seconds between backend health probes")
+    parser.add_argument("--eject-after", type=_positive_int, default=2,
+                        help="consecutive probe/request failures "
+                             "before a backend is ejected")
+    parser.add_argument("--hedge-ms", type=_nonnegative_float,
+                        default=None,
+                        help="fixed hedge delay in milliseconds "
+                             "(0 disables hedging; default derives "
+                             "the delay from the sub-request p95)")
+    parser.add_argument("--max-attempts", type=_positive_int,
+                        default=3,
+                        help="attempts per partition across replicas "
+                             "(connection loss and overload retry; "
+                             "deadline errors never do)")
+    parser.add_argument("--duration-s", type=_positive_float,
+                        default=None,
+                        help="route for this long then exit (smoke "
+                             "tests); default: until interrupted")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write 'host port' to PATH once listening")
+    return parser
+
+
+def _run_route(argv: List[str]) -> int:
+    from .service.router import OffTargetRouter
+
+    args = build_route_parser().parse_args(argv)
+    if args.ready_file and os.path.exists(args.ready_file):
+        raise SystemExit(
+            f"error: ready file {args.ready_file!r} already exists "
+            f"(a previous router may still be running, or it exited "
+            f"uncleanly); remove it to proceed")
+    order = None
+    if args.chromosome_order:
+        order = [c.strip() for c in args.chromosome_order.split(",")
+                 if c.strip()]
+    try:
+        router = OffTargetRouter(
+            args.backends, host=args.host, port=args.port,
+            chromosome_order=order,
+            probe_interval_s=args.probe_interval,
+            eject_after=args.eject_after, hedge_ms=args.hedge_ms,
+            max_attempts=args.max_attempts)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"# routing over {len(args.backends)} backend(s): "
+          f"{', '.join(args.backends)}", file=sys.stderr)
+    router.run(duration_s=args.duration_s,
+               ready_file=args.ready_file)
     return 0
 
 
@@ -631,6 +783,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "route":
+        return _run_route(argv[1:])
     if argv and argv[0] == "query":
         return _run_query(argv[1:])
     args = build_parser().parse_args(argv)

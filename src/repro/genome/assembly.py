@@ -112,6 +112,23 @@ class Assembly:
             total += int((chrom.sequence != ord("N")).sum())
         return total
 
+    def subset(self, names: Sequence[str]) -> "Assembly":
+        """A new assembly holding only the named chromosomes.
+
+        Order follows *this* assembly (not ``names``), and the name is
+        kept, so per-chromosome search output — and therefore a
+        partitioned backend's slice of a routed response — is identical
+        to the full assembly's.  Unknown names raise ``ValueError``.
+        """
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise ValueError(
+                f"assembly {self.name!r} has no chromosome(s) "
+                f"{sorted(missing)}")
+        return Assembly(self.name, [c for c in self.chromosomes
+                                    if c.name in wanted])
+
     def fetch(self, chrom: str, start: int, end: int) -> np.ndarray:
         """Sequence window ``[start, end)`` of one chromosome."""
         seq = self._by_name[chrom].sequence

@@ -7,7 +7,22 @@ A *fault plan* names chunk indices on which a pipeline's
   (models a worker dying mid-chunk);
 * ``stall`` — sleep for a configurable duration before the kernels run
   (models a hung device/queue; combined with the engine's per-chunk
-  deadline this exercises the watchdog path).
+  deadline this exercises the watchdog path);
+* ``crash`` — terminate the process immediately with ``os._exit(1)``
+  (models a backend index server dying mid-request; the routing tier's
+  failover path is exercised with this kind);
+* ``disconnect`` — a *serving-layer* kind: the server closes the
+  client's connection without writing a response (a half-open
+  connection from the client's point of view).  The index applied is
+  the per-server query-request ordinal rather than a chunk index when
+  a plan is given to ``OffTargetServer(request_fault_plan=...)``.
+
+The engine applies plans through :meth:`FaultInjector.inject`, which
+handles ``raise``/``stall``/``crash`` directly (``disconnect`` degrades
+to ``raise`` there — an engine has no connection to drop).  The
+serving layer instead consumes entries with :meth:`FaultInjector.fire`
+and applies them itself, because an asyncio server must stall with
+``asyncio.sleep`` and drop connections at the protocol layer.
 
 Plans are written as a comma-separated spec, accepted from
 ``ExecutionPolicy.fault_plan`` or the ``REPRO_FAULT_INJECT``
@@ -51,7 +66,7 @@ FAULT_ENV = "REPRO_FAULT_INJECT"
 #: Default stall duration (seconds) when an entry gives none.
 DEFAULT_STALL_S = 0.25
 
-_KINDS = ("raise", "stall")
+_KINDS = ("raise", "stall", "crash", "disconnect")
 
 
 class InjectedFault(RuntimeError):
@@ -189,7 +204,11 @@ class FaultInjector:
             return
         tracing.instant("fault", cat="fault", chunk=chunk_index,
                         kind=entry.kind)
-        if entry.kind == "raise":
+        if entry.kind == "crash":
+            os._exit(1)
+        if entry.kind in ("raise", "disconnect"):
+            # An engine has no connection to half-close; "disconnect"
+            # degrades to the nearest engine-level failure.
             raise InjectedFault(chunk_index)
         time.sleep(entry.stall_s)
 

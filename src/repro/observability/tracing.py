@@ -54,8 +54,11 @@ class Span:
     tid: str
     args: Dict[str, Any] = field(default_factory=dict)
     #: Chrome-trace phase: "X" complete event, "i" instant event,
-    #: "M" metadata event (process/thread naming).
+    #: "M" metadata event (process/thread naming), "s"/"f" flow
+    #: start/finish (arrows between lanes, e.g. router -> backend).
     phase: str = "X"
+    #: Correlates "s"/"f" flow events; ignored for other phases.
+    flow_id: Optional[int] = None
 
     @property
     def duration_s(self) -> float:
@@ -132,6 +135,25 @@ class TraceRecorder:
                      pid=os.getpid(),
                      tid=threading.current_thread().name,
                      args=dict(values), phase="C")
+        self._buffer().append(entry)
+        return entry
+
+    def flow(self, name: str, flow_id: int, cat: str = "",
+             end: bool = False, **args) -> Span:
+        """Record a flow start (``ph: "s"``) or finish (``ph: "f"``).
+
+        Flow events draw arrows between lanes in Chrome-trace viewers;
+        the routing tier emits a start when it dispatches a sub-request
+        and a finish when the answering backend's response lands, so a
+        hedged request's fan-out is visible as arrows from the router
+        span to each backend span sharing the same ``flow_id``.
+        """
+        now = _CLOCK()
+        entry = Span(name=name, cat=cat, start_s=now, end_s=now,
+                     pid=os.getpid(),
+                     tid=threading.current_thread().name,
+                     args=dict(args), phase="f" if end else "s",
+                     flow_id=int(flow_id))
         self._buffer().append(entry)
         return entry
 
@@ -214,6 +236,11 @@ class TraceRecorder:
                 event["dur"] = span.duration_s * 1e6
             elif span.phase == "i":
                 event["s"] = "t"
+            elif span.phase in ("s", "f"):
+                event["id"] = span.flow_id or 0
+                if span.phase == "f":
+                    # Bind the arrow head to the enclosing slice.
+                    event["bp"] = "e"
             # Counter events ("C") carry their values directly in args.
             events.append(event)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -297,6 +324,14 @@ def counter(name: str, cat: str = "", **values) -> None:
     recorder = _active
     if recorder is not None:
         recorder.counter(name, cat, **values)
+
+
+def flow(name: str, flow_id: int, cat: str = "", end: bool = False,
+         **args) -> None:
+    """Record a flow start/finish on the active recorder, if any."""
+    recorder = _active
+    if recorder is not None:
+        recorder.flow(name, flow_id, cat, end=end, **args)
 
 
 def merge(spans: Sequence[Span]) -> None:

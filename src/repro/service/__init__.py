@@ -22,7 +22,13 @@ many-per-query asymmetry:
   shared-memory shards served by one comparer worker process each,
   with scatter/gather batching, crash-respawn failover and a
   deterministic merge that keeps responses byte-identical to the
-  single-process path.
+  single-process path;
+* :mod:`repro.service.router` — :class:`~repro.service.router.
+  OffTargetRouter` partitions the genome by *chromosome* across N
+  backend servers (the horizontal step after in-host shards), with
+  health probing and ejection, hedged reads, bounded retry against
+  replicas, zero-downtime index rollover, and the same byte-identity
+  guarantee via a stable merge by chromosome rank.
 
 The serving layer is backend-agnostic over the OpenCL/SYCL runtimes:
 the index takes the same ``api``/``device`` selectors as
@@ -39,18 +45,23 @@ from .server import OffTargetServer
 from .client import (ServiceClient, ServiceDeadlineError, ServiceError,
                      ServiceOverloadedError, run_load)
 
-#: Re-exported lazily: importing .shards here would make the
-#: ``python -m repro.service.shards --cleanup`` maintenance entry point
+#: Re-exported lazily: importing .shards/.router here would make their
+#: ``python -m repro.service.<mod>`` maintenance/smoke entry points
 #: warn about the module being imported twice (runpy sees it in
 #: sys.modules before executing it as __main__).
 _SHARD_EXPORTS = ("ShardedSiteIndex", "ShardWorkerError",
                   "cleanup_leaked_segments")
+_ROUTER_EXPORTS = ("OffTargetRouter", "RouterError",
+                   "partition_chromosomes", "replica_plan")
 
 
 def __getattr__(name):
     if name in _SHARD_EXPORTS:
         from . import shards
         return getattr(shards, name)
+    if name in _ROUTER_EXPORTS:
+        from . import router
+        return getattr(router, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 
@@ -60,5 +71,6 @@ __all__ = [
     "ServiceOverloaded", "OffTargetServer", "ServiceClient",
     "ServiceError", "ServiceOverloadedError", "ServiceDeadlineError",
     "run_load", "ShardedSiteIndex", "ShardWorkerError",
-    "cleanup_leaked_segments",
+    "cleanup_leaked_segments", "OffTargetRouter", "RouterError",
+    "partition_chromosomes", "replica_plan",
 ]

@@ -8,6 +8,13 @@ Server-reported failures surface as :class:`ServiceError` with the
 machine-readable ``code`` (``overloaded``, ``deadline``, ...) so
 callers can implement backoff.
 
+A dropped connection mid-request is retried transparently: queries are
+idempotent, so the client reconnects with capped exponential backoff
+and resends the *same* request (same ``id``) up to ``retries`` times
+before surfacing a ``disconnected`` :class:`ServiceError` — a backend
+restart or a server-side connection drop costs a caller latency, not
+an exception.  ``reconnects`` counts how often that happened.
+
 :func:`run_load` is the load generator: N threads, each with its own
 connection, issuing queries back-to-back for a duration, reporting
 client-side throughput and latency percentiles plus a final server
@@ -67,11 +74,33 @@ def _decode_hits(raw: List[List[Any]]) -> List[OffTargetHit]:
 
 
 class ServiceClient:
-    """Blocking JSON-lines client over one TCP connection."""
+    """Blocking JSON-lines client over one TCP connection.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout_s)
+    ``retries`` bounds transparent reconnect-and-resend attempts after
+    a dropped connection (0 disables them); ``backoff_s`` is the first
+    retry delay, doubling per attempt up to ``backoff_cap_s``.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 1.0):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        #: How many times a dropped connection was transparently
+        #: reopened and the request resent.
+        self.reconnects = 0
+        self._seq = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout_s)
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
@@ -87,13 +116,52 @@ class ServiceClient:
         self.close()
 
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self._file.write(json.dumps(request).encode("ascii") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceError("disconnected",
-                               "server closed the connection")
-        response = json.loads(line)
+        if "id" not in request:
+            self._seq += 1
+            request["id"] = f"c{self._seq}"
+        payload = json.dumps(request).encode("ascii") + b"\n"
+        attempts = self.retries + 1
+        delay = self.backoff_s
+        last: Optional[BaseException] = None
+        response = None
+        for attempt in range(attempts):
+            try:
+                if attempt:
+                    # Reconnect and resend the same request id: queries
+                    # are idempotent, so a duplicate execution is safe
+                    # and the id keeps responses attributable.
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.backoff_cap_s)
+                    try:
+                        self.close()
+                    except OSError:
+                        pass  # the broken socket is being replaced
+                    self._connect()
+                    self.reconnects += 1
+                self._file.write(payload)
+                self._file.flush()
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionResetError(
+                        "server closed the connection")
+                response = json.loads(line)
+                break
+            except ConnectionError as exc:
+                # ConnectionResetError / BrokenPipeError / refused on
+                # reconnect.  Socket timeouts are deliberately NOT
+                # retried: the server may still be working on the
+                # request, and piling on makes an overload worse.
+                last = exc
+        if response is None:
+            raise ServiceError(
+                "disconnected",
+                f"server closed the connection ({attempts} attempt"
+                f"{'s' if attempts != 1 else ''}): {last}")
+        if response.get("id") not in (None, request["id"]):
+            raise ServiceError(
+                "protocol",
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request['id']!r}")
         if not response.get("ok"):
             code = response.get("error", "unknown")
             raise _ERROR_TYPES.get(code, ServiceError)(

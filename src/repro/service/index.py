@@ -263,6 +263,27 @@ class GenomeSiteIndex:
             queries=(),
             chunk_size=self.chunk_size)
 
+    def fingerprint(self) -> str:
+        """SHA-256 identity of this index (manifest fingerprint).
+
+        Two indexes with equal fingerprints were built from the same
+        genome, pattern and chunk layout and therefore produce
+        identical wire responses — the property the zero-downtime
+        rollover path checks before and after a swap.
+        """
+        return self.manifest().fingerprint()
+
+    @property
+    def chromosomes(self) -> Tuple[str, ...]:
+        """Chromosome names in assembly order.
+
+        Assembly order *is* the global chunk order (``Assembly.chunks``
+        walks chromosomes in sequence), so this tuple doubles as the
+        merge rank the routing tier uses to reassemble partitioned
+        responses byte-identically.
+        """
+        return tuple(c.name for c in self.assembly.chromosomes)
+
     @property
     def chunk_count(self) -> int:
         return len(self._chunks)

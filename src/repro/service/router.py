@@ -1,0 +1,1209 @@
+"""Multi-host routing tier: partition by chromosome, stay byte-identical.
+
+:class:`OffTargetRouter` is an asyncio front end that speaks the same
+JSON-lines protocol as :class:`~repro.service.server.OffTargetServer`
+and fans each ``query`` out to a fleet of backend index servers, each
+holding a :class:`~repro.service.index.GenomeSiteIndex` over a subset
+of the genome's chromosomes.  It is the horizontal step after the
+in-host shard tier: shards partition *chunks inside one process*,
+the router partitions *chromosomes across processes and hosts*.
+
+The core invariant is inherited from :mod:`repro.service.shards`'
+deterministic merge and generalized one level up: a single-process
+server emits hits in global chunk order, which is chromosome-major in
+assembly order; each backend returns its partition's hits in that same
+relative order; so a stable sort of the gathered wire rows by
+chromosome rank reproduces the single-server byte stream exactly — no
+matter which replica answered, whether a hedge won, or whether the
+fleet was mid-rollover.
+
+Robustness machinery, all exercised deterministically in tests via the
+server's request-level fault plans (``crash`` / ``disconnect`` /
+``stall`` in :mod:`repro.observability.faults`):
+
+* **Health probing** — a background task probes every backend's
+  ``health`` op; ``eject_after`` consecutive failures ejects it from
+  the routing table, a later successful probe readmits it (and
+  refreshes its chromosome set, which may have changed across a
+  restart).
+* **Hedged reads** — when a sub-request has not answered within a
+  delay derived from the observed p95 sub-request latency (or a fixed
+  ``hedge_ms``), the same sub-request (same id) is re-issued to a
+  replica and the first answer wins; the loser is reaped in the
+  background — its connection survives for reuse — and its late
+  response is counted as deduplicated by request id.
+* **Bounded retry with backoff** — connection loss and typed
+  ``overloaded`` rejections retry against the partition's replicas
+  with capped exponential backoff up to ``max_attempts``; ``deadline``
+  errors are *never* retried (the time is already spent — retrying
+  would lie about latency).
+* **Zero-downtime rollover** — the ``rollover`` op walks the fleet one
+  backend at a time, driving each backend's ``reload`` op (background
+  build, canary warm, atomic scheduler swap, old-index drain) and
+  re-probing before moving on, so the fleet never has two backends
+  rebuilding at once and traffic keeps flowing throughout.
+
+Replication is declarative: each backend announces the chromosomes it
+holds, the router groups chromosomes by their holder *set*, and every
+sub-request carries an explicit ``chromosomes`` filter — so any
+replica holding a superset can serve a partition without duplicating
+hits.
+
+Stdlib only, like the rest of the serving stack.  ``python -m
+repro.service.router --smoke`` boots a 3-backend subprocess fleet,
+SIGKILLs one backend mid-load, rolls the survivors, and asserts both
+byte-identity against a single-process server and zero leaked
+processes/ready files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Any, Deque, Dict, List, Optional, Sequence, Set,
+                    Tuple)
+
+from ..genome.assembly import Assembly
+from ..observability import tracing
+from .server import (MAX_LINE_BYTES, ServerHandle, _decode_queries)
+
+#: Idle pooled connections kept per backend.
+POOL_MAX_IDLE = 8
+
+#: Settled request ids remembered for hedge-duplicate accounting.
+SETTLED_IDS_KEPT = 4096
+
+_Conn = Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class RouterError(RuntimeError):
+    """Base class for routing failures."""
+
+
+class _RouteUnavailable(RouterError):
+    """No replica could serve a partition within the retry budget."""
+
+
+class _RouteDeadline(RouterError):
+    """A backend reported the request's deadline expired."""
+
+
+class _RoutePassthrough(RouterError):
+    """A backend error that must reach the client unchanged."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class _Backend:
+    """One backend server: address, liveness, discovery, counters."""
+
+    def __init__(self, backend_id: int, host: str, port: int):
+        self.backend_id = backend_id
+        self.host = host
+        self.port = port
+        self.alive = False
+        #: Seen healthy at least once (distinguishes readmission from
+        #: first discovery).
+        self.ever_seen = False
+        self.chromosomes: Tuple[str, ...] = ()
+        self.pattern: Optional[str] = None
+        self.fingerprint: Optional[str] = None
+        self.consecutive_failures = 0
+        self.ejections = 0
+        self.readmissions = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+        self.requests = 0
+        self.idle: Deque[_Conn] = deque()
+
+    @property
+    def label(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "backend": self.label,
+            "alive": self.alive,
+            "chromosomes": list(self.chromosomes),
+            "fingerprint": self.fingerprint,
+            "requests": self.requests,
+            "consecutive_failures": self.consecutive_failures,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "probes_ok": self.probes_ok,
+            "probes_failed": self.probes_failed,
+        }
+
+
+@dataclass
+class _Group:
+    """One partition: chromosomes sharing an identical replica set."""
+
+    backends: List[_Backend]
+    chromosomes: List[str] = field(default_factory=list)
+
+
+def parse_backend(spec: Any) -> Tuple[str, int]:
+    """Accept ``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(spec, str):
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad backend spec {spec!r}: expected HOST:PORT")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"bad backend port in {spec!r}") from None
+    else:
+        host, port = spec
+        port = int(port)
+    if not 0 < port < 65536:
+        raise ValueError(f"bad backend port {port} in {spec!r}")
+    return host, port
+
+
+def partition_chromosomes(assembly: Assembly, partitions: int
+                          ) -> List[List[str]]:
+    """Split chromosomes into contiguous, size-balanced partitions.
+
+    Contiguous in assembly order (the global merge order), greedily
+    balanced by base count; every partition is non-empty, so
+    ``partitions`` must not exceed the chromosome count.
+    """
+    chroms = assembly.chromosomes
+    if not 1 <= partitions <= len(chroms):
+        raise ValueError(
+            f"cannot split {len(chroms)} chromosome(s) into "
+            f"{partitions} partition(s)")
+    total = sum(len(c) for c in chroms)
+    out: List[List[str]] = []
+    cursor = 0
+    remaining = total
+    for part in range(partitions):
+        take = [chroms[cursor].name]
+        size = len(chroms[cursor])
+        cursor += 1
+        # Leave one chromosome for each remaining partition.
+        spare = len(chroms) - cursor - (partitions - part - 1)
+        target = remaining / (partitions - part)
+        while spare > 0 and size + len(chroms[cursor]) / 2 < target:
+            take.append(chroms[cursor].name)
+            size += len(chroms[cursor])
+            cursor += 1
+            spare -= 1
+        remaining -= size
+        out.append(take)
+    return out
+
+
+def replica_plan(parts: Sequence[Sequence[str]], replication: int
+                 ) -> List[List[str]]:
+    """Chained replication: backend ``i`` holds partitions
+    ``i, i-1, ..., i-replication+1`` (mod N), giving every partition
+    ``replication`` holders with no extra hosts."""
+    n = len(parts)
+    if not 1 <= replication <= n:
+        raise ValueError(
+            f"replication must be in [1, {n}], got {replication}")
+    out = []
+    for i in range(n):
+        held: List[str] = []
+        for r in range(replication):
+            held.extend(parts[(i - r) % n])
+        out.append(held)
+    return out
+
+
+class OffTargetRouter:
+    """Chromosome-partitioning front end over N backend index servers.
+
+    ``backends`` is a list of ``"host:port"`` specs (or pairs).
+    ``chromosome_order`` pins the global merge order; when omitted it
+    is derived from discovery (config-order backends, each backend's
+    chromosomes in announced order) — correct for contiguous
+    partitions, but explicit order should be given whenever chained
+    replication makes a backend announce non-adjacent partitions.
+
+    ``hedge_ms``: None derives the hedge delay from the rolling p95 of
+    sub-request latency; 0 disables hedging; a positive value fixes
+    the delay in milliseconds.
+    """
+
+    def __init__(self, backends: Sequence[Any],
+                 host: str = "127.0.0.1", port: int = 0,
+                 chromosome_order: Optional[Sequence[str]] = None,
+                 probe_interval_s: float = 0.5,
+                 probe_timeout_s: float = 2.0,
+                 eject_after: int = 2,
+                 hedge_ms: Optional[float] = None,
+                 max_attempts: int = 3,
+                 backoff_base_s: float = 0.01,
+                 backoff_cap_s: float = 0.2,
+                 task_timeout_s: float = 30.0,
+                 connect_timeout_s: float = 5.0,
+                 reload_timeout_s: float = 300.0):
+        if not backends:
+            raise ValueError("a router needs at least one backend")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        if eject_after < 1:
+            raise ValueError(
+                f"eject_after must be >= 1, got {eject_after}")
+        self.host = host
+        self.port = port
+        self._backends = [
+            _Backend(i, *parse_backend(spec))
+            for i, spec in enumerate(backends)]
+        self.chromosome_order = (list(chromosome_order)
+                                 if chromosome_order else None)
+        self.probe_interval_s = float(probe_interval_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.eject_after = int(eject_after)
+        self.hedge_ms = hedge_ms
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.task_timeout_s = float(task_timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.reload_timeout_s = float(reload_timeout_s)
+        # Routing table (rebuilt on discovery/ejection/readmission;
+        # touched only from the event loop).
+        self._groups: List[_Group] = []
+        self._rank: Dict[str, int] = {}
+        self._uncovered: List[str] = []
+        self._routing_epoch = 0
+        # Counters (event-loop only).
+        self._requests = 0
+        self._hedges_launched = 0
+        self._hedges_won = 0
+        self._hedges_lost = 0
+        self._hedges_deduped = 0
+        self._retries = 0
+        self._rollovers = 0
+        self._seq = 0
+        self._flow_seq = 0
+        self._sub_latencies_ms: Deque[float] = deque(maxlen=512)
+        self._settled_ids: Set[str] = set()
+        self._settled_order: Deque[str] = deque()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight = 0
+        self._probe_task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- connection pool ------------------------------------------------
+
+    async def _acquire(self, backend: _Backend) -> _Conn:
+        while backend.idle:
+            reader, writer = backend.idle.popleft()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        return await asyncio.wait_for(
+            asyncio.open_connection(backend.host, backend.port,
+                                    limit=MAX_LINE_BYTES),
+            timeout=self.connect_timeout_s)
+
+    @staticmethod
+    def _discard(conn: _Conn) -> None:
+        try:
+            conn[1].close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+    def _release(self, backend: _Backend, conn: _Conn) -> None:
+        if conn[1].is_closing() or len(backend.idle) >= POOL_MAX_IDLE:
+            self._discard(conn)
+        else:
+            backend.idle.append(conn)
+
+    def _close_pools(self) -> None:
+        for backend in self._backends:
+            while backend.idle:
+                self._discard(backend.idle.popleft())
+
+    # -- one RPC --------------------------------------------------------
+
+    async def _rpc(self, backend: _Backend, payload: Dict[str, Any],
+                   timeout_s: Optional[float]) -> Dict[str, Any]:
+        """One request/response on a pooled connection.
+
+        Raises ``ConnectionError`` (or ``asyncio.TimeoutError``) on any
+        transport failure; the connection is returned to the pool only
+        after a well-formed response with a matching id.
+        """
+        conn = await self._acquire(backend)
+        reader, writer = conn
+        try:
+            writer.write(json.dumps(payload).encode("ascii") + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=timeout_s)
+            if not line:
+                raise ConnectionResetError(
+                    f"backend {backend.label} closed the connection")
+            response = json.loads(line)
+            if not isinstance(response, dict):
+                raise ValueError("backend response is not an object")
+            rid = payload.get("id")
+            if rid is not None and response.get("id") != rid:
+                raise ConnectionResetError(
+                    f"backend {backend.label} answered id "
+                    f"{response.get('id')!r} for request {rid!r}")
+        except BaseException:
+            self._discard(conn)
+            raise
+        self._release(backend, conn)
+        return response
+
+    async def _timed_rpc(self, backend: _Backend,
+                         payload: Dict[str, Any]) -> Dict[str, Any]:
+        """RPC plus liveness accounting and latency sampling."""
+        began = time.perf_counter()
+        try:
+            response = await self._rpc(backend, payload,
+                                       self.task_timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                ValueError, json.JSONDecodeError):
+            self._note_failure(backend)
+            raise
+        self._note_success(backend)
+        backend.requests += 1
+        self._sub_latencies_ms.append(
+            (time.perf_counter() - began) * 1000.0)
+        return response
+
+    # -- liveness -------------------------------------------------------
+
+    def _note_success(self, backend: _Backend) -> None:
+        backend.consecutive_failures = 0
+
+    def _note_failure(self, backend: _Backend) -> None:
+        backend.consecutive_failures += 1
+        if backend.alive and \
+                backend.consecutive_failures >= self.eject_after:
+            backend.alive = False
+            backend.ejections += 1
+            tracing.instant("backend_ejected", cat="router",
+                            backend=backend.label,
+                            failures=backend.consecutive_failures)
+            self._rebuild_routing()
+
+    async def _probe(self, backend: _Backend) -> bool:
+        self._seq += 1
+        try:
+            response = await self._rpc(
+                backend, {"op": "health", "id": f"p{self._seq}"},
+                timeout_s=self.probe_timeout_s)
+            ok = bool(response.get("ok")) and \
+                response.get("status") in ("serving", "degraded")
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                ValueError, json.JSONDecodeError):
+            ok = False
+            response = {}
+        if not ok:
+            backend.probes_failed += 1
+            self._note_failure(backend)
+            return False
+        backend.probes_ok += 1
+        backend.consecutive_failures = 0
+        chroms = tuple(response.get("chromosomes") or ())
+        changed = (not backend.alive
+                   or chroms != backend.chromosomes)
+        backend.pattern = response.get("pattern")
+        backend.fingerprint = response.get("fingerprint")
+        backend.chromosomes = chroms
+        if not backend.alive:
+            backend.alive = True
+            if backend.ever_seen:
+                backend.readmissions += 1
+                tracing.instant("backend_readmitted", cat="router",
+                                backend=backend.label)
+        backend.ever_seen = True
+        if changed:
+            self._rebuild_routing()
+        return True
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval_s)
+            await asyncio.gather(
+                *(self._probe(b) for b in self._backends),
+                return_exceptions=True)
+
+    # -- routing table --------------------------------------------------
+
+    def _rebuild_routing(self) -> None:
+        order: List[str] = list(self.chromosome_order or [])
+        seen = set(order)
+        for backend in self._backends:
+            for chrom in backend.chromosomes:
+                if chrom not in seen:
+                    seen.add(chrom)
+                    order.append(chrom)
+        holders: Dict[str, List[_Backend]] = {}
+        for backend in self._backends:
+            if not backend.alive:
+                continue
+            for chrom in backend.chromosomes:
+                holders.setdefault(chrom, []).append(backend)
+        groups: Dict[Tuple[int, ...], _Group] = {}
+        for chrom in order:
+            held = holders.get(chrom)
+            if not held:
+                continue
+            key = tuple(b.backend_id for b in held)
+            groups.setdefault(key, _Group(backends=held)) \
+                .chromosomes.append(chrom)
+        self._rank = {c: i for i, c in enumerate(order)}
+        self._groups = list(groups.values())
+        self._uncovered = [c for c in order if c not in holders]
+        self._routing_epoch += 1
+        tracing.instant("router_routing", cat="router",
+                        epoch=self._routing_epoch,
+                        groups=len(self._groups),
+                        uncovered=len(self._uncovered))
+
+    # -- hedging + retry ------------------------------------------------
+
+    def _hedge_delay_s(self) -> Optional[float]:
+        """Delay before re-issuing a straggler, or None (disabled)."""
+        if self.hedge_ms is not None:
+            if self.hedge_ms <= 0:
+                return None
+            return float(self.hedge_ms) / 1000.0
+        lat = self._sub_latencies_ms
+        if len(lat) < 16:
+            return 0.05
+        values = sorted(lat)
+        p95 = values[min(len(values) - 1,
+                         int(round(0.95 * (len(values) - 1))))]
+        # Hedge a little past p95: a request slower than that is in
+        # the tail the hedge exists to cut.
+        return min(1.0, max(0.01, p95 * 1.5 / 1000.0))
+
+    def _settle_id(self, rid: str) -> None:
+        self._settled_ids.add(rid)
+        self._settled_order.append(rid)
+        while len(self._settled_order) > SETTLED_IDS_KEPT:
+            self._settled_ids.discard(self._settled_order.popleft())
+
+    def _reap(self, task: "asyncio.Task", rid: str) -> None:
+        """Await a losing hedge in the background.
+
+        Not cancelling the loser keeps its connection usable (a
+        cancelled read would have to discard it) and lets the late
+        response be counted as a deduplicated duplicate of ``rid``.
+        """
+        async def _await_loser() -> None:
+            try:
+                await task
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    ValueError, json.JSONDecodeError):
+                return
+            except asyncio.CancelledError:
+                return
+            if rid in self._settled_ids:
+                self._hedges_deduped += 1
+                tracing.instant("hedge_deduped", cat="router", id=rid)
+
+        asyncio.ensure_future(_await_loser())
+
+    async def _hedged_rpc(self, primary: _Backend,
+                          hedge_pool: Sequence[_Backend],
+                          payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Issue to ``primary``; re-issue to a replica if it lags.
+
+        First well-formed answer wins (the duplicate is reaped); a
+        transport failure on one leg waits for the other before the
+        whole call fails.
+        """
+        rid = payload["id"]
+        flow_id = self._flow_seq = self._flow_seq + 1
+        tracing.flow("route_subrequest", flow_id, cat="router",
+                     backend=primary.label)
+        primary_task = asyncio.ensure_future(
+            self._timed_rpc(primary, payload))
+        delay_s = self._hedge_delay_s()
+        hedge_task: Optional[asyncio.Task] = None
+        if hedge_pool and delay_s is not None:
+            done, _ = await asyncio.wait({primary_task},
+                                         timeout=delay_s)
+            if not done:
+                hedge = hedge_pool[0]
+                self._hedges_launched += 1
+                tracing.instant("hedge_launched", cat="router", id=rid,
+                                primary=primary.label,
+                                hedge=hedge.label)
+                hedge_task = asyncio.ensure_future(
+                    self._timed_rpc(hedge, payload))
+        tasks: Set[asyncio.Task] = {primary_task}
+        if hedge_task is not None:
+            tasks.add(hedge_task)
+        last_exc: Optional[BaseException] = None
+        while tasks:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                try:
+                    response = task.result()
+                except (ConnectionError, OSError,
+                        asyncio.TimeoutError, ValueError,
+                        json.JSONDecodeError) as exc:
+                    last_exc = exc
+                    continue
+                if hedge_task is not None:
+                    if task is hedge_task:
+                        self._hedges_won += 1
+                        tracing.instant("hedge_won", cat="router",
+                                        id=rid)
+                    else:
+                        self._hedges_lost += 1
+                self._settle_id(rid)
+                tracing.flow("route_subrequest", flow_id, cat="router",
+                             end=True)
+                for loser in tasks:
+                    self._reap(loser, rid)
+                return response
+        assert last_exc is not None
+        raise last_exc
+
+    async def _group_request(self, group: _Group,
+                             raw_queries: Any,
+                             deadline_s: Optional[float]
+                             ) -> List[List[List[Any]]]:
+        """One partition's sub-request: hedge, retry across replicas.
+
+        Returns the partition's wire-format per-query hit rows.
+        """
+        payload_base: Dict[str, Any] = {
+            "op": "query", "queries": raw_queries,
+            "chromosomes": list(group.chromosomes)}
+        if deadline_s is not None:
+            payload_base["deadline_s"] = deadline_s
+        delay = self.backoff_base_s
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            alive = [b for b in group.backends if b.alive]
+            if not alive:
+                break
+            primary = alive[attempt % len(alive)]
+            hedge_pool = [b for b in alive if b is not primary]
+            self._seq += 1
+            payload = dict(payload_base, id=f"r{self._seq}")
+            try:
+                response = await self._hedged_rpc(primary, hedge_pool,
+                                                  payload)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    ValueError, json.JSONDecodeError) as exc:
+                last = exc
+                if attempt + 1 < self.max_attempts:
+                    self._retries += 1
+                    tracing.instant("route_retry", cat="router",
+                                    backend=primary.label,
+                                    attempt=attempt + 1,
+                                    error=type(exc).__name__)
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, self.backoff_cap_s)
+                continue
+            if response.get("ok"):
+                hits = response.get("hits")
+                if not isinstance(hits, list):
+                    last = ConnectionResetError(
+                        f"backend {primary.label} sent a malformed "
+                        f"query response")
+                    continue
+                return hits
+            code = response.get("error")
+            message = response.get("message", "")
+            if code == "overloaded":
+                # Typed overload: back off and try a replica.
+                last = _RouteUnavailable(
+                    f"backend {primary.label} overloaded: {message}")
+                if attempt + 1 < self.max_attempts:
+                    self._retries += 1
+                    tracing.instant("route_retry", cat="router",
+                                    backend=primary.label,
+                                    attempt=attempt + 1,
+                                    error="overloaded")
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, self.backoff_cap_s)
+                continue
+            if code == "deadline":
+                # Never retried: the budget is spent either way.
+                raise _RouteDeadline(message)
+            raise _RoutePassthrough(code or "internal", message)
+        raise _RouteUnavailable(
+            f"partition {group.chromosomes} unavailable after "
+            f"{self.max_attempts} attempt(s): {last}")
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle_query(self, request: Dict[str, Any]
+                            ) -> Dict[str, Any]:
+        raw_queries = request.get("queries")
+        try:
+            queries = _decode_queries(raw_queries)
+            deadline = request.get("deadline_s")
+            if deadline is not None and (
+                    isinstance(deadline, bool)
+                    or not isinstance(deadline, (int, float))):
+                raise ValueError(
+                    f"deadline_s must be a number, got {deadline!r}")
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        if self._uncovered:
+            return {"ok": False, "error": "unavailable",
+                    "message": f"no live backend serves "
+                               f"{self._uncovered}"}
+        if not self._groups:
+            return {"ok": False, "error": "unavailable",
+                    "message": "no live backends discovered"}
+        groups = list(self._groups)
+        rank = dict(self._rank)
+        with tracing.span("route_request", cat="router",
+                          queries=len(queries),
+                          partitions=len(groups)):
+            results = await asyncio.gather(
+                *(self._group_request(group, raw_queries, deadline)
+                  for group in groups),
+                return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            for exc in failures:
+                if isinstance(exc, _RoutePassthrough):
+                    return {"ok": False, "error": exc.code,
+                            "message": exc.message}
+            for exc in failures:
+                if isinstance(exc, _RouteDeadline):
+                    return {"ok": False, "error": "deadline",
+                            "message": str(exc)}
+            for exc in failures:
+                if isinstance(exc, _RouteUnavailable):
+                    return {"ok": False, "error": "unavailable",
+                            "message": str(exc)}
+            exc = failures[0]
+            if isinstance(exc, (asyncio.CancelledError,
+                                KeyboardInterrupt, SystemExit)):
+                raise exc
+            return {"ok": False, "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        merged: List[List[List[Any]]] = [[] for _ in queries]
+        for partition_hits in results:
+            if len(partition_hits) != len(queries):
+                return {"ok": False, "error": "internal",
+                        "message": "partition answered "
+                                   f"{len(partition_hits)} queries, "
+                                   f"expected {len(queries)}"}
+            for per_query, rows in zip(merged, partition_hits):
+                per_query.extend(rows)
+        # The generalized deterministic merge: within one chromosome
+        # all rows come from a single partition already in single-
+        # server order, so a *stable* sort by chromosome rank
+        # reproduces the global chunk-major order byte-for-byte.
+        for per_query in merged:
+            per_query.sort(key=lambda row: rank.get(row[1], len(rank)))
+        self._requests += 1
+        return {"ok": True, "hits": merged}
+
+    async def _handle_rollover(self, request: Dict[str, Any]
+                               ) -> Dict[str, Any]:
+        raw = request.get("canaries")
+        if raw is not None:
+            try:
+                _decode_queries(raw)
+            except ValueError as exc:
+                return {"ok": False, "error": "bad-request",
+                        "message": str(exc)}
+        results: List[Dict[str, Any]] = []
+        ok_all = True
+        with tracing.span("fleet_rollover", cat="router",
+                          backends=len(self._backends)):
+            for backend in self._backends:
+                entry: Dict[str, Any] = {"backend": backend.label}
+                if not backend.alive:
+                    entry.update(ok=False, error="down")
+                    ok_all = False
+                    results.append(entry)
+                    continue
+                self._seq += 1
+                payload: Dict[str, Any] = {"op": "reload",
+                                           "id": f"r{self._seq}"}
+                if raw is not None:
+                    payload["canaries"] = raw
+                try:
+                    response = await self._rpc(
+                        backend, payload,
+                        timeout_s=self.reload_timeout_s)
+                except (ConnectionError, OSError,
+                        asyncio.TimeoutError, ValueError,
+                        json.JSONDecodeError) as exc:
+                    self._note_failure(backend)
+                    entry.update(ok=False,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    ok_all = False
+                    results.append(entry)
+                    continue
+                entry["ok"] = bool(response.get("ok"))
+                for key in ("fingerprint", "previous_fingerprint",
+                            "changed", "sites", "canaries", "drained",
+                            "error", "message"):
+                    if key in response:
+                        entry[key] = response[key]
+                if not response.get("ok"):
+                    ok_all = False
+                # One at a time: re-probe (refreshing the fingerprint)
+                # before the next backend starts rebuilding, so the
+                # fleet always has its other replicas serving.
+                await self._probe(backend)
+                results.append(entry)
+        self._rollovers += 1
+        # ok means the op ran; ``complete`` is whether every backend
+        # actually rolled (a dead one is reported, not fatal).
+        return {"ok": True, "complete": ok_all, "backends": results}
+
+    def _topology(self) -> Dict[str, Any]:
+        return {
+            "epoch": self._routing_epoch,
+            "chromosome_order": [
+                c for c, _ in sorted(self._rank.items(),
+                                     key=lambda item: item[1])],
+            "partitions": [
+                {"chromosomes": list(g.chromosomes),
+                 "backends": [b.label for b in g.backends]}
+                for g in self._groups],
+            "uncovered": list(self._uncovered),
+            "backends": [b.snapshot() for b in self._backends],
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        lat = sorted(self._sub_latencies_ms)
+
+        def pct(q: float) -> Optional[float]:
+            if not lat:
+                return None
+            return lat[min(len(lat) - 1,
+                           int(round(q * (len(lat) - 1))))]
+
+        return {
+            "requests": self._requests,
+            "rollovers": self._rollovers,
+            "retries": self._retries,
+            "hedges": {
+                "launched": self._hedges_launched,
+                "won": self._hedges_won,
+                "lost": self._hedges_lost,
+                "deduped": self._hedges_deduped,
+            },
+            "routing_epoch": self._routing_epoch,
+            "partitions": len(self._groups),
+            "backends_alive": sum(1 for b in self._backends
+                                  if b.alive),
+            "backends_total": len(self._backends),
+            "subrequest_latency_ms": {
+                "count": len(lat),
+                "p50": pct(0.50),
+                "p95": pct(0.95),
+                "p99": pct(0.99),
+            },
+            "hedge_delay_s": self._hedge_delay_s(),
+        }
+
+    async def _handle_request(self, request: Dict[str, Any]
+                              ) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "query":
+            return await self._handle_query(request)
+        if op == "health":
+            alive = sum(1 for b in self._backends if b.alive)
+            degraded = (alive < len(self._backends)
+                        or bool(self._uncovered))
+            patterns = {b.pattern for b in self._backends
+                        if b.alive and b.pattern}
+            response: Dict[str, Any] = {
+                "ok": True,
+                "status": ("draining" if self._draining else
+                           "degraded" if degraded else "serving"),
+                "role": "router",
+                "backends_alive": alive,
+                "backends_total": len(self._backends),
+                "uncovered": list(self._uncovered),
+            }
+            if len(patterns) == 1:
+                response["pattern"] = patterns.pop()
+            if self._rank:
+                response["chromosomes"] = [
+                    c for c, _ in sorted(self._rank.items(),
+                                         key=lambda item: item[1])
+                    if c not in self._uncovered]
+            return response
+        if op == "stats":
+            return {"ok": True, "stats": self._stats()}
+        if op == "topology":
+            return {"ok": True, "topology": self._topology()}
+        if op == "rollover":
+            return await self._handle_rollover(request)
+        return {"ok": False, "error": "unknown-op",
+                "message": f"unknown op {op!r}; expected query, "
+                           f"stats, health, topology or rollover"}
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                self._inflight += 1
+                try:
+                    try:
+                        request = json.loads(line)
+                        if not isinstance(request, dict):
+                            raise ValueError(
+                                "request must be a JSON object")
+                    except (ValueError, json.JSONDecodeError) as exc:
+                        response: Dict[str, Any] = {
+                            "ok": False, "error": "bad-json",
+                            "message": str(exc)}
+                    else:
+                        response = await self._handle_request(request)
+                        if "id" in request:
+                            response["id"] = request["id"]
+                    writer.write(
+                        json.dumps(response).encode("ascii", "replace")
+                        + b"\n")
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._inflight -= 1
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _begin_drain(self) -> None:
+        self._draining = True
+        self._request_stop()
+
+    async def _serve(self, ready=None, duration_s=None,
+                     ready_file=None) -> None:
+        import os as _os
+        import signal as _signal
+        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        signal_installed = False
+        try:
+            loop.add_signal_handler(_signal.SIGTERM, self._begin_drain)
+            signal_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        # Discover the fleet before announcing readiness, so a caller
+        # that waited on the ready file sees a populated routing table.
+        await asyncio.gather(*(self._probe(b) for b in self._backends),
+                             return_exceptions=True)
+        self._rebuild_routing()
+        self._probe_task = asyncio.ensure_future(self._probe_loop())
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=MAX_LINE_BYTES)
+        self.port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready[2].append(self.port)
+            ready[1].set()
+        if ready_file:
+            with open(ready_file, "w", encoding="ascii") as handle:
+                handle.write(f"{self.host} {self.port}\n")
+        try:
+            async with server:
+                if duration_s is not None:
+                    try:
+                        await asyncio.wait_for(self._stop_event.wait(),
+                                               timeout=duration_s)
+                    except asyncio.TimeoutError:
+                        pass
+                else:
+                    await self._stop_event.wait()
+        finally:
+            self._stop_event = None
+            if signal_installed:
+                loop.remove_signal_handler(_signal.SIGTERM)
+            if self._draining:
+                deadline = loop.time() + 5.0
+                while self._inflight > 0 and loop.time() < deadline:
+                    await asyncio.sleep(0.02)
+            self._probe_task.cancel()
+            await asyncio.gather(self._probe_task,
+                                 return_exceptions=True)
+            self._probe_task = None
+            self._close_pools()
+            current = asyncio.current_task()
+            pending = [task for task in asyncio.all_tasks()
+                       if task is not current and not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            if ready_file:
+                try:
+                    _os.unlink(ready_file)
+                except OSError:
+                    pass
+
+    def run(self, duration_s: Optional[float] = None,
+            ready_file: Optional[str] = None) -> None:
+        """Route on the calling thread until stopped (or SIGTERM)."""
+        try:
+            asyncio.run(self._serve(duration_s=duration_s,
+                                    ready_file=ready_file))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def start_background(self) -> ServerHandle:
+        """Route on a daemon thread; returns a handle with the port."""
+        ready = threading.Event()
+        ports: List[int] = []
+        loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(
+                    self._serve(ready=(self.host, ready, ports)))
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="service-router",
+                                  daemon=True)
+        thread.start()
+        if not ready.wait(timeout=30.0):
+            raise RuntimeError("router failed to start within 30 s")
+        return ServerHandle(host=self.host, port=ports[0],
+                            _server=self, _thread=thread, _loop=loop)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Smoke entry point: `python -m repro.service.router --smoke`
+# ---------------------------------------------------------------------------
+
+def _wait_ready_file(path: str, timeout_s: float = 60.0
+                     ) -> Tuple[str, int]:
+    import os
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        if os.path.exists(path):
+            with open(path, encoding="ascii") as handle:
+                text = handle.read().strip()
+            if text:
+                host, port_text = text.split()
+                return host, int(port_text)
+        time.sleep(0.05)
+    raise RuntimeError(f"ready file {path!r} not written in "
+                       f"{timeout_s:g}s")
+
+
+def _smoke(duration_s: float = 6.0, backends: int = 3) -> int:
+    """3-backend subprocess fleet: crash one, roll the rest.
+
+    Asserts byte-identity of every routed response against an
+    in-process single-server reference, zero failed client requests
+    across the induced SIGKILL, and zero leaked processes/ready
+    files at the end.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+
+    from ..core.config import Query
+    from ..genome.synthetic import synthetic_assembly
+    from .client import ServiceClient
+    from .index import GenomeSiteIndex
+    from .server import OffTargetServer
+
+    pattern = "NNNNNNRG"
+    scale, seed = 0.00005, 7
+    assembly = synthetic_assembly("hg19", scale=scale, seed=seed)
+    order = [c.name for c in assembly.chromosomes]
+    parts = partition_chromosomes(assembly, backends)
+    held = replica_plan(parts, replication=2)
+    queries = [Query("GACGTCNN", 3), Query("TTACGANN", 2)]
+
+    # In-process single-server reference for byte-identity.
+    reference_index = GenomeSiteIndex.build(assembly, pattern,
+                                            chunk_size=1 << 15)
+    reference_server = OffTargetServer(reference_index, max_wait_ms=1.0)
+    reference = reference_server.start_background()
+
+    procs: List[subprocess.Popen] = []
+    ready_files: List[str] = []
+    failures: List[str] = []
+    router_handle = None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            for i in range(backends):
+                ready = os.path.join(tmp, f"backend-{i}.ready")
+                ready_files.append(ready)
+                procs.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "serve",
+                     "--synthetic", "hg19", "--scale", str(scale),
+                     "--seed", str(seed),
+                     "--chromosomes", ",".join(held[i]),
+                     "--pattern", pattern,
+                     "--chunk-size", str(1 << 15),
+                     "--max-wait-ms", "1.0",
+                     "--drain-s", "5.0",
+                     "--ready-file", ready]))
+            addrs = ["%s:%d" % _wait_ready_file(f)
+                     for f in ready_files]
+            print(f"# fleet up: {addrs}")
+            router = OffTargetRouter(addrs, chromosome_order=order,
+                                     probe_interval_s=0.2,
+                                     hedge_ms=200.0)
+            router_handle = router.start_background()
+
+            with ServiceClient(reference.host,
+                               reference.port) as ref_client:
+                expected = ref_client._call({
+                    "op": "query",
+                    "queries": [[q.sequence, q.max_mismatches]
+                                for q in queries]})["hits"]
+
+            client = ServiceClient(router_handle.host,
+                                   router_handle.port, retries=4)
+            requests = 0
+            mismatches = 0
+            kill_at = time.perf_counter() + duration_s * 0.3
+            roll_at = time.perf_counter() + duration_s * 0.6
+            stop_at = time.perf_counter() + duration_s
+            killed = rolled = False
+            rollover_report = None
+            while time.perf_counter() < stop_at:
+                got = client._call({
+                    "op": "query",
+                    "queries": [[q.sequence, q.max_mismatches]
+                                for q in queries]})["hits"]
+                requests += 1
+                if got != expected:
+                    mismatches += 1
+                if not killed and time.perf_counter() >= kill_at:
+                    procs[0].send_signal(signal.SIGKILL)
+                    killed = True
+                    print("# SIGKILLed backend 0")
+                if not rolled and time.perf_counter() >= roll_at:
+                    rollover_report = client._call({
+                        "op": "rollover",
+                        "canaries": [[q.sequence, q.max_mismatches]
+                                     for q in queries]})
+                    rolled = True
+                    survivors = sum(
+                        1 for entry in rollover_report["backends"]
+                        if entry.get("ok"))
+                    print(f"# rolled {survivors} live backend(s)")
+            stats = client._call({"op": "stats"})["stats"]
+            client.close()
+            if requests == 0:
+                failures.append("no requests completed")
+            if mismatches:
+                failures.append(
+                    f"{mismatches}/{requests} responses diverged "
+                    f"from the single-server reference")
+            if not killed:
+                failures.append("backend crash was never induced")
+            if rollover_report is None:
+                failures.append("rollover was never run")
+            if stats["backends_alive"] >= backends:
+                failures.append(
+                    "SIGKILLed backend was never ejected")
+            print(json.dumps({"requests": requests,
+                              "reconnects": client.reconnects,
+                              "stats": stats}, indent=2,
+                             sort_keys=True))
+
+            # Graceful SIGTERM drain of the survivors.
+            procs[0].wait(timeout=10.0)
+            for proc in procs[1:]:
+                proc.send_signal(signal.SIGTERM)
+            for i, proc in enumerate(procs[1:], start=1):
+                code = proc.wait(timeout=15.0)
+                if code != 0:
+                    failures.append(
+                        f"backend {i} exited {code} on SIGTERM")
+            # Drained servers must have removed their ready files;
+            # the SIGKILLed one cannot have (that is the point of the
+            # stale-ready-file refusal in `serve`).
+            for i, ready in enumerate(ready_files):
+                if i == 0:
+                    continue
+                if os.path.exists(ready):
+                    failures.append(
+                        f"backend {i} leaked ready file {ready}")
+    finally:
+        if router_handle is not None:
+            router_handle.stop()
+        reference.stop()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+    leaked = [p for p in procs if p.poll() is None]
+    if leaked:
+        failures.append(f"{len(leaked)} backend process(es) leaked")
+    if failures:
+        for failure in failures:
+            print(f"smoke FAILED: {failure}")
+        return 1
+    print(f"smoke OK: {requests} routed requests byte-identical "
+          f"across a SIGKILL and a rollover")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.router",
+        description="Routing-tier smoke test: subprocess fleet, "
+                    "induced crash, zero-downtime rollover.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the 3-backend fleet smoke")
+    parser.add_argument("--duration", type=float, default=6.0)
+    parser.add_argument("--backends", type=int, default=3)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke is supported; use `repro route` "
+                     "to run a router")
+    return _smoke(args.duration, args.backends)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

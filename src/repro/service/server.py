@@ -4,15 +4,26 @@ Stdlib only: one :func:`asyncio.start_server` accept loop, one JSON
 object per line in each direction.  Requests carry an ``op`` —
 
 * ``query``: ``{"op": "query", "queries": [["GACGTCNN", 3], ...],
-  "deadline_s": 0.5}`` → per-query hit lists;
+  "deadline_s": 0.5}`` → per-query hit lists; an optional
+  ``"chromosomes": [...]`` list restricts hits to those chromosomes
+  (order-preserving — the routing tier uses this so replicated
+  backends can each serve a disjoint partition of a request);
 * ``stats``: scheduler counters, queue depth, batch-size histogram and
   latency percentiles (see :meth:`BatchScheduler.stats`);
-* ``health``: liveness plus index identity (genome, pattern, sites).
+* ``health``: liveness plus index identity (genome, pattern, sites,
+  chromosome list, manifest fingerprint);
+* ``reload``: zero-downtime index rollover — a configured ``reloader``
+  callable builds/loads a fresh index off-loop, optional canary
+  queries warm it, then :meth:`BatchScheduler.swap_index` swaps it in
+  between batches and the old index is drained and released.  Any
+  failure (reloader error, pattern mismatch, canary failure) leaves
+  the old index serving untouched.
 
 Responses echo the request's ``id`` (if any) and carry ``ok``; failures
 carry a machine-readable ``error`` code (``bad-json``, ``bad-request``,
-``unknown-op``, ``overloaded``, ``deadline``, ``closed``, ``internal``)
-so clients can distinguish back-off-and-retry from bugs.
+``unknown-op``, ``overloaded``, ``deadline``, ``closed``, ``internal``,
+``no-reloader``, ``reload-failed``) so clients can distinguish
+back-off-and-retry from bugs.
 
 The accept loop never blocks on the comparer: each connection awaits
 its scheduler future via :func:`asyncio.wrap_future`, so slow batches
@@ -20,6 +31,17 @@ only delay their own requesters while other connections keep being
 served.  :meth:`OffTargetServer.start_background` runs the whole server
 in a daemon thread with its own event loop — the shape the tests and
 the load generator use.
+
+Two robustness hooks serve the routing tier:
+
+* ``request_fault_plan`` applies :mod:`repro.observability.faults`
+  plans at the *request* level (index = per-server query ordinal):
+  ``stall`` sleeps on the event loop (a slow backend), ``disconnect``
+  drops the connection without responding (half-open), ``crash``
+  terminates the process (a dead backend).
+* SIGTERM (or :meth:`ServerHandle.drain`) triggers a graceful drain:
+  stop accepting, finish requests already admitted within the
+  ``drain_s`` budget, remove the ready file, exit 0.
 """
 
 from __future__ import annotations
@@ -27,18 +49,25 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (Any, Callable, Dict, FrozenSet, List, Optional,
+                    Sequence, Tuple)
 
 from ..core.config import Query
 from ..core.records import OffTargetHit
+from ..observability import faults, tracing
 from .index import GenomeSiteIndex
 from .scheduler import (BatchScheduler, DeadlineExceeded,
                         SchedulerClosed, ServiceOverloaded)
 
 #: Refuse absurd single lines before json.loads sees them.
 MAX_LINE_BYTES = 1 << 20
+
+#: Sentinel returned by the fault applier when the connection should
+#: be dropped without a response (a half-open connection).
+_DROP_CONNECTION: Dict[str, Any] = {"_drop": True}
 
 
 def _encode_hits(hits: List[OffTargetHit]) -> List[List[Any]]:
@@ -67,6 +96,17 @@ def _decode_queries(raw: Any) -> List[Query]:
     return queries
 
 
+def _decode_chromosomes(raw: Any) -> Optional[FrozenSet[str]]:
+    """Validate an optional per-request chromosome filter."""
+    if raw is None:
+        return None
+    if (not isinstance(raw, list) or not raw
+            or not all(isinstance(c, str) for c in raw)):
+        raise ValueError("'chromosomes' must be a non-empty list of "
+                         "chromosome names")
+    return frozenset(raw)
+
+
 @dataclass
 class ServerHandle:
     """A running background server: address plus a way to stop it."""
@@ -87,6 +127,22 @@ class ServerHandle:
             thread.join(timeout=10.0)
         self._server.close()
 
+    def drain(self, timeout_s: float = 15.0) -> None:
+        """Gracefully drain: stop accepting, finish admitted requests.
+
+        The in-process analog of sending the server SIGTERM; used by
+        tests and the router smoke to exercise the drain path without
+        a subprocess.
+        """
+        loop, thread = self._loop, self._thread
+        if thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(self._server._begin_drain)
+            except RuntimeError:
+                pass
+            thread.join(timeout=timeout_s)
+        self._server.close()
+
 
 class OffTargetServer:
     """JSON-lines TCP server over one resident :class:`GenomeSiteIndex`."""
@@ -94,7 +150,10 @@ class OffTargetServer:
     def __init__(self, index: GenomeSiteIndex, host: str = "127.0.0.1",
                  port: int = 0, max_batch: int = 8,
                  max_wait_ms: float = 5.0, max_queue: int = 64,
-                 adaptive: bool = False, direct_below: int = 0):
+                 adaptive: bool = False, direct_below: int = 0,
+                 reloader: Optional[Callable[[], Any]] = None,
+                 request_fault_plan: Optional[str] = None,
+                 drain_s: float = 5.0):
         self.index = index
         self.host = host
         self.port = port  # 0 = ephemeral; bound port set once listening
@@ -105,18 +164,40 @@ class OffTargetServer:
                                         direct_below=direct_below)
         self._stop_event: Optional[asyncio.Event] = None
         self._closed = False
+        #: Builds/loads a replacement index for the ``reload`` op.
+        self._reloader = reloader
+        self._reload_lock = threading.Lock()
+        self._reloads = 0
+        #: Request-level fault plan (indices are query ordinals).
+        self._request_injector = (
+            faults.FaultInjector(faults.parse_fault_plan(
+                request_fault_plan))
+            if request_fault_plan else None)
+        self._request_seq = 0
+        #: Graceful-shutdown budget for in-flight requests (seconds).
+        self.drain_s = float(drain_s)
+        self._draining = False
+        self._inflight = 0
 
     # -- request handling ----------------------------------------------
 
     async def _handle_request(self, request: Dict[str, Any]
-                              ) -> Dict[str, Any]:
+                              ) -> Optional[Dict[str, Any]]:
         op = request.get("op")
         if op == "health":
-            response = {"ok": True, "status": "serving",
+            response = {"ok": True,
+                        "status": ("draining" if self._draining
+                                   else "serving"),
                         "genome": self.index.assembly.name,
                         "pattern": self.index.pattern,
                         "chunks": self.index.chunk_count,
                         "sites": self.index.site_count}
+            chroms = getattr(self.index, "chromosomes", None)
+            if chroms is not None:
+                response["chromosomes"] = list(chroms)
+            fingerprint = getattr(self.index, "fingerprint", None)
+            if callable(fingerprint):
+                response["fingerprint"] = fingerprint()
             shard_health = getattr(self.index, "shard_health", None)
             if shard_health is not None:
                 response["shards"] = shard_health()
@@ -129,9 +210,19 @@ class OffTargetServer:
             return response
         if op == "stats":
             return {"ok": True, "stats": self.scheduler.stats()}
+        if op == "reload":
+            return await self._handle_reload(request)
         if op == "query":
+            if self._request_injector is not None:
+                outcome = await self._apply_request_fault()
+                if outcome is _DROP_CONNECTION:
+                    return None  # half-open: close without responding
+                if outcome is not None:
+                    return outcome
             try:
                 queries = _decode_queries(request.get("queries"))
+                allowed = _decode_chromosomes(
+                    request.get("chromosomes"))
                 deadline = request.get("deadline_s")
                 if deadline is not None and (
                         isinstance(deadline, bool)
@@ -166,11 +257,124 @@ class OffTargetServer:
             except Exception as exc:  # noqa: BLE001 - report, keep serving
                 return {"ok": False, "error": "internal",
                         "message": f"{type(exc).__name__}: {exc}"}
+            if allowed is not None:
+                # Order-preserving subsequence: hits of the allowed
+                # chromosomes keep their single-server relative order,
+                # which is what lets a router reassemble partitions
+                # byte-identically.
+                results = [[hit for hit in per if hit.chrom in allowed]
+                           for per in results]
             return {"ok": True,
                     "hits": [_encode_hits(per) for per in results]}
         return {"ok": False, "error": "unknown-op",
-                "message": f"unknown op {op!r}; expected query, stats "
-                           f"or health"}
+                "message": f"unknown op {op!r}; expected query, stats, "
+                           f"health or reload"}
+
+    async def _apply_request_fault(self) -> Optional[Dict[str, Any]]:
+        """Fire the next request-level fault, if the plan names one.
+
+        Returns None (no fault, or a stall already applied), an error
+        response (``raise``), or :data:`_DROP_CONNECTION`
+        (``disconnect``).  ``crash`` does not return.
+        """
+        ordinal = self._request_seq
+        self._request_seq += 1
+        spec = self._request_injector.fire(ordinal)
+        if spec is None:
+            return None
+        tracing.instant("request_fault", cat="fault", request=ordinal,
+                        kind=spec.kind)
+        if spec.kind == "crash":
+            os._exit(1)
+        if spec.kind == "disconnect":
+            return _DROP_CONNECTION
+        if spec.kind == "stall":
+            await asyncio.sleep(spec.stall_s)
+            return None
+        return {"ok": False, "error": "internal",
+                "message": f"injected fault on request {ordinal}"}
+
+    async def _handle_reload(self, request: Dict[str, Any]
+                             ) -> Dict[str, Any]:
+        if self._reloader is None:
+            return {"ok": False, "error": "no-reloader",
+                    "message": "this server was started without a "
+                               "reloader; it cannot roll its index"}
+        raw = request.get("canaries")
+        try:
+            canaries = (_decode_queries(raw) if raw is not None
+                        else [])
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        loop = asyncio.get_running_loop()
+        try:
+            # Build + warm + swap off-loop: other connections keep
+            # being served by the old index the whole time.
+            summary = await loop.run_in_executor(
+                None, self._reload_sync, canaries)
+        except Exception as exc:  # noqa: BLE001 - old index kept
+            tracing.instant("index_reload_failed", cat="service",
+                            error=type(exc).__name__)
+            return {"ok": False, "error": "reload-failed",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, **summary}
+
+    def _reload_sync(self, canaries: Sequence[Query]
+                     ) -> Dict[str, Any]:
+        """Build, canary-warm and atomically swap a fresh index.
+
+        Runs in an executor thread.  Any exception propagates to
+        :meth:`_handle_reload` *before* the swap, so a failed reload
+        never interrupts serving on the old index.
+        """
+        with self._reload_lock:
+            old = self.scheduler.index
+            with tracing.span("index_reload", cat="service"):
+                new = self._reloader()
+                if new is None:
+                    raise RuntimeError("reloader returned no index")
+                plen = new.compiled_pattern.plen
+                for query in canaries:
+                    if len(query.sequence) != plen:
+                        raise ValueError(
+                            f"canary {query.sequence!r} has length "
+                            f"{len(query.sequence)}; the new index "
+                            f"requires {plen}")
+                if canaries:
+                    # Canary warm: run the new index end to end before
+                    # it can see real traffic.
+                    new.query_batch(list(canaries))
+                old_fp = self._fingerprint_of(old)
+                new_fp = self._fingerprint_of(new)
+                drained = True
+                try:
+                    previous = self.scheduler.swap_index(new)
+                except TimeoutError:
+                    # Swap took effect; the old index is still running
+                    # one last batch, so just don't release it.
+                    previous, drained = old, False
+                self.index = new
+                self._reloads += 1
+                if drained and previous is not new:
+                    closer = getattr(previous, "close", None)
+                    if callable(closer):
+                        closer()
+            tracing.instant("index_reloaded", cat="service",
+                            fingerprint=new_fp, changed=new_fp != old_fp)
+            return {"swapped": True,
+                    "fingerprint": new_fp,
+                    "previous_fingerprint": old_fp,
+                    "changed": new_fp != old_fp,
+                    "sites": new.site_count,
+                    "canaries": len(canaries),
+                    "drained": drained,
+                    "reloads": self._reloads}
+
+    @staticmethod
+    def _fingerprint_of(index: Any) -> Optional[str]:
+        fingerprint = getattr(index, "fingerprint", None)
+        return fingerprint() if callable(fingerprint) else None
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -182,25 +386,34 @@ class OffTargetServer:
                     break
                 if not line:
                     break
+                self._inflight += 1
                 try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
-                except (ValueError, json.JSONDecodeError) as exc:
-                    response: Dict[str, Any] = {
-                        "ok": False, "error": "bad-json",
-                        "message": str(exc)}
-                else:
-                    response = await self._handle_request(request)
-                    if "id" in request:
-                        response["id"] = request["id"]
-                writer.write(json.dumps(response).encode("ascii",
-                                                         "replace")
-                             + b"\n")
-                try:
-                    await writer.drain()
-                except ConnectionError:
-                    break
+                    try:
+                        request = json.loads(line)
+                        if not isinstance(request, dict):
+                            raise ValueError(
+                                "request must be a JSON object")
+                    except (ValueError, json.JSONDecodeError) as exc:
+                        response: Optional[Dict[str, Any]] = {
+                            "ok": False, "error": "bad-json",
+                            "message": str(exc)}
+                    else:
+                        response = await self._handle_request(request)
+                        if response is None:
+                            # Injected disconnect: drop the connection
+                            # without writing anything back.
+                            break
+                        if "id" in request:
+                            response["id"] = request["id"]
+                    writer.write(json.dumps(response).encode("ascii",
+                                                             "replace")
+                                 + b"\n")
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._inflight -= 1
         except asyncio.CancelledError:
             pass  # server shutdown: drop the connection quietly
         finally:
@@ -216,11 +429,34 @@ class OffTargetServer:
         if self._stop_event is not None:
             self._stop_event.set()
 
+    def _begin_drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish admitted work.
+
+        Called from the event loop (SIGTERM handler or
+        :meth:`ServerHandle.drain` via ``call_soon_threadsafe``).
+        """
+        if not self._draining:
+            self._draining = True
+            tracing.instant("server_drain_begin", cat="service",
+                            inflight=self._inflight)
+        self._request_stop()
+
     async def _serve(self, ready: Optional[Tuple[str, threading.Event,
                                                  List[int]]] = None,
                      duration_s: Optional[float] = None,
                      ready_file: Optional[str] = None) -> None:
         self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        signal_installed = False
+        try:
+            # A supervisor's SIGTERM triggers the graceful drain
+            # instead of killing mid-batch.  Installation fails off
+            # the main thread (start_background); those callers use
+            # ServerHandle.drain instead.
+            loop.add_signal_handler(signal.SIGTERM, self._begin_drain)
+            signal_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port,
             limit=MAX_LINE_BYTES)
@@ -243,6 +479,19 @@ class OffTargetServer:
                     await self._stop_event.wait()
         finally:
             self._stop_event = None
+            if signal_installed:
+                loop.remove_signal_handler(signal.SIGTERM)
+            if self._draining:
+                # The listener is closed (async with exited): no new
+                # connections.  Give requests already admitted up to
+                # drain_s to finish; the scheduler queue drains
+                # transitively because each request holds _inflight
+                # until its response is written.
+                deadline = loop.time() + self.drain_s
+                while self._inflight > 0 and loop.time() < deadline:
+                    await asyncio.sleep(0.02)
+                tracing.instant("server_drained", cat="service",
+                                remaining=self._inflight)
             # Cancel connection handlers still blocked in readline so
             # the loop shuts down without pending-task warnings.
             current = asyncio.current_task()

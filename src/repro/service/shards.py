@@ -528,6 +528,13 @@ class ShardedSiteIndex:
     def manifest(self):
         return self.index.manifest()
 
+    def fingerprint(self) -> str:
+        return self.index.fingerprint()
+
+    @property
+    def chromosomes(self):
+        return self.index.chromosomes
+
     def segment_bytes(self) -> Dict[str, Any]:
         """Shared-memory footprint of the published index.
 
