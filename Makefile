@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test fault service router verify
+.PHONY: test fault service router design verify
 
 # Tier-1 suite (includes the fault-marked tests).
 test:
@@ -36,6 +36,14 @@ router:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_router.py
 	PYTHONPATH=src $(PYTHON) -m repro.service.router --smoke --duration 6
 	PYTHONPATH=src $(PYTHON) -m repro.service.shards --guard
+
+# Guide-design tests plus the design smoke: in-process reference vs a
+# served design request, byte-identity and the single-scan comparer
+# proof (one batch covering every candidate query) asserted.
+design:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_design.py \
+		tests/test_scoring.py
+	PYTHONPATH=src $(PYTHON) -m repro.design --smoke
 
 # Tier-1 suite plus explicit fault and service passes, one command.
 verify:

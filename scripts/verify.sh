@@ -14,7 +14,7 @@ trap 'python -m repro.service.shards --cleanup' EXIT
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
 python -m pytest -x -q tests/test_service.py tests/test_packed_service.py \
-    tests/test_shard_rings.py tests/test_router.py "$@"
+    tests/test_shard_rings.py tests/test_router.py tests/test_design.py "$@"
 python -m repro.service.client --smoke --clients 4 --duration 5 --packed
 python -m repro.service.client --smoke --clients 4 --duration 5 --no-packed
 # Sharded smokes: the result-ring hot path, then a 4-record ring that
@@ -23,10 +23,14 @@ python -m repro.service.client --smoke --clients 4 --duration 5 --packed \
     --shards 2 --adaptive
 python -m repro.service.client --smoke --clients 4 --duration 5 --packed \
     --shards 2 --ring-records 4
+# Guide-design smoke: a served `design` request must be byte-identical
+# to the in-process reference, with every candidate query covered by
+# exactly one batched comparer pass (no per-guide rescans).
+python -m repro.design --smoke
 # Routing-tier smoke: 3 subprocess backends behind a router, one
 # SIGKILLed mid-load, one zero-downtime rollover, SIGTERM drain of the
 # survivors; asserts byte-identity against a single-process server and
-# zero leaked processes/ready files throughout.
+# a routed `design` request checked before and after the rollover.
 python -m repro.service.router --smoke --duration 6
 # Every smoke above closed its tier; any surviving segment is a leak
 # and fails verification before the trap's cleanup can mask it.

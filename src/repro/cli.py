@@ -777,6 +777,140 @@ def _run_query(argv: List[str]) -> int:
     return 0
 
 
+def build_design_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py design",
+        description="Rank candidate guides for a target region by "
+                    "genome-wide off-target specificity.  With --port "
+                    "the request goes to a running service (server or "
+                    "router); otherwise an index is built locally from "
+                    "--pattern and a genome source.")
+    parser.add_argument("region", metavar="CHROM:START-END",
+                        help="target region, e.g. chr1:15000-16000 "
+                             "(0-based half-open)")
+    parser.add_argument("--mismatches", type=_nonnegative_int,
+                        required=True,
+                        help="off-target search depth per candidate")
+    parser.add_argument("--top", type=_positive_int, default=5,
+                        help="number of ranked guides to report")
+    parser.add_argument("--estimator", choices=("mit", "cfd"),
+                        default="mit",
+                        help="specificity estimator for ranking")
+    parser.add_argument("--guide-length", type=_positive_int,
+                        default=None,
+                        help="protospacer length when the pattern's "
+                             "leading N-run is ambiguous (e.g. a PAM "
+                             "that itself starts with N)")
+    parser.add_argument("--gc-min", type=_nonnegative_float,
+                        default=None,
+                        help="minimum candidate GC fraction "
+                             "(default 0.2)")
+    parser.add_argument("--gc-max", type=_nonnegative_float,
+                        default=None,
+                        help="maximum candidate GC fraction "
+                             "(default 0.8)")
+    parser.add_argument("--max-homopolymer", type=_positive_int,
+                        default=None,
+                        help="longest allowed single-base run in a "
+                             "candidate (default 4)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file ('-' for stdout)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_positive_int, default=None,
+                        help="query a running service instead of "
+                             "building an index locally")
+    parser.add_argument("--deadline", type=_positive_float,
+                        default=None,
+                        help="per-request deadline in seconds "
+                             "(service mode)")
+    parser.add_argument("--timeout", type=_positive_float, default=60.0,
+                        help="socket timeout in seconds (service mode)")
+    parser.add_argument("--pattern", default=None,
+                        help="PAM-bearing pattern (local mode)")
+    _add_genome_flags(parser)
+    parser.add_argument("--chunk-size", type=_positive_int,
+                        default=DEFAULT_CHUNK_SIZE,
+                        help="index chunk size in bases (local mode)")
+    return parser
+
+
+def _parse_region(text: str):
+    chrom, sep, span = text.rpartition(":")
+    start, dash, end = span.partition("-")
+    if not sep or not chrom or not dash:
+        raise SystemExit(f"error: bad region {text!r}; expected "
+                         f"CHROM:START-END (e.g. chr1:15000-16000)")
+    try:
+        lo, hi = int(start), int(end)
+    except ValueError:
+        raise SystemExit(f"error: bad region {text!r}: bounds must "
+                         f"be integers") from None
+    if lo < 0 or hi <= lo:
+        raise SystemExit(f"error: bad region {text!r}: need "
+                         f"0 <= start < end")
+    return chrom, lo, hi
+
+
+def _run_design(argv: List[str]) -> int:
+    from .design import GuideDesignReport, design_guides
+
+    args = build_design_parser().parse_args(argv)
+    chrom, start, end = _parse_region(args.region)
+    filters = {}
+    if args.gc_min is not None:
+        filters["gc_min"] = args.gc_min
+    if args.gc_max is not None:
+        filters["gc_max"] = args.gc_max
+    if args.max_homopolymer is not None:
+        filters["max_homopolymer"] = args.max_homopolymer
+    if args.port is not None:
+        from .service import ServiceClient, ServiceError
+        try:
+            with ServiceClient(args.host, args.port,
+                               timeout_s=args.timeout) as client:
+                response = client.design(
+                    chrom, start, end, args.mismatches, top=args.top,
+                    estimator=args.estimator,
+                    guide_length=args.guide_length,
+                    deadline_s=args.deadline, **filters)
+        except ServiceError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        except OSError as exc:
+            raise SystemExit(f"error: cannot reach service at "
+                             f"{args.host}:{args.port}: {exc}") from None
+        reports = response["reports"]
+        candidates = response["candidates"]
+    else:
+        from .service import GenomeSiteIndex, SiteIndexError
+        if not args.pattern:
+            raise SystemExit("error: --pattern is required without "
+                             "--port (local mode builds an index)")
+        assembly = _load_assembly(args, args.genome)
+        try:
+            index = GenomeSiteIndex.build(assembly, args.pattern,
+                                          chunk_size=args.chunk_size)
+            result = design_guides(
+                index, chrom, start, end, args.mismatches,
+                top_n=args.top, estimator=args.estimator,
+                guide_length=args.guide_length, **filters)
+        except (SiteIndexError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        reports = result.reports
+        candidates = len(result.candidates)
+    lines = ["\t".join(GuideDesignReport.header())]
+    lines.extend(report.tsv_row() for report in reports)
+    text = "\n".join(lines) + "\n"
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    print(f"# {len(reports)} guides ranked from {candidates} "
+          f"candidates | {chrom}:{start}-{end} mm={args.mismatches} "
+          f"estimator={args.estimator}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -787,6 +921,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_route(argv[1:])
     if argv and argv[0] == "query":
         return _run_query(argv[1:])
+    if argv and argv[0] == "design":
+        return _run_design(argv[1:])
     args = build_parser().parse_args(argv)
     if args.report:
         return _run_report(args)

@@ -3,24 +3,36 @@
 Cas-OFFinder enumerates candidate off-target sites; downstream tools
 (Cas-Designer, reference [21] of the paper, built by the same authors on
 top of Cas-OFFinder) score them to rank guides.  This module implements
-the classic **MIT/Zhang-lab scheme** used for SpCas9 20-nt guides:
+two schemes for SpCas9-style guides:
 
-* a per-site score from the experimentally derived position-weight
-  vector (mismatches near the PAM hurt binding more), the mean pairwise
-  distance between mismatches, and the mismatch count;
-* an aggregate **guide specificity score**
-  ``100 / (100 + sum(site scores))`` over all off-target sites, scaled
-  to 0-100 (higher = more specific).
+* the classic **MIT/Zhang-lab scheme** (Hsu et al. 2013): a per-site
+  score from the experimentally derived position-weight vector
+  (mismatches near the PAM hurt binding more), the mean pairwise
+  distance between mismatches, and the mismatch count; aggregated into
+  a **guide specificity score** ``100 / (100 + sum(site scores))``
+  over all off-target sites, scaled to 0-100 (higher = more specific);
+* a **CFD-style scheme** (after Doench et al. 2016): a per-site score
+  that is a product of position x substitution activity factors, so it
+  needs the mismatch *identities* (which base replaced which), not just
+  the positions.  The empirical CFD table is a supplementary dataset we
+  cannot reproduce here, so :data:`CFD_POSITION_WEIGHTS` and
+  :func:`cfd_activity` are a documented deterministic stand-in with the
+  same structure: penalties rise toward the PAM, transitions (A<->G,
+  C<->T — rU:dG / rG:dT wobble-tolerant pairings) are penalized less
+  than transversions, unknown pairings get the worst factor.  Every
+  factor is in (0, 1], so scores stay comparable to MIT's 0-100 scale.
 
 Scores operate on :class:`~repro.core.records.OffTargetHit` values
 straight out of the pipeline, using the lowercase-mismatch markup of the
-output format to recover mismatch positions.
+output format to recover mismatch positions *and* identities (the
+matched site is rendered in query orientation: ``hit.query[i]`` is the
+guide base, ``hit.site[i].upper()`` the genome base).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from .records import OffTargetHit
 
@@ -35,9 +47,40 @@ MIT_WEIGHTS: Tuple[float, ...] = (
 
 GUIDE_LENGTH = len(MIT_WEIGHTS)
 
+#: CFD-style position weights, 5'->3' (position 0 is PAM-distal).  A
+#: smooth stand-in for the Doench 2016 position profile: near-zero
+#: tolerance loss at the 5' end rising to ~0.85 next to the PAM.  The
+#: curve is fixed (not fitted) so rankings are reproducible anywhere.
+CFD_POSITION_WEIGHTS: Tuple[float, ...] = tuple(
+    round(0.05 + 0.80 * (index / (GUIDE_LENGTH - 1)) ** 1.5, 4)
+    for index in range(GUIDE_LENGTH))
+
+#: Substitution pairs (guide base, genome base) treated as transitions.
+CFD_TRANSITIONS: FrozenSet[Tuple[str, str]] = frozenset(
+    {("A", "G"), ("G", "A"), ("C", "T"), ("T", "C")})
+
+#: Activity-loss severity per substitution class: transitions are the
+#: wobble-tolerant pairings, transversions disrupt more, and anything
+#: involving a non-ACGT base gets the worst (largest) factor.
+CFD_TRANSITION_SEVERITY = 0.55
+CFD_TRANSVERSION_SEVERITY = 0.95
+CFD_UNKNOWN_SEVERITY = 1.0
+
 
 class ScoringError(ValueError):
     """Raised for sites that cannot be scored with this scheme."""
+
+
+def _require_full_site(hit: OffTargetHit, guide_length: int) -> None:
+    """Reject hits whose markup cannot cover the guide region.
+
+    A ``hit.site`` shorter than the guide would otherwise silently
+    score a truncated window — malformed input must fail loudly.
+    """
+    if len(hit.site) < guide_length:
+        raise ScoringError(
+            f"site {hit.site!r} is shorter than the {guide_length}-nt "
+            f"guide region and cannot be scored")
 
 
 def mismatch_positions(hit: OffTargetHit,
@@ -47,9 +90,29 @@ def mismatch_positions(hit: OffTargetHit,
     The output format renders mismatched bases in lowercase, in query
     orientation, so positions map directly onto the guide.
     """
+    _require_full_site(hit, guide_length)
     positions = [index for index, char in enumerate(hit.site)
                  if char.islower() and index < guide_length]
     return positions
+
+
+def mismatch_identities(hit: OffTargetHit,
+                        guide_length: int = GUIDE_LENGTH
+                        ) -> List[Tuple[int, str, str]]:
+    """Guide-region mismatches as ``(position, guide_base, site_base)``.
+
+    The site markup is in query orientation, so ``hit.query[i]`` is the
+    guide base written at position ``i`` and the lowercase
+    ``hit.site[i]`` (uppercased) is the genome base found there.
+    """
+    _require_full_site(hit, guide_length)
+    if len(hit.query) < guide_length:
+        raise ScoringError(
+            f"query {hit.query!r} is shorter than the {guide_length}-nt "
+            f"guide region and cannot be scored")
+    return [(index, hit.query[index].upper(), hit.site[index].upper())
+            for index in range(guide_length)
+            if hit.site[index].islower()]
 
 
 def mit_site_score(positions: Sequence[int],
@@ -79,10 +142,54 @@ def mit_site_score(positions: Sequence[int],
     return score * 100.0
 
 
+def cfd_activity(position: int, guide_base: str, site_base: str) -> float:
+    """Retained activity factor for one substitution, in (0, 1].
+
+    Position x substitution class, the structural form of the Doench
+    2016 CFD table (see the module docstring for why the values are a
+    deterministic stand-in, not the empirical supplementary table).
+    """
+    weight = CFD_POSITION_WEIGHTS[min(position, GUIDE_LENGTH - 1)]
+    pair = (guide_base.upper(), site_base.upper())
+    if pair[0] == pair[1]:
+        return 1.0
+    if pair in CFD_TRANSITIONS:
+        severity = CFD_TRANSITION_SEVERITY
+    elif pair[0] in "ACGT" and pair[1] in "ACGT":
+        severity = CFD_TRANSVERSION_SEVERITY
+    else:
+        severity = CFD_UNKNOWN_SEVERITY
+    return 1.0 - weight * severity
+
+
+def cfd_site_score(identities: Sequence[Tuple[int, str, str]],
+                   guide_length: int = GUIDE_LENGTH) -> float:
+    """CFD-style score of one site from its mismatch identities (0-100).
+
+    Product of per-mismatch activity factors, scaled to 0-100 so the
+    aggregate formula shared with the MIT scheme applies unchanged.
+    """
+    score = 1.0
+    for position, guide_base, site_base in identities:
+        if not 0 <= position < guide_length:
+            raise ScoringError(
+                f"mismatch position {position} outside the "
+                f"{guide_length}-nt guide")
+        score *= cfd_activity(position, guide_base, site_base)
+    return score * 100.0
+
+
 def score_hit(hit: OffTargetHit,
               guide_length: int = GUIDE_LENGTH) -> float:
     """MIT score of one pipeline hit."""
     return mit_site_score(mismatch_positions(hit, guide_length),
+                          guide_length)
+
+
+def cfd_score_hit(hit: OffTargetHit,
+                  guide_length: int = GUIDE_LENGTH) -> float:
+    """CFD-style score of one pipeline hit."""
+    return cfd_site_score(mismatch_identities(hit, guide_length),
                           guide_length)
 
 
@@ -97,43 +204,84 @@ class GuideReport:
     worst_off_target: float     # highest-scoring (riskiest) off-target
 
 
-def aggregate_specificity(hits: Iterable[OffTargetHit],
-                          guide_length: int = GUIDE_LENGTH
-                          ) -> Dict[str, GuideReport]:
-    """MIT aggregate specificity per guide.
+def summarize_hits(guide_hits: Iterable[OffTargetHit],
+                   guide_length: int = GUIDE_LENGTH,
+                   site_scorer: Callable[[OffTargetHit, int], float]
+                   = score_hit
+                   ) -> Tuple[float, int, int, float]:
+    """``(specificity, on_targets, off_targets, worst)`` for one guide.
 
     Exact sites (0 mismatches) are treated as on-targets and excluded
-    from the penalty sum, as the MIT web tool does.
+    from the penalty sum, as the MIT web tool does.  The penalty sum
+    follows hit-list order, so identical hit lists produce bit-identical
+    floats — the property the serving tiers' byte-identity rests on.
     """
+    on_targets = 0
+    penalty = 0.0
+    worst = 0.0
+    off_count = 0
+    for hit in guide_hits:
+        if hit.mismatches == 0:
+            on_targets += 1
+            continue
+        site_score = site_scorer(hit, guide_length)
+        penalty += site_score
+        worst = max(worst, site_score)
+        off_count += 1
+    specificity = 100.0 * 100.0 / (100.0 + penalty)
+    return specificity, on_targets, off_count, worst
+
+
+def _aggregate(hits: Iterable[OffTargetHit], guide_length: int,
+               site_scorer: Callable[[OffTargetHit, int], float]
+               ) -> Dict[str, GuideReport]:
     per_guide: Dict[str, List[OffTargetHit]] = {}
     for hit in hits:
         per_guide.setdefault(hit.query, []).append(hit)
     reports: Dict[str, GuideReport] = {}
     for guide, guide_hits in per_guide.items():
-        on_targets = 0
-        penalty = 0.0
-        worst = 0.0
-        off_count = 0
-        for hit in guide_hits:
-            if hit.mismatches == 0:
-                on_targets += 1
-                continue
-            site_score = score_hit(hit, guide_length)
-            penalty += site_score
-            worst = max(worst, site_score)
-            off_count += 1
+        specificity, on_targets, off_count, worst = summarize_hits(
+            guide_hits, guide_length, site_scorer)
         reports[guide] = GuideReport(
             guide=guide,
-            specificity=100.0 * 100.0 / (100.0 + penalty),
+            specificity=specificity,
             on_targets=on_targets,
             off_targets=off_count,
             worst_off_target=worst)
     return reports
 
 
+def aggregate_reports(hits: Iterable[OffTargetHit],
+                      guide_length: int = GUIDE_LENGTH,
+                      site_scorer: Callable[[OffTargetHit, int], float]
+                      = score_hit) -> Dict[str, GuideReport]:
+    """Per-guide reports under an arbitrary site scorer."""
+    return _aggregate(hits, guide_length, site_scorer)
+
+
+def aggregate_specificity(hits: Iterable[OffTargetHit],
+                          guide_length: int = GUIDE_LENGTH
+                          ) -> Dict[str, GuideReport]:
+    """MIT aggregate specificity per guide."""
+    return _aggregate(hits, guide_length, score_hit)
+
+
+def aggregate_cfd(hits: Iterable[OffTargetHit],
+                  guide_length: int = GUIDE_LENGTH
+                  ) -> Dict[str, GuideReport]:
+    """CFD-style aggregate specificity per guide."""
+    return _aggregate(hits, guide_length, cfd_score_hit)
+
+
 def rank_guides(hits: Iterable[OffTargetHit],
-                guide_length: int = GUIDE_LENGTH) -> List[GuideReport]:
-    """Guides ordered best-first by aggregate specificity."""
-    reports = aggregate_specificity(hits, guide_length)
+                guide_length: int = GUIDE_LENGTH,
+                site_scorer: Callable[[OffTargetHit, int], float]
+                = score_hit) -> List[GuideReport]:
+    """Guides ordered best-first by aggregate specificity.
+
+    Equal-specificity guides tie-break on the guide sequence so the
+    ranking is deterministic regardless of hit/dict insertion order.
+    """
+    reports = _aggregate(hits, guide_length, site_scorer)
     return sorted(reports.values(),
-                  key=lambda report: -report.specificity)
+                  key=lambda report: (-report.specificity, report.guide))

@@ -1,0 +1,256 @@
+"""Protospacer enumeration: candidate guides for a target region.
+
+A Cas-OFFinder pattern is a degenerate guide region followed by a PAM
+(e.g. ``NNNNNNRG``: six ``N`` guide positions, then the ``RG`` PAM).
+Designing a guide for a region means finding every window whose PAM
+side mask-matches the pattern's PAM — on either strand — and whose
+guide side passes basic composition filters:
+
+* concrete bases only (assembly gaps and ambiguity codes are not
+  synthesizable guide sequences);
+* GC fraction within bounds (extreme GC guides bind poorly);
+* no homopolymer run longer than a threshold (synthesis and
+  sequencing both stumble on long runs).
+
+Enumeration order is deterministic: ascending site position, forward
+strand before reverse at the same position.  A candidate's *query
+sequence* is its protospacer followed by ``N`` over the PAM — exactly
+the query shape the serving stack already takes — so the whole
+candidate set can ride one batched comparer pass.
+
+The PAM test reuses :func:`repro.core.patterns.pattern_matches_at`,
+i.e. the finder kernel's own mask-matching semantics: every candidate
+this module emits is guaranteed to be a site the index itself indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.patterns import (mask_of, pattern_matches_at,
+                             reverse_complement, validate_iupac)
+from ..genome.assembly import Assembly
+
+_A, _C, _G, _T = (ord(c) for c in "ACGT")
+
+#: Default composition filters: 20-80% GC, homopolymer runs <= 4.
+DEFAULT_GC_MIN = 0.2
+DEFAULT_GC_MAX = 0.8
+DEFAULT_MAX_HOMOPOLYMER = 4
+
+
+class DesignError(ValueError):
+    """Raised for requests the design layer cannot serve."""
+
+
+@dataclass(frozen=True)
+class PatternAnatomy:
+    """A served pattern split into guide region and PAM."""
+
+    pattern: str          # full pattern, uppercase IUPAC
+    guide_length: int     # degenerate prefix length
+    pam: str              # the remaining PAM codes
+
+    @property
+    def plen(self) -> int:
+        return self.guide_length + len(self.pam)
+
+    @property
+    def pam_length(self) -> int:
+        return len(self.pam)
+
+
+def pattern_anatomy(pattern: str,
+                    guide_length: Optional[int] = None) -> PatternAnatomy:
+    """Split a pattern into its degenerate guide prefix and PAM.
+
+    By default the guide region is the maximal leading run of ``N``;
+    pass ``guide_length`` explicitly when the PAM itself starts with
+    ``N`` (e.g. SpCas9's ``N``x20 + ``NRG``, where the PAM's leading
+    ``N`` merges into the guide run).
+    """
+    codes = validate_iupac(pattern)
+    text = codes.tobytes().decode("ascii")
+    plen = len(text)
+    if guide_length is None:
+        guide_length = 0
+        while guide_length < plen and text[guide_length] == "N":
+            guide_length += 1
+    if not isinstance(guide_length, int) or isinstance(guide_length, bool):
+        raise DesignError(
+            f"guide_length must be an integer, got {guide_length!r}")
+    if guide_length < 1:
+        raise DesignError(
+            f"pattern {text!r} has no degenerate guide region to "
+            f"design into (guide length {guide_length})")
+    if guide_length >= plen:
+        raise DesignError(
+            f"pattern {text!r} has no PAM after a {guide_length}-nt "
+            f"guide region; guides cannot be designed without a PAM")
+    prefix = text[:guide_length]
+    if set(prefix) != {"N"}:
+        raise DesignError(
+            f"guide region {prefix!r} of pattern {text!r} is not all "
+            f"'N'; only fully degenerate guide regions admit arbitrary "
+            f"designed guides")
+    return PatternAnatomy(pattern=text, guide_length=guide_length,
+                          pam=text[guide_length:])
+
+
+@dataclass(frozen=True)
+class ProtospacerCandidate:
+    """One candidate guide site found in the target region."""
+
+    chrom: str
+    position: int         # 0-based forward-strand site start
+    strand: str           # '+' or '-'
+    protospacer: str      # guide bases, 5'->3' in query orientation
+    pam: str              # PAM bases as read next to the protospacer
+    gc_fraction: float
+
+    @property
+    def query_sequence(self) -> str:
+        """The serving-stack query: guide bases, ``N`` over the PAM."""
+        return self.protospacer + "N" * len(self.pam)
+
+
+def _guide_gc(guide: np.ndarray, gc_min: float, gc_max: float,
+              max_homopolymer: int) -> Optional[float]:
+    """GC fraction if the guide passes all filters, else ``None``."""
+    acgt = ((guide == _A) | (guide == _C)
+            | (guide == _G) | (guide == _T))
+    if not acgt.all():
+        return None
+    gc = float(np.count_nonzero((guide == _G) | (guide == _C)))
+    gc /= guide.size
+    if gc < gc_min or gc > gc_max:
+        return None
+    if max_homopolymer > 0 and guide.size > max_homopolymer:
+        run = 1
+        for index in range(1, guide.size):
+            if guide[index] == guide[index - 1]:
+                run += 1
+                if run > max_homopolymer:
+                    return None
+            else:
+                run = 1
+    return gc
+
+
+def enumerate_protospacers(assembly: Assembly, chrom: str, start: int,
+                           end: int, anatomy: PatternAnatomy,
+                           gc_min: float = DEFAULT_GC_MIN,
+                           gc_max: float = DEFAULT_GC_MAX,
+                           max_homopolymer: int = DEFAULT_MAX_HOMOPOLYMER,
+                           ) -> List[ProtospacerCandidate]:
+    """All filtered candidate guides whose site starts in [start, end).
+
+    Both strands are tested at every position: a reverse-strand
+    candidate is the reverse complement of the same genome window,
+    read 5'->3' with its PAM on the 3' side — the same orientation
+    convention as the finder kernel, so ``position`` is always the
+    forward-strand window start.
+    """
+    lengths = {c.name: len(c) for c in assembly.chromosomes}
+    if chrom not in lengths:
+        raise DesignError(
+            f"unknown chromosome {chrom!r}; assembly "
+            f"{assembly.name!r} has {sorted(lengths)}")
+    if start < 0 or end <= start:
+        raise DesignError(
+            f"bad region {chrom}:{start}-{end}: need 0 <= start < end")
+    if end > lengths[chrom]:
+        raise DesignError(
+            f"region {chrom}:{start}-{end} runs past the end of "
+            f"{chrom} (length {lengths[chrom]})")
+    if not 0.0 <= gc_min <= gc_max <= 1.0:
+        raise DesignError(
+            f"bad GC bounds [{gc_min}, {gc_max}]: need "
+            f"0 <= gc_min <= gc_max <= 1")
+    if max_homopolymer < 0:
+        raise DesignError(
+            f"max_homopolymer must be >= 0 (0 disables the filter), "
+            f"got {max_homopolymer}")
+    plen = anatomy.plen
+    glen = anatomy.guide_length
+    # Last admissible site start keeps the whole window on-chromosome.
+    stop = min(end, lengths[chrom] - plen + 1)
+    if stop <= start:
+        return []
+    seq = assembly.fetch(chrom, start, stop + plen - 1)
+    pam_mask = mask_of(anatomy.pam)
+    candidates: List[ProtospacerCandidate] = []
+    for offset in range(stop - start):
+        window = seq[offset:offset + plen]
+        # Forward strand: PAM occupies the window's tail.
+        if pattern_matches_at(pam_mask, window, glen):
+            gc = _guide_gc(window[:glen], gc_min, gc_max,
+                           max_homopolymer)
+            if gc is not None:
+                candidates.append(ProtospacerCandidate(
+                    chrom=chrom, position=start + offset, strand="+",
+                    protospacer=window[:glen].tobytes().decode("ascii"),
+                    pam=window[glen:].tobytes().decode("ascii"),
+                    gc_fraction=gc))
+        # Reverse strand: the same window read as its reverse
+        # complement, guide 5' side first.
+        rc_window = reverse_complement(window)
+        if pattern_matches_at(pam_mask, rc_window, glen):
+            gc = _guide_gc(rc_window[:glen], gc_min, gc_max,
+                           max_homopolymer)
+            if gc is not None:
+                candidates.append(ProtospacerCandidate(
+                    chrom=chrom, position=start + offset, strand="-",
+                    protospacer=rc_window[:glen].tobytes()
+                    .decode("ascii"),
+                    pam=rc_window[glen:].tobytes().decode("ascii"),
+                    gc_fraction=gc))
+    return candidates
+
+
+def candidate_queries(candidates: Sequence[ProtospacerCandidate]
+                      ) -> List[str]:
+    """Unique query sequences, first-seen order.
+
+    Distinct sites can carry the same protospacer (repeats); they are
+    scored once and share the result, so the batch the serving stack
+    runs is exactly one query per unique candidate guide.
+    """
+    seen = set()
+    queries: List[str] = []
+    for candidate in candidates:
+        query = candidate.query_sequence
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+#: Wire row layout for one candidate (the ``enumerate`` op).
+CANDIDATE_FIELDS = ("chrom", "position", "strand", "protospacer",
+                    "pam", "gc_fraction")
+
+
+def encode_candidates(candidates: Sequence[ProtospacerCandidate]
+                      ) -> List[List[Any]]:
+    return [[c.chrom, int(c.position), c.strand, c.protospacer, c.pam,
+             float(c.gc_fraction)] for c in candidates]
+
+
+def decode_candidates(rows: Sequence[Sequence[Any]]
+                      ) -> List[ProtospacerCandidate]:
+    candidates = []
+    for row in rows:
+        if not isinstance(row, (list, tuple)) or len(row) != 6:
+            raise ValueError(
+                f"bad candidate row {row!r}: expected "
+                f"{list(CANDIDATE_FIELDS)}")
+        chrom, position, strand, protospacer, pam, gc = row
+        candidates.append(ProtospacerCandidate(
+            chrom=str(chrom), position=int(position),
+            strand=str(strand), protospacer=str(protospacer),
+            pam=str(pam), gc_fraction=float(gc)))
+    return candidates

@@ -1,0 +1,108 @@
+"""Estimator objects over the scoring schemes, crisprtree-style.
+
+crisprtree wraps its mismatch-scoring rules in sklearn-like estimator
+objects so downstream code (ranking workflows, pipelines) is generic
+over the scheme.  The same split here: a :class:`GuideEstimator` turns
+pipeline hit lists into per-site scores, per-guide summaries and
+ranked :class:`~repro.core.scoring.GuideReport` lists, and the two
+concrete estimators plug in the MIT and CFD-style site scorers from
+:mod:`repro.core.scoring` — so an estimator's numbers are *exactly*
+the numbers direct ``score_hit``/``cfd_score_hit`` calls produce (the
+test suite pins this equality).
+
+Estimators are resolved by name through :data:`ESTIMATORS`, which is
+how the ``design`` service op and CLI select a scheme on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type, Union
+
+from ..core import scoring
+from ..core.records import OffTargetHit
+from .enumerate import DesignError
+
+
+class GuideEstimator:
+    """Uniform scoring API over one site-scoring scheme.
+
+    ``guide_length`` is the number of PAM-distal positions whose
+    markup is scored — the served pattern's degenerate guide region
+    (capped at the weight tables' 20 positions).
+    """
+
+    #: Wire/CLI name; subclasses override.
+    name = "base"
+
+    def __init__(self, guide_length: int = scoring.GUIDE_LENGTH):
+        if guide_length < 1:
+            raise DesignError(
+                f"guide_length must be >= 1, got {guide_length}")
+        self.guide_length = int(guide_length)
+
+    @staticmethod
+    def _site_scorer(hit: OffTargetHit, guide_length: int) -> float:
+        raise NotImplementedError
+
+    def site_score(self, hit: OffTargetHit) -> float:
+        """Score of one site, 0-100 (100 = exact match)."""
+        return self._site_scorer(hit, self.guide_length)
+
+    def score_hits(self, hits: Iterable[OffTargetHit]) -> List[float]:
+        """Per-site scores, in hit order."""
+        return [self.site_score(hit) for hit in hits]
+
+    def summarize(self, hits: Iterable[OffTargetHit]
+                  ) -> "tuple[float, int, int, float]":
+        """``(specificity, on_targets, off_targets, worst)`` of one
+        guide's hit list (see :func:`repro.core.scoring.summarize_hits`).
+        """
+        return scoring.summarize_hits(hits, self.guide_length,
+                                      self._site_scorer)
+
+    def aggregate(self, hits: Iterable[OffTargetHit]
+                  ) -> Dict[str, scoring.GuideReport]:
+        """Per-guide reports over a mixed hit list."""
+        return scoring.aggregate_reports(hits, self.guide_length,
+                                         self._site_scorer)
+
+    def rank(self, hits: Iterable[OffTargetHit]
+             ) -> List[scoring.GuideReport]:
+        """Guides best-first, deterministic ``(-specificity, guide)``."""
+        return scoring.rank_guides(hits, self.guide_length,
+                                   self._site_scorer)
+
+
+class MITEstimator(GuideEstimator):
+    """MIT/Zhang position-weight scheme (Hsu et al. 2013)."""
+
+    name = "mit"
+    _site_scorer = staticmethod(scoring.score_hit)
+
+
+class CFDEstimator(GuideEstimator):
+    """CFD-style position x substitution scheme (after Doench 2016)."""
+
+    name = "cfd"
+    _site_scorer = staticmethod(scoring.cfd_score_hit)
+
+
+#: Wire/CLI name -> estimator class.
+ESTIMATORS: Dict[str, Type[GuideEstimator]] = {
+    MITEstimator.name: MITEstimator,
+    CFDEstimator.name: CFDEstimator,
+}
+
+
+def get_estimator(spec: Union[str, GuideEstimator],
+                  guide_length: int = scoring.GUIDE_LENGTH
+                  ) -> GuideEstimator:
+    """Resolve an estimator name (or pass an instance through)."""
+    if isinstance(spec, GuideEstimator):
+        return spec
+    cls = ESTIMATORS.get(str(spec).lower())
+    if cls is None:
+        raise DesignError(
+            f"unknown estimator {spec!r}; expected one of "
+            f"{sorted(ESTIMATORS)}")
+    return cls(guide_length)

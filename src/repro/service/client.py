@@ -181,6 +181,41 @@ class ServiceClient:
         response = self._call(request)
         return [_decode_hits(per) for per in response["hits"]]
 
+    def design(self, chrom: str, start: int, end: int,
+               mismatches: int, top: int = 5, estimator: str = "mit",
+               guide_length: Optional[int] = None,
+               gc_min: Optional[float] = None,
+               gc_max: Optional[float] = None,
+               max_homopolymer: Optional[int] = None,
+               deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Run one guide-design request (the ``design`` op).
+
+        Returns the response payload with ``reports`` decoded into
+        :class:`~repro.design.ranking.GuideDesignReport` rows (the raw
+        wire rows stay under ``"report_rows"``); works identically
+        against a single server, a sharded server and a router.
+        """
+        from ..design.ranking import decode_reports
+
+        request: Dict[str, Any] = {
+            "op": "design", "chrom": chrom, "start": int(start),
+            "end": int(end), "mismatches": int(mismatches),
+            "top": int(top), "estimator": estimator}
+        if guide_length is not None:
+            request["guide_length"] = int(guide_length)
+        if gc_min is not None:
+            request["gc_min"] = float(gc_min)
+        if gc_max is not None:
+            request["gc_max"] = float(gc_max)
+        if max_homopolymer is not None:
+            request["max_homopolymer"] = int(max_homopolymer)
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
+        response = self._call(request)
+        response["report_rows"] = response["reports"]
+        response["reports"] = decode_reports(response["report_rows"])
+        return response
+
     def stats(self) -> Dict[str, Any]:
         return self._call({"op": "stats"})["stats"]
 

@@ -236,6 +236,8 @@ class GenomeSiteIndex:
         self._stats_lock = threading.Lock()
         self._queries_packed = 0
         self._queries_fallback = 0
+        self._batches = 0
+        self._queries_total = 0
 
     def _disable_packed(self, reason: str) -> None:
         """Degrade the whole index to the byte comparer, keeping note."""
@@ -402,9 +404,12 @@ class GenomeSiteIndex:
                     f"{self.pattern!r} has length {plen}")
         queries = list(queries)
         compiled = [compile_pattern(q.sequence) for q in queries]
-        if self.packed:
-            packed_n = sum(1 for cq in compiled if window_packable(cq))
-            with self._stats_lock:
+        with self._stats_lock:
+            self._batches += 1
+            self._queries_total += len(compiled)
+            if self.packed:
+                packed_n = sum(1 for cq in compiled
+                               if window_packable(cq))
                 self._queries_packed += packed_n
                 self._queries_fallback += len(compiled) - packed_n
         hits: List[List[OffTargetHit]] = [[] for _ in queries]
@@ -442,11 +447,19 @@ class GenomeSiteIndex:
         with self._stats_lock:
             queries_packed = self._queries_packed
             queries_fallback = self._queries_fallback
+            batches = self._batches
+            queries_total = self._queries_total
         return {
             "mode": "packed" if self.packed else "byte",
             "packed_disabled_reason": self.packed_disabled_reason,
             "queries_packed": queries_packed,
             "queries_fallback": queries_fallback,
+            # One ``query_batch`` call == one batched comparer pass over
+            # the resident chunks.  ``queries_total / batches`` therefore
+            # proves how many guides shared each launch pass — the
+            # design op's no-per-guide-rescan evidence.
+            "batches": batches,
+            "queries_total": queries_total,
         }
 
     # -- persistence ----------------------------------------------------

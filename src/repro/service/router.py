@@ -68,12 +68,24 @@ from dataclasses import dataclass, field
 from typing import (Any, Deque, Dict, List, Optional, Sequence, Set,
                     Tuple)
 
+from ..core.records import OffTargetHit
+from ..design.enumerate import PatternAnatomy, decode_candidates
+from ..design.estimators import get_estimator
+from ..design.ranking import (decode_design_spec, design_payload,
+                              rank_candidates, scoring_guide_length)
 from ..genome.assembly import Assembly
 from ..observability import tracing
 from .server import (MAX_LINE_BYTES, ServerHandle, _decode_queries)
 
 #: Idle pooled connections kept per backend.
 POOL_MAX_IDLE = 8
+
+#: Read limit for backend *responses*.  Requests from untrusted clients
+#: stay capped at MAX_LINE_BYTES, but a backend answering a wide design
+#: fan-out (dozens of queries, each with thousands of hits) can
+#: legitimately return a line far past 1 MiB — mirror the sync client,
+#: whose response reads are unbounded, with a generous ceiling.
+BACKEND_LINE_BYTES = MAX_LINE_BYTES << 7
 
 #: Settled request ids remembered for hedge-duplicate accounting.
 SETTLED_IDS_KEPT = 4096
@@ -311,7 +323,7 @@ class OffTargetRouter:
             return reader, writer
         return await asyncio.wait_for(
             asyncio.open_connection(backend.host, backend.port,
-                                    limit=MAX_LINE_BYTES),
+                                    limit=BACKEND_LINE_BYTES),
             timeout=self.connect_timeout_s)
 
     @staticmethod
@@ -578,19 +590,17 @@ class OffTargetRouter:
         assert last_exc is not None
         raise last_exc
 
-    async def _group_request(self, group: _Group,
-                             raw_queries: Any,
-                             deadline_s: Optional[float]
-                             ) -> List[List[List[Any]]]:
-        """One partition's sub-request: hedge, retry across replicas.
+    async def _sub_request(self, group: _Group,
+                           payload_base: Dict[str, Any],
+                           validate=None) -> Dict[str, Any]:
+        """One backend sub-request: hedge, retry across replicas.
 
-        Returns the partition's wire-format per-query hit rows.
+        Generic over the op (``query``, ``enumerate``, ...): returns
+        the first ok response, retrying transport failures, typed
+        overloads and responses ``validate`` rejects (it returns a
+        problem string or None) against the partition's replicas with
+        capped backoff.  ``deadline`` errors are never retried.
         """
-        payload_base: Dict[str, Any] = {
-            "op": "query", "queries": raw_queries,
-            "chromosomes": list(group.chromosomes)}
-        if deadline_s is not None:
-            payload_base["deadline_s"] = deadline_s
         delay = self.backoff_base_s
         last: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
@@ -617,13 +627,13 @@ class OffTargetRouter:
                     delay = min(delay * 2, self.backoff_cap_s)
                 continue
             if response.get("ok"):
-                hits = response.get("hits")
-                if not isinstance(hits, list):
-                    last = ConnectionResetError(
-                        f"backend {primary.label} sent a malformed "
-                        f"query response")
-                    continue
-                return hits
+                if validate is not None:
+                    problem = validate(response)
+                    if problem:
+                        last = ConnectionResetError(
+                            f"backend {primary.label} {problem}")
+                        continue
+                return response
             code = response.get("error")
             message = response.get("message", "")
             if code == "overloaded":
@@ -647,7 +657,93 @@ class OffTargetRouter:
             f"partition {group.chromosomes} unavailable after "
             f"{self.max_attempts} attempt(s): {last}")
 
+    async def _group_request(self, group: _Group,
+                             raw_queries: Any,
+                             deadline_s: Optional[float]
+                             ) -> List[List[List[Any]]]:
+        """One partition's query sub-request.
+
+        Returns the partition's wire-format per-query hit rows.
+        """
+        payload_base: Dict[str, Any] = {
+            "op": "query", "queries": raw_queries,
+            "chromosomes": list(group.chromosomes)}
+        if deadline_s is not None:
+            payload_base["deadline_s"] = deadline_s
+        response = await self._sub_request(
+            group, payload_base,
+            validate=lambda r: (None if isinstance(r.get("hits"), list)
+                                else "sent a malformed query response"))
+        return response["hits"]
+
     # -- request handling ----------------------------------------------
+
+    @staticmethod
+    def _failure_response(failures: Sequence[BaseException]
+                          ) -> Dict[str, Any]:
+        """Map fan-out failures to one client error, worst first."""
+        for exc in failures:
+            if isinstance(exc, _RoutePassthrough):
+                return {"ok": False, "error": exc.code,
+                        "message": exc.message}
+        for exc in failures:
+            if isinstance(exc, _RouteDeadline):
+                return {"ok": False, "error": "deadline",
+                        "message": str(exc)}
+        for exc in failures:
+            if isinstance(exc, _RouteUnavailable):
+                return {"ok": False, "error": "unavailable",
+                        "message": str(exc)}
+        exc = failures[0]
+        if isinstance(exc, (asyncio.CancelledError,
+                            KeyboardInterrupt, SystemExit)):
+            raise exc
+        return {"ok": False, "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}"}
+
+    async def _fan_out(self, groups: Sequence[_Group],
+                       rank: Dict[str, int], raw_queries: Any,
+                       n_queries: int, deadline: Optional[float]
+                       ) -> Tuple[Optional[Dict[str, Any]],
+                                  List[List[List[Any]]]]:
+        """Fan a query batch to every partition and merge the rows.
+
+        Returns ``(error_response, merged_rows)`` — exactly one is
+        meaningful.  The generalized deterministic merge: within one
+        chromosome all rows come from a single partition already in
+        single-server order, so a *stable* sort by chromosome rank
+        reproduces the global chunk-major order byte-for-byte.
+        """
+        results = await asyncio.gather(
+            *(self._group_request(group, raw_queries, deadline)
+              for group in groups),
+            return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            return self._failure_response(failures), []
+        merged: List[List[List[Any]]] = [[] for _ in range(n_queries)]
+        for partition_hits in results:
+            if len(partition_hits) != n_queries:
+                return ({"ok": False, "error": "internal",
+                         "message": "partition answered "
+                                    f"{len(partition_hits)} queries, "
+                                    f"expected {n_queries}"}, [])
+            for per_query, rows in zip(merged, partition_hits):
+                per_query.extend(rows)
+        for per_query in merged:
+            per_query.sort(key=lambda row: rank.get(row[1], len(rank)))
+        return None, merged
+
+    def _route_guard(self) -> Optional[Dict[str, Any]]:
+        """The error response when the fleet cannot serve, else None."""
+        if self._uncovered:
+            return {"ok": False, "error": "unavailable",
+                    "message": f"no live backend serves "
+                               f"{self._uncovered}"}
+        if not self._groups:
+            return {"ok": False, "error": "unavailable",
+                    "message": "no live backends discovered"}
+        return None
 
     async def _handle_query(self, request: Dict[str, Any]
                             ) -> Dict[str, Any]:
@@ -663,59 +759,117 @@ class OffTargetRouter:
         except ValueError as exc:
             return {"ok": False, "error": "bad-request",
                     "message": str(exc)}
-        if self._uncovered:
-            return {"ok": False, "error": "unavailable",
-                    "message": f"no live backend serves "
-                               f"{self._uncovered}"}
-        if not self._groups:
-            return {"ok": False, "error": "unavailable",
-                    "message": "no live backends discovered"}
+        guard = self._route_guard()
+        if guard is not None:
+            return guard
         groups = list(self._groups)
         rank = dict(self._rank)
         with tracing.span("route_request", cat="router",
                           queries=len(queries),
                           partitions=len(groups)):
-            results = await asyncio.gather(
-                *(self._group_request(group, raw_queries, deadline)
-                  for group in groups),
-                return_exceptions=True)
-        failures = [r for r in results if isinstance(r, BaseException)]
-        if failures:
-            for exc in failures:
-                if isinstance(exc, _RoutePassthrough):
-                    return {"ok": False, "error": exc.code,
-                            "message": exc.message}
-            for exc in failures:
-                if isinstance(exc, _RouteDeadline):
-                    return {"ok": False, "error": "deadline",
-                            "message": str(exc)}
-            for exc in failures:
-                if isinstance(exc, _RouteUnavailable):
-                    return {"ok": False, "error": "unavailable",
-                            "message": str(exc)}
-            exc = failures[0]
-            if isinstance(exc, (asyncio.CancelledError,
-                                KeyboardInterrupt, SystemExit)):
-                raise exc
-            return {"ok": False, "error": "internal",
-                    "message": f"{type(exc).__name__}: {exc}"}
-        merged: List[List[List[Any]]] = [[] for _ in queries]
-        for partition_hits in results:
-            if len(partition_hits) != len(queries):
-                return {"ok": False, "error": "internal",
-                        "message": "partition answered "
-                                   f"{len(partition_hits)} queries, "
-                                   f"expected {len(queries)}"}
-            for per_query, rows in zip(merged, partition_hits):
-                per_query.extend(rows)
-        # The generalized deterministic merge: within one chromosome
-        # all rows come from a single partition already in single-
-        # server order, so a *stable* sort by chromosome rank
-        # reproduces the global chunk-major order byte-for-byte.
-        for per_query in merged:
-            per_query.sort(key=lambda row: rank.get(row[1], len(rank)))
+            error, merged = await self._fan_out(
+                groups, rank, raw_queries, len(queries), deadline)
+        if error is not None:
+            return error
         self._requests += 1
         return {"ok": True, "hits": merged}
+
+    async def _handle_design(self, request: Dict[str, Any]
+                             ) -> Dict[str, Any]:
+        """The ``design`` op, routed: enumerate where the chromosome
+        lives, scan everywhere, rank here.
+
+        1. The target region's candidates are enumerated via the
+           ``enumerate`` op on a backend whose partition holds the
+           target chromosome (only it has those bases).
+        2. The unique candidate queries fan out through the exact
+           query machinery (chromosome filters, hedging, retries,
+           deterministic merge) — one sub-request per partition, so
+           every backend still serves the whole candidate set as one
+           batch over its resident index.
+        3. The merged rows feed the same pure ranking/encoding code
+           the in-process server uses, which is what makes a routed
+           design response byte-identical to a single-server one.
+        """
+        try:
+            spec = decode_design_spec(request)
+            deadline = request.get("deadline_s")
+            if deadline is not None and (
+                    isinstance(deadline, bool)
+                    or not isinstance(deadline, (int, float))):
+                raise ValueError(
+                    f"deadline_s must be a number, got {deadline!r}")
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        guard = self._route_guard()
+        if guard is not None:
+            return guard
+        groups = list(self._groups)
+        rank = dict(self._rank)
+        owner = next((g for g in groups
+                      if spec.chrom in g.chromosomes), None)
+        if owner is None:
+            return {"ok": False, "error": "bad-request",
+                    "message": f"unknown chromosome {spec.chrom!r}: "
+                               f"no partition holds it"}
+        enum_payload = spec.to_request("enumerate")
+        with tracing.span("route_design", cat="router",
+                          chrom=spec.chrom, partitions=len(groups)):
+            try:
+                enum_response = await self._sub_request(
+                    owner, enum_payload,
+                    validate=lambda r: (
+                        None if isinstance(r.get("candidates"), list)
+                        and isinstance(r.get("queries"), list)
+                        else "sent a malformed enumerate response"))
+            except (_RoutePassthrough, _RouteDeadline,
+                    _RouteUnavailable) as exc:
+                return self._failure_response([exc])
+            try:
+                candidates = decode_candidates(
+                    enum_response["candidates"])
+                queries = [str(q) for q in enum_response["queries"]]
+                anatomy = PatternAnatomy(
+                    pattern=str(enum_response["pattern"]),
+                    guide_length=int(enum_response["guide_length"]),
+                    pam=str(enum_response["pam"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"ok": False, "error": "internal",
+                        "message": f"malformed enumerate response: "
+                                   f"{type(exc).__name__}: {exc}"}
+            hits_by_query: Dict[str, List[OffTargetHit]] = {}
+            if queries:
+                raw_queries = [[query, spec.max_mismatches]
+                               for query in queries]
+                error, merged = await self._fan_out(
+                    groups, rank, raw_queries, len(queries), deadline)
+                if error is not None:
+                    return error
+                try:
+                    hits_by_query = {
+                        query: [OffTargetHit(
+                            query=str(row[0]), chrom=str(row[1]),
+                            position=int(row[2]), strand=str(row[4]),
+                            mismatches=int(row[5]), site=str(row[3]))
+                            for row in rows]
+                        for query, rows in zip(queries, merged)}
+                except (IndexError, TypeError, ValueError) as exc:
+                    return {"ok": False, "error": "internal",
+                            "message": f"malformed hit row: "
+                                       f"{type(exc).__name__}: {exc}"}
+            try:
+                estimator = get_estimator(
+                    spec.estimator, scoring_guide_length(anatomy))
+                reports = rank_candidates(candidates, hits_by_query,
+                                          estimator, spec.top_n)
+            except ValueError as exc:
+                return {"ok": False, "error": "bad-request",
+                        "message": str(exc)}
+        self._requests += 1
+        return {"ok": True,
+                **design_payload(anatomy, estimator, candidates,
+                                 queries, reports)}
 
     async def _handle_rollover(self, request: Dict[str, Any]
                                ) -> Dict[str, Any]:
@@ -825,6 +979,8 @@ class OffTargetRouter:
         op = request.get("op")
         if op == "query":
             return await self._handle_query(request)
+        if op == "design":
+            return await self._handle_design(request)
         if op == "health":
             alive = sum(1 for b in self._backends if b.alive)
             degraded = (alive < len(self._backends)
@@ -856,7 +1012,8 @@ class OffTargetRouter:
             return await self._handle_rollover(request)
         return {"ok": False, "error": "unknown-op",
                 "message": f"unknown op {op!r}; expected query, "
-                           f"stats, health, topology or rollover"}
+                           f"design, stats, health, topology or "
+                           f"rollover"}
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -1093,17 +1250,36 @@ def _smoke(duration_s: float = 6.0, backends: int = 3) -> int:
                                      hedge_ms=200.0)
             router_handle = router.start_background()
 
+            design_request = {"op": "design", "chrom": order[0],
+                              "start": 0, "end": 400,
+                              "mismatches": 2, "top": 5,
+                              "estimator": "cfd"}
             with ServiceClient(reference.host,
                                reference.port) as ref_client:
                 expected = ref_client._call({
                     "op": "query",
                     "queries": [[q.sequence, q.max_mismatches]
                                 for q in queries]})["hits"]
+                design_expected = ref_client._call(
+                    dict(design_request))
+                design_expected.pop("id", None)
 
             client = ServiceClient(router_handle.host,
                                    router_handle.port, retries=4)
             requests = 0
             mismatches = 0
+            design_requests = 0
+            design_mismatches = 0
+
+            def check_design() -> None:
+                nonlocal design_requests, design_mismatches
+                routed = client._call(dict(design_request))
+                routed.pop("id", None)
+                design_requests += 1
+                if routed != design_expected:
+                    design_mismatches += 1
+
+            check_design()  # fresh fleet: routed design == in-process
             kill_at = time.perf_counter() + duration_s * 0.3
             roll_at = time.perf_counter() + duration_s * 0.6
             stop_at = time.perf_counter() + duration_s
@@ -1131,6 +1307,7 @@ def _smoke(duration_s: float = 6.0, backends: int = 3) -> int:
                         1 for entry in rollover_report["backends"]
                         if entry.get("ok"))
                     print(f"# rolled {survivors} live backend(s)")
+                    check_design()  # design survives the rollover
             stats = client._call({"op": "stats"})["stats"]
             client.close()
             if requests == 0:
@@ -1139,6 +1316,14 @@ def _smoke(duration_s: float = 6.0, backends: int = 3) -> int:
                 failures.append(
                     f"{mismatches}/{requests} responses diverged "
                     f"from the single-server reference")
+            if design_requests < 2:
+                failures.append("design was not checked before and "
+                                "after the rollover")
+            if design_mismatches:
+                failures.append(
+                    f"{design_mismatches}/{design_requests} design "
+                    f"responses diverged from the single-server "
+                    f"reference")
             if not killed:
                 failures.append("backend crash was never induced")
             if rollover_report is None:
@@ -1184,7 +1369,8 @@ def _smoke(duration_s: float = 6.0, backends: int = 3) -> int:
         for failure in failures:
             print(f"smoke FAILED: {failure}")
         return 1
-    print(f"smoke OK: {requests} routed requests byte-identical "
+    print(f"smoke OK: {requests} routed requests and "
+          f"{design_requests} design requests byte-identical "
           f"across a SIGKILL and a rollover")
     return 0
 

@@ -156,6 +156,11 @@ class BatchScheduler:
         self._rejected = 0
         self._expired = 0
         self._batches = 0
+        #: Admitted requests by workload kind (plain guide lookups vs
+        #: guide-design candidate sweeps).  Both kinds coalesce into
+        #: the same micro-batches; the split is observability only.
+        self._requests_by_kind: Dict[str, int] = {"query": 0,
+                                                  "design": 0}
         self._batch_sizes: Dict[int, int] = {}
         self._latencies_ms: "deque[float]" = deque(maxlen=latency_window)
         self._worker: Optional[threading.Thread] = None
@@ -206,8 +211,13 @@ class BatchScheduler:
 
     def submit(self, queries: Sequence[Query],
                deadline_s: Optional[float] = None,
+               kind: str = "query",
                ) -> "Future[List[List[OffTargetHit]]]":
         """Admit one request; returns a future of per-query hit lists.
+
+        ``kind`` labels the workload ("query" for guide lookups,
+        "design" for a guide-design candidate sweep riding the same
+        batch path); it only affects the :meth:`stats` counters.
 
         Raises :class:`ServiceOverloaded` when the queue is full,
         :class:`SchedulerClosed` after :meth:`close`,
@@ -216,6 +226,10 @@ class BatchScheduler:
         malformed query lists (checked here so bad input never reaches
         the batch worker).
         """
+        if kind not in self._requests_by_kind:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected one of "
+                f"{sorted(self._requests_by_kind)}")
         if self._stop.is_set():
             raise SchedulerClosed("scheduler is closed")
         queries = list(queries)
@@ -262,6 +276,8 @@ class BatchScheduler:
             raise ServiceOverloaded(
                 f"request queue is full ({self.max_queue} waiting); "
                 f"retry with backoff") from None
+        with self._stats_lock:
+            self._requests_by_kind[kind] += 1
         return pending.future
 
     def _request_done(self, n: int = 1) -> None:
@@ -499,6 +515,7 @@ class BatchScheduler:
             grown, shrunk = self._grown, self._shrunk
             routed = dict(self._routed)
             swaps = self._swaps
+            by_kind = dict(self._requests_by_kind)
         comparer_stats = getattr(self.index, "comparer_stats", None)
         comparer = (comparer_stats() if callable(comparer_stats)
                     else None)
@@ -514,6 +531,7 @@ class BatchScheduler:
             "batches": batches,
             "inflight": self._inflight,
             "index_swaps": swaps,
+            "requests_by_kind": by_kind,
             "batch_size_histogram": histogram,
             "adaptive": {
                 "enabled": self.adaptive,

@@ -8,6 +8,15 @@ object per line in each direction.  Requests carry an ``op`` —
   ``"chromosomes": [...]`` list restricts hits to those chromosomes
   (order-preserving — the routing tier uses this so replicated
   backends can each serve a disjoint partition of a request);
+* ``design``: ``{"op": "design", "chrom": "chrA", "start": 0,
+  "end": 2000, "mismatches": 3, "top": 5, "estimator": "mit"}`` →
+  ranked guide-design reports for the region; every enumerated
+  candidate rides one scheduler submission (one batched comparer
+  pass — see :mod:`repro.design`);
+* ``enumerate``: the design op's first stage alone — candidate
+  protospacers and their query sequences for a region (the routing
+  tier uses this to enumerate on a backend that holds the target
+  chromosome);
 * ``stats``: scheduler counters, queue depth, batch-size histogram and
   latency percentiles (see :meth:`BatchScheduler.stats`);
 * ``health``: liveness plus index identity (genome, pattern, sites,
@@ -57,6 +66,10 @@ from typing import (Any, Callable, Dict, FrozenSet, List, Optional,
 
 from ..core.config import Query
 from ..core.records import OffTargetHit
+from ..design.ranking import (decode_design_spec, design_payload,
+                              enumerate_for_design, enumerate_payload,
+                              rank_candidates, scoring_guide_length)
+from ..design.estimators import get_estimator
 from ..observability import faults, tracing
 from .index import GenomeSiteIndex
 from .scheduler import (BatchScheduler, DeadlineExceeded,
@@ -212,6 +225,10 @@ class OffTargetServer:
             return {"ok": True, "stats": self.scheduler.stats()}
         if op == "reload":
             return await self._handle_reload(request)
+        if op == "enumerate":
+            return self._handle_enumerate(request)
+        if op == "design":
+            return await self._handle_design(request)
         if op == "query":
             if self._request_injector is not None:
                 outcome = await self._apply_request_fault()
@@ -267,8 +284,90 @@ class OffTargetServer:
             return {"ok": True,
                     "hits": [_encode_hits(per) for per in results]}
         return {"ok": False, "error": "unknown-op",
-                "message": f"unknown op {op!r}; expected query, stats, "
-                           f"health or reload"}
+                "message": f"unknown op {op!r}; expected query, design, "
+                           f"enumerate, stats, health or reload"}
+
+    # -- guide design ---------------------------------------------------
+
+    def _handle_enumerate(self, request: Dict[str, Any]
+                          ) -> Dict[str, Any]:
+        """Candidate protospacers for a region, on the wire.
+
+        Pure and synchronous (no comparer work): the routing tier
+        calls this on a backend that holds the target chromosome,
+        then fans the returned queries out like any query batch.
+        """
+        try:
+            spec = decode_design_spec(request)
+            anatomy, candidates, queries = enumerate_for_design(
+                self.index.assembly, self.index.pattern, spec)
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        return {"ok": True,
+                **enumerate_payload(anatomy, candidates, queries)}
+
+    async def _handle_design(self, request: Dict[str, Any]
+                             ) -> Dict[str, Any]:
+        """Enumerate, scan once, rank — the ``design`` op.
+
+        All unique candidate queries ride ONE scheduler submission,
+        i.e. one batched comparer pass over the resident index — the
+        same single-scan invariant :func:`repro.design.design_guides`
+        keeps in-process.
+        """
+        try:
+            spec = decode_design_spec(request)
+            deadline = request.get("deadline_s")
+            if deadline is not None and (
+                    isinstance(deadline, bool)
+                    or not isinstance(deadline, (int, float))):
+                raise ValueError(
+                    f"deadline_s must be a number, got {deadline!r}")
+            anatomy, candidates, queries = enumerate_for_design(
+                self.index.assembly, self.index.pattern, spec)
+            estimator = get_estimator(spec.estimator,
+                                      scoring_guide_length(anatomy))
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        hits_by_query: Dict[str, List[OffTargetHit]] = {}
+        if queries:
+            try:
+                future = self.scheduler.submit(
+                    [Query(sequence=query,
+                           max_mismatches=spec.max_mismatches)
+                     for query in queries],
+                    deadline_s=deadline, kind="design")
+            except ValueError as exc:
+                return {"ok": False, "error": "bad-request",
+                        "message": str(exc)}
+            except ServiceOverloaded as exc:
+                return {"ok": False, "error": "overloaded",
+                        "message": str(exc)}
+            except DeadlineExceeded as exc:
+                return {"ok": False, "error": "deadline",
+                        "message": str(exc)}
+            except SchedulerClosed as exc:
+                return {"ok": False, "error": "closed",
+                        "message": str(exc)}
+            try:
+                results = await asyncio.wrap_future(future)
+            except DeadlineExceeded as exc:
+                return {"ok": False, "error": "deadline",
+                        "message": str(exc)}
+            except SchedulerClosed as exc:
+                return {"ok": False, "error": "closed",
+                        "message": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                return {"ok": False, "error": "internal",
+                        "message": f"{type(exc).__name__}: {exc}"}
+            hits_by_query = dict(zip(queries, results))
+        reports = rank_candidates(candidates, hits_by_query, estimator,
+                                  spec.top_n)
+        return {"ok": True,
+                **design_payload(anatomy, estimator, candidates,
+                                 queries, reports)}
 
     async def _apply_request_fault(self) -> Optional[Dict[str, Any]]:
         """Fire the next request-level fault, if the plan names one.

@@ -456,6 +456,7 @@ class ShardedSiteIndex:
         self._shards_skipped = 0
         self._batches_sharded = 0
         self._batches_direct = 0
+        self._queries_total = 0
         self._ring_batches = 0
         self._pickle_batches = 0
         self._ring_high_water = 0
@@ -561,6 +562,7 @@ class ShardedSiteIndex:
             shards_skipped = self._shards_skipped
             batches_sharded = self._batches_sharded
             batches_direct = self._batches_direct
+            queries_total = self._queries_total
             ring_batches = self._ring_batches
             pickle_batches = self._pickle_batches
             ring_high_water = self._ring_high_water
@@ -574,6 +576,11 @@ class ShardedSiteIndex:
             "shards_skipped": shards_skipped,
             "batches_sharded": batches_sharded,
             "batches_direct": batches_direct,
+            # Tier-level batch/query totals, mirroring the in-process
+            # index's ``batches``/``queries_total`` proof that many
+            # guides share each comparer pass.
+            "batches": batches_sharded + batches_direct,
+            "queries_total": queries_total,
             "result_path": {"ring": ring_batches,
                             "pickle": pickle_batches},
             "ring_records": self.ring_records,
@@ -937,6 +944,7 @@ class ShardedSiteIndex:
                 batch_id = self._next_batch
                 self._next_batch += 1
                 self._batches_sharded += 1
+                self._queries_total += len(queries)
                 trace = tracing.active() is not None
                 targets = self._select_shards(queries, compiled)
                 with tracing.span("scatter", cat="shard",
@@ -975,6 +983,7 @@ class ShardedSiteIndex:
             raise ShardWorkerError("sharded index is closed")
         with self._lock:
             self._batches_direct += 1
+            self._queries_total += len(queries)
         return self.index.query_batch(queries)
 
     def _select_shards(self, queries: Sequence[Query],

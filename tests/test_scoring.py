@@ -1,10 +1,13 @@
-"""Tests for the MIT off-target scoring scheme."""
+"""Tests for the MIT and CFD-style off-target scoring schemes."""
 
 import pytest
 
 from repro.core.records import OffTargetHit
-from repro.core.scoring import (GUIDE_LENGTH, MIT_WEIGHTS, GuideReport,
-                                ScoringError, aggregate_specificity,
+from repro.core.scoring import (CFD_POSITION_WEIGHTS, GUIDE_LENGTH,
+                                MIT_WEIGHTS, GuideReport, ScoringError,
+                                aggregate_cfd, aggregate_specificity,
+                                cfd_activity, cfd_score_hit,
+                                cfd_site_score, mismatch_identities,
                                 mismatch_positions, mit_site_score,
                                 rank_guides, score_hit)
 
@@ -68,6 +71,80 @@ class TestHitAdapters:
         assert score_hit(hit(site, 1)) == pytest.approx(14.9, abs=0.01)
 
 
+class TestMismatchIdentities:
+    def test_identities_recovered_from_markup(self):
+        # Query orientation: query[i] is the guide base, lowercase
+        # site[i] (uppercased) the genome base found there.
+        query = "ACGT" + "C" * 16 + "AGG"
+        site = "ACGa" + "C" * 15 + "g" + "AGG"
+        identities = mismatch_identities(hit(site, 2, query))
+        assert identities == [(3, "T", "A"), (19, "C", "G")]
+
+    def test_exact_site_has_no_identities(self):
+        assert mismatch_identities(hit("A" * 23, 0, "A" * 23)) == []
+
+    def test_short_site_rejected_naming_the_site(self):
+        short = hit("ACGT", 0, "A" * 23)
+        with pytest.raises(ScoringError, match="'ACGT'"):
+            mismatch_identities(short)
+        with pytest.raises(ScoringError, match="'ACGT'"):
+            mismatch_positions(short)
+        with pytest.raises(ScoringError, match="'ACGT'"):
+            score_hit(short)
+        with pytest.raises(ScoringError, match="'ACGT'"):
+            cfd_score_hit(short)
+
+    def test_short_query_rejected_naming_the_query(self):
+        with pytest.raises(ScoringError, match="'AC'"):
+            mismatch_identities(hit("A" * 23, 0, "AC"))
+
+
+class TestCFD:
+    def test_weights_table_shape(self):
+        assert len(CFD_POSITION_WEIGHTS) == GUIDE_LENGTH
+        assert all(0 < w < 1 for w in CFD_POSITION_WEIGHTS)
+        # Penalties rise toward the PAM (monotone non-decreasing).
+        assert list(CFD_POSITION_WEIGHTS) == \
+            sorted(CFD_POSITION_WEIGHTS)
+
+    def test_matched_base_keeps_full_activity(self):
+        assert cfd_activity(19, "A", "A") == 1.0
+
+    def test_transition_penalized_less_than_transversion(self):
+        assert cfd_activity(19, "A", "G") > cfd_activity(19, "A", "C")
+
+    def test_unknown_base_gets_worst_factor(self):
+        assert cfd_activity(19, "A", "N") <= cfd_activity(19, "A", "C")
+
+    def test_exact_match_scores_100(self):
+        assert cfd_site_score([]) == 100.0
+
+    def test_pam_proximal_mismatches_hurt_more(self):
+        assert cfd_site_score([(19, "A", "C")]) < \
+            cfd_site_score([(2, "A", "C")])
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ScoringError):
+            cfd_site_score([(20, "A", "C")])
+
+    def test_score_hit_matches_manual_product(self):
+        query = "A" * 20 + "AGG"
+        site = "A" * 13 + "c" + "A" * 6 + "AGG"
+        expected = 100.0 * cfd_activity(13, "A", "C")
+        assert cfd_score_hit(hit(site, 1, query)) == \
+            pytest.approx(expected)
+
+    def test_aggregate_cfd_uses_cfd_scorer(self):
+        query = "A" * 20 + "AGG"
+        hits = [hit("A" * 23, 0, query),
+                hit("A" * 19 + "c" + "AGG", 1, query)]
+        mit = aggregate_specificity(hits)[query]
+        cfd = aggregate_cfd(hits)[query]
+        assert mit.specificity != cfd.specificity
+        assert cfd.worst_off_target == pytest.approx(
+            100.0 * cfd_activity(19, "A", "C"))
+
+
 class TestAggregate:
     def test_no_off_targets_gives_100(self):
         reports = aggregate_specificity([hit("A" * 23, 0, "G1")])
@@ -92,6 +169,16 @@ class TestAggregate:
         ranked = rank_guides(hits)
         assert [r.guide for r in ranked] == ["CLEAN", "RISKY"]
         assert ranked[0].specificity > ranked[1].specificity
+
+    def test_rank_guides_ties_break_on_guide_lexicographically(self):
+        # Three clean guides all score exactly 100; the ranking must
+        # not depend on hit order or dict insertion order.
+        hits = [hit("A" * 23, 0, name)
+                for name in ("ZULU", "ALPHA", "MIKE")]
+        ranked = rank_guides(hits)
+        assert [r.guide for r in ranked] == ["ALPHA", "MIKE", "ZULU"]
+        assert [r.guide for r in rank_guides(reversed(hits))] == \
+            ["ALPHA", "MIKE", "ZULU"]
 
     def test_weights_table_shape(self):
         assert len(MIT_WEIGHTS) == GUIDE_LENGTH == 20
