@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test fault service router design verify
+.PHONY: test fault service router design variants verify
 
 # Tier-1 suite (includes the fault-marked tests).
 test:
@@ -44,6 +44,14 @@ design:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_design.py \
 		tests/test_scoring.py
 	PYTHONPATH=src $(PYTHON) -m repro.design --smoke
+
+# Variant-aware search tests plus the variants smoke: single-batch
+# comparer accounting, served/sharded byte-identity against the
+# in-process payload, and a TOML enzyme config served end to end.
+variants:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_variants.py
+	PYTHONPATH=src $(PYTHON) -m repro.variants --smoke
+	PYTHONPATH=src $(PYTHON) -m repro.service.shards --guard
 
 # Tier-1 suite plus explicit fault and service passes, one command.
 verify:

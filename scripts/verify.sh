@@ -14,7 +14,8 @@ trap 'python -m repro.service.shards --cleanup' EXIT
 python -m pytest -x -q "$@"
 python -m pytest -x -q -m fault "$@"
 python -m pytest -x -q tests/test_service.py tests/test_packed_service.py \
-    tests/test_shard_rings.py tests/test_router.py tests/test_design.py "$@"
+    tests/test_shard_rings.py tests/test_router.py tests/test_design.py \
+    tests/test_variants.py "$@"
 python -m repro.service.client --smoke --clients 4 --duration 5 --packed
 python -m repro.service.client --smoke --clients 4 --duration 5 --no-packed
 # Sharded smokes: the result-ring hot path, then a 4-record ring that
@@ -27,6 +28,10 @@ python -m repro.service.client --smoke --clients 4 --duration 5 --packed \
 # to the in-process reference, with every candidate query covered by
 # exactly one batched comparer pass (no per-guide rescans).
 python -m repro.design --smoke
+# Variant smoke: one comparer batch per variant search, served and
+# 2-shard responses byte-identical to in-process, a TOML enzyme config
+# served end to end; its sharded leg runs under the shm leak guard.
+python -m repro.variants --smoke
 # Routing-tier smoke: 3 subprocess backends behind a router, one
 # SIGKILLed mid-load, one zero-downtime rollover, SIGTERM drain of the
 # survivors; asserts byte-identity against a single-process server and

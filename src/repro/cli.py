@@ -478,6 +478,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "query ordinals), e.g. 'stall@3:0.5' or "
                              "'disconnect@5'; crash@N kills the "
                              "process — for router fault drills")
+    parser.add_argument("--enzyme-config", action="append", default=[],
+                        dest="enzyme_configs", metavar="PATH",
+                        help="declarative Cas enzyme config (TOML or "
+                             "JSON, repeatable); each enzyme gets its "
+                             "own resident index over the same genome "
+                             "and is selected per request via the "
+                             "'enzyme' field")
     return parser
 
 
@@ -574,6 +581,35 @@ def _run_serve(argv: List[str]) -> int:
             print(f"# sharded serving: {args.shards} worker "
                   f"processes, {serving.ring_records} ring records "
                   f"per shard", file=sys.stderr)
+    enzymes = []
+    if args.enzyme_configs:
+        from .enzymes import EnzymeError, load_enzymes
+        seen = set()
+        for config_path in args.enzyme_configs:
+            try:
+                loaded = load_enzymes(config_path)
+            except EnzymeError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            for enzyme in loaded:
+                if enzyme.name in seen:
+                    raise SystemExit(
+                        f"error: enzyme {enzyme.name!r} appears in "
+                        f"more than one --enzyme-config")
+                seen.add(enzyme.name)
+                try:
+                    enzyme_index = GenomeSiteIndex.build(
+                        assembly, enzyme.pattern,
+                        chunk_size=args.chunk_size, api=args.api,
+                        device=args.device, packed=args.packed)
+                except (SiteIndexError, ValueError) as exc:
+                    raise SystemExit(
+                        f"error: enzyme {enzyme.name!r}: "
+                        f"{exc}") from None
+                print(f"# enzyme {enzyme.name}: "
+                      f"pattern={enzyme.pattern} "
+                      f"{enzyme_index.site_count} sites",
+                      file=sys.stderr)
+                enzymes.append((enzyme, enzyme_index))
     import signal
     import threading
     if threading.current_thread() is threading.main_thread():
@@ -594,7 +630,8 @@ def _run_serve(argv: List[str]) -> int:
             direct_below=2 if args.adaptive else 0,
             reloader=reloader,
             request_fault_plan=args.request_fault_inject,
-            drain_s=args.drain_s)
+            drain_s=args.drain_s,
+            enzymes=enzymes or None)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     print(f"# serving {index.assembly.name} pattern={index.pattern} "
@@ -911,6 +948,179 @@ def _run_design(argv: List[str]) -> int:
     return 0
 
 
+def build_variants_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cas-offinder-py variants",
+        description="Per-haplotype gained/lost off-target sites: "
+                    "apply VCF-like variant sets as diff layers over "
+                    "the genome and report which sites each haplotype "
+                    "gains or loses relative to the reference.  With "
+                    "--port the request goes to a running service "
+                    "(server or router); otherwise an index is built "
+                    "locally from --pattern and a genome source.")
+    parser.add_argument("queries", nargs="+", metavar="SEQ:MM",
+                        help="query spec(s): sequence, colon, max "
+                             "mismatches (e.g. GACGTCNN:3)")
+    parser.add_argument("--haplotypes", default=None, metavar="FILE",
+                        help="JSON file with {\"haplotypes\": "
+                             "[{\"name\": ..., \"variants\": "
+                             "[[chrom, pos, ref, alt], ...]}, ...]}")
+    parser.add_argument("--variant", action="append", default=[],
+                        dest="variants", metavar="CHROM:POS:REF>ALT",
+                        help="one variant (repeatable); together they "
+                             "form a single haplotype named by "
+                             "--hap-name")
+    parser.add_argument("--hap-name", default="edited",
+                        help="haplotype name for --variant specs")
+    parser.add_argument("--chromosomes", default=None, metavar="NAMES",
+                        help="comma-separated chromosome filter")
+    parser.add_argument("--enzyme", default=None,
+                        help="named enzyme to search with (service "
+                             "mode; the server must host it via "
+                             "--enzyme-config)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full response payload as JSON "
+                             "instead of an event TSV")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file ('-' for stdout)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=_positive_int, default=None,
+                        help="query a running service instead of "
+                             "building an index locally")
+    parser.add_argument("--timeout", type=_positive_float, default=60.0,
+                        help="socket timeout in seconds (service mode)")
+    parser.add_argument("--pattern", default=None,
+                        help="PAM-bearing pattern (local mode)")
+    _add_genome_flags(parser)
+    parser.add_argument("--chunk-size", type=_positive_int,
+                        default=DEFAULT_CHUNK_SIZE,
+                        help="index chunk size in bases (local mode)")
+    return parser
+
+
+def _parse_variant_spec(text: str) -> List:
+    """``CHROM:POS:REF>ALT`` -> the wire row ``[chrom, pos, ref, alt]``."""
+    head, sep, change = text.rpartition(":")
+    ref, arrow, alt = change.partition(">")
+    if not sep or not arrow:
+        raise SystemExit(f"error: bad variant spec {text!r}; expected "
+                         f"CHROM:POS:REF>ALT (e.g. chr1:1234:A>G)")
+    chrom, sep2, pos_text = head.rpartition(":")
+    if not sep2 or not chrom:
+        raise SystemExit(f"error: bad variant spec {text!r}; expected "
+                         f"CHROM:POS:REF>ALT (e.g. chr1:1234:A>G)")
+    try:
+        position = int(pos_text)
+    except ValueError:
+        raise SystemExit(f"error: bad variant spec {text!r}: position "
+                         f"must be an integer") from None
+    return [chrom, position, ref.upper(), alt.upper()]
+
+
+def _run_variants(argv: List[str]) -> int:
+    import json as _json
+
+    from .core.config import Query
+    from .variants import VariantError, decode_haplotypes
+
+    args = build_variants_parser().parse_args(argv)
+    queries = []
+    for spec in args.queries:
+        seq, sep, mm = spec.rpartition(":")
+        if not sep or not seq:
+            raise SystemExit(f"error: bad query spec {spec!r}; "
+                             f"expected SEQ:MM (e.g. GACGTCNN:3)")
+        try:
+            queries.append(Query(seq.upper(), int(mm)))
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: bad query spec {spec!r}: {exc}") from None
+    if args.haplotypes and args.variants:
+        raise SystemExit("error: give either --haplotypes FILE or "
+                         "--variant specs, not both")
+    if args.haplotypes:
+        try:
+            with open(args.haplotypes, encoding="utf-8") as handle:
+                data = _json.load(handle)
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read haplotypes file "
+                             f"{args.haplotypes!r}: {exc}") from None
+        raw = data.get("haplotypes") if isinstance(data, dict) else data
+    elif args.variants:
+        raw = [{"name": args.hap_name,
+                "variants": [_parse_variant_spec(spec)
+                             for spec in args.variants]}]
+    else:
+        raise SystemExit("error: no variants: give --haplotypes FILE "
+                         "or one or more --variant specs")
+    try:
+        haplotypes = decode_haplotypes(raw)
+    except (VariantError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    chromosomes = None
+    if args.chromosomes:
+        chromosomes = [c.strip() for c in args.chromosomes.split(",")
+                       if c.strip()]
+        if not chromosomes:
+            raise SystemExit(
+                "error: --chromosomes needs at least one name")
+    if args.port is not None:
+        from .service import ServiceClient, ServiceError
+        try:
+            with ServiceClient(args.host, args.port,
+                               timeout_s=args.timeout) as client:
+                payload = client.variant_search(
+                    queries, haplotypes, chromosomes=chromosomes,
+                    enzyme=args.enzyme)
+        except ServiceError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        except OSError as exc:
+            raise SystemExit(f"error: cannot reach service at "
+                             f"{args.host}:{args.port}: {exc}") from None
+        payload.pop("id", None)
+        payload.pop("ok", None)
+    else:
+        if args.enzyme:
+            raise SystemExit("error: --enzyme needs a running service "
+                             "(--port); local mode searches --pattern")
+        if not args.pattern:
+            raise SystemExit("error: --pattern is required without "
+                             "--port (local mode builds an index)")
+        from .service import GenomeSiteIndex, SiteIndexError
+        from .variants import search_variants
+        assembly = _load_assembly(args, args.genome)
+        try:
+            index = GenomeSiteIndex.build(assembly, args.pattern,
+                                          chunk_size=args.chunk_size)
+            result = search_variants(
+                index, queries, haplotypes,
+                chromosomes=(frozenset(chromosomes)
+                             if chromosomes else None))
+        except (SiteIndexError, VariantError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        payload = result.payload()
+    if args.json:
+        text = _json.dumps(payload, indent=2) + "\n"
+    else:
+        lines = ["\t".join(payload["event_fields"])]
+        lines.extend("\t".join(str(value) for value in row)
+                     for row in payload["events"])
+        text = "\n".join(lines) + "\n"
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    gained = sum(row["gained"] for row in payload["summary"])
+    lost = sum(row["lost"] for row in payload["summary"])
+    print(f"# {len(payload['events'])} events ({gained} gained, "
+          f"{lost} lost) | {len(payload['haplotypes'])} haplotype(s) | "
+          f"{payload['patched_chunks']} patched / "
+          f"{payload['reference_chunks']} reference chunks",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -923,6 +1133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_query(argv[1:])
     if argv and argv[0] == "design":
         return _run_design(argv[1:])
+    if argv and argv[0] == "variants":
+        return _run_variants(argv[1:])
     args = build_parser().parse_args(argv)
     if args.report:
         return _run_report(args)

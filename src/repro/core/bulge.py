@@ -16,8 +16,10 @@ strategy on top of the standard pipeline:
 All derived queries of one (type, size) class share a window length, so
 each class runs as a single multi-query pipeline search.  Results are
 annotated with the bulge type/size and deduplicated per genomic site,
-keeping the description with the fewest bulges, then mismatches —
-matching the wrapper's reporting convention.
+keeping the description with the fewest bulges, then mismatches.  Ties
+on (bulges, mismatches) are broken deterministically by bulge type
+(none, then DNA, then RNA) and finally by bulge position — the kept
+record never depends on dict insertion or search-class order.
 """
 
 from __future__ import annotations
@@ -43,10 +45,44 @@ class BulgeHit:
     bulge_size: int
     #: Original (un-bulged) guide the hit derives from.
     guide: str
+    #: Guide position the bulge was introduced at (0 for no bulge).
+    bulge_position: int = 0
 
     @property
     def site_key(self) -> Tuple[str, int, str]:
         return (self.hit.chrom, self.hit.position, self.hit.strand)
+
+
+#: Dedup preference between bulge classes when everything else ties:
+#: an ungapped description beats a DNA bulge beats an RNA bulge.
+_TYPE_RANK = {"X": 0, "DNA": 1, "RNA": 2}
+
+
+def _dedupe_rank(bulge_hit: BulgeHit) -> Tuple[int, int, int, int]:
+    """Total order for picking one description of a genomic site."""
+    return (bulge_hit.bulge_size, bulge_hit.hit.mismatches,
+            _TYPE_RANK[bulge_hit.bulge_type], bulge_hit.bulge_position)
+
+
+def dedupe_bulge_hits(annotated: Sequence[BulgeHit]) -> List[BulgeHit]:
+    """One description per (site, guide), fully deterministically.
+
+    Preference: fewest bulge bases, then fewest mismatches, then bulge
+    type (none < DNA < RNA), then smallest bulge position.  The last
+    two legs make the choice independent of the order hits arrive in —
+    previously a (bulges, mismatches) tie kept whichever description
+    was inserted first, i.e. search-class order leaked into output.
+    """
+    best: Dict[Tuple[str, int, str, str], BulgeHit] = {}
+    for bulge_hit in annotated:
+        key = (*bulge_hit.site_key, bulge_hit.guide)
+        current = best.get(key)
+        if current is None or \
+                _dedupe_rank(bulge_hit) < _dedupe_rank(current):
+            best[key] = bulge_hit
+    return sorted(best.values(),
+                  key=lambda b: (b.guide, b.hit.chrom, b.hit.position,
+                                 b.hit.strand))
 
 
 def _split_pattern(pattern: str) -> Tuple[int, str]:
@@ -67,24 +103,24 @@ def _split_pattern(pattern: str) -> Tuple[int, str]:
 
 
 def _dna_bulge_queries(guide: str, pam_len: int, size: int
-                       ) -> List[Tuple[str, str]]:
-    """(derived query, original guide) pairs for DNA bulges of ``size``."""
+                       ) -> List[Tuple[str, str, int]]:
+    """(derived query, guide, bulge position) for DNA bulges of ``size``."""
     derived = []
     for position in range(1, len(guide)):
         bulged = guide[:position] + "N" * size + guide[position:]
-        derived.append((bulged + "N" * pam_len, guide))
+        derived.append((bulged + "N" * pam_len, guide, position))
     return derived
 
 
 def _rna_bulge_queries(guide: str, pam_len: int, size: int
-                       ) -> List[Tuple[str, str]]:
-    """(derived query, original guide) pairs for RNA bulges of ``size``."""
+                       ) -> List[Tuple[str, str, int]]:
+    """(derived query, guide, bulge position) for RNA bulges of ``size``."""
     derived = []
     if len(guide) <= size:
         return derived
     for position in range(1, len(guide) - size):
         shrunk = guide[:position] + guide[position + size:]
-        derived.append((shrunk + "N" * pam_len, guide))
+        derived.append((shrunk + "N" * pam_len, guide, position))
     return derived
 
 
@@ -112,11 +148,11 @@ def bulge_search(assembly: Assembly, pattern: str,
                 f"pattern's guide region ({guide_len})")
 
     # Search classes: (bulge_type, size, window pattern, derived queries).
-    classes: List[Tuple[str, int, str, List[Tuple[str, str]]]] = []
-    base_queries = [(g + "N" * pam_len, g) for g in guides]
+    classes: List[Tuple[str, int, str, List[Tuple[str, str, int]]]] = []
+    base_queries = [(g + "N" * pam_len, g, 0) for g in guides]
     classes.append(("X", 0, pattern, base_queries))
     for size in range(1, dna_bulge + 1):
-        derived: List[Tuple[str, str]] = []
+        derived: List[Tuple[str, str, int]] = []
         for guide in guides:
             derived.extend(_dna_bulge_queries(guide, pam_len, size))
         if derived:
@@ -132,31 +168,23 @@ def bulge_search(assembly: Assembly, pattern: str,
 
     annotated: List[BulgeHit] = []
     for bulge_type, size, window_pattern, derived in classes:
-        guide_of_query: Dict[str, str] = {}
+        # Duplicate derived query texts (e.g. RNA bulges inside a
+        # homopolymer) keep the smallest bulge position: positions
+        # ascend per guide, so first-seen is the deterministic minimum.
+        meta_of_query: Dict[str, Tuple[str, int]] = {}
         unique_queries: List[Query] = []
-        for query_text, guide in derived:
-            if query_text not in guide_of_query:
-                guide_of_query[query_text] = guide
+        for query_text, guide, position in derived:
+            if query_text not in meta_of_query:
+                meta_of_query[query_text] = (guide, position)
                 unique_queries.append(Query(query_text, max_mismatches))
         request = SearchRequest(pattern=window_pattern,
                                 queries=unique_queries)
         result = search(assembly, request, api=api, device=device,
                         chunk_size=chunk_size)
         for hit in result.hits:
+            guide, position = meta_of_query[hit.query]
             annotated.append(BulgeHit(
                 hit=hit, bulge_type=bulge_type, bulge_size=size,
-                guide=guide_of_query[hit.query]))
+                guide=guide, bulge_position=position))
 
-    # Deduplicate per genomic site: prefer no bulge, then smaller
-    # bulges, then fewer mismatches.
-    best: Dict[Tuple[str, int, str, str], BulgeHit] = {}
-    for bulge_hit in annotated:
-        key = (*bulge_hit.site_key, bulge_hit.guide)
-        current = best.get(key)
-        rank = (bulge_hit.bulge_size, bulge_hit.hit.mismatches)
-        if current is None or rank < (current.bulge_size,
-                                      current.hit.mismatches):
-            best[key] = bulge_hit
-    return sorted(best.values(),
-                  key=lambda b: (b.guide, b.hit.chrom, b.hit.position,
-                                 b.hit.strand))
+    return dedupe_bulge_hits(annotated)

@@ -14,13 +14,20 @@ two schemes for SpCas9-style guides:
 * a **CFD-style scheme** (after Doench et al. 2016): a per-site score
   that is a product of position x substitution activity factors, so it
   needs the mismatch *identities* (which base replaced which), not just
-  the positions.  The empirical CFD table is a supplementary dataset we
-  cannot reproduce here, so :data:`CFD_POSITION_WEIGHTS` and
-  :func:`cfd_activity` are a documented deterministic stand-in with the
-  same structure: penalties rise toward the PAM, transitions (A<->G,
-  C<->T — rU:dG / rG:dT wobble-tolerant pairings) are penalized less
-  than transversions, unknown pairings get the worst factor.  Every
-  factor is in (0, 1], so scores stay comparable to MIT's 0-100 scale.
+  the positions.  The per-pair activity grid is loaded at import from
+  the checked-in ``data/cfd_weights.json`` (a deterministic structured
+  reconstruction of the Doench table's shape — see the file's
+  ``source`` field); if that file is missing or malformed the module
+  falls back to the two-class structural stand-in
+  (:data:`CFD_POSITION_WEIGHTS` x transition/transversion severity)
+  and records which table is active in :data:`CFD_TABLE_SOURCE`.
+  Either way penalties rise toward the PAM, transitions (A<->G,
+  C<->T) are penalized less than transversions, every factor is in
+  (0, 1] so scores stay comparable to MIT's 0-100 scale, and a
+  substitution involving a non-ACGT base (e.g. a genome ``N`` inside
+  the guide region) raises :class:`ScoringError` — neither table
+  defines an activity for it, and silently scoring it would rank
+  unknown sites as perfectly active.
 
 Scores operate on :class:`~repro.core.records.OffTargetHit` values
 straight out of the pipeline, using the lowercase-mismatch markup of the
@@ -31,8 +38,11 @@ guide base, ``hit.site[i].upper()`` the genome base).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from .records import OffTargetHit
 
@@ -64,11 +74,55 @@ CFD_TRANSITIONS: FrozenSet[Tuple[str, str]] = frozenset(
 #: involving a non-ACGT base gets the worst (largest) factor.
 CFD_TRANSITION_SEVERITY = 0.55
 CFD_TRANSVERSION_SEVERITY = 0.95
-CFD_UNKNOWN_SEVERITY = 1.0
 
 
 class ScoringError(ValueError):
     """Raised for sites that cannot be scored with this scheme."""
+
+
+#: Checked-in CFD activity grid (position x substitution pair).
+_CFD_DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                              "cfd_weights.json")
+
+
+def _load_cfd_pairs(path: str = _CFD_DATA_PATH
+                    ) -> Optional[Dict[Tuple[str, str],
+                                       Tuple[float, ...]]]:
+    """The per-pair activity table from ``data/cfd_weights.json``.
+
+    Returns None (falling back to the structural stand-in) when the
+    file is missing or fails validation: every one of the 12 possible
+    ACGT substitutions must carry ``guide_length`` activity factors,
+    each in (0, 1].
+    """
+    try:
+        with open(path, encoding="ascii") as handle:
+            raw = json.load(handle)
+        if int(raw["guide_length"]) != GUIDE_LENGTH:
+            return None
+        pairs: Dict[Tuple[str, str], Tuple[float, ...]] = {}
+        for guide_base in "ACGT":
+            for site_base in "ACGT":
+                if guide_base == site_base:
+                    continue
+                values = raw["pairs"][f"{guide_base}>{site_base}"]
+                factors = tuple(float(v) for v in values)
+                if len(factors) != GUIDE_LENGTH or not all(
+                        0.0 < v <= 1.0 for v in factors):
+                    return None
+                pairs[(guide_base, site_base)] = factors
+        return pairs
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+
+
+_CFD_PAIR_ACTIVITIES = _load_cfd_pairs()
+
+#: Which CFD table :func:`cfd_activity` is serving: the checked-in data
+#: file, or the two-class structural stand-in fallback.
+CFD_TABLE_SOURCE = ("data/cfd_weights.json"
+                    if _CFD_PAIR_ACTIVITIES is not None
+                    else "structural stand-in")
 
 
 def _require_full_site(hit: OffTargetHit, guide_length: int) -> None:
@@ -145,21 +199,45 @@ def mit_site_score(positions: Sequence[int],
 def cfd_activity(position: int, guide_base: str, site_base: str) -> float:
     """Retained activity factor for one substitution, in (0, 1].
 
-    Position x substitution class, the structural form of the Doench
-    2016 CFD table (see the module docstring for why the values are a
-    deterministic stand-in, not the empirical supplementary table).
+    Served from the checked-in ``data/cfd_weights.json`` grid when it
+    loaded, otherwise from the structural stand-in (position weight x
+    transition/transversion severity).  A pair involving any non-ACGT
+    base raises :class:`ScoringError`: no CFD table defines an
+    activity for it, and the old behaviour of scoring an ``N``:``N``
+    pairing as a perfect match (1.0) silently ranked unknowable sites
+    as maximally active.
     """
-    weight = CFD_POSITION_WEIGHTS[min(position, GUIDE_LENGTH - 1)]
     pair = (guide_base.upper(), site_base.upper())
+    if pair[0] not in "ACGT" or pair[1] not in "ACGT":
+        raise ScoringError(
+            f"cannot score substitution {pair[0]!r}->{pair[1]!r} at "
+            f"position {position}: CFD activities are defined for "
+            f"ACGT bases only")
     if pair[0] == pair[1]:
         return 1.0
-    if pair in CFD_TRANSITIONS:
-        severity = CFD_TRANSITION_SEVERITY
-    elif pair[0] in "ACGT" and pair[1] in "ACGT":
-        severity = CFD_TRANSVERSION_SEVERITY
-    else:
-        severity = CFD_UNKNOWN_SEVERITY
-    return 1.0 - weight * severity
+    index = min(position, GUIDE_LENGTH - 1)
+    if _CFD_PAIR_ACTIVITIES is not None:
+        return _CFD_PAIR_ACTIVITIES[pair][index]
+    severity = (CFD_TRANSITION_SEVERITY if pair in CFD_TRANSITIONS
+                else CFD_TRANSVERSION_SEVERITY)
+    return 1.0 - CFD_POSITION_WEIGHTS[index] * severity
+
+
+def cfd_worst_activity(position: int) -> float:
+    """The lowest activity factor any substitution has at ``position``.
+
+    The explicit stand-in for substitutions the table cannot score —
+    a genome ``N`` inside the guide region.  Taking the position's
+    worst defined factor is the conservative choice (the unknown site
+    is ranked as risky as the most disruptive known substitution),
+    and it is deterministic, so every serving tier scores such sites
+    identically.
+    """
+    index = min(position, GUIDE_LENGTH - 1)
+    if _CFD_PAIR_ACTIVITIES is not None:
+        return min(factors[index]
+                   for factors in _CFD_PAIR_ACTIVITIES.values())
+    return 1.0 - CFD_POSITION_WEIGHTS[index] * CFD_TRANSVERSION_SEVERITY
 
 
 def cfd_site_score(identities: Sequence[Tuple[int, str, str]],
@@ -168,6 +246,10 @@ def cfd_site_score(identities: Sequence[Tuple[int, str, str]],
 
     Product of per-mismatch activity factors, scaled to 0-100 so the
     aggregate formula shared with the MIT scheme applies unchanged.
+    A mismatch involving a non-ACGT base (a genome ``N`` in the guide
+    region) has no defined activity; it contributes the position's
+    worst factor via :func:`cfd_worst_activity` — the old code's
+    silent special cases (``N``:``N`` scored 1.0) are gone.
     """
     score = 1.0
     for position, guide_base, site_base in identities:
@@ -175,7 +257,11 @@ def cfd_site_score(identities: Sequence[Tuple[int, str, str]],
             raise ScoringError(
                 f"mismatch position {position} outside the "
                 f"{guide_length}-nt guide")
-        score *= cfd_activity(position, guide_base, site_base)
+        if guide_base.upper() not in "ACGT" or \
+                site_base.upper() not in "ACGT":
+            score *= cfd_worst_activity(position)
+        else:
+            score *= cfd_activity(position, guide_base, site_base)
     return score * 100.0
 
 

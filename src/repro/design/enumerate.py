@@ -8,7 +8,9 @@ guide side passes basic composition filters:
 
 * concrete bases only (assembly gaps and ambiguity codes are not
   synthesizable guide sequences);
-* GC fraction within bounds (extreme GC guides bind poorly);
+* GC fraction within bounds, inclusive on both ends (extreme GC
+  guides bind poorly; a guide at exactly ``gc_min`` or ``gc_max``
+  passes);
 * no homopolymer run longer than a threshold (synthesis and
   sequencing both stumble on long runs).
 
@@ -119,13 +121,27 @@ class ProtospacerCandidate:
 
 def _guide_gc(guide: np.ndarray, gc_min: float, gc_max: float,
               max_homopolymer: int) -> Optional[float]:
-    """GC fraction if the guide passes all filters, else ``None``."""
+    """GC fraction if the guide passes all filters, else ``None``.
+
+    The GC bounds are **inclusive on both ends**: a guide whose GC
+    fraction equals ``gc_min`` or ``gc_max`` exactly passes the
+    filter.  This matters because common bounds (0.2, 0.25, 0.5, ...)
+    are exactly representable and short guides land on them exactly —
+    an exclusive boundary would drop candidates nondeterministically
+    across float round-off of *other* bound choices.
+    """
+    if guide.size == 0:
+        # A zero-length guide region cannot carry a designed guide
+        # (and would divide by zero below); pattern_anatomy rejects
+        # guide_length < 1, so this only guards direct callers.
+        return None
     acgt = ((guide == _A) | (guide == _C)
             | (guide == _G) | (guide == _T))
     if not acgt.all():
         return None
     gc = float(np.count_nonzero((guide == _G) | (guide == _C)))
     gc /= guide.size
+    # Inclusive at both boundaries: reject only strictly outside.
     if gc < gc_min or gc > gc_max:
         return None
     if max_homopolymer > 0 and guide.size > max_homopolymer:
@@ -148,7 +164,9 @@ def enumerate_protospacers(assembly: Assembly, chrom: str, start: int,
                            ) -> List[ProtospacerCandidate]:
     """All filtered candidate guides whose site starts in [start, end).
 
-    Both strands are tested at every position: a reverse-strand
+    ``gc_min``/``gc_max`` are inclusive bounds on the guide's GC
+    fraction (see :func:`_guide_gc`).  Both strands are tested at
+    every position: a reverse-strand
     candidate is the reverse complement of the same genome window,
     read 5'->3' with its PAM on the 3' side — the same orientation
     convention as the finder kernel, so ``position`` is always the

@@ -169,7 +169,8 @@ class ServiceClient:
         return response
 
     def query(self, queries: Sequence[Query],
-              deadline_s: Optional[float] = None
+              deadline_s: Optional[float] = None,
+              enzyme: Optional[str] = None
               ) -> List[List[OffTargetHit]]:
         """Run one request; returns one hit list per query, in order."""
         request: Dict[str, Any] = {
@@ -178,6 +179,8 @@ class ServiceClient:
                         for q in queries]}
         if deadline_s is not None:
             request["deadline_s"] = deadline_s
+        if enzyme is not None:
+            request["enzyme"] = enzyme
         response = self._call(request)
         return [_decode_hits(per) for per in response["hits"]]
 
@@ -215,6 +218,35 @@ class ServiceClient:
         response["report_rows"] = response["reports"]
         response["reports"] = decode_reports(response["report_rows"])
         return response
+
+    def variant_search(self, queries: Sequence[Query],
+                       haplotypes: Sequence[Any],
+                       chromosomes: Optional[Sequence[str]] = None,
+                       enzyme: Optional[str] = None) -> Dict[str, Any]:
+        """Run one variant-aware search (the ``variant`` op).
+
+        ``haplotypes`` accepts :class:`~repro.variants.model.Haplotype`
+        objects or already-encoded ``{"name", "variants"}`` mappings;
+        returns the response payload (``events`` rows laid out as
+        ``event_fields``) unchanged — it is byte-identical across a
+        single server, a sharded server and a router.
+        """
+        encoded = [h.to_payload() if hasattr(h, "to_payload") else h
+                   for h in haplotypes]
+        request: Dict[str, Any] = {
+            "op": "variant",
+            "queries": [[q.sequence, q.max_mismatches]
+                        for q in queries],
+            "haplotypes": encoded}
+        if chromosomes is not None:
+            request["chromosomes"] = list(chromosomes)
+        if enzyme is not None:
+            request["enzyme"] = enzyme
+        return self._call(request)
+
+    def enzymes(self) -> Dict[str, Any]:
+        """The server's declarative enzyme registry listing."""
+        return self._call({"op": "enzymes"})
 
     def stats(self) -> Dict[str, Any]:
         return self._call({"op": "stats"})["stats"]

@@ -238,6 +238,7 @@ class GenomeSiteIndex:
         self._queries_fallback = 0
         self._batches = 0
         self._queries_total = 0
+        self._entries_scanned = 0
 
     def _disable_packed(self, reason: str) -> None:
         """Degrade the whole index to the byte comparer, keeping note."""
@@ -413,12 +414,75 @@ class GenomeSiteIndex:
                 self._queries_packed += packed_n
                 self._queries_fallback += len(compiled) - packed_n
         hits: List[List[OffTargetHit]] = [[] for _ in queries]
+        scanned = 0
         for entry_hits in self.pipeline.compare_resident(
                 self._resident_entries(), queries, compiled,
                 batched=True):
+            scanned += 1
             for qi, query_hits in enumerate(entry_hits):
                 hits[qi].extend(query_hits)
+        with self._stats_lock:
+            self._entries_scanned += scanned
         return hits
+
+    def query_batch_with_extras(
+            self, queries: Sequence[Query],
+            extras: Sequence[ResidentChunk],
+    ) -> Tuple[List[List[OffTargetHit]],
+               List[List[List[OffTargetHit]]], int]:
+        """One comparer batch over resident chunks *plus* extras.
+
+        ``extras`` are ephemeral, request-scoped resident entries —
+        the variant layer's patched haplotype chunks.  They ride the
+        *same* single batched comparer pass as the resident reference
+        chunks (the ``batches`` counter moves by exactly one), which
+        is the whole point: searching K haplotypes costs one pass, not
+        K+1.
+
+        Returns ``(reference_hits, extra_hits, reference_chunks)``:
+        per-query merged hits over the resident index, then one
+        per-query hit-list group per extra entry (in ``extras``
+        order; positions are relative to each extra's own coordinate
+        frame), and the number of resident chunks scanned.
+        """
+        if not queries:
+            raise ValueError(
+                "query_batch_with_extras needs at least one query")
+        plen = self.compiled_pattern.plen
+        for query in queries:
+            if len(query.sequence) != plen:
+                raise ValueError(
+                    f"query {query.sequence!r} has length "
+                    f"{len(query.sequence)}, index pattern "
+                    f"{self.pattern!r} has length {plen}")
+        queries = list(queries)
+        extras = list(extras)
+        compiled = [compile_pattern(q.sequence) for q in queries]
+        n_ref = sum(1 for entry in self._chunks if entry.loci.size)
+        with self._stats_lock:
+            self._batches += 1
+            self._queries_total += len(compiled)
+            self._entries_scanned += n_ref + len(extras)
+            if self.packed:
+                packed_n = sum(1 for cq in compiled
+                               if window_packable(cq))
+                self._queries_packed += packed_n
+                self._queries_fallback += len(compiled) - packed_n
+
+        def entry_stream():
+            yield from self._resident_entries()
+            yield from extras
+
+        hits: List[List[OffTargetHit]] = [[] for _ in queries]
+        extra_hits: List[List[List[OffTargetHit]]] = []
+        for ei, entry_hits in enumerate(self.pipeline.compare_resident(
+                entry_stream(), queries, compiled, batched=True)):
+            if ei < n_ref:
+                for qi, query_hits in enumerate(entry_hits):
+                    hits[qi].extend(query_hits)
+            else:
+                extra_hits.append(entry_hits)
+        return hits, extra_hits, n_ref
 
     def _resident_entries(self):
         """Yield non-empty chunks as comparer-ready resident entries.
@@ -449,6 +513,7 @@ class GenomeSiteIndex:
             queries_fallback = self._queries_fallback
             batches = self._batches
             queries_total = self._queries_total
+            entries_scanned = self._entries_scanned
         return {
             "mode": "packed" if self.packed else "byte",
             "packed_disabled_reason": self.packed_disabled_reason,
@@ -460,6 +525,11 @@ class GenomeSiteIndex:
             # design op's no-per-guide-rescan evidence.
             "batches": batches,
             "queries_total": queries_total,
+            # Entries (resident chunks + ephemeral variant patches) the
+            # comparer visited; the variant op's single-batch proof
+            # checks ``batches`` moved by one while this moved by
+            # reference chunks + patched chunks.
+            "entries_scanned": entries_scanned,
         }
 
     # -- persistence ----------------------------------------------------

@@ -75,7 +75,10 @@ from ..design.ranking import (decode_design_spec, design_payload,
                               rank_candidates, scoring_guide_length)
 from ..genome.assembly import Assembly
 from ..observability import tracing
-from .server import (MAX_LINE_BYTES, ServerHandle, _decode_queries)
+from ..variants.model import VariantError, decode_haplotypes
+from ..variants.overlay import sort_event_rows, variant_payload
+from .server import (MAX_LINE_BYTES, ServerHandle,
+                     _decode_chromosomes, _decode_queries)
 
 #: Idle pooled connections kept per backend.
 POOL_MAX_IDLE = 8
@@ -871,6 +874,141 @@ class OffTargetRouter:
                 **design_payload(anatomy, estimator, candidates,
                                  queries, reports)}
 
+    async def _handle_variant(self, request: Dict[str, Any]
+                              ) -> Dict[str, Any]:
+        """The ``variant`` op, routed: each partition patches and
+        diffs its own chromosomes, the router re-merges.
+
+        Every sub-request carries the partition's ``chromosomes``
+        filter, so a backend silently skips variants on chromosomes it
+        does not hold (the partition skip rule in
+        :func:`repro.variants.overlay.validate_haplotypes`) and the
+        union of partition events is exactly the single-server event
+        set.  Events re-sort through the shared
+        :func:`~repro.variants.overlay.sort_event_rows`; counters sum
+        (each partition scopes them to its own chromosomes); the
+        response body rebuilds through the shared
+        :func:`~repro.variants.overlay.variant_payload` — which is
+        what keeps routed variant responses byte-identical to a
+        single server's.
+        """
+        raw_queries = request.get("queries")
+        raw_haplotypes = request.get("haplotypes")
+        try:
+            queries = _decode_queries(raw_queries)
+            haplotypes = decode_haplotypes(raw_haplotypes)
+            allowed = _decode_chromosomes(request.get("chromosomes"))
+        except (VariantError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        guard = self._route_guard()
+        if guard is not None:
+            return guard
+        groups = list(self._groups)
+        rank = dict(self._rank)
+        order = [c for c, _ in sorted(rank.items(),
+                                      key=lambda item: item[1])]
+        # A chromosome no partition holds would be skipped *silently*
+        # by every backend (each sees a filter excluding it) — but a
+        # single unfiltered server errors on it.  Pre-validate here so
+        # the routed tier keeps the single-server contract.
+        covered: Set[str] = set()
+        for group in groups:
+            covered.update(group.chromosomes)
+        for haplotype in haplotypes:
+            for variant in haplotype.variants:
+                if variant.chrom in covered:
+                    continue
+                if allowed is not None and \
+                        variant.chrom not in allowed:
+                    continue
+                return {"ok": False, "error": "bad-request",
+                        "message": f"variant {variant.describe()} "
+                                   f"names chromosome "
+                                   f"{variant.chrom!r}, which no "
+                                   f"partition holds"}
+        plans: List[Tuple[_Group, List[str]]] = []
+        for group in groups:
+            chroms = [c for c in group.chromosomes
+                      if allowed is None or c in allowed]
+            if chroms:
+                plans.append((group, chroms))
+
+        def _make_payload(chroms: List[str]) -> Dict[str, Any]:
+            payload: Dict[str, Any] = {
+                "op": "variant", "queries": raw_queries,
+                "haplotypes": raw_haplotypes, "chromosomes": chroms}
+            if "enzyme" in request:
+                payload["enzyme"] = request["enzyme"]
+            return payload
+
+        def _validate(response: Dict[str, Any]) -> Optional[str]:
+            if not isinstance(response.get("events"), list) or \
+                    not isinstance(response.get("reference_hits"),
+                                   list) or \
+                    len(response["reference_hits"]) != len(queries):
+                return "sent a malformed variant response"
+            return None
+
+        with tracing.span("route_variant", cat="router",
+                          haplotypes=len(haplotypes),
+                          partitions=len(plans)):
+            results = await asyncio.gather(
+                *(self._sub_request(group, _make_payload(chroms),
+                                    validate=_validate)
+                  for group, chroms in plans),
+                return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            return self._failure_response(failures)
+        events: List[List[Any]] = []
+        reference_hits = [0] * len(queries)
+        patched_chunks = 0
+        reference_chunks = 0
+        if results:
+            pattern = results[0]["pattern"]
+        else:
+            # Filter excluded every partition: fall back to the
+            # fleet's probed pattern so the echo stays meaningful.
+            probed = {b.pattern for b in self._backends
+                      if b.alive and b.pattern}
+            pattern = probed.pop() if len(probed) == 1 else ""
+        for response in results:
+            events.extend(response["events"])
+            for qi, count in enumerate(response["reference_hits"]):
+                reference_hits[qi] += int(count)
+            patched_chunks += int(response.get("patched_chunks", 0))
+            reference_chunks += int(
+                response.get("reference_chunks", 0))
+        sort_event_rows(events, [h.name for h in haplotypes],
+                        [q.sequence for q in queries], order)
+        self._requests += 1
+        return {"ok": True,
+                **variant_payload(
+                    pattern, len(queries),
+                    [h.to_payload() for h in haplotypes], events,
+                    reference_hits, patched_chunks,
+                    reference_chunks)}
+
+    async def _handle_enzymes(self, request: Dict[str, Any]
+                              ) -> Dict[str, Any]:
+        """Forward the registry listing to any live backend."""
+        guard = self._route_guard()
+        if guard is not None:
+            return guard
+        group = self._groups[0]
+        try:
+            response = await self._sub_request(
+                group, {"op": "enzymes"},
+                validate=lambda r: (
+                    None if isinstance(r.get("enzymes"), list)
+                    else "sent a malformed enzymes response"))
+        except (_RoutePassthrough, _RouteDeadline,
+                _RouteUnavailable) as exc:
+            return self._failure_response([exc])
+        response.pop("id", None)
+        return response
+
     async def _handle_rollover(self, request: Dict[str, Any]
                                ) -> Dict[str, Any]:
         raw = request.get("canaries")
@@ -981,6 +1119,10 @@ class OffTargetRouter:
             return await self._handle_query(request)
         if op == "design":
             return await self._handle_design(request)
+        if op == "variant":
+            return await self._handle_variant(request)
+        if op == "enzymes":
+            return await self._handle_enzymes(request)
         if op == "health":
             alive = sum(1 for b in self._backends if b.alive)
             degraded = (alive < len(self._backends)
@@ -1012,8 +1154,8 @@ class OffTargetRouter:
             return await self._handle_rollover(request)
         return {"ok": False, "error": "unknown-op",
                 "message": f"unknown op {op!r}; expected query, "
-                           f"design, stats, health, topology or "
-                           f"rollover"}
+                           f"design, variant, enzymes, stats, health, "
+                           f"topology or rollover"}
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -1094,8 +1236,12 @@ class OffTargetRouter:
             ready[2].append(self.port)
             ready[1].set()
         if ready_file:
-            with open(ready_file, "w", encoding="ascii") as handle:
+            # Atomic publish (see server._serve): pollers must never
+            # observe the empty create-to-write window.
+            part = ready_file + ".part"
+            with open(part, "w", encoding="ascii") as handle:
                 handle.write(f"{self.host} {self.port}\n")
+            _os.replace(part, ready_file)
         try:
             async with server:
                 if duration_s is not None:

@@ -156,11 +156,15 @@ class BatchScheduler:
         self._rejected = 0
         self._expired = 0
         self._batches = 0
-        #: Admitted requests by workload kind (plain guide lookups vs
-        #: guide-design candidate sweeps).  Both kinds coalesce into
-        #: the same micro-batches; the split is observability only.
+        #: Admitted requests by workload kind (plain guide lookups,
+        #: guide-design candidate sweeps, variant-overlay searches).
+        #: query/design coalesce into the same micro-batches; variant
+        #: requests run their own single-batch pass outside the queue
+        #: (counted via :meth:`count_request`).  The split is
+        #: observability only.
         self._requests_by_kind: Dict[str, int] = {"query": 0,
-                                                  "design": 0}
+                                                  "design": 0,
+                                                  "variant": 0}
         self._batch_sizes: Dict[int, int] = {}
         self._latencies_ms: "deque[float]" = deque(maxlen=latency_window)
         self._worker: Optional[threading.Thread] = None
@@ -279,6 +283,22 @@ class BatchScheduler:
         with self._stats_lock:
             self._requests_by_kind[kind] += 1
         return pending.future
+
+    def count_request(self, kind: str) -> None:
+        """Count one request served outside the micro-batch path.
+
+        The ``variant`` op builds request-scoped patch chunks and runs
+        its own single batched pass through
+        ``query_batch_with_extras`` — it cannot coalesce with queued
+        guide lookups — but it should still show up in the
+        :meth:`stats` request accounting.
+        """
+        if kind not in self._requests_by_kind:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected one of "
+                f"{sorted(self._requests_by_kind)}")
+        with self._stats_lock:
+            self._requests_by_kind[kind] += 1
 
     def _request_done(self, n: int = 1) -> None:
         """Settle ``n`` in-flight requests and wake drain waiters."""

@@ -17,6 +17,15 @@ object per line in each direction.  Requests carry an ``op`` —
   protospacers and their query sequences for a region (the routing
   tier uses this to enumerate on a backend that holds the target
   chromosome);
+* ``variant``: guide × {reference + K haplotypes} — per-haplotype
+  gained/lost off-targets with causal-variant provenance (see
+  :mod:`repro.variants`): only variant-touched chunks are re-scanned,
+  and the patches ride the resident chunks through one batched
+  comparer pass;
+* ``enzymes``: the declarative Cas enzyme registry this server hosts;
+  ``query``/``design``/``enumerate``/``variant`` take an optional
+  ``"enzyme": name`` field to run against that enzyme's own resident
+  index instead of the default;
 * ``stats``: scheduler counters, queue depth, batch-size histogram and
   latency percentiles (see :meth:`BatchScheduler.stats`);
 * ``health``: liveness plus index identity (genome, pattern, sites,
@@ -70,7 +79,10 @@ from ..design.ranking import (decode_design_spec, design_payload,
                               enumerate_for_design, enumerate_payload,
                               rank_candidates, scoring_guide_length)
 from ..design.estimators import get_estimator
+from ..enzymes import CasEnzyme
 from ..observability import faults, tracing
+from ..variants.model import VariantError, decode_haplotypes
+from ..variants.overlay import search_variants
 from .index import GenomeSiteIndex
 from .scheduler import (BatchScheduler, DeadlineExceeded,
                         SchedulerClosed, ServiceOverloaded)
@@ -166,7 +178,9 @@ class OffTargetServer:
                  adaptive: bool = False, direct_below: int = 0,
                  reloader: Optional[Callable[[], Any]] = None,
                  request_fault_plan: Optional[str] = None,
-                 drain_s: float = 5.0):
+                 drain_s: float = 5.0,
+                 enzymes: Optional[Sequence[
+                     Tuple[CasEnzyme, GenomeSiteIndex]]] = None):
         self.index = index
         self.host = host
         self.port = port  # 0 = ephemeral; bound port set once listening
@@ -191,6 +205,30 @@ class OffTargetServer:
         self.drain_s = float(drain_s)
         self._draining = False
         self._inflight = 0
+        #: Alternate enzymes: name -> (enzyme, index, scheduler).
+        #: Requests naming no enzyme keep hitting the default index.
+        self._enzymes: Dict[str, Tuple[CasEnzyme, GenomeSiteIndex,
+                                       BatchScheduler]] = {}
+        for enzyme, enzyme_index in (enzymes or ()):
+            if enzyme.name in self._enzymes:
+                raise ValueError(
+                    f"duplicate enzyme {enzyme.name!r}")
+            if enzyme_index.pattern != enzyme.pattern:
+                raise ValueError(
+                    f"enzyme {enzyme.name!r} declares pattern "
+                    f"{enzyme.pattern!r} but its index was built for "
+                    f"{enzyme_index.pattern!r}")
+            self._enzymes[enzyme.name] = (
+                enzyme, enzyme_index,
+                BatchScheduler(enzyme_index, max_batch=max_batch,
+                               max_wait_ms=max_wait_ms,
+                               max_queue=max_queue, adaptive=adaptive,
+                               direct_below=direct_below))
+        #: Serializes variant patch scans: the variant op runs on
+        #: executor threads (off-loop), which would otherwise race
+        #: compare_resident on one pipeline (the scheduler's single
+        #: worker serializes every other comparer entry point).
+        self._variant_lock = threading.Lock()
 
     # -- request handling ----------------------------------------------
 
@@ -220,11 +258,17 @@ class OffTargetServer:
                 if degraded:
                     response["degrade_reason"] = getattr(
                         self.index, "degrade_reason", None)
+            if self._enzymes:
+                response["enzymes"] = sorted(self._enzymes)
             return response
         if op == "stats":
             return {"ok": True, "stats": self.scheduler.stats()}
         if op == "reload":
             return await self._handle_reload(request)
+        if op == "enzymes":
+            return self._handle_enzymes()
+        if op == "variant":
+            return await self._handle_variant(request)
         if op == "enumerate":
             return self._handle_enumerate(request)
         if op == "design":
@@ -237,6 +281,7 @@ class OffTargetServer:
                 if outcome is not None:
                     return outcome
             try:
+                _, _, scheduler = self._resolve_enzyme(request)
                 queries = _decode_queries(request.get("queries"))
                 allowed = _decode_chromosomes(
                     request.get("chromosomes"))
@@ -247,8 +292,8 @@ class OffTargetServer:
                     raise ValueError(
                         f"deadline_s must be a number, got "
                         f"{deadline!r}")
-                future = self.scheduler.submit(queries,
-                                               deadline_s=deadline)
+                future = scheduler.submit(queries,
+                                          deadline_s=deadline)
             except ValueError as exc:
                 return {"ok": False, "error": "bad-request",
                         "message": str(exc)}
@@ -285,7 +330,91 @@ class OffTargetServer:
                     "hits": [_encode_hits(per) for per in results]}
         return {"ok": False, "error": "unknown-op",
                 "message": f"unknown op {op!r}; expected query, design, "
-                           f"enumerate, stats, health or reload"}
+                           f"enumerate, variant, enzymes, stats, "
+                           f"health or reload"}
+
+    # -- enzyme registry ------------------------------------------------
+
+    def _resolve_enzyme(self, request: Dict[str, Any]
+                        ) -> Tuple[Optional[CasEnzyme], GenomeSiteIndex,
+                                   BatchScheduler]:
+        """(enzyme, index, scheduler) for the request's ``enzyme`` field.
+
+        Absent/None selects the default index; unknown names raise
+        ValueError, which every op maps to ``bad-request``.
+        """
+        name = request.get("enzyme")
+        if name is None:
+            return None, self.index, self.scheduler
+        if not isinstance(name, str):
+            raise ValueError(
+                f"'enzyme' must be a string, got {name!r}")
+        entry = self._enzymes.get(name)
+        if entry is None:
+            known = ", ".join(sorted(self._enzymes)) or "none"
+            raise ValueError(
+                f"unknown enzyme {name!r}; this server hosts: {known}")
+        return entry
+
+    def _handle_enzymes(self) -> Dict[str, Any]:
+        """Declarative registry listing — the ``enzymes`` op."""
+        entries = []
+        for name in sorted(self._enzymes):
+            enzyme, enzyme_index, _ = self._enzymes[name]
+            entry = {**enzyme.to_payload(),
+                     "sites": enzyme_index.site_count,
+                     "chunks": enzyme_index.chunk_count}
+            fingerprint = getattr(enzyme_index, "fingerprint", None)
+            if callable(fingerprint):
+                entry["fingerprint"] = fingerprint()
+            entries.append(entry)
+        return {"ok": True, "default_pattern": self.index.pattern,
+                "enzymes": entries}
+
+    # -- variant-aware search -------------------------------------------
+
+    async def _handle_variant(self, request: Dict[str, Any]
+                              ) -> Dict[str, Any]:
+        """Per-haplotype gained/lost off-targets — the ``variant`` op.
+
+        Patch scans plus the single batched comparer pass run in an
+        executor thread (the reload pattern), so the accept loop keeps
+        serving other connections; ``_variant_lock`` serializes the
+        comparer work because executor threads bypass the scheduler's
+        one-worker serialization.
+        """
+        try:
+            _, _, scheduler = self._resolve_enzyme(request)
+            queries = _decode_queries(request.get("queries"))
+            haplotypes = decode_haplotypes(request.get("haplotypes"))
+            allowed = _decode_chromosomes(request.get("chromosomes"))
+        except (VariantError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self._variant_sync, scheduler, queries,
+                haplotypes, allowed)
+        except (VariantError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request",
+                    "message": str(exc)}
+        except SchedulerClosed as exc:
+            return {"ok": False, "error": "closed",
+                    "message": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            return {"ok": False, "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        scheduler.count_request("variant")
+        return {"ok": True, **result.payload()}
+
+    def _variant_sync(self, scheduler: BatchScheduler,
+                      queries: List[Query], haplotypes: Sequence[Any],
+                      allowed: Optional[FrozenSet[str]]) -> Any:
+        # scheduler.index is the live (possibly reload-swapped) index.
+        with self._variant_lock:
+            return search_variants(scheduler.index, queries,
+                                   haplotypes, chromosomes=allowed)
 
     # -- guide design ---------------------------------------------------
 
@@ -298,9 +427,14 @@ class OffTargetServer:
         then fans the returned queries out like any query batch.
         """
         try:
+            enzyme, index, _ = self._resolve_enzyme(request)
+            if enzyme is not None and not enzyme.designable:
+                raise ValueError(
+                    f"enzyme {enzyme.name!r} has a 5prime PAM; guide "
+                    f"design requires a 3prime-PAM pattern")
             spec = decode_design_spec(request)
             anatomy, candidates, queries = enumerate_for_design(
-                self.index.assembly, self.index.pattern, spec)
+                index.assembly, index.pattern, spec)
         except ValueError as exc:
             return {"ok": False, "error": "bad-request",
                     "message": str(exc)}
@@ -317,6 +451,11 @@ class OffTargetServer:
         keeps in-process.
         """
         try:
+            enzyme, index, scheduler = self._resolve_enzyme(request)
+            if enzyme is not None and not enzyme.designable:
+                raise ValueError(
+                    f"enzyme {enzyme.name!r} has a 5prime PAM; guide "
+                    f"design requires a 3prime-PAM pattern")
             spec = decode_design_spec(request)
             deadline = request.get("deadline_s")
             if deadline is not None and (
@@ -325,7 +464,7 @@ class OffTargetServer:
                 raise ValueError(
                     f"deadline_s must be a number, got {deadline!r}")
             anatomy, candidates, queries = enumerate_for_design(
-                self.index.assembly, self.index.pattern, spec)
+                index.assembly, index.pattern, spec)
             estimator = get_estimator(spec.estimator,
                                       scoring_guide_length(anatomy))
         except ValueError as exc:
@@ -334,7 +473,7 @@ class OffTargetServer:
         hits_by_query: Dict[str, List[OffTargetHit]] = {}
         if queries:
             try:
-                future = self.scheduler.submit(
+                future = scheduler.submit(
                     [Query(sequence=query,
                            max_mismatches=spec.max_mismatches)
                      for query in queries],
@@ -564,8 +703,13 @@ class OffTargetServer:
             ready[2].append(self.port)
             ready[1].set()
         if ready_file:
-            with open(ready_file, "w", encoding="ascii") as handle:
+            # Atomic publish: a supervisor polls for the file's
+            # existence, so it must never observe the empty window
+            # between create and write.
+            part = ready_file + ".part"
+            with open(part, "w", encoding="ascii") as handle:
                 handle.write(f"{self.host} {self.port}\n")
+            os.replace(part, ready_file)
         try:
             async with server:
                 if duration_s is not None:
@@ -652,3 +796,5 @@ class OffTargetServer:
         if not self._closed:
             self._closed = True
             self.scheduler.close()
+            for _, _, scheduler in self._enzymes.values():
+                scheduler.close()

@@ -457,6 +457,7 @@ class ShardedSiteIndex:
         self._batches_sharded = 0
         self._batches_direct = 0
         self._queries_total = 0
+        self._entries_scanned = 0
         self._ring_batches = 0
         self._pickle_batches = 0
         self._ring_high_water = 0
@@ -509,6 +510,18 @@ class ShardedSiteIndex:
     @property
     def chunk_size(self) -> int:
         return self.index.chunk_size
+
+    @property
+    def pipeline(self):
+        """The inner index's pipeline (variant patch chunks are
+        scanned and compared parent-side; shard workers never see
+        request-scoped data)."""
+        return self.index.pipeline
+
+    @property
+    def entries(self):
+        """The inner index's resident chunks (read-only metadata)."""
+        return self.index.entries
 
     @property
     def api(self) -> str:
@@ -566,6 +579,7 @@ class ShardedSiteIndex:
             ring_batches = self._ring_batches
             pickle_batches = self._pickle_batches
             ring_high_water = self._ring_high_water
+            entries_scanned = self._entries_scanned
         return {
             "mode": "packed" if self.packed else "byte",
             "packed_disabled_reason": self.packed_disabled_reason,
@@ -581,6 +595,11 @@ class ShardedSiteIndex:
             # guides share each comparer pass.
             "batches": batches_sharded + batches_direct,
             "queries_total": queries_total,
+            # Parent-side comparer entries only: the variant op's
+            # ephemeral patch chunks are compared in-process (they are
+            # request-scoped and never published to shard workers), so
+            # this counts exactly the patched chunks scanned here.
+            "entries_scanned": entries_scanned,
             "result_path": {"ring": ring_batches,
                             "pickle": pickle_batches},
             "ring_records": self.ring_records,
@@ -985,6 +1004,36 @@ class ShardedSiteIndex:
             self._batches_direct += 1
             self._queries_total += len(queries)
         return self.index.query_batch(queries)
+
+    def query_batch_with_extras(self, queries: Sequence[Query],
+                                extras: Sequence[Any]
+                                ) -> Tuple[List[List[OffTargetHit]],
+                                           List[List[List[
+                                               OffTargetHit]]], int]:
+        """Reference via the sharded scatter, extras in-parent.
+
+        The resident reference chunks ride one normal sharded batch
+        (or the direct path when degraded) — still a single tier-level
+        batch — while the request-scoped extras (variant patch chunks)
+        are compared in this process: they exist for one request only,
+        so publishing them to shard shared memory would cost more than
+        the comparison itself.  Returns the same ``(reference_hits,
+        extra_hits, reference_chunks)`` triple as
+        :meth:`GenomeSiteIndex.query_batch_with_extras`.
+        """
+        if not queries:
+            raise ValueError(
+                "query_batch_with_extras needs at least one query")
+        queries = list(queries)
+        extras = list(extras)
+        reference_hits = self.query_batch(queries)
+        compiled = [compile_pattern(q.sequence) for q in queries]
+        extra_hits = list(self.index.pipeline.compare_resident(
+            extras, queries, compiled, batched=True))
+        n_ref = sum(1 for entry in self._entries if entry.loci.size)
+        with self._lock:
+            self._entries_scanned += len(extras)
+        return reference_hits, extra_hits, n_ref
 
     def _select_shards(self, queries: Sequence[Query],
                        compiled) -> List[_ShardWorker]:

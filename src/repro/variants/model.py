@@ -1,0 +1,185 @@
+"""Variant and haplotype records for variant-aware off-target search.
+
+A reference assembly is one consensus sequence; the genomes actually
+edited carry variants.  A PAM-creating SNV turns a harmless locus into
+a cut site the reference search never reports; a deletion can destroy
+one.  This module defines the minimal VCF-like data model the overlay
+layer (:mod:`repro.variants.overlay`) applies to the reference:
+
+* :class:`Variant` — one substitution/insertion/deletion in reference
+  coordinates (0-based), written like a VCF record: ``ref`` is the
+  reference bases replaced (never empty — indels carry an anchor
+  base), ``alt`` the concrete replacement;
+* :class:`Haplotype` — a named, sorted, non-overlapping set of
+  variants, the unit a search is run against.
+
+Validation is split the way the serving tiers need it: structural
+checks (field types, base alphabets, ordering, overlap) happen at
+decode time and are assembly-independent, so every tier normalizes a
+request identically; the *reference-match* check (``ref`` must equal
+the assembly bases at ``position``) happens in the overlay layer where
+the assembly lives, and in a routed deployment runs exactly once on
+the partition that owns the chromosome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+_ALT_BASES = frozenset("ACGT")
+#: Reference bases may include N: assemblies carry gap runs, and a
+#: variant is allowed to replace them.
+_REF_BASES = frozenset("ACGTN")
+
+
+class VariantError(ValueError):
+    """A malformed variant/haplotype or one the assembly rejects."""
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One VCF-like variant in 0-based reference coordinates."""
+
+    chrom: str
+    position: int
+    ref: str     # reference bases replaced (non-empty)
+    alt: str     # concrete replacement bases (non-empty, ACGT)
+
+    @property
+    def end(self) -> int:
+        """Exclusive reference end of the replaced interval."""
+        return self.position + len(self.ref)
+
+    @property
+    def shift(self) -> int:
+        """Length change this variant introduces downstream."""
+        return len(self.alt) - len(self.ref)
+
+    def describe(self) -> str:
+        return (f"{self.chrom}:{self.position}:"
+                f"{self.ref}>{self.alt}")
+
+
+def _decode_variant(row: Any, source: str) -> Variant:
+    if not isinstance(row, (list, tuple)) or len(row) != 4:
+        raise VariantError(
+            f"{source}: variant row {row!r} must be "
+            f"[chrom, position, ref, alt]")
+    chrom, position, ref, alt = row
+    if not isinstance(chrom, str) or not chrom:
+        raise VariantError(
+            f"{source}: variant chromosome must be a non-empty string, "
+            f"got {chrom!r}")
+    if isinstance(position, bool) or not isinstance(position, int):
+        raise VariantError(
+            f"{source}: variant position must be an integer, got "
+            f"{position!r}")
+    if position < 0:
+        raise VariantError(
+            f"{source}: variant position must be >= 0, got {position}")
+    if not isinstance(ref, str) or not ref:
+        raise VariantError(
+            f"{source}: variant ref must be a non-empty string "
+            f"(indels carry an anchor base), got {ref!r}")
+    if not isinstance(alt, str) or not alt:
+        raise VariantError(
+            f"{source}: variant alt must be a non-empty string, got "
+            f"{alt!r}")
+    ref = ref.upper()
+    alt = alt.upper()
+    bad_ref = sorted(set(ref) - _REF_BASES)
+    if bad_ref:
+        raise VariantError(
+            f"{source}: variant ref {ref!r} contains non-ACGTN "
+            f"base(s) {bad_ref}")
+    bad_alt = sorted(set(alt) - _ALT_BASES)
+    if bad_alt:
+        raise VariantError(
+            f"{source}: variant alt {alt!r} contains non-ACGT "
+            f"base(s) {bad_alt} (alt bases must be concrete)")
+    return Variant(chrom=chrom, position=position, ref=ref, alt=alt)
+
+
+@dataclass(frozen=True)
+class Haplotype:
+    """A named set of variants applied together to the reference.
+
+    ``variants`` is normalized: sorted by (chromosome, position) and
+    non-overlapping per chromosome.  Use :func:`decode_haplotypes` /
+    :meth:`normalized` to build one from unordered input.
+    """
+
+    name: str
+    variants: Tuple[Variant, ...]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Wire echo: the normalized form every tier reports."""
+        return {
+            "name": self.name,
+            "variants": [[v.chrom, int(v.position), v.ref, v.alt]
+                         for v in self.variants],
+        }
+
+    @classmethod
+    def normalized(cls, name: str, variants: Sequence[Variant]
+                   ) -> "Haplotype":
+        """Sort and overlap-check a variant list into a Haplotype."""
+        if not isinstance(name, str) or not name:
+            raise VariantError(
+                f"haplotype name must be a non-empty string, got "
+                f"{name!r}")
+        ordered = sorted(variants,
+                         key=lambda v: (v.chrom, v.position, v.end))
+        for prev, cur in zip(ordered, ordered[1:]):
+            if prev.chrom == cur.chrom and cur.position < prev.end:
+                raise VariantError(
+                    f"haplotype {name!r}: variants "
+                    f"{prev.describe()} and {cur.describe()} overlap; "
+                    f"one haplotype applies non-overlapping variants")
+        return cls(name=name, variants=tuple(ordered))
+
+
+def decode_haplotypes(raw: Any) -> List[Haplotype]:
+    """Decode and normalize the wire ``haplotypes`` field.
+
+    Expects a non-empty list of ``{"name": str, "variants": [[chrom,
+    position, ref, alt], ...]}`` objects.  Haplotype names must be
+    unique (events are keyed by them).  All checks here are
+    assembly-independent so every serving tier normalizes a request to
+    the same echo bytes.
+    """
+    if not isinstance(raw, list) or not raw:
+        raise VariantError(
+            "'haplotypes' must be a non-empty list of "
+            "{name, variants} objects")
+    haplotypes: List[Haplotype] = []
+    seen = set()
+    for hap_index, entry in enumerate(raw):
+        source = f"haplotypes[{hap_index}]"
+        if not isinstance(entry, dict):
+            raise VariantError(
+                f"{source}: expected an object with 'name' and "
+                f"'variants', got {entry!r}")
+        unknown = set(entry) - {"name", "variants"}
+        if unknown:
+            raise VariantError(
+                f"{source}: unknown field(s) {sorted(unknown)}")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise VariantError(
+                f"{source}: 'name' must be a non-empty string, got "
+                f"{name!r}")
+        if name in seen:
+            raise VariantError(
+                f"{source}: duplicate haplotype name {name!r}")
+        seen.add(name)
+        rows = entry.get("variants")
+        if not isinstance(rows, list) or not rows:
+            raise VariantError(
+                f"{source}: 'variants' must be a non-empty list of "
+                f"[chrom, position, ref, alt] rows")
+        variants = [_decode_variant(row, f"{source}.variants[{i}]")
+                    for i, row in enumerate(rows)]
+        haplotypes.append(Haplotype.normalized(name, variants))
+    return haplotypes

@@ -2,11 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.bulge import (BulgeHit, _dna_bulge_queries,
                               _rna_bulge_queries, _split_pattern,
-                              bulge_search)
+                              bulge_search, dedupe_bulge_hits)
 from repro.core.patterns import PatternError
+from repro.core.records import OffTargetHit
 from repro.genome.assembly import Assembly, Chromosome
 
 
@@ -28,20 +31,67 @@ class TestHelpers:
     def test_dna_bulge_queries_shapes(self):
         derived = _dna_bulge_queries("ACGT", pam_len=2, size=1)
         assert len(derived) == 3
-        for query, guide in derived:
+        for query, guide, position in derived:
             assert guide == "ACGT"
             assert len(query) == 4 + 1 + 2
             assert query.endswith("NN")
         assert derived[0][0].startswith("ANCGT")
+        assert [p for _, _, p in derived] == [1, 2, 3]
 
     def test_rna_bulge_queries_shapes(self):
         derived = _rna_bulge_queries("ACGT", pam_len=2, size=1)
         assert len(derived) == 2
         assert derived[0][0].startswith("AGT")
         assert derived[1][0].startswith("ACT")
+        assert [p for _, _, p in derived] == [1, 2]
 
     def test_rna_bulge_too_large(self):
         assert _rna_bulge_queries("AC", pam_len=2, size=2) == []
+
+
+def _bulge_hit(chrom, position, bulge_type, bulge_size, mismatches,
+               bulge_position):
+    return BulgeHit(
+        hit=OffTargetHit(query="Q", chrom=chrom, position=position,
+                         strand="+", mismatches=mismatches,
+                         site="ACGTCAGG"),
+        bulge_type=bulge_type, bulge_size=bulge_size, guide="ACGTCA",
+        bulge_position=bulge_position)
+
+
+_descriptions = st.tuples(
+    st.sampled_from(["chr0", "chr1"]),
+    st.integers(min_value=0, max_value=3),     # site position
+    st.sampled_from(["X", "DNA", "RNA"]),
+    st.integers(min_value=0, max_value=2),     # bulge size
+    st.integers(min_value=0, max_value=3),     # mismatches
+    st.integers(min_value=0, max_value=5))     # bulge position
+
+
+class TestDedup:
+    @settings(max_examples=100, deadline=None)
+    @given(rows=st.lists(_descriptions, min_size=1, max_size=12),
+           seed=st.randoms())
+    def test_dedup_is_permutation_invariant(self, rows, seed):
+        """The kept description of a site must not depend on the order
+        competing descriptions arrive in — the old tie-break leaked
+        dict insertion order when (bulges, mismatches) tied."""
+        hits = [_bulge_hit(*row) for row in rows]
+        shuffled = list(hits)
+        seed.shuffle(shuffled)
+        assert dedupe_bulge_hits(shuffled) == dedupe_bulge_hits(hits)
+
+    def test_tie_breaks_on_type_then_position(self):
+        # Same site, same (bulges, mismatches): type rank decides.
+        dna = _bulge_hit("chr0", 0, "DNA", 1, 1, 3)
+        rna = _bulge_hit("chr0", 0, "RNA", 1, 1, 1)
+        assert dedupe_bulge_hits([rna, dna]) == [dna]
+        assert dedupe_bulge_hits([dna, rna]) == [dna]
+        # Same type too: the smaller bulge position wins.
+        late = _bulge_hit("chr0", 0, "DNA", 1, 1, 4)
+        early = _bulge_hit("chr0", 0, "DNA", 1, 1, 2)
+        assert dedupe_bulge_hits([late, early]) == [early]
+        assert dedupe_bulge_hits([early, late]) == [early]
 
 
 class TestBulgeSearch:

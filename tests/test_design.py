@@ -150,6 +150,46 @@ class TestEnumeration:
             runs = max(len(run) for run in _runs(candidate.protospacer))
             assert runs <= 2
 
+    def test_gc_bounds_are_inclusive_on_both_ends(self, small_assembly):
+        # Regression: a guide whose GC fraction lands EXACTLY on
+        # gc_min or gc_max must pass the filter (inclusive bounds).
+        anatomy = pattern_anatomy(PATTERN)
+        wide = enumerate_protospacers(small_assembly, "chrA", 0, 2000,
+                                      anatomy, gc_min=0.0, gc_max=1.0,
+                                      max_homopolymer=0)
+        fractions = sorted({c.gc_fraction for c in wide})
+        assert len(fractions) >= 3, "need distinct GC levels to test"
+        gc_min, gc_max = fractions[1], fractions[-2]
+        bounded = enumerate_protospacers(small_assembly, "chrA", 0,
+                                         2000, anatomy, gc_min=gc_min,
+                                         gc_max=gc_max,
+                                         max_homopolymer=0)
+        kept = {c.gc_fraction for c in bounded}
+        assert gc_min in kept, "candidate exactly at gc_min kept"
+        assert gc_max in kept, "candidate exactly at gc_max kept"
+        assert all(gc_min <= gc <= gc_max for gc in kept)
+        expected = [c for c in wide
+                    if gc_min <= c.gc_fraction <= gc_max]
+        assert bounded == expected
+
+    def test_gc_filter_strictly_outside_rejected(self, small_assembly):
+        from repro.design.enumerate import _guide_gc
+        import numpy as np
+        guide = np.frombuffer(b"ACGT", dtype=np.uint8).copy()
+        # GC fraction is exactly 0.5: inclusive at either bound.
+        assert _guide_gc(guide, 0.5, 1.0, 0) == 0.5
+        assert _guide_gc(guide, 0.0, 0.5, 0) == 0.5
+        assert _guide_gc(guide, 0.5, 0.5, 0) == 0.5
+        # Strictly outside either bound: rejected.
+        assert _guide_gc(guide, 0.51, 1.0, 0) is None
+        assert _guide_gc(guide, 0.0, 0.49, 0) is None
+
+    def test_zero_length_guide_does_not_divide_by_zero(self):
+        from repro.design.enumerate import _guide_gc
+        import numpy as np
+        empty = np.empty(0, dtype=np.uint8)
+        assert _guide_gc(empty, 0.0, 1.0, 0) is None
+
     def test_n_gap_yields_no_candidates(self, small_assembly):
         # chrA[3000:3100] is an N gap: guides there are unusable.
         anatomy = pattern_anatomy(PATTERN)

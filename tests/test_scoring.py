@@ -3,13 +3,13 @@
 import pytest
 
 from repro.core.records import OffTargetHit
-from repro.core.scoring import (CFD_POSITION_WEIGHTS, GUIDE_LENGTH,
-                                MIT_WEIGHTS, GuideReport, ScoringError,
-                                aggregate_cfd, aggregate_specificity,
-                                cfd_activity, cfd_score_hit,
-                                cfd_site_score, mismatch_identities,
-                                mismatch_positions, mit_site_score,
-                                rank_guides, score_hit)
+from repro.core.scoring import (CFD_POSITION_WEIGHTS, CFD_TABLE_SOURCE,
+                                GUIDE_LENGTH, MIT_WEIGHTS, GuideReport,
+                                ScoringError, aggregate_cfd,
+                                aggregate_specificity, cfd_activity,
+                                cfd_score_hit, cfd_site_score,
+                                mismatch_identities, mismatch_positions,
+                                mit_site_score, rank_guides, score_hit)
 
 
 def hit(site: str, mismatches: int, query: str = "Q") -> OffTargetHit:
@@ -113,8 +113,58 @@ class TestCFD:
     def test_transition_penalized_less_than_transversion(self):
         assert cfd_activity(19, "A", "G") > cfd_activity(19, "A", "C")
 
-    def test_unknown_base_gets_worst_factor(self):
-        assert cfd_activity(19, "A", "N") <= cfd_activity(19, "A", "C")
+    def test_loaded_from_checked_in_data_file(self):
+        # The empirical grid must come from the data file, not the
+        # structural fallback, in a healthy checkout.
+        assert CFD_TABLE_SOURCE == "data/cfd_weights.json"
+
+    def test_data_file_matches_module_activities(self):
+        import json
+        import os
+
+        import repro.core.scoring as scoring
+        path = os.path.join(os.path.dirname(scoring.__file__),
+                            "data", "cfd_weights.json")
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["guide_length"] == GUIDE_LENGTH
+        for pair_key, factors in raw["pairs"].items():
+            guide_base, site_base = pair_key.split(">")
+            assert len(factors) == GUIDE_LENGTH
+            for position, factor in enumerate(factors):
+                assert 0.0 < factor <= 1.0
+                assert cfd_activity(position, guide_base,
+                                    site_base) == factor
+
+    def test_fallback_stand_in_when_data_file_unreadable(self):
+        from repro.core.scoring import _load_cfd_pairs
+        assert _load_cfd_pairs("/nonexistent/cfd_weights.json") is None
+
+    def test_unknown_base_raises_typed_error(self):
+        # The old behaviour scored N:N as a perfect match (1.0) and
+        # N-vs-ACGT with a silent worst-case factor; both must now
+        # fail loudly.
+        with pytest.raises(ScoringError, match="'N'"):
+            cfd_activity(19, "A", "N")
+        with pytest.raises(ScoringError, match="'N'"):
+            cfd_activity(19, "N", "N")
+        with pytest.raises(ScoringError):
+            cfd_activity(0, "X", "A")
+
+    def test_unknown_base_in_hit_markup_scores_worst_case(self):
+        # A genome N in the guide region cannot be looked up in the
+        # table; the site-level policy is the position's worst defined
+        # factor (conservative, deterministic across tiers) — never
+        # the old silent 1.0.
+        from repro.core.scoring import cfd_worst_activity
+        query = "A" * 20 + "AGG"
+        site = "A" * 13 + "n" + "A" * 6 + "AGG"
+        expected = 100.0 * cfd_worst_activity(13)
+        assert cfd_score_hit(hit(site, 1, query)) == \
+            pytest.approx(expected)
+        assert cfd_worst_activity(13) == min(
+            cfd_activity(13, g, s)
+            for g in "ACGT" for s in "ACGT" if g != s)
 
     def test_exact_match_scores_100(self):
         assert cfd_site_score([]) == 100.0
